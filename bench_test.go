@@ -1,0 +1,181 @@
+package gator
+
+// Benchmark harness for the paper's evaluation (Section 5). One benchmark
+// per table/figure:
+//
+//   - BenchmarkFigure1Analysis — the running example of Figures 1/3/4:
+//     constraint graph construction and fixpoint solving.
+//   - BenchmarkTable1/<app> — per-application frontend + graph construction
+//     (the feature counts of Table 1 are measured from this result).
+//   - BenchmarkTable2/<app> — per-application full analysis (the running
+//     times of Table 2).
+//   - BenchmarkCaseStudy/<app> — the Section 5 case study: dynamic
+//     exploration plus oracle comparison.
+//   - BenchmarkAblation* — the design-choice ablations listed in DESIGN.md.
+//
+// Regenerate the actual tables with: go run ./cmd/gatorbench -table all
+
+import (
+	"testing"
+
+	"gator/internal/core"
+	"gator/internal/corpus"
+	"gator/internal/interp"
+	"gator/internal/ir"
+	"gator/internal/metrics"
+	"gator/internal/oracle"
+)
+
+// builtApps caches resolved programs for the corpus (building once keeps
+// the per-iteration work equal to what each table measures).
+var builtApps = func() map[string]*ir.Program {
+	out := map[string]*ir.Program{}
+	for _, app := range corpus.GenerateAll() {
+		prog, err := ir.Build(app.FreshFiles(), app.FreshLayouts())
+		if err != nil {
+			panic(err)
+		}
+		out[app.Name] = prog
+	}
+	return out
+}()
+
+func BenchmarkFigure1Analysis(b *testing.B) {
+	prog, err := ir.Build(corpus.Figure1Files(), corpus.Figure1Layouts())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := core.Analyze(prog, core.Options{})
+		if len(res.Graph.Infls()) != 6 {
+			b.Fatalf("inflation nodes = %d", len(res.Graph.Infls()))
+		}
+	}
+}
+
+// BenchmarkTable1 measures the cost of producing each application's Table 1
+// row: frontend (parse + resolve + lower) and graph construction.
+func BenchmarkTable1(b *testing.B) {
+	for _, app := range corpus.GenerateAll() {
+		app := app
+		b.Run(app.Name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				prog, err := ir.Build(app.FreshFiles(), app.FreshLayouts())
+				if err != nil {
+					b.Fatal(err)
+				}
+				res := core.Analyze(prog, core.Options{})
+				row := metrics.Table1(app.Name, res)
+				if row.Classes != app.Spec.Classes {
+					b.Fatalf("classes = %d, want %d", row.Classes, app.Spec.Classes)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTable2 measures each application's analysis time (the Table 2
+// "Time" column); the per-op averages are validated against the corpus
+// specs as a side effect.
+func BenchmarkTable2(b *testing.B) {
+	for _, spec := range corpus.Table1Specs() {
+		spec := spec
+		prog := builtApps[spec.Name]
+		b.Run(spec.Name, func(b *testing.B) {
+			b.ReportAllocs()
+			var row metrics.Table2Row
+			for i := 0; i < b.N; i++ {
+				res := core.Analyze(prog, core.Options{})
+				row = metrics.Table2(spec.Name, res, 0)
+			}
+			// The receivers average must stay near the paper's value.
+			if diff := row.AvgReceivers - spec.TargetReceivers; diff > 1.0 || diff < -1.0 {
+				b.Fatalf("receivers = %.2f, paper reports %.2f", row.AvgReceivers, spec.TargetReceivers)
+			}
+			b.ReportMetric(row.AvgReceivers, "receivers")
+		})
+	}
+}
+
+// BenchmarkCaseStudy runs the Section 5 case-study pipeline (analysis,
+// seeded exploration, oracle comparison) for the applications the paper
+// examined by hand, plus the XBMC outlier.
+func BenchmarkCaseStudy(b *testing.B) {
+	for _, name := range []string{"APV", "BarcodeScanner", "SuperGenPass", "XBMC"} {
+		name := name
+		prog := builtApps[name]
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res := core.Analyze(prog, core.Options{})
+				obs := interp.New(prog, interp.Config{Seed: 1}).Run()
+				rep := oracle.Compare(res, obs)
+				if !rep.Sound() {
+					b.Fatalf("%s: %d violations", name, len(rep.Violations))
+				}
+			}
+		})
+	}
+}
+
+// Ablation benchmarks: each compares one design choice on a mid-size app.
+func benchAblation(b *testing.B, opts core.Options) {
+	prog := builtApps["K9"]
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		core.Analyze(prog, opts)
+	}
+}
+
+func BenchmarkAblationBaseline(b *testing.B) { benchAblation(b, core.Options{}) }
+
+func BenchmarkAblationCastFilter(b *testing.B) {
+	benchAblation(b, core.Options{FilterCasts: true})
+}
+
+func BenchmarkAblationSharedInflation(b *testing.B) {
+	benchAblation(b, core.Options{SharedInflation: true})
+}
+
+func BenchmarkAblationNoFindView3Refinement(b *testing.B) {
+	benchAblation(b, core.Options{NoFindView3Refinement: true})
+}
+
+func BenchmarkAblationDeclaredDispatch(b *testing.B) {
+	benchAblation(b, core.Options{DeclaredDispatchOnly: true})
+}
+
+func BenchmarkAblationContext1(b *testing.B) {
+	benchAblation(b, core.Options{Context1: true})
+}
+
+// BenchmarkInterpreter measures the exploration oracle itself.
+func BenchmarkInterpreter(b *testing.B) {
+	prog := builtApps["ConnectBot"]
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		interp.New(prog, interp.Config{Seed: int64(i)}).Run()
+	}
+}
+
+// BenchmarkFrontend measures parsing + resolution + lowering alone.
+func BenchmarkFrontend(b *testing.B) {
+	app := corpus.Generate(mustSpec("Astrid"))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := ir.Build(app.FreshFiles(), app.FreshLayouts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func mustSpec(name string) corpus.Spec {
+	s, ok := corpus.SpecByName(name)
+	if !ok {
+		panic("no spec " + name)
+	}
+	return s
+}

@@ -1,0 +1,75 @@
+// Command alitefmt pretty-prints ALite source files, like gofmt for the
+// paper's abstracted language. Reads the named files (or stdin with no
+// arguments) and writes the canonical form to stdout; -w rewrites files in
+// place; -l lists files whose formatting differs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"gator/internal/alite"
+)
+
+func main() {
+	write := flag.Bool("w", false, "rewrite files in place")
+	list := flag.Bool("l", false, "list files whose formatting differs")
+	flag.Parse()
+
+	if flag.NArg() == 0 {
+		src, err := io.ReadAll(os.Stdin)
+		if err != nil {
+			fatal(err)
+		}
+		out, err := format("<stdin>", string(src))
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(out)
+		return
+	}
+
+	exit := 0
+	for _, path := range flag.Args() {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fatal(err)
+		}
+		out, err := format(path, string(data))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "alitefmt:", err)
+			exit = 1
+			continue
+		}
+		switch {
+		case *list:
+			if out != string(data) {
+				fmt.Println(path)
+			}
+		case *write:
+			if out != string(data) {
+				if err := os.WriteFile(path, []byte(out), 0o644); err != nil {
+					fatal(err)
+				}
+			}
+		default:
+			fmt.Print(out)
+		}
+	}
+	os.Exit(exit)
+}
+
+func format(name, src string) (string, error) {
+	f, err := alite.Parse(name, src)
+	if err != nil {
+		return "", err
+	}
+	return alite.Print(f), nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "alitefmt:", err)
+	os.Exit(1)
+}

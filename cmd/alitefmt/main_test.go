@@ -1,0 +1,69 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestAlitefmt(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI exec test skipped in -short mode")
+	}
+	bin := filepath.Join(t.TempDir(), "alitefmt")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	build.Env = os.Environ()
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("build: %v\n%s", err, out)
+	}
+
+	messy := "class A extends Activity{void onCreate(){this.setContentView(R.layout.x);}}"
+	want := "class A extends Activity {\n\tvoid onCreate() {\n\t\tthis.setContentView(R.layout.x);\n\t}\n}\n"
+
+	// stdin mode.
+	cmd := exec.Command(bin)
+	cmd.Stdin = strings.NewReader(messy)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("stdin: %v\n%s", err, out)
+	}
+	if string(out) != want {
+		t.Errorf("stdin output:\n%q\nwant:\n%q", out, want)
+	}
+
+	// -l lists unformatted files; -w rewrites; a second -l is quiet.
+	dir := t.TempDir()
+	file := filepath.Join(dir, "a.alite")
+	if err := os.WriteFile(file, []byte(messy), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, _ = exec.Command(bin, "-l", file).CombinedOutput()
+	if !strings.Contains(string(out), "a.alite") {
+		t.Errorf("-l did not list: %q", out)
+	}
+	if out, err := exec.Command(bin, "-w", file).CombinedOutput(); err != nil {
+		t.Fatalf("-w: %v\n%s", err, out)
+	}
+	data, err := os.ReadFile(file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != want {
+		t.Errorf("-w result:\n%q", data)
+	}
+	out, _ = exec.Command(bin, "-l", file).CombinedOutput()
+	if strings.TrimSpace(string(out)) != "" {
+		t.Errorf("-l on formatted file: %q", out)
+	}
+
+	// Parse errors exit nonzero.
+	bad := filepath.Join(dir, "bad.alite")
+	if err := os.WriteFile(bad, []byte("class {"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := exec.Command(bin, bad).Run(); err == nil {
+		t.Error("bad file did not fail")
+	}
+}

@@ -1,0 +1,175 @@
+// Command gator analyzes one application directory (*.alite sources plus
+// layout XML files) and reports the computed GUI-object solution: views,
+// activity content, the view hierarchy, (activity, view, event, handler)
+// tuples, Table 1/2 measurements, or a Graphviz rendering of the constraint
+// graph (Figures 3 and 4 of the paper).
+//
+// Usage:
+//
+//	gator [flags] <app-dir>
+//
+// With -figure1, the embedded running example of the paper is analyzed
+// instead of a directory.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"gator"
+	"gator/internal/corpus"
+)
+
+func main() {
+	report := flag.String("report", "summary", "what to print: summary, views, tuples, hierarchy, activities, transitions, menus, check, table1, table2, dot, ir, json, explore")
+	figure1 := flag.Bool("figure1", false, "analyze the paper's embedded Figure 1 example")
+	seed := flag.Int64("seed", 1, "seed for -report explore")
+	explain := flag.String("explain", "", "explain a variable's solution: Class.method.var")
+	filterCasts := flag.Bool("filter-casts", false, "enable cast filtering")
+	sharedInfl := flag.Bool("shared-inflation", false, "share inflation nodes per layout")
+	noFV3 := flag.Bool("no-findview3", false, "disable the FindView3 child-only refinement")
+	flag.Parse()
+
+	var app *gator.App
+	var err error
+	switch {
+	case *figure1:
+		app, err = gator.Load(
+			map[string]string{"connectbot.alite": corpus.Figure1Source},
+			map[string]string{
+				"act_console":   corpus.Figure1ActConsoleXML,
+				"item_terminal": corpus.Figure1ItemTerminalXML,
+			})
+		if app != nil {
+			app.Name = "Figure1"
+		}
+	case flag.NArg() == 1:
+		app, err = gator.LoadDir(flag.Arg(0))
+	default:
+		fmt.Fprintln(os.Stderr, "usage: gator [flags] <app-dir>  (or -figure1)")
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gator:", err)
+		os.Exit(1)
+	}
+
+	res := app.Analyze(gator.Options{
+		FilterCasts:           *filterCasts,
+		SharedInflation:       *sharedInfl,
+		NoFindView3Refinement: *noFV3,
+	})
+
+	if *explain != "" {
+		parts := strings.SplitN(*explain, ".", 3)
+		if len(parts) != 3 {
+			fmt.Fprintln(os.Stderr, "gator: -explain wants Class.method.var")
+			os.Exit(2)
+		}
+		lines, err := res.ExplainVar(parts[0], parts[1], parts[2])
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gator:", err)
+			os.Exit(1)
+		}
+		for _, l := range lines {
+			fmt.Println(l)
+		}
+		return
+	}
+
+	switch *report {
+	case "summary":
+		t1 := res.Table1()
+		fmt.Printf("%s: %d classes, %d methods\n", app.Name, t1.Classes, t1.Methods)
+		fmt.Printf("ids: %d layouts, %d view ids\n", t1.LayoutIDs, t1.ViewIDs)
+		fmt.Printf("views: %d inflated, %d allocated; %d listeners\n",
+			t1.ViewsInflated, t1.ViewsAllocated, t1.Listeners)
+		fmt.Printf("ops: %d inflate, %d find-view, %d add-view, %d set-listener, %d set-id\n",
+			t1.InflateOps, t1.FindViewOps, t1.AddViewOps, t1.SetListenerOps, t1.SetIdOps)
+		fmt.Printf("analysis: %v, %d fixpoint rounds\n", res.Elapsed(), res.Iterations())
+	case "views":
+		for _, v := range res.Views() {
+			id := v.ID
+			if id == "" {
+				id = "-"
+			}
+			fmt.Printf("%-20s %-28s id=%s\n", v.Class, v.Origin, id)
+		}
+	case "tuples":
+		for _, t := range res.EventTuples() {
+			act := t.Activity
+			if act == "" {
+				act = "-"
+			}
+			fmt.Printf("activity=%-20s view=%s(%s) event=%-12s handler=%s\n",
+				act, t.View.Class, t.View.Origin, t.Event, t.Handler)
+		}
+	case "hierarchy":
+		for _, e := range res.Hierarchy() {
+			fmt.Printf("%s(%s) => %s(%s)\n", e.Parent.Class, e.Parent.Origin, e.Child.Class, e.Child.Origin)
+		}
+	case "activities":
+		for _, a := range res.Activities() {
+			fmt.Printf("%s:\n", a.Activity)
+			for _, r := range a.Roots {
+				fmt.Printf("\troot %s (%s)\n", r.Class, r.Origin)
+			}
+		}
+	case "table1":
+		fmt.Printf("%+v\n", res.Table1())
+	case "table2":
+		r := res.Table2()
+		fmt.Printf("time=%v receivers=%.2f results=%.2f listeners=%.2f\n",
+			r.Time, r.AvgReceivers, r.AvgResults, r.AvgListeners)
+	case "check":
+		fs := res.Check()
+		warnings := 0
+		for _, f := range fs {
+			where := f.Pos
+			if where == "" {
+				where = app.Name
+			}
+			fmt.Printf("%s: %s: [%s] %s\n", where, f.Severity, f.Check, f.Msg)
+			if f.Severity == "warning" {
+				warnings++
+			}
+		}
+		if warnings > 0 {
+			os.Exit(1)
+		}
+	case "menus":
+		for _, e := range res.MenuEntries() {
+			fmt.Printf("activity=%-20s item=%-16s handler=%s\n", e.Activity, e.ItemID, e.Handler)
+		}
+	case "transitions":
+		for _, tr := range res.Transitions() {
+			fmt.Printf("%s -> %s  (via %s)\n", tr.Source, tr.Target, tr.Via)
+		}
+	case "json":
+		data, err := res.Model().JSON()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gator:", err)
+			os.Exit(1)
+		}
+		fmt.Println(string(data))
+	case "ir":
+		fmt.Print(res.DumpIR())
+	case "dot":
+		fmt.Print(res.Dot())
+	case "explore":
+		rep := res.Explore(*seed)
+		fmt.Printf("sound=%v sites=%d perfect=%d steps=%d\n",
+			rep.Sound, rep.ObservedSites, rep.PerfectSites, rep.Steps)
+		for _, v := range rep.Violations {
+			fmt.Println("violation:", v)
+		}
+		if !rep.Sound {
+			os.Exit(1)
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "gator: unknown report %q\n", *report)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,77 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildCLI compiles the command once per test binary.
+func buildCLI(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "gator")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	cmd.Env = os.Environ()
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+func runCLI(t *testing.T, bin string, args ...string) (string, int) {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	out, err := cmd.CombinedOutput()
+	code := 0
+	if ee, ok := err.(*exec.ExitError); ok {
+		code = ee.ExitCode()
+	} else if err != nil {
+		t.Fatalf("run %v: %v\n%s", args, err, out)
+	}
+	return string(out), code
+}
+
+func TestCLIReports(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI exec test skipped in -short mode")
+	}
+	bin := buildCLI(t)
+	appDir := filepath.Join("..", "..", "testdata", "notepad")
+
+	cases := []struct {
+		args []string
+		want []string
+		code int
+	}{
+		{[]string{appDir}, []string{"classes", "views:", "ops:"}, 0},
+		{[]string{"-report", "views", appDir}, []string{"ListView", "layout:note_list"}, 0},
+		{[]string{"-report", "tuples", appDir}, []string{"NoteListActivity", "click"}, 0},
+		{[]string{"-report", "transitions", appDir}, []string{"NoteListActivity -> EditNoteActivity"}, 0},
+		{[]string{"-report", "menus", appDir}, []string{"menu_clear", "onOptionsItemSelected"}, 0},
+		{[]string{"-report", "check", appDir}, []string{"unused-view-id"}, 0},
+		{[]string{"-report", "hierarchy", appDir}, []string{"=>"}, 0},
+		{[]string{"-report", "activities", appDir}, []string{"EditNoteActivity:"}, 0},
+		{[]string{"-report", "dot", appDir}, []string{"digraph gator"}, 0},
+		{[]string{"-report", "ir", appDir}, []string{"class NoteListActivity", ":= new"}, 0},
+		{[]string{"-report", "json", appDir}, []string{`"eventTuples"`}, 0},
+		{[]string{"-report", "explore", appDir}, []string{"sound=true"}, 0},
+		{[]string{"-explain", "SaveListener.onClick.body", appDir}, []string{"->"}, 0},
+		{[]string{"-figure1"}, []string{"6 inflated"}, 0},
+		{[]string{"-report", "bogus", appDir}, []string{"unknown report"}, 2},
+		{[]string{}, []string{"usage"}, 2},
+		{[]string{"/nonexistent-dir-xyz"}, []string{"gator:"}, 1},
+	}
+	for _, c := range cases {
+		out, code := runCLI(t, bin, c.args...)
+		if code != c.code {
+			t.Errorf("%v: exit %d, want %d\n%s", c.args, code, c.code, out)
+		}
+		for _, w := range c.want {
+			if !strings.Contains(out, w) {
+				t.Errorf("%v: output missing %q\n%s", c.args, w, out)
+			}
+		}
+	}
+}

@@ -1,0 +1,121 @@
+// Command gatorbench regenerates the paper's evaluation (Section 5) over
+// the 20-application corpus: Table 1 (application features and constraint
+// graph nodes), Table 2 (analysis cost and precision averages), and the
+// case-study comparison against the concrete-interpreter oracle.
+//
+// Usage:
+//
+//	gatorbench [-table 1|2|precision|all] [-app NAME] [-seed N]
+//	           [-filter-casts] [-shared-inflation] [-no-findview3] [-declared-dispatch]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"gator/internal/core"
+	"gator/internal/corpus"
+	"gator/internal/interp"
+	"gator/internal/ir"
+	"gator/internal/metrics"
+	"gator/internal/oracle"
+)
+
+func main() {
+	table := flag.String("table", "all", "which table to regenerate: 1, 2, precision, or all")
+	appFilter := flag.String("app", "", "restrict to one application")
+	seed := flag.Int64("seed", 1, "interpreter seed for the precision case study")
+	filterCasts := flag.Bool("filter-casts", false, "ablation: cast-based filtering")
+	sharedInfl := flag.Bool("shared-inflation", false, "ablation: shared inflation nodes per layout")
+	noFV3 := flag.Bool("no-findview3", false, "ablation: disable child-only FindView3 refinement")
+	declared := flag.Bool("declared-dispatch", false, "ablation: declared-type-only dispatch")
+	ctx1 := flag.Bool("context1", false, "refinement: bounded call-site context sensitivity")
+	flag.Parse()
+
+	opts := core.Options{
+		FilterCasts:           *filterCasts,
+		SharedInflation:       *sharedInfl,
+		NoFindView3Refinement: *noFV3,
+		DeclaredDispatchOnly:  *declared,
+		Context1:              *ctx1,
+	}
+
+	var rows1 []metrics.Table1Row
+	var rows2 []metrics.Table2Row
+	var rowsP []metrics.PrecisionRow
+
+	for _, app := range corpus.GenerateAll() {
+		if *appFilter != "" && app.Name != *appFilter {
+			continue
+		}
+		prog, err := ir.Build(app.FreshFiles(), app.FreshLayouts())
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gatorbench: %s: %v\n", app.Name, err)
+			os.Exit(1)
+		}
+		start := time.Now()
+		res := core.Analyze(prog, opts)
+		elapsed := time.Since(start)
+
+		rows1 = append(rows1, metrics.Table1(app.Name, res))
+		rows2 = append(rows2, metrics.Table2(app.Name, res, elapsed))
+
+		if *table == "precision" || *table == "all" {
+			obs := interp.New(prog, interp.Config{Seed: *seed}).Run()
+			rep := oracle.Compare(res, obs)
+			rowsP = append(rowsP, metrics.PrecisionRow{
+				App:           app.Name,
+				ObservedSites: rep.ObservedSites,
+				PerfectSites:  rep.PerfectSites,
+				Violations:    len(rep.Violations),
+				Steps:         obs.Steps,
+			})
+			for _, v := range rep.Violations {
+				fmt.Fprintf(os.Stderr, "gatorbench: %s: SOUNDNESS VIOLATION: %s\n", app.Name, v)
+			}
+		}
+	}
+
+	switch *table {
+	case "1":
+		fmt.Println("Table 1: analyzed applications and relevant constraint graph nodes")
+		fmt.Print(metrics.FormatTable1(rows1))
+	case "2":
+		fmt.Println("Table 2: analysis running time and average solution sizes")
+		fmt.Print(metrics.FormatTable2(rows2))
+		printReceiverComparison(rows2)
+	case "precision":
+		fmt.Println("Case study: static solution vs. interpreter oracle")
+		fmt.Print(metrics.FormatPrecision(rowsP))
+	case "all":
+		fmt.Println("Table 1: analyzed applications and relevant constraint graph nodes")
+		fmt.Print(metrics.FormatTable1(rows1))
+		fmt.Println()
+		fmt.Println("Table 2: analysis running time and average solution sizes")
+		fmt.Print(metrics.FormatTable2(rows2))
+		printReceiverComparison(rows2)
+		fmt.Println()
+		fmt.Println("Case study: static solution vs. interpreter oracle")
+		fmt.Print(metrics.FormatPrecision(rowsP))
+	default:
+		fmt.Fprintf(os.Stderr, "gatorbench: unknown table %q\n", *table)
+		os.Exit(2)
+	}
+}
+
+// printReceiverComparison puts the measured receivers average next to the
+// paper's Table 2 value for the same application.
+func printReceiverComparison(rows []metrics.Table2Row) {
+	fmt.Println()
+	fmt.Println("Receivers average: paper vs. this reproduction")
+	fmt.Printf("%-16s %8s %9s\n", "App", "paper", "measured")
+	for _, r := range rows {
+		spec, ok := corpus.SpecByName(r.App)
+		if !ok {
+			continue
+		}
+		fmt.Printf("%-16s %8.2f %9.2f\n", r.App, spec.TargetReceivers, r.AvgReceivers)
+	}
+}

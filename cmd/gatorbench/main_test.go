@@ -1,0 +1,54 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestGatorbenchSingleApp(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI exec test skipped in -short mode")
+	}
+	bin := filepath.Join(t.TempDir(), "gatorbench")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	build.Env = os.Environ()
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("build: %v\n%s", err, out)
+	}
+
+	out, err := exec.Command(bin, "-app", "ConnectBot", "-table", "all").CombinedOutput()
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, out)
+	}
+	s := string(out)
+	for _, want := range []string{
+		"Table 1", "Table 2", "Case study",
+		"ConnectBot", "371", "2366", // classes, methods from the paper
+		"violations",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q\n%s", want, s)
+		}
+	}
+	if strings.Contains(s, "SOUNDNESS VIOLATION") {
+		t.Errorf("soundness violation reported:\n%s", s)
+	}
+
+	// The ablation flags parse and run.
+	out, err = exec.Command(bin, "-app", "APV", "-table", "2", "-context1", "-filter-casts").CombinedOutput()
+	if err != nil {
+		t.Fatalf("ablation run: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "APV") {
+		t.Errorf("ablation output:\n%s", out)
+	}
+
+	// Unknown table exits nonzero.
+	cmd := exec.Command(bin, "-table", "9")
+	if err := cmd.Run(); err == nil {
+		t.Error("unknown table did not fail")
+	}
+}

@@ -1,0 +1,75 @@
+// Quickstart: analyze the paper's running example (Figure 1, a ConnectBot
+// fragment) and walk through the solution the paper derives in Sections 2
+// and 4 — which views exist, how the hierarchy fits together, and which
+// handler responds to the ESC button.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"gator"
+	"gator/internal/corpus"
+)
+
+func main() {
+	app, err := gator.Load(
+		map[string]string{"connectbot.alite": corpus.Figure1Source},
+		map[string]string{
+			"act_console":   corpus.Figure1ActConsoleXML,
+			"item_terminal": corpus.Figure1ItemTerminalXML,
+		})
+	if err != nil {
+		log.Fatal(err)
+	}
+	app.Name = "ConnectBot (Figure 1)"
+	res := app.Analyze(gator.Options{})
+
+	fmt.Printf("== %s analyzed in %v (%d fixpoint rounds)\n\n", app.Name, res.Elapsed(), res.Iterations())
+
+	fmt.Println("Abstract view objects (paper: six inflation nodes + one allocation):")
+	for _, v := range res.Views() {
+		id := v.ID
+		if id == "" {
+			id = "(no id)"
+		}
+		fmt.Printf("  %-16s %-26s %s\n", v.Class, v.Origin, id)
+	}
+
+	fmt.Println("\nActivity content roots (rule INFLATE2):")
+	for _, a := range res.Activities() {
+		for _, r := range a.Roots {
+			fmt.Printf("  %s => %s (%s)\n", a.Activity, r.Class, r.Origin)
+		}
+	}
+
+	fmt.Println("\nView hierarchy (layout edges + AddView2 edges):")
+	for _, e := range res.Hierarchy() {
+		fmt.Printf("  %-32s => %s\n",
+			fmt.Sprintf("%s(%s)", e.Parent.Class, e.Parent.Origin),
+			fmt.Sprintf("%s(%s)", e.Child.Class, e.Child.Origin))
+	}
+
+	fmt.Println("\nVariable solutions from the paper's walkthrough:")
+	for _, q := range []struct{ class, method, v, note string }{
+		{"ConsoleActivity", "onCreate", "g", "findViewById(R.id.button_esc) -> the ImageView"},
+		{"ConsoleActivity", "addNewTerminalView", "k", "inflate(item_terminal) -> its root"},
+		{"ConsoleActivity", "findCurrentView", "c", "getCurrentView -> flipper children only"},
+		{"ConsoleActivity", "findCurrentView", "d", "findViewById(console_flip) -> the TerminalView"},
+		{"EscapeButtonListener", "onClick", "r", "callback parameter -> the ESC ImageView"},
+	} {
+		views, err := res.VarViews(q.class, q.method, q.v)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  pts(%s.%s:%s)  [%s]\n", q.class, q.method, q.v, q.note)
+		for _, v := range views {
+			fmt.Printf("      %s (%s)\n", v.Class, v.Origin)
+		}
+	}
+
+	fmt.Println("\nEvent tuples (activity, view, event, handler):")
+	for _, t := range res.EventTuples() {
+		fmt.Printf("  (%s, %s@%s, %s, %s)\n", t.Activity, t.View.Class, t.View.Origin, t.Event, t.Handler)
+	}
+}

@@ -1,0 +1,656 @@
+// Package gator is a static reference analysis for GUI objects in Android
+// software, reproducing Rountev & Yan, "Static Reference Analysis for GUI
+// Objects in Android Software" (CGO 2014).
+//
+// An application consists of ALite source files (the paper's abstracted
+// Java-like core language) and Android layout XML files. The analysis
+// models the creation and propagation of GUI-related objects — views,
+// activities, listeners, and layout/view ids — and their structural
+// relationships: which views belong to which activity, the parent-child
+// view hierarchy, view-id associations, and view-listener associations.
+//
+// Typical use:
+//
+//	app, err := gator.LoadDir("path/to/app")
+//	res, err := app.Analyze(gator.Options{})
+//	for _, t := range res.EventTuples() { ... }
+package gator
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"gator/internal/alite"
+	"gator/internal/checks"
+	"gator/internal/core"
+	"gator/internal/dot"
+	"gator/internal/graph"
+	"gator/internal/interp"
+	"gator/internal/ir"
+	"gator/internal/layout"
+	"gator/internal/metrics"
+	"gator/internal/oracle"
+	"gator/internal/platform"
+)
+
+// App is a loaded, resolved application.
+type App struct {
+	// Name labels the application in reports.
+	Name string
+	prog *ir.Program
+}
+
+// Options configure analysis variants; the zero value is the configuration
+// evaluated in the paper.
+type Options struct {
+	// FilterCasts enables cast-based filtering of flowing values
+	// (a precision refinement beyond the paper).
+	FilterCasts bool
+	// SharedInflation shares inflated view nodes per layout instead of per
+	// inflation site (an ablation; the paper materializes per site).
+	SharedInflation bool
+	// NoFindView3Refinement disables the child-only refinement of
+	// operations such as getCurrentView (an ablation).
+	NoFindView3Refinement bool
+	// DeclaredDispatchOnly disables class-hierarchy call resolution
+	// (an ablation; unsound for interface-dispatched handlers).
+	DeclaredDispatchOnly bool
+	// Context1 enables bounded call-site context sensitivity for small
+	// helper methods — the refinement the paper's case study identifies
+	// for the XBMC receiver imprecision.
+	Context1 bool
+}
+
+func (o Options) internal() core.Options {
+	return core.Options{
+		FilterCasts:           o.FilterCasts,
+		SharedInflation:       o.SharedInflation,
+		NoFindView3Refinement: o.NoFindView3Refinement,
+		DeclaredDispatchOnly:  o.DeclaredDispatchOnly,
+		Context1:              o.Context1,
+	}
+}
+
+// LoadDir loads an application from a directory containing *.alite sources
+// and *.xml layout files (optionally under a layout/ subdirectory).
+func LoadDir(dir string) (*App, error) {
+	sources := map[string]string{}
+	layouts := map[string]string{}
+	addFile := func(path string) error {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		base := filepath.Base(path)
+		switch filepath.Ext(base) {
+		case ".alite":
+			sources[base] = string(data)
+		case ".xml":
+			layouts[strings.TrimSuffix(base, ".xml")] = string(data)
+		}
+		return nil
+	}
+	for _, sub := range []string{dir, filepath.Join(dir, "layout")} {
+		entries, err := os.ReadDir(sub)
+		if err != nil {
+			if sub == dir {
+				return nil, err
+			}
+			continue
+		}
+		for _, e := range entries {
+			if !e.IsDir() {
+				if err := addFile(filepath.Join(sub, e.Name())); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	if len(sources) == 0 {
+		return nil, fmt.Errorf("gator: no .alite sources in %s", dir)
+	}
+	app, err := Load(sources, layouts)
+	if err != nil {
+		return nil, err
+	}
+	app.Name = filepath.Base(dir)
+	return app, nil
+}
+
+// Load builds an application from in-memory sources: file name → ALite
+// source, and layout name → layout XML.
+func Load(sources map[string]string, layoutXML map[string]string) (*App, error) {
+	var names []string
+	for n := range sources {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var files []*alite.File
+	for _, n := range names {
+		f, err := alite.Parse(n, sources[n])
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	layouts := map[string]*layout.Layout{}
+	for name, xml := range layoutXML {
+		l, err := layout.Parse(name, xml)
+		if err != nil {
+			return nil, err
+		}
+		layouts[name] = l
+	}
+	prog, err := ir.Build(files, layouts)
+	if err != nil {
+		return nil, err
+	}
+	return &App{Name: "app", prog: prog}, nil
+}
+
+// Analyze runs the reference analysis.
+func (a *App) Analyze(opts Options) *Result {
+	start := time.Now()
+	res := core.Analyze(a.prog, opts.internal())
+	return &Result{app: a, res: res, elapsed: time.Since(start)}
+}
+
+// Result is a computed analysis solution with user-facing query methods.
+type Result struct {
+	app     *App
+	res     *core.Result
+	elapsed time.Duration
+}
+
+// Elapsed returns the analysis running time.
+func (r *Result) Elapsed() time.Duration { return r.elapsed }
+
+// Iterations returns the number of fixpoint rounds.
+func (r *Result) Iterations() int { return r.res.Iterations }
+
+// View describes one abstract view object.
+type View struct {
+	// Class is the view class name.
+	Class string
+	// Origin describes where the view comes from: "layout:<name>:<path>"
+	// for inflated views, "new@<pos>" for allocations.
+	Origin string
+	// ID is the view id name associated with the view, or "".
+	ID string
+
+	val graph.Value
+}
+
+func (r *Result) viewInfo(v graph.Value) View {
+	out := View{val: v}
+	switch v := v.(type) {
+	case *graph.InflNode:
+		out.Class = v.Class.Name
+		out.Origin = fmt.Sprintf("layout:%s:%d", v.LayoutName, v.Path)
+	case *graph.AllocNode:
+		out.Class = v.Class.Name
+		out.Origin = fmt.Sprintf("new@%s", v.Site.Pos())
+	}
+	ids := r.res.Graph.ViewIDsOf(v)
+	if len(ids) > 0 {
+		names := make([]string, len(ids))
+		for i, id := range ids {
+			names[i] = id.Name
+		}
+		sort.Strings(names)
+		out.ID = strings.Join(names, ",")
+	}
+	return out
+}
+
+// Views returns every abstract view object the analysis discovered.
+func (r *Result) Views() []View {
+	var out []View
+	for _, n := range r.res.Graph.Infls() {
+		out = append(out, r.viewInfo(n))
+	}
+	for _, a := range r.res.Graph.Allocs() {
+		if a.IsView {
+			out = append(out, r.viewInfo(a))
+		}
+	}
+	return out
+}
+
+// VarViews returns the views that may flow to a variable, identified as
+// "Class.method.var" (method by name; the first match wins for overloads).
+func (r *Result) VarViews(class, method, varName string) ([]View, error) {
+	c := r.app.prog.Class(class)
+	if c == nil {
+		return nil, fmt.Errorf("gator: unknown class %s", class)
+	}
+	for _, m := range c.MethodsSorted() {
+		if m.Name != method {
+			continue
+		}
+		for _, v := range m.Locals {
+			if v.Name == varName {
+				var out []View
+				for _, val := range r.res.VarPointsTo(v) {
+					if graph.IsViewValue(val) {
+						out = append(out, r.viewInfo(val))
+					}
+				}
+				return out, nil
+			}
+		}
+	}
+	return nil, fmt.Errorf("gator: no variable %s in %s.%s", varName, class, method)
+}
+
+// EventTuple is one (activity, view, event, handler) tuple — the model
+// element that Section 6 of the paper describes as the input to GUI-model
+// construction, automated test generation, and run-time exploration.
+type EventTuple struct {
+	// Activity is the activity (or dialog) class whose GUI contains View;
+	// "" when the view is not associated with any activity content.
+	Activity string
+	// View is the GUI object.
+	View View
+	// Event is the GUI event kind ("click", "longclick", ...).
+	Event string
+	// Handler is the handler method, as "Class.method".
+	Handler string
+}
+
+// EventTuples enumerates the (activity, view, event, handler) tuples of the
+// solution.
+func (r *Result) EventTuples() []EventTuple {
+	g := r.res.Graph
+
+	// Map each view to the activities whose content trees contain it.
+	viewOwners := map[graph.Value][]string{}
+	g.RootPairs(func(owner, root graph.Value) {
+		var ownerName string
+		switch o := owner.(type) {
+		case *graph.ActivityNode:
+			ownerName = o.Class.Name
+		case *graph.AllocNode:
+			ownerName = o.Class.Name
+		default:
+			return
+		}
+		for _, w := range descendantsIncl(g, root) {
+			viewOwners[w] = append(viewOwners[w], ownerName)
+		}
+	})
+
+	var out []EventTuple
+	add := func(view graph.Value, event, handlerClassAndMethod string) {
+		owners := viewOwners[view]
+		if len(owners) == 0 {
+			owners = []string{""}
+		}
+		seen := map[string]bool{}
+		for _, o := range owners {
+			if seen[o] {
+				continue
+			}
+			seen[o] = true
+			out = append(out, EventTuple{
+				Activity: o,
+				View:     r.viewInfo(view),
+				Event:    event,
+				Handler:  handlerClassAndMethod,
+			})
+		}
+	}
+
+	for _, op := range g.Ops() {
+		if op.Event == "" || op.Recv == nil || len(op.Args) == 0 {
+			continue
+		}
+		spec, ok := listenerSpec(op.Event)
+		if !ok {
+			continue
+		}
+		for _, view := range r.res.OpReceivers(op) {
+			if !graph.IsViewValue(view) {
+				continue
+			}
+			for _, lst := range r.res.OpArg(op, 0) {
+				lstClass := classOf(lst)
+				if lstClass == nil {
+					continue
+				}
+				for _, h := range spec {
+					m := lstClass.Dispatch(h)
+					if m != nil && m.Body != nil {
+						add(view, op.Event, m.QualifiedName())
+					}
+				}
+			}
+		}
+	}
+
+	// Declarative android:onClick handlers.
+	for _, n := range g.Infls() {
+		if n.OnClick == "" {
+			continue
+		}
+		for _, lst := range g.Listeners(n) {
+			c := classOf(lst)
+			if c == nil {
+				continue
+			}
+			if m := c.Dispatch(n.OnClick + "(R)"); m != nil && m.Body != nil {
+				add(n, "click", m.QualifiedName())
+			}
+		}
+	}
+	// Deduplicate (a tuple can arise both from a set-listener op and a
+	// declarative binding).
+	seenTuple := map[EventTuple]bool{}
+	dedup := out[:0]
+	for _, t := range out {
+		key := t
+		key.View.val = nil
+		if !seenTuple[key] {
+			seenTuple[key] = true
+			dedup = append(dedup, t)
+		}
+	}
+	out = dedup
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Activity != b.Activity {
+			return a.Activity < b.Activity
+		}
+		if a.View.Origin != b.View.Origin {
+			return a.View.Origin < b.View.Origin
+		}
+		if a.Event != b.Event {
+			return a.Event < b.Event
+		}
+		return a.Handler < b.Handler
+	})
+	return out
+}
+
+// HierarchyEdge is one parent-child association between views.
+type HierarchyEdge struct{ Parent, Child View }
+
+// Hierarchy returns all parent-child view associations.
+func (r *Result) Hierarchy() []HierarchyEdge {
+	var out []HierarchyEdge
+	r.res.Graph.ChildPairs(func(p, c graph.Value) {
+		out = append(out, HierarchyEdge{r.viewInfo(p), r.viewInfo(c)})
+	})
+	return out
+}
+
+// ActivityContent describes one activity's content roots.
+type ActivityContent struct {
+	Activity string
+	Roots    []View
+}
+
+// Activities returns each activity (and dialog) with its content roots.
+func (r *Result) Activities() []ActivityContent {
+	byName := map[string]*ActivityContent{}
+	var order []string
+	r.res.Graph.RootPairs(func(owner, root graph.Value) {
+		c := classOf(owner)
+		if c == nil {
+			return
+		}
+		ac, ok := byName[c.Name]
+		if !ok {
+			ac = &ActivityContent{Activity: c.Name}
+			byName[c.Name] = ac
+			order = append(order, c.Name)
+		}
+		ac.Roots = append(ac.Roots, r.viewInfo(root))
+	})
+	sort.Strings(order)
+	out := make([]ActivityContent, len(order))
+	for i, n := range order {
+		out[i] = *byName[n]
+	}
+	return out
+}
+
+// Table1 computes the application's Table 1 row.
+func (r *Result) Table1() metrics.Table1Row { return metrics.Table1(r.app.Name, r.res) }
+
+// Table2 computes the application's Table 2 row.
+func (r *Result) Table2() metrics.Table2Row {
+	return metrics.Table2(r.app.Name, r.res, r.elapsed)
+}
+
+// DumpIR renders the application's lowered three-address representation,
+// one class at a time — the form the analysis actually consumes.
+func (r *Result) DumpIR() string { return ir.DumpProgram(r.app.prog) }
+
+// CheckFinding is one static-checker finding (see Check).
+type CheckFinding struct {
+	// Check is the checker identifier.
+	Check string
+	// Severity is "warning" or "info".
+	Severity string
+	// Pos is the source position ("" when the finding is structural).
+	Pos string
+	// Msg describes the issue.
+	Msg string
+}
+
+// Check runs the analysis-backed GUI error checkers (the static error
+// checking application of Section 6): dangling find-view calls, missing
+// content views, unused ids, unfired handlers, invisible listener views,
+// duplicate ids, unhandled menus, bad intent targets, and isolated
+// activities.
+func (r *Result) Check() []CheckFinding {
+	var out []CheckFinding
+	for _, f := range checks.Run(r.res) {
+		cf := CheckFinding{Check: f.Check, Severity: f.Severity.String(), Msg: f.Msg}
+		if f.Pos.IsValid() {
+			cf.Pos = f.Pos.String()
+		}
+		out = append(out, cf)
+	}
+	return out
+}
+
+// ExplainVar reconstructs how each view reached a variable: one line per
+// value, showing the chain of graph nodes from the value's origin (an
+// allocation/inflation operation or seed) to the variable. Useful when
+// debugging why the analysis reports a surprising view at an operation.
+func (r *Result) ExplainVar(class, method, varName string) ([]string, error) {
+	c := r.app.prog.Class(class)
+	if c == nil {
+		return nil, fmt.Errorf("gator: unknown class %s", class)
+	}
+	for _, m := range c.MethodsSorted() {
+		if m.Name != method {
+			continue
+		}
+		for _, v := range m.Locals {
+			if v.Name != varName {
+				continue
+			}
+			node := r.res.Graph.VarNode(v)
+			var out []string
+			for _, val := range r.res.PointsTo(node) {
+				chain := r.res.Explain(node, val)
+				parts := make([]string, len(chain))
+				for i, n := range chain {
+					parts[i] = n.String()
+				}
+				out = append(out, val.String()+": "+strings.Join(parts, " -> "))
+			}
+			return out, nil
+		}
+	}
+	return nil, fmt.Errorf("gator: no variable %s in %s.%s", varName, class, method)
+}
+
+// MenuEntry describes one options-menu item: the owning activity, the
+// item's id name(s), and the selection handler.
+type MenuEntry struct {
+	Activity string
+	ItemID   string
+	Handler  string
+}
+
+// MenuEntries enumerates the options-menu model: every item added to every
+// activity's menu, with the handler that receives its selection.
+func (r *Result) MenuEntries() []MenuEntry {
+	var out []MenuEntry
+	for _, menu := range r.res.Graph.Menus() {
+		handler := ""
+		if h := menu.Activity.Dispatch(platform.MenuSelectCallback + "(R)"); h != nil && h.Body != nil {
+			handler = h.QualifiedName()
+		}
+		for _, item := range r.res.Graph.MenuItems(menu) {
+			ids := r.res.Graph.ViewIDsOf(item)
+			names := make([]string, len(ids))
+			for i, id := range ids {
+				names[i] = id.Name
+			}
+			sort.Strings(names)
+			out = append(out, MenuEntry{
+				Activity: menu.Activity.Name,
+				ItemID:   strings.Join(names, ","),
+				Handler:  handler,
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Activity != b.Activity {
+			return a.Activity < b.Activity
+		}
+		return a.ItemID < b.ItemID
+	})
+	return out
+}
+
+// Transition is one inter-component control-flow edge of the activity
+// transition graph (the model Section 6 of the paper motivates): Source
+// launches Target via the method Via.
+type Transition struct {
+	Source string
+	Target string
+	Via    string // "Class.method" containing the startActivity call
+}
+
+// Transitions returns the activity transition graph derived from the
+// solution: for every startActivity operation, the launching activities
+// (receiver solution) crossed with the targets of the reaching intents.
+func (r *Result) Transitions() []Transition {
+	var out []Transition
+	for _, t := range r.res.Transitions() {
+		out = append(out, Transition{
+			Source: t.Source.Name,
+			Target: t.Target.Name,
+			Via:    t.Via.QualifiedName(),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Source != b.Source {
+			return a.Source < b.Source
+		}
+		if a.Target != b.Target {
+			return a.Target < b.Target
+		}
+		return a.Via < b.Via
+	})
+	return out
+}
+
+// Dot renders the solved constraint graph in Graphviz format (the
+// structure of Figures 3 and 4 of the paper).
+func (r *Result) Dot() string {
+	return dot.Export(r.res, dot.Options{Flow: true, Relations: true})
+}
+
+// ExploreReport is the outcome of a dynamic-exploration soundness check.
+type ExploreReport struct {
+	// Sound is true when every concrete observation is covered.
+	Sound bool
+	// Violations describes missed facts, if any.
+	Violations []string
+	// ObservedSites, PerfectSites, Steps summarize the exploration.
+	ObservedSites int
+	PerfectSites  int
+	Steps         int
+}
+
+// Explore runs the seeded concrete interpreter and checks the solution
+// against its observations (the paper's case study, mechanized).
+func (r *Result) Explore(seed int64) ExploreReport {
+	obs := interp.New(r.app.prog, interp.Config{Seed: seed}).Run()
+	rep := oracle.Compare(r.res, obs)
+	out := ExploreReport{
+		Sound:         rep.Sound(),
+		ObservedSites: rep.ObservedSites,
+		PerfectSites:  rep.PerfectSites,
+		Steps:         obs.Steps,
+	}
+	for _, v := range rep.Violations {
+		out.Violations = append(out.Violations, v.String())
+	}
+	return out
+}
+
+// helpers
+
+func classOf(v graph.Value) *ir.Class {
+	switch v := v.(type) {
+	case *graph.ActivityNode:
+		return v.Class
+	case *graph.AllocNode:
+		return v.Class
+	case *graph.InflNode:
+		return v.Class
+	}
+	return nil
+}
+
+func descendantsIncl(g *graph.Graph, root graph.Value) []graph.Value {
+	seen := map[int]bool{}
+	queue := []graph.Value{root}
+	var out []graph.Value
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		if seen[v.ID()] {
+			continue
+		}
+		seen[v.ID()] = true
+		out = append(out, v)
+		queue = append(queue, g.Children(v)...)
+	}
+	return out
+}
+
+// listenerSpec returns the handler signature keys for an event.
+func listenerSpec(event string) ([]string, bool) {
+	spec, ok := platform.ListenerByEvent(event)
+	if !ok {
+		return nil, false
+	}
+	var keys []string
+	for _, h := range spec.Handlers {
+		types := make([]alite.Type, len(h.Params))
+		for i, pn := range h.Params {
+			if pn == "int" {
+				types[i] = alite.Type{Prim: alite.TypeInt}
+			} else {
+				types[i] = alite.Type{Name: pn}
+			}
+		}
+		keys = append(keys, ir.MethodKey(h.Name, types))
+	}
+	return keys, true
+}

@@ -1,0 +1,385 @@
+package gator
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"gator/internal/corpus"
+)
+
+func figure1App(t *testing.T) *App {
+	t.Helper()
+	app, err := Load(
+		map[string]string{"connectbot.alite": corpus.Figure1Source},
+		map[string]string{
+			"act_console":   corpus.Figure1ActConsoleXML,
+			"item_terminal": corpus.Figure1ItemTerminalXML,
+		},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	app.Name = "ConnectBot-Fig1"
+	return app
+}
+
+func TestLoadAndAnalyzeFigure1(t *testing.T) {
+	res := figure1App(t).Analyze(Options{})
+	if res.Iterations() < 2 {
+		t.Errorf("iterations = %d", res.Iterations())
+	}
+	views := res.Views()
+	if len(views) != 7 {
+		t.Fatalf("views = %d, want 7 (6 inflated + 1 allocated)", len(views))
+	}
+	byOrigin := map[string]View{}
+	for _, v := range views {
+		byOrigin[v.Origin] = v
+	}
+	flip, ok := byOrigin["layout:act_console:1"]
+	if !ok || flip.Class != "ViewFlipper" || flip.ID != "console_flip" {
+		t.Errorf("flipper view = %+v", flip)
+	}
+}
+
+func TestVarViews(t *testing.T) {
+	res := figure1App(t).Analyze(Options{})
+	views, err := res.VarViews("ConsoleActivity", "onCreate", "g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(views) != 1 || views[0].Class != "ImageView" {
+		t.Errorf("VarViews(g) = %+v", views)
+	}
+	if _, err := res.VarViews("Nope", "m", "x"); err == nil {
+		t.Error("want error for unknown class")
+	}
+	if _, err := res.VarViews("ConsoleActivity", "onCreate", "zzz"); err == nil {
+		t.Error("want error for unknown var")
+	}
+}
+
+func TestEventTuples(t *testing.T) {
+	res := figure1App(t).Analyze(Options{})
+	tuples := res.EventTuples()
+	if len(tuples) == 0 {
+		t.Fatal("no event tuples")
+	}
+	found := false
+	for _, tu := range tuples {
+		if tu.Activity == "ConsoleActivity" && tu.Event == "click" &&
+			tu.Handler == "EscapeButtonListener.onClick" && tu.View.Class == "ImageView" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("missing ESC-button tuple; got %+v", tuples)
+	}
+}
+
+func TestActivitiesAndHierarchy(t *testing.T) {
+	res := figure1App(t).Analyze(Options{})
+	acts := res.Activities()
+	if len(acts) != 1 || acts[0].Activity != "ConsoleActivity" || len(acts[0].Roots) != 1 {
+		t.Fatalf("activities = %+v", acts)
+	}
+	edges := res.Hierarchy()
+	if len(edges) < 6 {
+		t.Errorf("hierarchy edges = %d, want >= 6", len(edges))
+	}
+}
+
+func TestExploreSoundness(t *testing.T) {
+	app, err := Load(
+		map[string]string{"cb.alite": corpus.Figure1Source + figure1ClosedExtra(t)},
+		map[string]string{
+			"act_console":   corpus.Figure1ActConsoleXML,
+			"item_terminal": corpus.Figure1ItemTerminalXML,
+		},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := app.Analyze(Options{})
+	rep := res.Explore(7)
+	if !rep.Sound {
+		t.Fatalf("violations: %v", rep.Violations)
+	}
+	if rep.ObservedSites == 0 || rep.Steps == 0 {
+		t.Errorf("report = %+v", rep)
+	}
+}
+
+// figure1ClosedExtra returns just the companion listener of the closed
+// variant (without the onCreate modification, the interpreter still covers
+// most sites).
+func figure1ClosedExtra(t *testing.T) string {
+	return `
+class OpenTerminalListener2 implements OnClickListener {
+	ConsoleActivity owner;
+	OpenTerminalListener2(ConsoleActivity a) { this.owner = a; }
+	void onClick(View w) {
+		ConsoleActivity a = this.owner;
+		TerminalBridge bridge = new TerminalBridge();
+		a.addNewTerminalView(bridge);
+	}
+}`
+}
+
+func TestLoadDir(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "app.alite"), []byte(corpus.Figure1Source), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	sub := filepath.Join(dir, "layout")
+	if err := os.Mkdir(sub, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(sub, "act_console.xml"), []byte(corpus.Figure1ActConsoleXML), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(sub, "item_terminal.xml"), []byte(corpus.Figure1ItemTerminalXML), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	app, err := LoadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := app.Analyze(Options{})
+	row := res.Table1()
+	if row.LayoutIDs != 2 || row.ViewIDs != 4 {
+		t.Errorf("table1 = %+v", row)
+	}
+
+	if _, err := LoadDir(filepath.Join(dir, "nonexistent")); err == nil {
+		t.Error("want error for missing dir")
+	}
+	empty := t.TempDir()
+	if _, err := LoadDir(empty); err == nil {
+		t.Error("want error for empty dir")
+	}
+}
+
+// TestNotepadEndToEnd drives the checked-in demo application through the
+// whole public API: load from disk, analyze, query every report, check,
+// and validate against the dynamic oracle.
+func TestNotepadEndToEnd(t *testing.T) {
+	app, err := LoadDir("testdata/notepad")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := app.Analyze(Options{})
+
+	t1 := res.Table1()
+	if t1.Classes != 5 || t1.LayoutIDs != 3 {
+		t.Errorf("table1 = %+v", t1)
+	}
+
+	// Both activities have content; the list holds adapter rows.
+	acts := res.Activities()
+	if len(acts) != 2 {
+		t.Fatalf("activities = %+v", acts)
+	}
+
+	// Transitions: list -> editor from both the listener and the
+	// declarative shortcut.
+	trs := res.Transitions()
+	if len(trs) == 0 {
+		t.Fatal("no transitions")
+	}
+	for _, tr := range trs {
+		if tr.Source != "NoteListActivity" || tr.Target != "EditNoteActivity" {
+			t.Errorf("transition = %+v", tr)
+		}
+	}
+
+	// Menu model.
+	menus := res.MenuEntries()
+	if len(menus) != 2 {
+		t.Errorf("menus = %+v", menus)
+	}
+
+	// Event tuples include the declarative shortcut.
+	foundShortcut := false
+	for _, tu := range res.EventTuples() {
+		if tu.Handler == "NoteListActivity.openEditor" {
+			foundShortcut = true
+		}
+	}
+	if !foundShortcut {
+		t.Error("declarative onClick tuple missing")
+	}
+
+	// The checkers find nothing alarming.
+	for _, f := range res.Check() {
+		if f.Severity == "warning" {
+			t.Errorf("unexpected warning: %+v", f)
+		}
+	}
+
+	// Dynamic validation.
+	for seed := int64(1); seed <= 3; seed++ {
+		rep := res.Explore(seed)
+		if !rep.Sound {
+			t.Fatalf("seed %d violations: %v", seed, rep.Violations)
+		}
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	if _, err := Load(map[string]string{"x.alite": "class {"}, nil); err == nil {
+		t.Error("want parse error")
+	}
+	if _, err := Load(map[string]string{"x.alite": "class A extends Zorp { }"}, nil); err == nil {
+		t.Error("want resolve error")
+	}
+	if _, err := Load(map[string]string{"x.alite": "class A { }"},
+		map[string]string{"bad": "<"}); err == nil {
+		t.Error("want layout parse error")
+	}
+}
+
+func TestTransitionsAPI(t *testing.T) {
+	src := `
+class Second extends Activity { void onCreate() { } }
+class First extends Activity {
+	void onCreate() {
+		this.setContentView(R.layout.main);
+	}
+	void next(View v) {
+		Intent i = new Intent(Second.class);
+		this.startActivity(i);
+	}
+}`
+	app, err := Load(map[string]string{"a.alite": src},
+		map[string]string{"main": `<LinearLayout><Button android:onClick="next"/></LinearLayout>`})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := app.Analyze(Options{})
+	trs := res.Transitions()
+	if len(trs) != 1 {
+		t.Fatalf("transitions = %+v", trs)
+	}
+	if trs[0].Source != "First" || trs[0].Target != "Second" || trs[0].Via != "First.next" {
+		t.Errorf("transition = %+v", trs[0])
+	}
+	rep := res.Explore(2)
+	if !rep.Sound {
+		t.Errorf("violations: %v", rep.Violations)
+	}
+}
+
+func TestCheckAPI(t *testing.T) {
+	src := `
+class A extends Activity {
+	void onCreate() {
+		View v = this.findViewById(R.id.x);
+	}
+}`
+	app, err := Load(map[string]string{"a.alite": src},
+		map[string]string{"main": `<LinearLayout><Button android:id="@+id/x"/></LinearLayout>`})
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings := app.Analyze(Options{}).Check()
+	hasMissing := false
+	for _, f := range findings {
+		if f.Check == "missing-content-view" && f.Severity == "warning" {
+			hasMissing = true
+			if f.Pos == "" {
+				t.Error("finding has no position")
+			}
+		}
+	}
+	if !hasMissing {
+		t.Errorf("missing-content-view not reported: %+v", findings)
+	}
+
+	// The Figure 1 closed app is warning-free through the API too.
+	clean := figure1App(t).Analyze(Options{})
+	for _, f := range clean.Check() {
+		if f.Severity == "warning" && f.Check != "unfired-handler" {
+			t.Errorf("unexpected warning on Figure 1: %+v", f)
+		}
+	}
+}
+
+func TestExplainVarAPI(t *testing.T) {
+	res := figure1App(t).Analyze(Options{})
+	lines, err := res.ExplainVar("ConsoleActivity", "findCurrentView", "d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lines) != 1 || !strings.Contains(lines[0], "FindView1") {
+		t.Errorf("explain = %v", lines)
+	}
+	if _, err := res.ExplainVar("Nope", "m", "x"); err == nil {
+		t.Error("want error for unknown class")
+	}
+	if _, err := res.ExplainVar("ConsoleActivity", "findCurrentView", "zzz"); err == nil {
+		t.Error("want error for unknown variable")
+	}
+}
+
+func TestMenuEntriesAPI(t *testing.T) {
+	src := `
+class A extends Activity {
+	void onCreate() { }
+	void onCreateOptionsMenu(Menu menu) {
+		MenuItem a = menu.add(R.id.save);
+		MenuItem b = menu.add(R.id.quit);
+	}
+	void onOptionsItemSelected(MenuItem item) { }
+}`
+	app, err := Load(map[string]string{"a.alite": src}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := app.Analyze(Options{})
+	entries := res.MenuEntries()
+	if len(entries) != 2 {
+		t.Fatalf("entries = %+v", entries)
+	}
+	if entries[0].Activity != "A" || entries[0].Handler != "A.onOptionsItemSelected" {
+		t.Errorf("entry = %+v", entries[0])
+	}
+	ids := map[string]bool{entries[0].ItemID: true, entries[1].ItemID: true}
+	if !ids["save"] || !ids["quit"] {
+		t.Errorf("ids = %v", ids)
+	}
+	rep := res.Explore(1)
+	if !rep.Sound {
+		t.Errorf("violations: %v", rep.Violations)
+	}
+}
+
+func TestDotAndDumpIR(t *testing.T) {
+	res := figure1App(t).Analyze(Options{})
+	dot := res.Dot()
+	if !strings.HasPrefix(dot, "digraph gator {") {
+		t.Errorf("Dot output malformed: %.60q", dot)
+	}
+	irDump := res.DumpIR()
+	for _, want := range []string{"class ConsoleActivity", "class EscapeButtonListener", ":= new TerminalView"} {
+		if !strings.Contains(irDump, want) {
+			t.Errorf("DumpIR missing %q", want)
+		}
+	}
+}
+
+func TestTable2Metrics(t *testing.T) {
+	res := figure1App(t).Analyze(Options{})
+	row := res.Table2()
+	if row.AvgReceivers < 1.0 {
+		t.Errorf("receivers = %v", row.AvgReceivers)
+	}
+	if !row.HasAddView {
+		t.Error("Figure 1 has AddView ops")
+	}
+	if row.AvgListeners != 1.0 {
+		t.Errorf("listeners = %v, want 1.0", row.AvgListeners)
+	}
+}

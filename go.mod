@@ -1,0 +1,3 @@
+module gator
+
+go 1.22

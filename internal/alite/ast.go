@@ -1,0 +1,239 @@
+package alite
+
+// The ALite abstract syntax tree. The surface syntax permits nested
+// expressions (e.g. b.getCurrentView().findViewById(a)); lowering to the
+// three-address form of the paper happens in package ir.
+
+// File is one parsed compilation unit.
+type File struct {
+	Name  string // source file name
+	Decls []Decl
+}
+
+// Decl is a top-level declaration: *ClassDecl or *InterfaceDecl.
+type Decl interface {
+	DeclName() string
+	DeclPos() Pos
+}
+
+// ClassDecl is a class declaration.
+type ClassDecl struct {
+	Pos        Pos
+	Name       string
+	Super      string   // "" means Object
+	Implements []string // interface names
+	Fields     []*FieldDecl
+	Methods    []*MethodDecl // includes constructors (IsCtor)
+}
+
+func (d *ClassDecl) DeclName() string { return d.Name }
+func (d *ClassDecl) DeclPos() Pos     { return d.Pos }
+
+// InterfaceDecl is an interface declaration. Interface bodies list method
+// signatures (methods with nil Body).
+type InterfaceDecl struct {
+	Pos     Pos
+	Name    string
+	Extends []string
+	Methods []*MethodDecl
+}
+
+func (d *InterfaceDecl) DeclName() string { return d.Name }
+func (d *InterfaceDecl) DeclPos() Pos     { return d.Pos }
+
+// FieldDecl is a field declaration.
+type FieldDecl struct {
+	Pos  Pos
+	Type Type
+	Name string
+}
+
+// Param is a formal parameter.
+type Param struct {
+	Pos  Pos
+	Type Type
+	Name string
+}
+
+// MethodDecl is a method or constructor declaration.
+type MethodDecl struct {
+	Pos    Pos
+	Return Type // TypeVoid for void and constructors
+	Name   string
+	Params []*Param
+	Body   *Block // nil for interface method signatures
+	IsCtor bool
+}
+
+// Type is a declared ALite type.
+type Type struct {
+	// Name is a class/interface name; "" when primitive or void.
+	Name string
+	Prim PrimKind
+}
+
+// PrimKind distinguishes the non-reference types.
+type PrimKind int
+
+const (
+	RefType PrimKind = iota // class or interface type; Type.Name holds it
+	TypeInt
+	TypeVoid
+)
+
+// IsRef reports whether t is a reference (class/interface) type.
+func (t Type) IsRef() bool { return t.Prim == RefType }
+
+func (t Type) String() string {
+	switch t.Prim {
+	case TypeInt:
+		return "int"
+	case TypeVoid:
+		return "void"
+	default:
+		return t.Name
+	}
+}
+
+// Block is a sequence of statements.
+type Block struct {
+	Pos   Pos
+	Stmts []Stmt
+}
+
+// Stmt is a statement node.
+type Stmt interface{ StmtPos() Pos }
+
+// LocalDecl declares a local variable with an optional initializer.
+type LocalDecl struct {
+	Pos  Pos
+	Type Type
+	Name string
+	Init Expr // may be nil
+}
+
+// AssignStmt assigns Value to Target. Target is a *VarExpr or *FieldExpr.
+type AssignStmt struct {
+	Pos    Pos
+	Target Expr
+	Value  Expr
+}
+
+// ExprStmt evaluates a call expression for its effects.
+type ExprStmt struct {
+	Pos Pos
+	X   Expr // *CallExpr or *NewExpr
+}
+
+// ReturnStmt returns from the enclosing method.
+type ReturnStmt struct {
+	Pos   Pos
+	Value Expr // nil for bare return
+}
+
+// IfStmt branches on a condition. ALite conditions are either the
+// nondeterministic '*' or a null comparison; the analysis is flow-insensitive
+// and visits both arms, while the interpreter evaluates the condition.
+type IfStmt struct {
+	Pos  Pos
+	Cond Cond
+	Then *Block
+	Else *Block // may be nil
+}
+
+// WhileStmt loops on a condition.
+type WhileStmt struct {
+	Pos  Pos
+	Cond Cond
+	Body *Block
+}
+
+func (s *LocalDecl) StmtPos() Pos  { return s.Pos }
+func (s *AssignStmt) StmtPos() Pos { return s.Pos }
+func (s *ExprStmt) StmtPos() Pos   { return s.Pos }
+func (s *ReturnStmt) StmtPos() Pos { return s.Pos }
+func (s *IfStmt) StmtPos() Pos     { return s.Pos }
+func (s *WhileStmt) StmtPos() Pos  { return s.Pos }
+
+// Cond is a branch condition.
+type Cond struct {
+	Pos Pos
+	// Nondet is true for the '*' condition.
+	Nondet bool
+	// X is the operand of a null comparison (X == null / X != null).
+	X Expr
+	// Negated is true for '!=' (X != null).
+	Negated bool
+}
+
+// Expr is an expression node.
+type Expr interface{ ExprPos() Pos }
+
+// VarExpr references a local variable, parameter, or 'this'.
+type VarExpr struct {
+	Pos    Pos
+	Name   string // "this" for the receiver
+	IsThis bool
+}
+
+// FieldExpr accesses Base.Name.
+type FieldExpr struct {
+	Pos  Pos
+	Base Expr
+	Name string
+}
+
+// CallExpr invokes Base.Name(Args).
+type CallExpr struct {
+	Pos  Pos
+	Base Expr
+	Name string
+	Args []Expr
+}
+
+// NewExpr instantiates a class: new Class(Args).
+type NewExpr struct {
+	Pos   Pos
+	Class string
+	Args  []Expr
+}
+
+// CastExpr is (Type) X.
+type CastExpr struct {
+	Pos  Pos
+	Type Type
+	X    Expr
+}
+
+// NullExpr is the null literal.
+type NullExpr struct{ Pos Pos }
+
+// IntExpr is an integer literal.
+type IntExpr struct {
+	Pos   Pos
+	Value int
+}
+
+// RRefExpr references a generated resource constant: R.layout.Name or
+// R.id.Name.
+type RRefExpr struct {
+	Pos    Pos
+	Layout bool // true for R.layout, false for R.id
+	Name   string
+}
+
+// ClassLitExpr is a class literal: Name.class (used to target intents).
+type ClassLitExpr struct {
+	Pos  Pos
+	Name string
+}
+
+func (e *VarExpr) ExprPos() Pos      { return e.Pos }
+func (e *FieldExpr) ExprPos() Pos    { return e.Pos }
+func (e *CallExpr) ExprPos() Pos     { return e.Pos }
+func (e *NewExpr) ExprPos() Pos      { return e.Pos }
+func (e *CastExpr) ExprPos() Pos     { return e.Pos }
+func (e *NullExpr) ExprPos() Pos     { return e.Pos }
+func (e *IntExpr) ExprPos() Pos      { return e.Pos }
+func (e *RRefExpr) ExprPos() Pos     { return e.Pos }
+func (e *ClassLitExpr) ExprPos() Pos { return e.Pos }

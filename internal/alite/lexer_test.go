@@ -1,0 +1,129 @@
+package alite
+
+import "testing"
+
+func kinds(toks []Token) []Kind {
+	out := make([]Kind, len(toks))
+	for i, t := range toks {
+		out[i] = t.Kind
+	}
+	return out
+}
+
+func TestTokenizeBasics(t *testing.T) {
+	toks, err := Tokenize("t", "class Foo extends Bar { int x; }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Kind{KwClass, IDENT, KwExtends, IDENT, LBrace, KwInt, IDENT, Semi, RBrace, EOF}
+	got := kinds(toks)
+	if len(got) != len(want) {
+		t.Fatalf("got %d tokens %v, want %d", len(got), got, len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d: got %s, want %s", i, got[i], want[i])
+		}
+	}
+}
+
+func TestTokenizeOperators(t *testing.T) {
+	toks, err := Tokenize("t", "= == != * . , ; ( ) { }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Kind{Assign, EqEq, BangEq, Star, Dot, Comma, Semi, LParen, RParen, LBrace, RBrace, EOF}
+	got := kinds(toks)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d: got %s, want %s", i, got[i], want[i])
+		}
+	}
+}
+
+func TestTokenizeComments(t *testing.T) {
+	src := `
+// a line comment
+class /* inline */ A {
+  /* multi
+     line */ int x;
+}
+`
+	toks, err := Tokenize("t", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Kind{KwClass, IDENT, LBrace, KwInt, IDENT, Semi, RBrace, EOF}
+	got := kinds(toks)
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+}
+
+func TestTokenizeUnterminatedComment(t *testing.T) {
+	_, err := Tokenize("t", "class A { /* oops")
+	if err == nil {
+		t.Fatal("want error for unterminated block comment")
+	}
+}
+
+func TestTokenizeUnexpectedChar(t *testing.T) {
+	_, err := Tokenize("t", "class A @ {}")
+	if err == nil {
+		t.Fatal("want error for unexpected character")
+	}
+}
+
+func TestTokenizePositions(t *testing.T) {
+	toks, err := Tokenize("f.alite", "class\n  Foo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := toks[0].Pos; p.Line != 1 || p.Col != 1 {
+		t.Errorf("class at %v, want 1:1", p)
+	}
+	if p := toks[1].Pos; p.Line != 2 || p.Col != 3 {
+		t.Errorf("Foo at %v, want 2:3", p)
+	}
+	if toks[1].Pos.File != "f.alite" {
+		t.Errorf("file = %q", toks[1].Pos.File)
+	}
+}
+
+func TestParseIntLiterals(t *testing.T) {
+	tests := []struct {
+		lit  string
+		want int
+	}{
+		{"0", 0},
+		{"42", 42},
+		{"0x10", 16},
+		{"0x7f030000", 0x7f030000},
+		{"0xAbC", 0xabc},
+	}
+	for _, tt := range tests {
+		got, err := ParseInt(tt.lit)
+		if err != nil {
+			t.Errorf("ParseInt(%q): %v", tt.lit, err)
+			continue
+		}
+		if got != tt.want {
+			t.Errorf("ParseInt(%q) = %d, want %d", tt.lit, got, tt.want)
+		}
+	}
+	if _, err := ParseInt("0xZZ"); err == nil {
+		t.Error("want error for bad hex literal")
+	}
+}
+
+func TestLexerEOFIsSticky(t *testing.T) {
+	lx := NewLexer("t", "x")
+	if tok := lx.Next(); tok.Kind != IDENT {
+		t.Fatalf("got %s", tok)
+	}
+	for i := 0; i < 3; i++ {
+		if tok := lx.Next(); tok.Kind != EOF {
+			t.Fatalf("after end: got %s, want EOF", tok)
+		}
+	}
+}

@@ -1,0 +1,491 @@
+package alite
+
+// Recursive-descent parser for ALite.
+//
+// Grammar (EBNF):
+//
+//	File       = { ClassDecl | InterfaceDecl } .
+//	ClassDecl  = "class" IDENT [ "extends" IDENT ] [ "implements" IdentList ]
+//	             "{" { Member } "}" .
+//	IfaceDecl  = "interface" IDENT [ "extends" IdentList ] "{" { MethodSig } "}" .
+//	Member     = FieldDecl | MethodDecl | CtorDecl .
+//	FieldDecl  = Type IDENT ";" .
+//	MethodDecl = ( Type | "void" ) IDENT "(" Params ")" Block .
+//	CtorDecl   = IDENT "(" Params ")" Block .       // IDENT = class name
+//	MethodSig  = ( Type | "void" ) IDENT "(" Params ")" ";" .
+//	Block      = "{" { Stmt } "}" .
+//	Stmt       = LocalDecl | Assign | ExprStmt | Return | If | While .
+//	LocalDecl  = Type IDENT [ "=" Expr ] ";" .
+//	Assign     = Postfix "=" Expr ";" .             // Postfix must be l-value
+//	ExprStmt   = Postfix ";" .                      // Postfix must be a call
+//	Return     = "return" [ Expr ] ";" .
+//	If         = "if" "(" Cond ")" Block [ "else" ( Block | If ) ] .
+//	While      = "while" "(" Cond ")" Block .
+//	Cond       = "*" | Expr ( "==" | "!=" ) "null" .
+//	Expr       = "new" IDENT "(" Args ")" | "null" | INT
+//	           | "R" "." ("layout"|"id") "." IDENT
+//	           | "(" Type ")" Expr                  // cast
+//	           | "(" Expr ")" | Postfix .
+//	Postfix    = Primary { "." IDENT [ "(" Args ")" ] } .
+//	Primary    = "this" | IDENT | "(" ... ")" .
+//	Type       = "int" | IDENT .
+
+// Parser parses a token stream into a *File.
+type Parser struct {
+	toks []Token
+	pos  int
+	errs ErrorList
+	file string
+}
+
+// Parse tokenizes and parses one ALite source file.
+func Parse(file, src string) (*File, error) {
+	toks, err := Tokenize(file, src)
+	if err != nil {
+		return nil, err
+	}
+	p := &Parser{toks: toks, file: file}
+	f := p.parseFile()
+	return f, p.errs.Err()
+}
+
+// MustParse is Parse that panics on error; for tests and embedded corpora.
+func MustParse(file, src string) *File {
+	f, err := Parse(file, src)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+func (p *Parser) cur() Token     { return p.toks[p.pos] }
+func (p *Parser) at(k Kind) bool { return p.cur().Kind == k }
+
+func (p *Parser) peekKind(n int) Kind {
+	i := p.pos + n
+	if i >= len(p.toks) {
+		return EOF
+	}
+	return p.toks[i].Kind
+}
+
+func (p *Parser) next() Token {
+	t := p.cur()
+	if t.Kind != EOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *Parser) expect(k Kind) Token {
+	if p.at(k) {
+		return p.next()
+	}
+	p.errs.Add(p.cur().Pos, "expected %s, found %s", k, p.cur())
+	return Token{Kind: k, Pos: p.cur().Pos}
+}
+
+// sync skips tokens until one of the kinds (or EOF), for error recovery.
+func (p *Parser) sync(kinds ...Kind) {
+	for !p.at(EOF) {
+		for _, k := range kinds {
+			if p.at(k) {
+				return
+			}
+		}
+		p.next()
+	}
+}
+
+func (p *Parser) parseFile() *File {
+	f := &File{Name: p.file}
+	for !p.at(EOF) {
+		switch p.cur().Kind {
+		case KwClass:
+			f.Decls = append(f.Decls, p.parseClass())
+		case KwInterface:
+			f.Decls = append(f.Decls, p.parseInterface())
+		default:
+			p.errs.Add(p.cur().Pos, "expected 'class' or 'interface', found %s", p.cur())
+			p.sync(KwClass, KwInterface)
+		}
+	}
+	return f
+}
+
+func (p *Parser) parseIdentList() []string {
+	var names []string
+	names = append(names, p.expect(IDENT).Lit)
+	for p.at(Comma) {
+		p.next()
+		names = append(names, p.expect(IDENT).Lit)
+	}
+	return names
+}
+
+func (p *Parser) parseClass() *ClassDecl {
+	pos := p.expect(KwClass).Pos
+	d := &ClassDecl{Pos: pos, Name: p.expect(IDENT).Lit}
+	if p.at(KwExtends) {
+		p.next()
+		d.Super = p.expect(IDENT).Lit
+	}
+	if p.at(KwImplements) {
+		p.next()
+		d.Implements = p.parseIdentList()
+	}
+	p.expect(LBrace)
+	for !p.at(RBrace) && !p.at(EOF) {
+		p.parseMember(d)
+	}
+	p.expect(RBrace)
+	return d
+}
+
+func (p *Parser) parseInterface() *InterfaceDecl {
+	pos := p.expect(KwInterface).Pos
+	d := &InterfaceDecl{Pos: pos, Name: p.expect(IDENT).Lit}
+	if p.at(KwExtends) {
+		p.next()
+		d.Extends = p.parseIdentList()
+	}
+	p.expect(LBrace)
+	for !p.at(RBrace) && !p.at(EOF) {
+		ret := p.parseType(true)
+		name := p.expect(IDENT)
+		m := &MethodDecl{Pos: name.Pos, Return: ret, Name: name.Lit}
+		p.expect(LParen)
+		m.Params = p.parseParams()
+		p.expect(RParen)
+		p.expect(Semi)
+		d.Methods = append(d.Methods, m)
+	}
+	p.expect(RBrace)
+	return d
+}
+
+// parseMember parses a field, method, or constructor inside class d.
+func (p *Parser) parseMember(d *ClassDecl) {
+	// Constructor: IDENT '(' with IDENT == class name.
+	if p.at(IDENT) && p.cur().Lit == d.Name && p.peekKind(1) == LParen {
+		name := p.next()
+		m := &MethodDecl{
+			Pos:    name.Pos,
+			Return: Type{Prim: TypeVoid},
+			Name:   name.Lit,
+			IsCtor: true,
+		}
+		p.expect(LParen)
+		m.Params = p.parseParams()
+		p.expect(RParen)
+		m.Body = p.parseBlock()
+		d.Methods = append(d.Methods, m)
+		return
+	}
+	typ := p.parseType(true)
+	name := p.expect(IDENT)
+	switch p.cur().Kind {
+	case Semi:
+		p.next()
+		if !typ.IsRef() && typ.Prim != TypeInt {
+			p.errs.Add(name.Pos, "field %s cannot have type %s", name.Lit, typ)
+		}
+		d.Fields = append(d.Fields, &FieldDecl{Pos: name.Pos, Type: typ, Name: name.Lit})
+	case LParen:
+		m := &MethodDecl{Pos: name.Pos, Return: typ, Name: name.Lit}
+		p.next()
+		m.Params = p.parseParams()
+		p.expect(RParen)
+		m.Body = p.parseBlock()
+		d.Methods = append(d.Methods, m)
+	default:
+		p.errs.Add(p.cur().Pos, "expected ';' or '(' after member name, found %s", p.cur())
+		p.sync(Semi, RBrace)
+		if p.at(Semi) {
+			p.next()
+		}
+	}
+}
+
+func (p *Parser) parseParams() []*Param {
+	var params []*Param
+	if p.at(RParen) {
+		return params
+	}
+	for {
+		typ := p.parseType(false)
+		name := p.expect(IDENT)
+		params = append(params, &Param{Pos: name.Pos, Type: typ, Name: name.Lit})
+		if !p.at(Comma) {
+			return params
+		}
+		p.next()
+	}
+}
+
+// parseType parses a type name. allowVoid permits 'void' (return types).
+func (p *Parser) parseType(allowVoid bool) Type {
+	switch p.cur().Kind {
+	case KwInt:
+		p.next()
+		return Type{Prim: TypeInt}
+	case KwVoid:
+		if !allowVoid {
+			p.errs.Add(p.cur().Pos, "'void' is not allowed here")
+		}
+		p.next()
+		return Type{Prim: TypeVoid}
+	case IDENT:
+		return Type{Name: p.next().Lit}
+	default:
+		p.errs.Add(p.cur().Pos, "expected a type, found %s", p.cur())
+		p.next()
+		return Type{Name: "Object"}
+	}
+}
+
+func (p *Parser) parseBlock() *Block {
+	b := &Block{Pos: p.cur().Pos}
+	p.expect(LBrace)
+	for !p.at(RBrace) && !p.at(EOF) {
+		if s := p.parseStmt(); s != nil {
+			b.Stmts = append(b.Stmts, s)
+		}
+	}
+	p.expect(RBrace)
+	return b
+}
+
+func (p *Parser) parseStmt() Stmt {
+	switch p.cur().Kind {
+	case KwReturn:
+		pos := p.next().Pos
+		s := &ReturnStmt{Pos: pos}
+		if !p.at(Semi) {
+			s.Value = p.parseExpr()
+		}
+		p.expect(Semi)
+		return s
+	case KwIf:
+		return p.parseIf()
+	case KwWhile:
+		pos := p.next().Pos
+		p.expect(LParen)
+		cond := p.parseCond()
+		p.expect(RParen)
+		return &WhileStmt{Pos: pos, Cond: cond, Body: p.parseBlock()}
+	case KwInt:
+		return p.parseLocalDecl(p.parseType(false))
+	case IDENT:
+		// Either a local declaration "Type name ..." or an assignment /
+		// expression statement beginning with an identifier.
+		if p.peekKind(1) == IDENT {
+			return p.parseLocalDecl(p.parseType(false))
+		}
+		return p.parseSimpleStmt()
+	case KwThis:
+		return p.parseSimpleStmt()
+	case Semi:
+		p.next() // empty statement
+		return nil
+	default:
+		p.errs.Add(p.cur().Pos, "expected a statement, found %s", p.cur())
+		p.sync(Semi, RBrace)
+		if p.at(Semi) {
+			p.next()
+		}
+		return nil
+	}
+}
+
+func (p *Parser) parseIf() Stmt {
+	pos := p.expect(KwIf).Pos
+	p.expect(LParen)
+	cond := p.parseCond()
+	p.expect(RParen)
+	s := &IfStmt{Pos: pos, Cond: cond, Then: p.parseBlock()}
+	if p.at(KwElse) {
+		p.next()
+		if p.at(KwIf) {
+			elif := p.parseIf()
+			s.Else = &Block{Pos: elif.StmtPos(), Stmts: []Stmt{elif}}
+		} else {
+			s.Else = p.parseBlock()
+		}
+	}
+	return s
+}
+
+func (p *Parser) parseLocalDecl(typ Type) Stmt {
+	name := p.expect(IDENT)
+	s := &LocalDecl{Pos: name.Pos, Type: typ, Name: name.Lit}
+	if p.at(Assign) {
+		p.next()
+		s.Init = p.parseExpr()
+	}
+	p.expect(Semi)
+	return s
+}
+
+// parseSimpleStmt parses an assignment or a call expression statement.
+func (p *Parser) parseSimpleStmt() Stmt {
+	lhs := p.parsePostfix()
+	if p.at(Assign) {
+		pos := p.next().Pos
+		switch t := lhs.(type) {
+		case *VarExpr:
+			if t.IsThis {
+				p.errs.Add(lhs.ExprPos(), "cannot assign to 'this'")
+			}
+		case *FieldExpr:
+		default:
+			p.errs.Add(lhs.ExprPos(), "invalid assignment target")
+		}
+		s := &AssignStmt{Pos: pos, Target: lhs, Value: p.parseExpr()}
+		p.expect(Semi)
+		return s
+	}
+	if _, ok := lhs.(*CallExpr); !ok {
+		p.errs.Add(lhs.ExprPos(), "expression statement must be a call")
+	}
+	p.expect(Semi)
+	return &ExprStmt{Pos: lhs.ExprPos(), X: lhs}
+}
+
+func (p *Parser) parseCond() Cond {
+	if p.at(Star) {
+		return Cond{Pos: p.next().Pos, Nondet: true}
+	}
+	x := p.parseExpr()
+	c := Cond{Pos: x.ExprPos(), X: x}
+	switch p.cur().Kind {
+	case EqEq:
+		p.next()
+	case BangEq:
+		p.next()
+		c.Negated = true
+	default:
+		p.errs.Add(p.cur().Pos, "expected '==' or '!=' in condition, found %s", p.cur())
+		return c
+	}
+	p.expect(KwNull)
+	return c
+}
+
+func (p *Parser) parseArgs() []Expr {
+	p.expect(LParen)
+	var args []Expr
+	if !p.at(RParen) {
+		args = append(args, p.parseExpr())
+		for p.at(Comma) {
+			p.next()
+			args = append(args, p.parseExpr())
+		}
+	}
+	p.expect(RParen)
+	return args
+}
+
+func (p *Parser) parseExpr() Expr {
+	switch p.cur().Kind {
+	case KwNew:
+		pos := p.next().Pos
+		cls := p.expect(IDENT).Lit
+		args := p.parseArgs()
+		return p.parseSelectors(&NewExpr{Pos: pos, Class: cls, Args: args})
+	case KwNull:
+		return &NullExpr{Pos: p.next().Pos}
+	case INT:
+		t := p.next()
+		v, err := ParseInt(t.Lit)
+		if err != nil {
+			p.errs.Add(t.Pos, "%v", err)
+		}
+		return &IntExpr{Pos: t.Pos, Value: v}
+	case LParen:
+		return p.parseParenExpr()
+	default:
+		return p.parsePostfix()
+	}
+}
+
+// parseParenExpr handles both casts "(Type) expr" and grouping "(expr)".
+// A cast is recognized when the parenthesized content is a single type name
+// followed by an expression start.
+func (p *Parser) parseParenExpr() Expr {
+	pos := p.expect(LParen).Pos
+	if p.at(KwInt) && p.peekKind(1) == RParen {
+		p.next()
+		p.next()
+		return &CastExpr{Pos: pos, Type: Type{Prim: TypeInt}, X: p.parseExpr()}
+	}
+	if p.at(IDENT) && p.peekKind(1) == RParen {
+		after := p.peekKind(2)
+		switch after {
+		case IDENT, KwThis, KwNew, KwNull, LParen, INT:
+			typ := Type{Name: p.next().Lit}
+			p.next() // ')'
+			return &CastExpr{Pos: pos, Type: typ, X: p.parseExpr()}
+		}
+	}
+	x := p.parseExpr()
+	p.expect(RParen)
+	return p.parseSelectors(x)
+}
+
+func (p *Parser) parsePostfix() Expr {
+	var x Expr
+	switch p.cur().Kind {
+	case KwThis:
+		x = &VarExpr{Pos: p.next().Pos, Name: "this", IsThis: true}
+	case IDENT:
+		t := p.next()
+		// R.layout.name / R.id.name resource references.
+		if t.Lit == "R" && p.at(Dot) {
+			return p.parseRRef(t.Pos)
+		}
+		x = &VarExpr{Pos: t.Pos, Name: t.Lit}
+	case LParen:
+		return p.parseParenExpr()
+	default:
+		p.errs.Add(p.cur().Pos, "expected an expression, found %s", p.cur())
+		p.next()
+		return &NullExpr{Pos: p.cur().Pos}
+	}
+	return p.parseSelectors(x)
+}
+
+func (p *Parser) parseSelectors(x Expr) Expr {
+	for p.at(Dot) {
+		p.next()
+		// Class literal: Ident.class.
+		if p.at(KwClass) {
+			tok := p.next()
+			v, ok := x.(*VarExpr)
+			if !ok || v.IsThis {
+				p.errs.Add(tok.Pos, "'.class' requires a class name")
+				continue
+			}
+			x = &ClassLitExpr{Pos: v.Pos, Name: v.Name}
+			continue
+		}
+		name := p.expect(IDENT)
+		if p.at(LParen) {
+			x = &CallExpr{Pos: name.Pos, Base: x, Name: name.Lit, Args: p.parseArgs()}
+		} else {
+			x = &FieldExpr{Pos: name.Pos, Base: x, Name: name.Lit}
+		}
+	}
+	return x
+}
+
+func (p *Parser) parseRRef(pos Pos) Expr {
+	p.expect(Dot)
+	kind := p.expect(IDENT)
+	if kind.Lit != "layout" && kind.Lit != "id" {
+		p.errs.Add(kind.Pos, "expected 'layout' or 'id' after 'R.', found %q", kind.Lit)
+	}
+	p.expect(Dot)
+	name := p.expect(IDENT)
+	return &RRefExpr{Pos: pos, Layout: kind.Lit == "layout", Name: name.Lit}
+}

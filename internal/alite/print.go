@@ -1,0 +1,180 @@
+package alite
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Print renders a File back to ALite surface syntax. The output reparses to
+// an equivalent AST (modulo positions), which the frontend tests verify.
+func Print(f *File) string {
+	var p printer
+	for i, d := range f.Decls {
+		if i > 0 {
+			p.nl()
+		}
+		p.decl(d)
+	}
+	return p.b.String()
+}
+
+type printer struct {
+	b      strings.Builder
+	indent int
+}
+
+func (p *printer) nl() { p.b.WriteByte('\n') }
+
+func (p *printer) line(format string, args ...any) {
+	p.b.WriteString(strings.Repeat("\t", p.indent))
+	fmt.Fprintf(&p.b, format, args...)
+	p.nl()
+}
+
+func (p *printer) decl(d Decl) {
+	switch d := d.(type) {
+	case *ClassDecl:
+		hdr := "class " + d.Name
+		if d.Super != "" {
+			hdr += " extends " + d.Super
+		}
+		if len(d.Implements) > 0 {
+			hdr += " implements " + strings.Join(d.Implements, ", ")
+		}
+		p.line("%s {", hdr)
+		p.indent++
+		for _, f := range d.Fields {
+			p.line("%s %s;", f.Type, f.Name)
+		}
+		for _, m := range d.Methods {
+			p.method(m)
+		}
+		p.indent--
+		p.line("}")
+	case *InterfaceDecl:
+		hdr := "interface " + d.Name
+		if len(d.Extends) > 0 {
+			hdr += " extends " + strings.Join(d.Extends, ", ")
+		}
+		p.line("%s {", hdr)
+		p.indent++
+		for _, m := range d.Methods {
+			p.line("%s;", p.signature(m))
+		}
+		p.indent--
+		p.line("}")
+	}
+}
+
+func (p *printer) signature(m *MethodDecl) string {
+	var parts []string
+	for _, prm := range m.Params {
+		parts = append(parts, fmt.Sprintf("%s %s", prm.Type, prm.Name))
+	}
+	if m.IsCtor {
+		return fmt.Sprintf("%s(%s)", m.Name, strings.Join(parts, ", "))
+	}
+	return fmt.Sprintf("%s %s(%s)", m.Return, m.Name, strings.Join(parts, ", "))
+}
+
+func (p *printer) method(m *MethodDecl) {
+	if m.Body == nil {
+		p.line("%s;", p.signature(m))
+		return
+	}
+	p.line("%s {", p.signature(m))
+	p.indent++
+	for _, s := range m.Body.Stmts {
+		p.stmt(s)
+	}
+	p.indent--
+	p.line("}")
+}
+
+func (p *printer) block(b *Block) {
+	p.indent++
+	for _, s := range b.Stmts {
+		p.stmt(s)
+	}
+	p.indent--
+}
+
+func (p *printer) stmt(s Stmt) {
+	switch s := s.(type) {
+	case *LocalDecl:
+		if s.Init != nil {
+			p.line("%s %s = %s;", s.Type, s.Name, exprString(s.Init))
+		} else {
+			p.line("%s %s;", s.Type, s.Name)
+		}
+	case *AssignStmt:
+		p.line("%s = %s;", exprString(s.Target), exprString(s.Value))
+	case *ExprStmt:
+		p.line("%s;", exprString(s.X))
+	case *ReturnStmt:
+		if s.Value != nil {
+			p.line("return %s;", exprString(s.Value))
+		} else {
+			p.line("return;")
+		}
+	case *IfStmt:
+		p.line("if (%s) {", condString(s.Cond))
+		p.block(s.Then)
+		if s.Else != nil {
+			p.line("} else {")
+			p.block(s.Else)
+		}
+		p.line("}")
+	case *WhileStmt:
+		p.line("while (%s) {", condString(s.Cond))
+		p.block(s.Body)
+		p.line("}")
+	}
+}
+
+func condString(c Cond) string {
+	if c.Nondet {
+		return "*"
+	}
+	op := "=="
+	if c.Negated {
+		op = "!="
+	}
+	return fmt.Sprintf("%s %s null", exprString(c.X), op)
+}
+
+func exprString(e Expr) string {
+	switch e := e.(type) {
+	case *VarExpr:
+		return e.Name
+	case *FieldExpr:
+		return exprString(e.Base) + "." + e.Name
+	case *CallExpr:
+		return fmt.Sprintf("%s.%s(%s)", exprString(e.Base), e.Name, argsString(e.Args))
+	case *NewExpr:
+		return fmt.Sprintf("new %s(%s)", e.Class, argsString(e.Args))
+	case *CastExpr:
+		return fmt.Sprintf("(%s) %s", e.Type, exprString(e.X))
+	case *NullExpr:
+		return "null"
+	case *IntExpr:
+		return fmt.Sprintf("%d", e.Value)
+	case *RRefExpr:
+		if e.Layout {
+			return "R.layout." + e.Name
+		}
+		return "R.id." + e.Name
+	case *ClassLitExpr:
+		return e.Name + ".class"
+	default:
+		return fmt.Sprintf("<%T>", e)
+	}
+}
+
+func argsString(args []Expr) string {
+	parts := make([]string, len(args))
+	for i, a := range args {
+		parts[i] = exprString(a)
+	}
+	return strings.Join(parts, ", ")
+}

@@ -1,0 +1,180 @@
+package alite
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestPrintAllForms drives the printer over every syntactic form.
+func TestPrintAllForms(t *testing.T) {
+	src := `
+interface Cmd extends OnClickListener {
+	void run(View target);
+	int priority();
+}
+
+class Base {
+	int counter;
+	View held;
+
+	Base(int start) {
+		this.counter = start;
+	}
+
+	View fetch(View v, int id) {
+		if (v == null) {
+			return null;
+		} else {
+			View w = v.findViewById(id);
+			return w;
+		}
+	}
+
+	void churn(View v) {
+		while (v != null) {
+			v = null;
+		}
+		while (*) {
+			this.counter = 0;
+		}
+		if (*) {
+			this.held = v;
+		}
+		int x = 0x10;
+		int y = R.id.some_id;
+		int z = R.layout.some_layout;
+		Button b = (Button) v;
+		Intent i = new Intent(Other.class);
+		v.setId(3);
+	}
+}
+
+class Other extends Activity {
+	void onCreate() {
+	}
+}
+`
+	f, err := Parse("t", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	printed := Print(f)
+	for _, want := range []string{
+		"interface Cmd extends OnClickListener {",
+		"void run(View target);",
+		"int priority();",
+		"Base(int start) {",
+		"if (v == null) {",
+		"} else {",
+		"return null;",
+		"while (v != null) {",
+		"while (*) {",
+		"if (*) {",
+		"int x = 16;", // hex normalizes to decimal
+		"R.id.some_id",
+		"R.layout.some_layout",
+		"(Button) v",
+		"new Intent(Other.class)",
+		"v.setId(3);",
+		"v = null;",
+	} {
+		if !strings.Contains(printed, want) {
+			t.Errorf("printed output missing %q:\n%s", want, printed)
+		}
+	}
+	// Fixed point.
+	f2, err := Parse("t2", printed)
+	if err != nil {
+		t.Fatalf("reparse: %v\n%s", err, printed)
+	}
+	if Print(f2) != printed {
+		t.Error("print not idempotent")
+	}
+}
+
+func TestASTAccessors(t *testing.T) {
+	f := MustParse("t", `
+interface I { void m(View v); }
+class A implements I {
+	int f;
+	void m(View v) {
+		if (*) { return; }
+		while (*) { v.findFocus(); }
+		int x = 1;
+		x = 2;
+		v.setId(x);
+	}
+}`)
+	for _, d := range f.Decls {
+		if d.DeclName() == "" {
+			t.Error("empty DeclName")
+		}
+		if !d.DeclPos().IsValid() {
+			t.Error("invalid DeclPos")
+		}
+	}
+	cd := f.Decls[1].(*ClassDecl)
+	for _, s := range cd.Methods[0].Body.Stmts {
+		if !s.StmtPos().IsValid() {
+			t.Errorf("statement %T without position", s)
+		}
+	}
+	var checkExprs func(e Expr)
+	checkExprs = func(e Expr) {
+		if !e.ExprPos().IsValid() {
+			t.Errorf("expression %T without position", e)
+		}
+	}
+	ld := cd.Methods[0].Body.Stmts[2].(*LocalDecl)
+	checkExprs(ld.Init)
+}
+
+func TestDiagnosticTypes(t *testing.T) {
+	var el ErrorList
+	if el.Err() != nil {
+		t.Error("empty list is an error")
+	}
+	if el.Error() != "no errors" {
+		t.Errorf("empty Error() = %q", el.Error())
+	}
+	el.Add(Pos{File: "f", Line: 1, Col: 2}, "first %d", 1)
+	if el.Err() == nil {
+		t.Error("nonempty list is nil error")
+	}
+	if got := el.Error(); !strings.Contains(got, "f:1:2") || !strings.Contains(got, "first 1") {
+		t.Errorf("Error() = %q", got)
+	}
+	el.Add(Pos{}, "second")
+	if got := el.Error(); !strings.Contains(got, "and 1 more") {
+		t.Errorf("Error() = %q", got)
+	}
+	e := &Error{Msg: "bare"}
+	if e.Error() != "bare" {
+		t.Errorf("positionless Error() = %q", e.Error())
+	}
+	if (Pos{}).IsValid() {
+		t.Error("zero Pos is valid")
+	}
+	if (Pos{Line: 1, Col: 1}).String() != "1:1" {
+		t.Error("fileless Pos string")
+	}
+}
+
+func TestTokenStrings(t *testing.T) {
+	toks, err := Tokenize("t", `name 42 class`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := toks[0].String(); !strings.Contains(got, "name") {
+		t.Errorf("ident token = %q", got)
+	}
+	if got := toks[1].String(); !strings.Contains(got, "42") {
+		t.Errorf("int token = %q", got)
+	}
+	if got := toks[2].String(); got != "'class'" {
+		t.Errorf("keyword token = %q", got)
+	}
+	if Kind(999).String() == "" {
+		t.Error("unknown kind has empty string")
+	}
+}

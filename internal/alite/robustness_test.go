@@ -1,0 +1,79 @@
+package alite
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestParserNeverPanics: the parser must return errors, not panic, on
+// arbitrarily mutated input. Each trial takes a valid program and applies
+// random byte mutations (flips, deletions, truncations, duplications).
+func TestParserNeverPanics(t *testing.T) {
+	base := []byte(figure1)
+	prop := func(seed int64) (ok bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				ok = false
+				t.Logf("seed %d: parser panicked: %v", seed, r)
+			}
+		}()
+		r := rand.New(rand.NewSource(seed))
+		src := append([]byte{}, base...)
+		for i, n := 0, 1+r.Intn(20); i < n; i++ {
+			if len(src) == 0 {
+				break
+			}
+			pos := r.Intn(len(src))
+			switch r.Intn(4) {
+			case 0: // flip
+				src[pos] = byte(r.Intn(128))
+			case 1: // delete
+				src = append(src[:pos], src[pos+1:]...)
+			case 2: // truncate
+				src = src[:pos]
+			case 3: // duplicate a chunk
+				end := pos + r.Intn(10)
+				if end > len(src) {
+					end = len(src)
+				}
+				src = append(src[:end:end], src[pos:]...)
+			}
+		}
+		_, _ = Parse("mutated", string(src))
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLexerNeverPanics: arbitrary byte strings tokenize without panicking
+// and every token stream ends in EOF.
+func TestLexerNeverPanics(t *testing.T) {
+	prop := func(src []byte) (ok bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				ok = false
+				t.Logf("lexer panicked on %q: %v", src, r)
+			}
+		}()
+		toks, _ := Tokenize("fuzz", string(src))
+		return len(toks) > 0 && toks[len(toks)-1].Kind == EOF
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPrintParseFixpointOnFigure1 verifies Print∘Parse is idempotent on a
+// substantial program.
+func TestPrintParseFixpointOnFigure1(t *testing.T) {
+	f1 := MustParse("a", figure1)
+	p1 := Print(f1)
+	f2 := MustParse("b", p1)
+	p2 := Print(f2)
+	if p1 != p2 {
+		t.Error("Print∘Parse is not a fixed point")
+	}
+}

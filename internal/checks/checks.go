@@ -1,0 +1,478 @@
+// Package checks implements analysis-backed static error checkers for
+// Android GUI code — the "static error checking" application of Section 6
+// of the paper. Each checker inspects the solved reference analysis
+// (package core) for GUI misuse patterns that are invisible to a purely
+// syntactic linter because they depend on which views flow where.
+package checks
+
+import (
+	"fmt"
+	"sort"
+
+	"gator/internal/alite"
+	"gator/internal/core"
+	"gator/internal/graph"
+	"gator/internal/platform"
+)
+
+// Severity grades findings.
+type Severity int
+
+const (
+	// Info marks findings that are usually intentional but worth review.
+	Info Severity = iota
+	// Warning marks likely defects.
+	Warning
+)
+
+func (s Severity) String() string {
+	if s == Warning {
+		return "warning"
+	}
+	return "info"
+}
+
+// Finding is one reported issue.
+type Finding struct {
+	// Check is the checker identifier (kebab-case).
+	Check string
+	// Severity grades the finding.
+	Severity Severity
+	// Pos locates the finding when a source position exists.
+	Pos alite.Pos
+	// Msg describes the issue and its consequence.
+	Msg string
+}
+
+func (f Finding) String() string {
+	if f.Pos.IsValid() {
+		return fmt.Sprintf("%s: %s: [%s] %s", f.Pos, f.Severity, f.Check, f.Msg)
+	}
+	return fmt.Sprintf("%s: [%s] %s", f.Severity, f.Check, f.Msg)
+}
+
+// Checker is one registered checker.
+type Checker struct {
+	Name string
+	Doc  string
+	Run  func(res *core.Result) []Finding
+}
+
+// All returns the registered checkers.
+func All() []Checker {
+	return []Checker{
+		{
+			Name: "dangling-findview",
+			Doc: "findViewById whose searched hierarchy can never contain " +
+				"the queried id: the call always returns null",
+			Run: checkDanglingFindView,
+		},
+		{
+			Name: "missing-content-view",
+			Doc: "activity findViewById without any setContentView on that " +
+				"activity: there is no hierarchy to search",
+			Run: checkMissingContentView,
+		},
+		{
+			Name: "unused-view-id",
+			Doc:  "view id declared in a layout but never used by any operation",
+			Run:  checkUnusedViewID,
+		},
+		{
+			Name: "unfired-handler",
+			Doc: "listener class whose handler can never receive a view: " +
+				"the listener is never registered on a reachable view",
+			Run: checkUnfiredHandler,
+		},
+		{
+			Name: "invisible-listener-view",
+			Doc: "programmatically created view with listeners that is never " +
+				"attached to any activity content: its events cannot fire",
+			Run: checkInvisibleListenerView,
+		},
+		{
+			Name: "duplicate-id",
+			Doc: "two views with the same id in one activity's content: " +
+				"findViewById resolves only the first",
+			Run: checkDuplicateID,
+		},
+		{
+			Name: "unhandled-menu",
+			Doc: "menu items added but the activity defines no " +
+				"onOptionsItemSelected handler",
+			Run: checkUnhandledMenu,
+		},
+		{
+			Name: "bad-intent-target",
+			Doc:  "intent targets a class that is not an activity: startActivity would throw",
+			Run:  checkBadIntentTarget,
+		},
+		{
+			Name: "isolated-activity",
+			Doc: "activity that no transition ever reaches (informational: " +
+				"it may be a launcher or externally exported entry point)",
+			Run: checkIsolatedActivity,
+		},
+	}
+}
+
+// Run executes every checker and returns the sorted findings.
+func Run(res *core.Result) []Finding {
+	var out []Finding
+	for _, c := range All() {
+		out = append(out, c.Run(res)...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Check != b.Check {
+			return a.Check < b.Check
+		}
+		return a.Msg < b.Msg
+	})
+	return out
+}
+
+// checkDanglingFindView flags find-view operations that are reached by a
+// hierarchy and an id, yet can never produce a view.
+func checkDanglingFindView(res *core.Result) []Finding {
+	var out []Finding
+	for _, op := range res.Graph.Ops() {
+		if op.Kind != platform.OpFindView1 && op.Kind != platform.OpFindView2 {
+			continue
+		}
+		if op.Out == nil || len(op.Args) == 0 {
+			continue
+		}
+		recvReached := len(res.OpReceivers(op)) > 0
+		ids := idNames(res.OpArg(op, 0))
+		if !recvReached || len(ids) == 0 {
+			continue // dead op; nothing to conclude
+		}
+		if len(res.OpResults(op)) == 0 {
+			out = append(out, Finding{
+				Check:    "dangling-findview",
+				Severity: Warning,
+				Pos:      opPos(op),
+				Msg: fmt.Sprintf("findViewById(%s) can never find a view in the searched hierarchy; it always returns null",
+					joinNames(ids)),
+			})
+		}
+	}
+	return out
+}
+
+// checkMissingContentView flags FindView2 operations on activities that
+// never receive a content view.
+func checkMissingContentView(res *core.Result) []Finding {
+	var out []Finding
+	for _, op := range res.Graph.Ops() {
+		if op.Kind != platform.OpFindView2 {
+			continue
+		}
+		for _, owner := range res.OpReceivers(op) {
+			switch owner.(type) {
+			case *graph.ActivityNode, *graph.AllocNode:
+			default:
+				continue
+			}
+			if len(res.Graph.Roots(owner)) == 0 {
+				out = append(out, Finding{
+					Check:    "missing-content-view",
+					Severity: Warning,
+					Pos:      opPos(op),
+					Msg: fmt.Sprintf("%s has no content view when findViewById runs; the lookup always returns null",
+						ownerName(owner)),
+				})
+			}
+		}
+	}
+	return out
+}
+
+// checkUnusedViewID flags declared view ids that no operation ever uses.
+func checkUnusedViewID(res *core.Result) []Finding {
+	used := map[int]bool{}
+	for _, op := range res.Graph.Ops() {
+		for i := range op.Args {
+			for _, v := range res.OpArg(op, i) {
+				if id, ok := v.(*graph.ViewIDNode); ok {
+					used[id.ID()] = true
+				}
+			}
+		}
+	}
+	var out []Finding
+	for _, id := range res.Graph.ViewIDs() {
+		if !used[id.ID()] {
+			out = append(out, Finding{
+				Check:    "unused-view-id",
+				Severity: Info,
+				Msg:      fmt.Sprintf("view id %q is declared but never used by any operation", id.Name),
+			})
+		}
+	}
+	return out
+}
+
+// checkUnfiredHandler flags listener classes whose handlers never receive a
+// view.
+func checkUnfiredHandler(res *core.Result) []Finding {
+	var out []Finding
+	for _, c := range res.Prog.AppClasses() {
+		if c.IsInterface {
+			continue
+		}
+		specs := res.Prog.ListenerSpecsOf(c)
+		if len(specs) == 0 {
+			continue
+		}
+		for _, spec := range specs {
+			for _, h := range spec.Handlers {
+				m := c.Methods[handlerKeyOf(h)]
+				if m == nil || m.Body == nil || len(m.Params) == 0 {
+					continue
+				}
+				reached := false
+				for _, vi := range h.ViewParams {
+					if vi < len(m.Params) && len(res.VarPointsTo(m.Params[vi])) > 0 {
+						reached = true
+					}
+				}
+				if !reached {
+					out = append(out, Finding{
+						Check:    "unfired-handler",
+						Severity: Warning,
+						Pos:      m.Pos,
+						Msg: fmt.Sprintf("handler %s can never fire: the listener is not registered on any reachable view",
+							m.QualifiedName()),
+					})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// checkInvisibleListenerView flags views that hold listeners but are never
+// part of any activity or dialog content.
+func checkInvisibleListenerView(res *core.Result) []Finding {
+	// Collect everything reachable from some owner's content roots.
+	visible := map[int]bool{}
+	res.Graph.RootPairs(func(owner, root graph.Value) {
+		for _, w := range descendants(res.Graph, root) {
+			visible[w.ID()] = true
+		}
+	})
+	var out []Finding
+	res.Graph.ListenerPairs(func(view, lst graph.Value) {
+		an, ok := view.(*graph.AllocNode)
+		if !ok || visible[view.ID()] {
+			return
+		}
+		out = append(out, Finding{
+			Check:    "invisible-listener-view",
+			Severity: Warning,
+			Pos:      an.Site.Pos(),
+			Msg: fmt.Sprintf("view %s has listeners but is never attached to any activity content; its events cannot fire",
+				an.String()),
+		})
+	})
+	return dedup(out)
+}
+
+// checkDuplicateID flags id collisions within one owner's content.
+func checkDuplicateID(res *core.Result) []Finding {
+	var out []Finding
+	res.Graph.RootPairs(func(owner, root graph.Value) {
+		byID := map[int][]graph.Value{}
+		for _, w := range descendants(res.Graph, root) {
+			for _, id := range res.Graph.ViewIDsOf(w) {
+				byID[id.ID()] = append(byID[id.ID()], w)
+			}
+		}
+		ids := make([]int, 0, len(byID))
+		for id := range byID {
+			ids = append(ids, id)
+		}
+		sort.Ints(ids)
+		for _, id := range ids {
+			views := byID[id]
+			if len(views) < 2 {
+				continue
+			}
+			var name string
+			for _, n := range res.Graph.ViewIDs() {
+				if n.ID() == id {
+					name = n.Name
+				}
+			}
+			out = append(out, Finding{
+				Check:    "duplicate-id",
+				Severity: Info,
+				Msg: fmt.Sprintf("id %q appears on %d views in the content of %s; findViewById resolves only one",
+					name, len(views), ownerName(owner)),
+			})
+		}
+	})
+	return dedup(out)
+}
+
+// checkUnhandledMenu flags populated menus without a selection handler.
+func checkUnhandledMenu(res *core.Result) []Finding {
+	var out []Finding
+	for _, menu := range res.Graph.Menus() {
+		if len(res.Graph.MenuItems(menu)) == 0 {
+			continue
+		}
+		h := menu.Activity.Dispatch(platform.MenuSelectCallback + "(R)")
+		if h == nil || h.Body == nil {
+			out = append(out, Finding{
+				Check:    "unhandled-menu",
+				Severity: Warning,
+				Msg: fmt.Sprintf("%s populates its options menu but defines no %s handler",
+					menu.Activity.Name, platform.MenuSelectCallback),
+			})
+		}
+	}
+	return out
+}
+
+// checkBadIntentTarget flags intents whose target class cannot be launched.
+func checkBadIntentTarget(res *core.Result) []Finding {
+	var out []Finding
+	for _, n := range res.Graph.Nodes() {
+		alloc, ok := n.(*graph.AllocNode)
+		if !ok {
+			continue
+		}
+		for _, target := range res.Graph.IntentTargets(alloc) {
+			if !res.Prog.IsActivityClass(target.Class) {
+				out = append(out, Finding{
+					Check:    "bad-intent-target",
+					Severity: Warning,
+					Pos:      alloc.Site.Pos(),
+					Msg: fmt.Sprintf("intent targets %s, which is not an activity; startActivity would fail",
+						target.Class.Name),
+				})
+			}
+		}
+	}
+	return dedup(out)
+}
+
+// checkIsolatedActivity flags activities with no incoming transition when
+// the app has more than one activity and uses transitions at all.
+func checkIsolatedActivity(res *core.Result) []Finding {
+	transitions := res.Transitions()
+	if len(transitions) == 0 {
+		return nil
+	}
+	reached := map[string]bool{}
+	for _, tr := range transitions {
+		reached[tr.Target.Name] = true
+	}
+	acts := 0
+	for _, c := range res.Prog.AppClasses() {
+		if !c.IsInterface && res.Prog.IsActivityClass(c) {
+			acts++
+		}
+	}
+	if acts < 2 {
+		return nil
+	}
+	var out []Finding
+	for _, c := range res.Prog.AppClasses() {
+		if c.IsInterface || !res.Prog.IsActivityClass(c) || reached[c.Name] {
+			continue
+		}
+		out = append(out, Finding{
+			Check:    "isolated-activity",
+			Severity: Info,
+			Msg:      fmt.Sprintf("no transition reaches %s (launcher or exported entry point?)", c.Name),
+		})
+	}
+	return out
+}
+
+// helpers
+
+func opPos(op *graph.OpNode) alite.Pos {
+	if op.Site != nil {
+		return op.Site.Pos()
+	}
+	return alite.Pos{}
+}
+
+func idNames(vals []graph.Value) []string {
+	var out []string
+	for _, v := range vals {
+		if id, ok := v.(*graph.ViewIDNode); ok {
+			out = append(out, id.Name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func joinNames(names []string) string {
+	s := ""
+	for i, n := range names {
+		if i > 0 {
+			s += ","
+		}
+		s += "R.id." + n
+	}
+	return s
+}
+
+func ownerName(owner graph.Value) string {
+	switch o := owner.(type) {
+	case *graph.ActivityNode:
+		return "activity " + o.Class.Name
+	case *graph.AllocNode:
+		return "dialog " + o.Class.Name
+	}
+	return owner.String()
+}
+
+func descendants(g *graph.Graph, root graph.Value) []graph.Value {
+	seen := map[int]bool{}
+	queue := []graph.Value{root}
+	var out []graph.Value
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		if seen[v.ID()] {
+			continue
+		}
+		seen[v.ID()] = true
+		out = append(out, v)
+		queue = append(queue, g.Children(v)...)
+	}
+	return out
+}
+
+func handlerKeyOf(h platform.HandlerSig) string {
+	kinds := make([]byte, len(h.Params))
+	for i, p := range h.Params {
+		if p == "int" {
+			kinds[i] = 'I'
+		} else {
+			kinds[i] = 'R'
+		}
+	}
+	return h.Name + "(" + string(kinds) + ")"
+}
+
+func dedup(fs []Finding) []Finding {
+	seen := map[string]bool{}
+	var out []Finding
+	for _, f := range fs {
+		k := f.Check + "|" + f.Msg
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, f)
+		}
+	}
+	return out
+}

@@ -1,0 +1,284 @@
+package checks
+
+import (
+	"strings"
+	"testing"
+
+	"gator/internal/alite"
+	"gator/internal/core"
+	"gator/internal/corpus"
+	"gator/internal/ir"
+	"gator/internal/layout"
+)
+
+func analyze(t *testing.T, src string, layouts map[string]string) *core.Result {
+	t.Helper()
+	f, err := alite.Parse("test.alite", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ls := map[string]*layout.Layout{}
+	for name, xml := range layouts {
+		ls[name] = layout.MustParse(name, xml)
+	}
+	p, err := ir.Build([]*alite.File{f}, ls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return core.Analyze(p, core.Options{})
+}
+
+func findingsOf(fs []Finding, check string) []Finding {
+	var out []Finding
+	for _, f := range fs {
+		if f.Check == check {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+func TestDanglingFindView(t *testing.T) {
+	src := `
+class A extends Activity {
+	void onCreate() {
+		this.setContentView(R.layout.main);
+		View good = this.findViewById(R.id.present);
+		View bad = this.findViewById(R.id.elsewhere);
+	}
+}`
+	layouts := map[string]string{
+		"main":  `<LinearLayout><Button android:id="@+id/present"/></LinearLayout>`,
+		"other": `<LinearLayout><Button android:id="@+id/elsewhere"/></LinearLayout>`,
+	}
+	fs := findingsOf(Run(analyze(t, src, layouts)), "dangling-findview")
+	if len(fs) != 1 {
+		t.Fatalf("findings = %v", fs)
+	}
+	if !strings.Contains(fs[0].Msg, "elsewhere") {
+		t.Errorf("finding = %v", fs[0])
+	}
+	if fs[0].Severity != Warning {
+		t.Errorf("severity = %v", fs[0].Severity)
+	}
+}
+
+func TestMissingContentView(t *testing.T) {
+	src := `
+class A extends Activity {
+	void onCreate() {
+		View v = this.findViewById(R.id.x); // no setContentView anywhere
+	}
+}
+class B extends Activity {
+	void onCreate() {
+		this.setContentView(R.layout.main);
+		View v = this.findViewById(R.id.x);
+	}
+}`
+	layouts := map[string]string{"main": `<LinearLayout><Button android:id="@+id/x"/></LinearLayout>`}
+	fs := findingsOf(Run(analyze(t, src, layouts)), "missing-content-view")
+	if len(fs) != 1 {
+		t.Fatalf("findings = %v", fs)
+	}
+	if !strings.Contains(fs[0].Msg, "activity A") {
+		t.Errorf("finding = %v", fs[0])
+	}
+}
+
+func TestUnusedViewID(t *testing.T) {
+	src := `
+class A extends Activity {
+	void onCreate() {
+		this.setContentView(R.layout.main);
+		View v = this.findViewById(R.id.used);
+	}
+}`
+	layouts := map[string]string{
+		"main": `<LinearLayout><Button android:id="@+id/used"/><Button android:id="@+id/never"/></LinearLayout>`,
+	}
+	fs := findingsOf(Run(analyze(t, src, layouts)), "unused-view-id")
+	if len(fs) != 1 || !strings.Contains(fs[0].Msg, "never") {
+		t.Fatalf("findings = %v", fs)
+	}
+}
+
+func TestUnfiredHandler(t *testing.T) {
+	src := `
+class Used implements OnClickListener {
+	void onClick(View v) { }
+}
+class Never implements OnClickListener {
+	void onClick(View v) { }
+}
+class A extends Activity {
+	void onCreate() {
+		this.setContentView(R.layout.main);
+		View b = this.findViewById(R.id.go);
+		Used u = new Used();
+		b.setOnClickListener(u);
+		Never n = new Never(); // allocated but never registered
+	}
+}`
+	layouts := map[string]string{"main": `<LinearLayout><Button android:id="@+id/go"/></LinearLayout>`}
+	fs := findingsOf(Run(analyze(t, src, layouts)), "unfired-handler")
+	if len(fs) != 1 || !strings.Contains(fs[0].Msg, "Never.onClick") {
+		t.Fatalf("findings = %v", fs)
+	}
+}
+
+func TestInvisibleListenerView(t *testing.T) {
+	src := `
+class H implements OnClickListener {
+	void onClick(View v) { }
+}
+class A extends Activity {
+	void onCreate() {
+		this.setContentView(R.layout.main);
+		Button detached = new Button();
+		H h = new H();
+		detached.setOnClickListener(h); // never added to the content tree
+		Button attached = new Button();
+		LinearLayout root = (LinearLayout) this.findViewById(R.id.root);
+		root.addView(attached);
+		H h2 = new H();
+		attached.setOnClickListener(h2);
+	}
+}`
+	layouts := map[string]string{"main": `<LinearLayout android:id="@+id/root"/>`}
+	fs := findingsOf(Run(analyze(t, src, layouts)), "invisible-listener-view")
+	if len(fs) != 1 {
+		t.Fatalf("findings = %v", fs)
+	}
+}
+
+func TestDuplicateID(t *testing.T) {
+	src := `
+class A extends Activity {
+	void onCreate() {
+		this.setContentView(R.layout.main);
+		Button extra = new Button();
+		extra.setId(R.id.twice);
+		LinearLayout root = (LinearLayout) this.findViewById(R.id.root);
+		root.addView(extra);
+	}
+}`
+	layouts := map[string]string{
+		"main": `<LinearLayout android:id="@+id/root"><Button android:id="@+id/twice"/></LinearLayout>`,
+	}
+	fs := findingsOf(Run(analyze(t, src, layouts)), "duplicate-id")
+	if len(fs) != 1 || !strings.Contains(fs[0].Msg, "twice") {
+		t.Fatalf("findings = %v", fs)
+	}
+}
+
+func TestUnhandledMenu(t *testing.T) {
+	src := `
+class A extends Activity {
+	void onCreate() { }
+	void onCreateOptionsMenu(Menu menu) {
+		MenuItem mi = menu.add(R.id.save);
+	}
+}
+class B extends Activity {
+	void onCreate() { }
+	void onCreateOptionsMenu(Menu menu) {
+		MenuItem mi = menu.add(R.id.load);
+	}
+	void onOptionsItemSelected(MenuItem item) { }
+}`
+	fs := findingsOf(Run(analyze(t, src, nil)), "unhandled-menu")
+	if len(fs) != 1 || !strings.Contains(fs[0].Msg, "A populates") {
+		t.Fatalf("findings = %v", fs)
+	}
+}
+
+func TestFigure1Clean(t *testing.T) {
+	p, err := ir.Build(corpus.Figure1ClosedFiles(), corpus.Figure1Layouts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := Run(core.Analyze(p, core.Options{}))
+	for _, f := range fs {
+		if f.Severity == Warning {
+			// The open Figure 1 fragment legitimately references views via
+			// helpers; the closed variant should produce no warnings.
+			t.Errorf("unexpected warning: %s", f)
+		}
+	}
+}
+
+func TestCheckerRegistry(t *testing.T) {
+	names := map[string]bool{}
+	for _, c := range All() {
+		if c.Name == "" || c.Doc == "" || c.Run == nil {
+			t.Errorf("incomplete checker %+v", c.Name)
+		}
+		if names[c.Name] {
+			t.Errorf("duplicate checker %s", c.Name)
+		}
+		names[c.Name] = true
+	}
+	if len(names) < 7 {
+		t.Errorf("only %d checkers", len(names))
+	}
+}
+
+func TestFindingString(t *testing.T) {
+	f := Finding{Check: "x", Severity: Warning, Msg: "boom"}
+	if got := f.String(); !strings.Contains(got, "warning") || !strings.Contains(got, "boom") {
+		t.Errorf("String = %q", got)
+	}
+	f.Pos = alite.Pos{File: "a.alite", Line: 3, Col: 1}
+	if got := f.String(); !strings.HasPrefix(got, "a.alite:3:1") {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestBadIntentTarget(t *testing.T) {
+	src := `
+class NotAnActivity { }
+class B extends Activity { void onCreate() { } }
+class A extends Activity {
+	void onCreate() {
+		Intent good = new Intent(B.class);
+		this.startActivity(good);
+		Intent bad = new Intent(NotAnActivity.class);
+		this.startActivity(bad);
+	}
+}`
+	fs := findingsOf(Run(analyze(t, src, nil)), "bad-intent-target")
+	if len(fs) != 1 || !strings.Contains(fs[0].Msg, "NotAnActivity") {
+		t.Fatalf("findings = %v", fs)
+	}
+}
+
+func TestIsolatedActivity(t *testing.T) {
+	src := `
+class Main extends Activity {
+	void onCreate() {
+		Intent i = new Intent(Second.class);
+		this.startActivity(i);
+	}
+}
+class Second extends Activity { void onCreate() { } }
+class Orphan extends Activity { void onCreate() { } }`
+	fs := findingsOf(Run(analyze(t, src, nil)), "isolated-activity")
+	// Main (the launcher) and Orphan both lack incoming edges.
+	if len(fs) != 2 {
+		t.Fatalf("findings = %v", fs)
+	}
+	for _, f := range fs {
+		if f.Severity != Info {
+			t.Errorf("severity = %v", f.Severity)
+		}
+	}
+
+	// No transitions at all: the checker stays quiet.
+	quiet := `
+class A extends Activity { void onCreate() { } }
+class B extends Activity { void onCreate() { } }`
+	if fs := findingsOf(Run(analyze(t, quiet, nil)), "isolated-activity"); len(fs) != 0 {
+		t.Errorf("quiet app findings = %v", fs)
+	}
+}

@@ -1,0 +1,198 @@
+// Package core implements the paper's contribution: the constraint-based,
+// flow- and context-insensitive, field-based reference analysis for Android
+// GUI objects. It builds the constraint graph from a resolved ir.Program
+// (Section 4.1), then runs a fixed-point computation over the inference
+// rules of Section 4.2, modeling layout inflation, view operations, and
+// platform callbacks.
+package core
+
+import (
+	"gator/internal/graph"
+	"gator/internal/ir"
+	"gator/internal/platform"
+)
+
+// Options configure analysis variants. The zero value is the configuration
+// evaluated in the paper; the other settings exist for the ablation
+// benchmarks called out in DESIGN.md.
+type Options struct {
+	// FilterCasts drops values that cannot satisfy a cast's target type
+	// when they flow through a cast edge. The paper's analysis does not
+	// filter; enabling this is a precision refinement.
+	FilterCasts bool
+
+	// SharedInflation shares one set of inflated view nodes per layout
+	// instead of materializing a fresh set per inflation site (the paper's
+	// choice is per-site, i.e. SharedInflation=false).
+	SharedInflation bool
+
+	// NoFindView3Refinement disables the child-only refinement of
+	// FindView3 operations such as getCurrentView, treating them as
+	// returning any descendant (the paper's implementation refines).
+	NoFindView3Refinement bool
+
+	// DeclaredDispatchOnly resolves calls to the statically found target
+	// only, instead of class-hierarchy analysis over all subtypes.
+	DeclaredDispatchOnly bool
+
+	// Context1 enables bounded (depth-1) call-site context sensitivity:
+	// small non-recursive application methods get per-call-site clones of
+	// their variables, operations, and allocation sites. This is the
+	// refinement the paper's case study identifies as the fix for the
+	// XBMC receiver imprecision.
+	Context1 bool
+}
+
+// Result is the computed analysis solution.
+type Result struct {
+	Prog  *ir.Program
+	Graph *graph.Graph
+	Opts  Options
+
+	pts        map[graph.Node]*ValueSet
+	provenance map[provKey]graph.Node
+
+	// Iterations counts outer fixpoint rounds (flow propagation followed by
+	// operation processing) until quiescence.
+	Iterations int
+}
+
+// Explain reconstructs how value v reached node n: the chain of nodes the
+// value flowed through, from its origin (an initial seed or the operation
+// node that produced it) to n. Returns nil when v does not reach n.
+func (r *Result) Explain(n graph.Node, v graph.Value) []graph.Node {
+	if s, ok := r.pts[n]; !ok || !s.Contains(v) {
+		return nil
+	}
+	chain := []graph.Node{n}
+	seen := map[int]bool{n.ID(): true}
+	cur := n
+	for {
+		prev, ok := r.provenance[provKey{cur.ID(), v.ID()}]
+		if !ok || prev == nil {
+			break
+		}
+		if _, isOp := prev.(*graph.OpNode); isOp {
+			chain = append(chain, prev)
+			break
+		}
+		if seen[prev.ID()] {
+			break
+		}
+		seen[prev.ID()] = true
+		chain = append(chain, prev)
+		cur = prev
+	}
+	// Reverse: origin first.
+	for i, j := 0, len(chain)-1; i < j; i, j = i+1, j-1 {
+		chain[i], chain[j] = chain[j], chain[i]
+	}
+	return chain
+}
+
+// PointsTo returns the abstract values that may flow to a graph node
+// (variable or field node). The slice is shared; do not modify.
+func (r *Result) PointsTo(n graph.Node) []graph.Value {
+	if s, ok := r.pts[n]; ok {
+		return s.Values()
+	}
+	return nil
+}
+
+// VarPointsTo returns the abstract values of an IR variable.
+func (r *Result) VarPointsTo(v *ir.Var) []graph.Value {
+	return r.PointsTo(r.Graph.VarNode(v))
+}
+
+// FieldPointsTo returns the abstract values of a field (field-based: one
+// summary per field signature).
+func (r *Result) FieldPointsTo(f *ir.Field) []graph.Value {
+	return r.PointsTo(r.Graph.FieldNode(f))
+}
+
+// OpReceivers returns the values reaching an operation's receiver.
+func (r *Result) OpReceivers(op *graph.OpNode) []graph.Value {
+	if op.Recv == nil {
+		return nil
+	}
+	return r.PointsTo(op.Recv)
+}
+
+// OpArg returns the values reaching an operation's i-th argument.
+func (r *Result) OpArg(op *graph.OpNode, i int) []graph.Value {
+	if i >= len(op.Args) || op.Args[i] == nil {
+		return nil
+	}
+	return r.PointsTo(op.Args[i])
+}
+
+// OpResults returns the values flowing out of an operation.
+func (r *Result) OpResults(op *graph.OpNode) []graph.Value {
+	if op.Out == nil {
+		return nil
+	}
+	return r.PointsTo(op.Out)
+}
+
+// Transition is one inter-component control-flow edge: the receiver
+// activity (or dialog) of a startActivity operation launches the target
+// activity class, from within Via.
+type Transition struct {
+	// Source is the launching activity/dialog class.
+	Source *ir.Class
+	// Target is the launched activity class.
+	Target *ir.Class
+	// Via is the method containing the startActivity call.
+	Via *ir.Method
+}
+
+// Transitions derives the activity transition graph from the solution
+// (the inter-component model that Section 6 of the paper motivates).
+func (r *Result) Transitions() []Transition {
+	var out []Transition
+	seen := map[Transition]bool{}
+	for _, op := range r.Graph.Ops() {
+		if op.Kind != platform.OpStartActivity || len(op.Args) == 0 {
+			continue
+		}
+		for _, src := range r.OpReceivers(op) {
+			var srcClass *ir.Class
+			switch s := src.(type) {
+			case *graph.ActivityNode:
+				srcClass = s.Class
+			case *graph.AllocNode:
+				if s.IsDialog {
+					srcClass = s.Class
+				}
+			}
+			if srcClass == nil {
+				continue
+			}
+			for _, intent := range r.PointsTo(op.Args[0]) {
+				for _, target := range r.Graph.IntentTargets(intent) {
+					tr := Transition{Source: srcClass, Target: target.Class, Via: op.Method}
+					if !seen[tr] {
+						seen[tr] = true
+						out = append(out, tr)
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Analyze runs the full analysis on a resolved program.
+func Analyze(p *ir.Program, opts Options) *Result {
+	a := newAnalysis(p, opts)
+	a.buildGraph()
+	a.solve()
+	return &Result{
+		Prog:       p,
+		Graph:      a.g,
+		Opts:       opts,
+		pts:        a.pts,
+		provenance: a.provenance,
+		Iterations: a.iterations,
+	}
+}

@@ -1,0 +1,475 @@
+package core
+
+import (
+	"gator/internal/alite"
+	"gator/internal/graph"
+	"gator/internal/ir"
+	"gator/internal/platform"
+)
+
+// analysis carries the mutable state shared by graph construction and the
+// fixpoint solver.
+type analysis struct {
+	prog *ir.Program
+	opts Options
+	g    *graph.Graph
+
+	// pts maps variable/field nodes to their points-to sets.
+	pts map[graph.Node]*ValueSet
+
+	// worklist holds (node, value) propagation frontier entries.
+	worklist []propItem
+
+	// castFilter records the cast target class of filtered flow edges,
+	// keyed by (src, dst) node ids. Only consulted when opts.FilterCasts.
+	castFilter map[[2]int]*ir.Class
+
+	// dispatchFilter restricts receiver-to-this edges: only values whose
+	// dynamic class actually dispatches to the callee flow into its 'this'.
+	dispatchFilter map[[2]int]dispatchReq
+
+	// returnVars caches the reference-typed return variables per method.
+	returnVars map[*ir.Method][]*ir.Var
+
+	// chaCache memoizes CHA target sets per (declared class, key).
+	chaCache map[chaKey][]*ir.Method
+
+	// inflations records materialized layout instantiations, keyed by
+	// (op id, layout name) — or just layout name under SharedInflation.
+	inflations map[string]*inflation
+
+	// rootInflation locates the materialization a root InflNode came from,
+	// for declarative onClick binding when the root gets an owner.
+	rootInflation map[*graph.InflNode]*inflation
+
+	// boundOnClick tracks already-bound (owner, inflation) pairs.
+	boundOnClick map[onClickKey]bool
+
+	// descMemo caches descendant sets; invalidated when the relationship
+	// generation changes.
+	descMemo map[graph.Value][]graph.Value
+	descGen  int
+
+	// curSub, when non-nil, redirects variable-node lookups for the method
+	// currently being cloned under Context1.
+	curSub *cloneSub
+	// nextCtx numbers cloning contexts (0 = context-insensitive).
+	nextCtx int
+	// cloneableCache memoizes the Context1 cloneability decision.
+	cloneableCache map[*ir.Method]bool
+
+	// provenance records, for each (node, value) fact, where the value
+	// came from: the predecessor node for flow propagation, the operation
+	// node for op-produced facts, or nil for initial seeds.
+	provenance map[provKey]graph.Node
+	// provSource is set while an operation rule is running, so facts it
+	// seeds are attributed to it.
+	provSource graph.Node
+
+	iterations int
+}
+
+type provKey struct {
+	node int
+	val  int
+}
+
+type cloneSub struct {
+	method *ir.Method
+	ctx    int
+}
+
+// varNode resolves a variable to its graph node, honoring the active
+// cloning substitution.
+func (a *analysis) varNode(v *ir.Var) *graph.VarNode {
+	if a.curSub != nil && v.Method == a.curSub.method {
+		return a.g.VarNodeCtx(v, a.curSub.ctx)
+	}
+	return a.g.VarNode(v)
+}
+
+type propItem struct {
+	node graph.Node
+	val  graph.Value
+}
+
+type chaKey struct {
+	class *ir.Class
+	key   string
+}
+
+type dispatchReq struct {
+	key    string
+	callee *ir.Method
+}
+
+type inflation struct {
+	root *graph.InflNode
+	all  []*graph.InflNode
+}
+
+type onClickKey struct {
+	owner graph.Value
+	infl  *inflation
+}
+
+func newAnalysis(p *ir.Program, opts Options) *analysis {
+	return &analysis{
+		prog:           p,
+		opts:           opts,
+		g:              graph.New(),
+		pts:            map[graph.Node]*ValueSet{},
+		castFilter:     map[[2]int]*ir.Class{},
+		dispatchFilter: map[[2]int]dispatchReq{},
+		returnVars:     map[*ir.Method][]*ir.Var{},
+		chaCache:       map[chaKey][]*ir.Method{},
+		inflations:     map[string]*inflation{},
+		rootInflation:  map[*graph.InflNode]*inflation{},
+		boundOnClick:   map[onClickKey]bool{},
+		descMemo:       map[graph.Value][]graph.Value{},
+		cloneableCache: map[*ir.Method]bool{},
+		provenance:     map[provKey]graph.Node{},
+	}
+}
+
+// seed adds a value to a node's points-to set and schedules propagation.
+func (a *analysis) seed(n graph.Node, v graph.Value) { a.seedChecked(n, v) }
+
+// addFlow records a value-flow edge.
+func (a *analysis) addFlow(src, dst graph.Node) {
+	if a.g.AddFlow(src, dst) {
+		// Replay already-known values across the new edge.
+		if s, ok := a.pts[src]; ok {
+			for _, v := range s.Values() {
+				a.worklist = append(a.worklist, propItem{src, v})
+			}
+		}
+	}
+}
+
+// addDispatchFlow records a receiver-to-this edge guarded by dynamic
+// dispatch: only values whose class resolves key to callee pass through.
+func (a *analysis) addDispatchFlow(recv *graph.VarNode, callee *ir.Method, key string) {
+	this := a.varNode(callee.This)
+	a.dispatchFilter[[2]int{recv.ID(), this.ID()}] = dispatchReq{key: key, callee: callee}
+	a.addFlow(recv, this)
+}
+
+// addCastFlow records a value-flow edge through a cast.
+func (a *analysis) addCastFlow(src, dst graph.Node, to *ir.Class) {
+	if to != nil {
+		a.castFilter[[2]int{src.ID(), dst.ID()}] = to
+	}
+	a.addFlow(src, dst)
+}
+
+// buildGraph creates the statement-derived part of the constraint graph:
+// everything in Figure 3 of the paper, plus call, callback, and listener
+// edges.
+func (a *analysis) buildGraph() {
+	p := a.prog
+
+	// Implicitly created activity instances and their lifecycle callbacks.
+	for _, c := range p.AppClasses() {
+		if c.IsInterface || !p.IsActivityClass(c) {
+			continue
+		}
+		act := a.g.ActivityNode(c)
+		act.IsListener = p.IsListenerClass(c)
+		for _, name := range platform.Lifecycle {
+			m := c.Dispatch(ir.MethodKey(name, nil))
+			if m != nil && m.Body != nil {
+				a.seed(a.varNode(m.This), act)
+			}
+		}
+		// Options-menu callbacks: the platform passes the activity's menu
+		// to onCreateOptionsMenu; items reach onOptionsItemSelected when
+		// MenuAdd operations are processed.
+		if m := c.Dispatch(platform.MenuCreateCallback + "(R)"); m != nil && m.Body != nil && len(m.Params) == 1 {
+			a.seed(a.varNode(m.This), act)
+			a.seed(a.varNode(m.Params[0]), a.g.MenuNode(c))
+		}
+		if m := c.Dispatch(platform.MenuSelectCallback + "(R)"); m != nil && m.Body != nil && len(m.Params) == 1 {
+			a.seed(a.varNode(m.This), act)
+		}
+	}
+
+	// Statement-derived nodes and edges.
+	for _, c := range p.AppClasses() {
+		for _, m := range c.MethodsSorted() {
+			if m.Body == nil {
+				continue
+			}
+			ir.WalkStmts(m.Body, func(s ir.Stmt) { a.buildStmt(m, s) })
+		}
+	}
+}
+
+func (a *analysis) buildStmt(m *ir.Method, s ir.Stmt) {
+	p := a.prog
+	switch s := s.(type) {
+	case *ir.New:
+		alloc := a.g.NewAllocNode(s, m,
+			p.IsViewClass(s.Class),
+			p.IsListenerClass(s.Class),
+			p.IsDialogClass(s.Class))
+		a.seed(a.varNode(s.Dst), alloc)
+		// Constructor call: arguments and receiver flow into the ctor.
+		if s.Ctor != nil && s.Ctor.Body != nil {
+			a.seed(a.varNode(s.Ctor.This), alloc)
+			for i, arg := range s.Args {
+				if i < len(s.Ctor.Params) {
+					a.addFlow(a.varNode(arg), a.varNode(s.Ctor.Params[i]))
+				}
+			}
+		}
+		// Modeled platform constructors with operation semantics
+		// (e.g. new Intent(C.class) is a set-intent-target on the fresh
+		// allocation).
+		if s.Ctor != nil && s.Ctor.API != nil && s.Ctor.API.Kind == platform.OpSetIntentTarget && len(s.Args) > 0 {
+			op := a.g.NewOpNode(platform.OpSetIntentTarget, nil, m)
+			op.Recv = a.varNode(s.Dst)
+			op.Args = []*graph.VarNode{a.varNode(s.Args[0])}
+		}
+		// Explicitly created dialogs receive lifecycle callbacks like
+		// activities do.
+		if alloc.IsDialog {
+			for _, name := range platform.DialogLifecycle {
+				lm := s.Class.Dispatch(ir.MethodKey(name, nil))
+				if lm != nil && lm.Body != nil {
+					a.seed(a.varNode(lm.This), alloc)
+				}
+			}
+		}
+
+	case *ir.Copy:
+		a.addCastFlow(a.varNode(s.Src), a.varNode(s.Dst), s.CastTo)
+
+	case *ir.Load:
+		a.addFlow(a.g.FieldNode(s.Field), a.varNode(s.Dst))
+
+	case *ir.Store:
+		a.addFlow(a.varNode(s.Src), a.g.FieldNode(s.Field))
+
+	case *ir.ConstRes:
+		if s.Layout {
+			a.seed(a.varNode(s.Dst), a.g.LayoutIDNode(s.ID, s.Name))
+		} else {
+			a.seed(a.varNode(s.Dst), a.g.ViewIDNode(s.ID, s.Name))
+		}
+
+	case *ir.ConstClass:
+		a.seed(a.varNode(s.Dst), a.g.ClassNode(s.Class))
+
+	case *ir.Invoke:
+		a.buildInvoke(m, s)
+
+	case *ir.Return:
+		// Handled via returnVars when call edges are added.
+	}
+}
+
+func (a *analysis) buildInvoke(m *ir.Method, s *ir.Invoke) {
+	if s.Target == nil {
+		return // opaque platform call
+	}
+	if api := s.Target.API; api != nil {
+		a.buildOp(m, s, api)
+		return
+	}
+	// Ordinary call: edges to every possible callee.
+	for _, callee := range a.callTargets(s.Recv.TypeClass, s.Key, s.Target) {
+		if a.opts.Context1 && a.curSub == nil && a.cloneable(callee) {
+			a.buildClonedCall(s, callee)
+			continue
+		}
+		a.addDispatchFlow(a.varNode(s.Recv), callee, s.Key)
+		for i, arg := range s.Args {
+			if i < len(callee.Params) {
+				a.addFlow(a.varNode(arg), a.varNode(callee.Params[i]))
+			}
+		}
+		if s.Dst != nil {
+			for _, rv := range a.methodReturnVars(callee) {
+				a.addFlow(a.varNode(rv), a.varNode(s.Dst))
+			}
+		}
+	}
+}
+
+// cloneable reports whether Context1 clones the callee per call site: a
+// small, non-self-recursive application method. Larger or recursive callees
+// keep the shared (context-insensitive) treatment.
+func (a *analysis) cloneable(callee *ir.Method) bool {
+	if ok, hit := a.cloneableCache[callee]; hit {
+		return ok
+	}
+	const maxStmts = 40
+	count, selfCall := 0, false
+	ir.WalkStmts(callee.Body, func(s ir.Stmt) {
+		count++
+		if inv, ok := s.(*ir.Invoke); ok && inv.Target == callee {
+			selfCall = true
+		}
+	})
+	ok := count <= maxStmts && !selfCall && callee.This != nil
+	a.cloneableCache[callee] = ok
+	return ok
+}
+
+// buildClonedCall gives the callee a fresh set of variable, operation, and
+// allocation nodes for this call site — bounded (depth-1) call-site context
+// sensitivity. This is the refinement the paper's case study points to for
+// the XBMC outlier ("applying existing techniques for context sensitivity
+// would lead to an even more precise solution").
+func (a *analysis) buildClonedCall(s *ir.Invoke, callee *ir.Method) {
+	// Caller-side nodes resolve under the caller's (nil) substitution.
+	recv := a.varNode(s.Recv)
+	args := make([]*graph.VarNode, len(s.Args))
+	for i, arg := range s.Args {
+		args[i] = a.varNode(arg)
+	}
+	var dst *graph.VarNode
+	if s.Dst != nil {
+		dst = a.varNode(s.Dst)
+	}
+
+	a.nextCtx++
+	sub := &cloneSub{method: callee, ctx: a.nextCtx}
+	prev := a.curSub
+	a.curSub = sub
+	defer func() { a.curSub = prev }()
+
+	// Materialize the callee body under the substitution: nested calls
+	// inside the clone take the shared path (depth 1).
+	ir.WalkStmts(callee.Body, func(st ir.Stmt) { a.buildStmt(callee, st) })
+
+	// Parameter, receiver, and return plumbing into the cloned nodes.
+	this := a.varNode(callee.This)
+	a.dispatchFilter[[2]int{recv.ID(), this.ID()}] = dispatchReq{key: s.Key, callee: callee}
+	a.addFlow(recv, this)
+	for i := range args {
+		if i < len(callee.Params) {
+			a.addFlow(args[i], a.varNode(callee.Params[i]))
+		}
+	}
+	if dst != nil {
+		for _, rv := range a.methodReturnVars(callee) {
+			a.addFlow(a.varNode(rv), dst)
+		}
+	}
+}
+
+// buildOp creates the operation node for a recognized Android API call and,
+// for set-listener operations, the implicit callback edges of Section 3
+// ("the callback to the handler can be modeled as y.n(x)").
+func (a *analysis) buildOp(m *ir.Method, s *ir.Invoke, api *platform.ApiSpec) {
+	op := a.g.NewOpNode(api.Kind, s, m)
+	op.Scope = api.Scope
+	op.Event = api.Event
+	op.AttachParent = api.AttachParent
+	op.ParentArg = api.ParentArg
+	op.Recv = a.varNode(s.Recv)
+	for _, arg := range s.Args {
+		op.Args = append(op.Args, a.varNode(arg))
+	}
+	if s.Dst != nil {
+		op.Out = a.varNode(s.Dst)
+	}
+
+	// Adapter callback: the adapter argument flows to getView's receiver;
+	// the solver later attaches getView's results to the AdapterView.
+	if api.Kind == platform.OpSetAdapter && len(s.Args) > 0 && s.Args[0].TypeClass != nil {
+		key := ir.MethodKey("getView", []alite.Type{{Prim: alite.TypeInt}})
+		static := s.Args[0].TypeClass.LookupMethod(key)
+		for _, target := range a.callTargets(s.Args[0].TypeClass, key, static) {
+			a.addDispatchFlow(a.varNode(s.Args[0]), target, key)
+		}
+		return
+	}
+
+	if api.Kind != platform.OpSetListener || len(s.Args) == 0 {
+		return
+	}
+	// Callback modeling for y.n(x): the listener argument flows to the
+	// handlers' receivers; the view receiver flows to the handlers' view
+	// parameters. Dispatch is CHA over the declared type of the listener
+	// argument.
+	spec, ok := platform.ListenerByEvent(api.Event)
+	if !ok {
+		return
+	}
+	lstArg := s.Args[0]
+	if lstArg.TypeClass == nil {
+		return
+	}
+	for _, h := range spec.Handlers {
+		types := make([]alite.Type, len(h.Params))
+		for i, pn := range h.Params {
+			if pn == "int" {
+				types[i] = alite.Type{Prim: alite.TypeInt}
+			} else {
+				types[i] = alite.Type{Name: pn}
+			}
+		}
+		key := ir.MethodKey(h.Name, types)
+		static := lstArg.TypeClass.LookupMethod(key)
+		for _, handler := range a.callTargets(lstArg.TypeClass, key, static) {
+			a.addDispatchFlow(a.varNode(lstArg), handler, key)
+			for _, vi := range h.ViewParams {
+				if vi < len(handler.Params) {
+					a.addFlow(a.varNode(s.Recv), a.varNode(handler.Params[vi]))
+				}
+			}
+		}
+	}
+}
+
+// callTargets resolves the possible callees of a virtual call with the given
+// declared receiver class and signature key, using class-hierarchy analysis
+// (or the static target only, under the DeclaredDispatchOnly ablation).
+func (a *analysis) callTargets(decl *ir.Class, key string, static *ir.Method) []*ir.Method {
+	if decl == nil {
+		return nil
+	}
+	if a.opts.DeclaredDispatchOnly {
+		if static != nil && static.Body != nil {
+			return []*ir.Method{static}
+		}
+		return nil
+	}
+	ck := chaKey{decl, key}
+	if ts, ok := a.chaCache[ck]; ok {
+		return ts
+	}
+	var out []*ir.Method
+	seen := map[*ir.Method]bool{}
+	for _, c := range a.prog.AppClasses() {
+		if c.IsInterface || !c.SubtypeOf(decl) {
+			continue
+		}
+		m := c.Dispatch(key)
+		if m != nil && m.Body != nil && !seen[m] {
+			seen[m] = true
+			out = append(out, m)
+		}
+	}
+	a.chaCache[ck] = out
+	return out
+}
+
+// methodReturnVars collects the reference- or int-typed variables returned
+// by m (ids are ints and must propagate through returns too).
+func (a *analysis) methodReturnVars(m *ir.Method) []*ir.Var {
+	if vs, ok := a.returnVars[m]; ok {
+		return vs
+	}
+	var out []*ir.Var
+	ir.WalkStmts(m.Body, func(s ir.Stmt) {
+		if r, ok := s.(*ir.Return); ok && r.Src != nil {
+			out = append(out, r.Src)
+		}
+	})
+	a.returnVars[m] = out
+	return out
+}

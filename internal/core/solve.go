@@ -1,0 +1,595 @@
+package core
+
+import (
+	"fmt"
+
+	"gator/internal/alite"
+	"gator/internal/graph"
+	"gator/internal/ir"
+	"gator/internal/layout"
+	"gator/internal/platform"
+)
+
+// solve runs the outer fixpoint: flow propagation to quiescence, then one
+// pass over all operation nodes applying the inference rules of Section 4.2.
+// Operation processing can seed new values (FindView/Inflate outputs) and
+// add relationship edges (parent-child, ids, listeners, roots), both of
+// which require further rounds; the loop ends when a full round changes
+// nothing. Termination: the value universe is finite (allocation sites,
+// activities, resource ids, and per-site inflation nodes) and all sets and
+// relations grow monotonically.
+func (a *analysis) solve() {
+	for {
+		a.iterations++
+		a.propagate()
+		changed := false
+		for _, op := range a.g.Ops() {
+			a.provSource = op
+			if a.applyOp(op) {
+				changed = true
+			}
+			a.provSource = nil
+		}
+		if !changed && len(a.worklist) == 0 {
+			return
+		}
+	}
+}
+
+// propagate drains the worklist, pushing values across flow edges.
+func (a *analysis) propagate() {
+	for head := 0; head < len(a.worklist); head++ {
+		it := a.worklist[head]
+		a.provSource = it.node
+		for _, succ := range a.g.FlowSucc(it.node) {
+			ek := [2]int{it.node.ID(), succ.ID()}
+			if req, ok := a.dispatchFilter[ek]; ok && !dispatchAdmits(it.val, req) {
+				continue
+			}
+			if a.opts.FilterCasts {
+				if cls := a.castFilter[ek]; cls != nil && !castAdmits(it.val, cls) {
+					continue
+				}
+			}
+			a.seed(succ, it.val)
+		}
+	}
+	a.provSource = nil
+	a.worklist = a.worklist[:0]
+}
+
+// dispatchAdmits reports whether a receiver value actually dispatches the
+// call to the callee guarding the edge. Values without a dynamic class
+// (resource ids) are never receivers.
+func dispatchAdmits(v graph.Value, req dispatchReq) bool {
+	var vc *ir.Class
+	switch v := v.(type) {
+	case *graph.AllocNode:
+		vc = v.Class
+	case *graph.ActivityNode:
+		vc = v.Class
+	case *graph.InflNode:
+		vc = v.Class
+	default:
+		return false
+	}
+	return vc.Dispatch(req.key) == req.callee
+}
+
+// castAdmits reports whether a value may pass a cast to cls. Values without
+// a class (resource ids) pass unfiltered.
+func castAdmits(v graph.Value, cls *ir.Class) bool {
+	var vc *ir.Class
+	switch v := v.(type) {
+	case *graph.AllocNode:
+		vc = v.Class
+	case *graph.ActivityNode:
+		vc = v.Class
+	case *graph.InflNode:
+		vc = v.Class
+	default:
+		return true
+	}
+	return vc.SubtypeOf(cls)
+}
+
+// seedChecked is seed that reports whether the value was new.
+func (a *analysis) seedChecked(n graph.Node, v graph.Value) bool {
+	s, ok := a.pts[n]
+	if !ok {
+		s = NewValueSet()
+		a.pts[n] = s
+	}
+	if s.Add(v) {
+		a.provenance[provKey{n.ID(), v.ID()}] = a.provSource
+		a.worklist = append(a.worklist, propItem{n, v})
+		return true
+	}
+	return false
+}
+
+func (a *analysis) ptsOf(n graph.Node) []graph.Value {
+	if n == nil {
+		return nil
+	}
+	if s, ok := a.pts[n]; ok {
+		return s.Values()
+	}
+	return nil
+}
+
+func viewsOf(vals []graph.Value) []graph.Value {
+	var out []graph.Value
+	for _, v := range vals {
+		if graph.IsViewValue(v) {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// ownersOf filters values that can own a content view: implicitly created
+// activities and explicitly allocated dialogs.
+func ownersOf(vals []graph.Value) []graph.Value {
+	var out []graph.Value
+	for _, v := range vals {
+		switch v := v.(type) {
+		case *graph.ActivityNode:
+			out = append(out, v)
+		case *graph.AllocNode:
+			if v.IsDialog {
+				out = append(out, v)
+			}
+		}
+	}
+	return out
+}
+
+func layoutIDsOf(vals []graph.Value) []*graph.LayoutIDNode {
+	var out []*graph.LayoutIDNode
+	for _, v := range vals {
+		if l, ok := v.(*graph.LayoutIDNode); ok {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+func viewIDsOf(vals []graph.Value) []*graph.ViewIDNode {
+	var out []*graph.ViewIDNode
+	for _, v := range vals {
+		if n, ok := v.(*graph.ViewIDNode); ok {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// applyOp applies one operation node's inference rule against the current
+// solution; it reports whether anything changed.
+func (a *analysis) applyOp(op *graph.OpNode) bool {
+	switch op.Kind {
+	case platform.OpInflate1:
+		return a.applyInflate1(op)
+	case platform.OpInflate2:
+		return a.applyInflate2(op)
+	case platform.OpAddView1:
+		return a.applyAddView1(op)
+	case platform.OpAddView2:
+		return a.applyAddView2(op)
+	case platform.OpSetId:
+		return a.applySetID(op)
+	case platform.OpSetListener:
+		return a.applySetListener(op)
+	case platform.OpFindView1:
+		return a.applyFindView1(op)
+	case platform.OpFindView2:
+		return a.applyFindView2(op)
+	case platform.OpFindView3:
+		return a.applyFindView3(op)
+	case platform.OpSetIntentTarget:
+		return a.applySetIntentTarget(op)
+	case platform.OpFindParent:
+		return a.applyFindParent(op)
+	case platform.OpMenuAdd:
+		return a.applyMenuAdd(op)
+	case platform.OpSetAdapter:
+		return a.applySetAdapter(op)
+	}
+	return false
+}
+
+// applySetAdapter implements the list-adapter extension: the views returned
+// by the adapter's getView callback become children of the AdapterView.
+func (a *analysis) applySetAdapter(op *graph.OpNode) bool {
+	changed := false
+	key := ir.MethodKey("getView", []alite.Type{{Prim: alite.TypeInt}})
+	for _, adapter := range a.ptsOf(op.Args[0]) {
+		var cls *ir.Class
+		switch ad := adapter.(type) {
+		case *graph.AllocNode:
+			cls = ad.Class
+		case *graph.ActivityNode:
+			cls = ad.Class
+		default:
+			continue
+		}
+		m := cls.Dispatch(key)
+		if m == nil || m.Body == nil {
+			continue
+		}
+		for _, rv := range a.methodReturnVars(m) {
+			for _, item := range viewsOf(a.ptsOf(a.g.VarNode(rv))) {
+				for _, parent := range viewsOf(a.ptsOf(op.Recv)) {
+					if a.g.AddChild(parent, item) {
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	return changed
+}
+
+// applyMenuAdd materializes the menu item of a Menu.add site, associates it
+// with the reaching menus and item ids, and feeds it to the owning
+// activities' onOptionsItemSelected callback.
+func (a *analysis) applyMenuAdd(op *graph.OpNode) bool {
+	changed := false
+	for _, v := range a.ptsOf(op.Recv) {
+		menu, ok := v.(*graph.MenuNode)
+		if !ok {
+			continue
+		}
+		item := a.g.MenuItemNode(op)
+		if a.g.AddMenuItem(menu, item) {
+			changed = true
+		}
+		for _, id := range viewIDsOf(a.ptsOf(op.Args[0])) {
+			if a.g.AddViewID(item, id) {
+				changed = true
+			}
+		}
+		if op.Out != nil && a.seedChecked(op.Out, item) {
+			changed = true
+		}
+		if h := menu.Activity.Dispatch(platform.MenuSelectCallback + "(R)"); h != nil && h.Body != nil && len(h.Params) == 1 {
+			if a.seedChecked(a.g.VarNode(h.Params[0]), item) {
+				changed = true
+			}
+		}
+	}
+	return changed
+}
+
+// applyFindParent propagates the recorded parents of the receiver views to
+// the output (the inverse of the parent-child relation).
+func (a *analysis) applyFindParent(op *graph.OpNode) bool {
+	if op.Out == nil {
+		return false
+	}
+	changed := false
+	for _, view := range viewsOf(a.ptsOf(op.Recv)) {
+		for _, p := range a.g.Parents(view) {
+			if a.seedChecked(op.Out, p) {
+				changed = true
+			}
+		}
+	}
+	return changed
+}
+
+// applySetIntentTarget implements the inter-component extension: intent
+// allocations reaching the receiver become associated with the class
+// literals reaching the argument.
+func (a *analysis) applySetIntentTarget(op *graph.OpNode) bool {
+	changed := false
+	for _, intent := range a.ptsOf(op.Recv) {
+		if _, ok := intent.(*graph.AllocNode); !ok {
+			continue
+		}
+		for _, v := range a.ptsOf(op.Args[0]) {
+			cls, ok := v.(*graph.ClassNode)
+			if !ok {
+				continue
+			}
+			if a.g.AddIntentTarget(intent, cls) {
+				changed = true
+			}
+		}
+		// setClass returns the receiver for chaining.
+		if op.Out != nil && a.seedChecked(op.Out, intent) {
+			changed = true
+		}
+	}
+	return changed
+}
+
+// inflate materializes the view nodes for inflating layout lid at op,
+// once per (site, layout) pair — or per layout under SharedInflation.
+// It returns the materialization and whether new nodes or edges appeared.
+func (a *analysis) inflate(op *graph.OpNode, lid *graph.LayoutIDNode) (*inflation, bool) {
+	key := lid.Name
+	if !a.opts.SharedInflation {
+		key = fmt.Sprintf("%d/%s", op.ID(), lid.Name)
+	}
+	if inf, ok := a.inflations[key]; ok {
+		return inf, false
+	}
+	l := a.prog.Layouts[lid.Name]
+	if l == nil {
+		return nil, false
+	}
+	inf := &inflation{}
+	path := 0
+	var build func(n *layout.Node, parent *graph.InflNode)
+	build = func(n *layout.Node, parent *graph.InflNode) {
+		cls := a.prog.Class(n.Class)
+		if n.Merge {
+			// A standalone-inflated <merge> root becomes a transparent
+			// ViewGroup container.
+			cls = a.prog.Class("ViewGroup")
+		}
+		node := a.g.NewInflNode(op, lid.Name, path, cls, n.ID, n.OnClick)
+		path++
+		if parent == nil {
+			inf.root = node
+		} else {
+			a.g.AddChild(parent, node)
+		}
+		inf.all = append(inf.all, node)
+		if n.ID != "" {
+			if resID, ok := a.prog.R.ViewID(n.ID); ok {
+				a.g.AddViewID(node, a.g.ViewIDNode(resID, n.ID))
+			}
+		}
+		for _, ch := range n.Children {
+			build(ch, node)
+		}
+	}
+	build(l.Root, nil)
+	a.g.AddLayoutOf(inf.root, lid)
+	a.inflations[key] = inf
+	a.rootInflation[inf.root] = inf
+	return inf, true
+}
+
+func (a *analysis) applyInflate1(op *graph.OpNode) bool {
+	changed := false
+	for _, lid := range layoutIDsOf(a.ptsOf(op.Args[0])) {
+		inf, c := a.inflate(op, lid)
+		if inf == nil {
+			continue
+		}
+		changed = changed || c
+		if op.Out != nil && a.seedChecked(op.Out, inf.root) {
+			changed = true
+		}
+		if op.AttachParent && op.ParentArg < len(op.Args) {
+			for _, parent := range viewsOf(a.ptsOf(op.Args[op.ParentArg])) {
+				if a.g.AddChild(parent, inf.root) {
+					changed = true
+				}
+			}
+		}
+	}
+	return changed
+}
+
+func (a *analysis) applyInflate2(op *graph.OpNode) bool {
+	changed := false
+	for _, lid := range layoutIDsOf(a.ptsOf(op.Args[0])) {
+		inf, c := a.inflate(op, lid)
+		if inf == nil {
+			continue
+		}
+		changed = changed || c
+		for _, owner := range ownersOf(a.ptsOf(op.Recv)) {
+			if a.g.AddRoot(owner, inf.root) {
+				changed = true
+			}
+			if a.bindOnClick(owner, inf) {
+				changed = true
+			}
+		}
+	}
+	return changed
+}
+
+func (a *analysis) applyAddView1(op *graph.OpNode) bool {
+	changed := false
+	for _, owner := range ownersOf(a.ptsOf(op.Recv)) {
+		for _, view := range viewsOf(a.ptsOf(op.Args[0])) {
+			if a.g.AddRoot(owner, view) {
+				changed = true
+			}
+			if root, ok := view.(*graph.InflNode); ok {
+				if inf := a.rootInflation[root]; inf != nil && a.bindOnClick(owner, inf) {
+					changed = true
+				}
+			}
+		}
+	}
+	return changed
+}
+
+func (a *analysis) applyAddView2(op *graph.OpNode) bool {
+	changed := false
+	for _, parent := range viewsOf(a.ptsOf(op.Recv)) {
+		for _, child := range viewsOf(a.ptsOf(op.Args[0])) {
+			if a.g.AddChild(parent, child) {
+				changed = true
+			}
+		}
+	}
+	return changed
+}
+
+func (a *analysis) applySetID(op *graph.OpNode) bool {
+	changed := false
+	for _, view := range viewsOf(a.ptsOf(op.Recv)) {
+		for _, id := range viewIDsOf(a.ptsOf(op.Args[0])) {
+			if a.g.AddViewID(view, id) {
+				changed = true
+			}
+		}
+	}
+	return changed
+}
+
+func (a *analysis) applySetListener(op *graph.OpNode) bool {
+	changed := false
+	for _, view := range viewsOf(a.ptsOf(op.Recv)) {
+		for _, lst := range a.ptsOf(op.Args[0]) {
+			if _, isID := lst.(*graph.ViewIDNode); isID {
+				continue
+			}
+			if _, isLID := lst.(*graph.LayoutIDNode); isLID {
+				continue
+			}
+			if a.g.AddListener(view, lst) {
+				changed = true
+			}
+		}
+	}
+	return changed
+}
+
+func (a *analysis) applyFindView1(op *graph.OpNode) bool {
+	if op.Out == nil {
+		return false
+	}
+	changed := false
+	for _, view := range viewsOf(a.ptsOf(op.Recv)) {
+		for _, id := range viewIDsOf(a.ptsOf(op.Args[0])) {
+			for _, w := range a.descendantsIncl(view) {
+				if a.hasViewID(w, id) && a.seedChecked(op.Out, w) {
+					changed = true
+				}
+			}
+		}
+	}
+	return changed
+}
+
+func (a *analysis) applyFindView2(op *graph.OpNode) bool {
+	if op.Out == nil {
+		return false
+	}
+	changed := false
+	for _, owner := range ownersOf(a.ptsOf(op.Recv)) {
+		for _, id := range viewIDsOf(a.ptsOf(op.Args[0])) {
+			for _, root := range a.g.Roots(owner) {
+				for _, w := range a.descendantsIncl(root) {
+					if a.hasViewID(w, id) && a.seedChecked(op.Out, w) {
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	return changed
+}
+
+func (a *analysis) applyFindView3(op *graph.OpNode) bool {
+	if op.Out == nil {
+		return false
+	}
+	changed := false
+	childOnly := op.Scope == platform.ScopeChildren && !a.opts.NoFindView3Refinement
+	for _, view := range viewsOf(a.ptsOf(op.Recv)) {
+		var candidates []graph.Value
+		if childOnly {
+			candidates = a.g.Children(view)
+		} else {
+			candidates = a.descendantsIncl(view)
+		}
+		for _, w := range candidates {
+			if a.seedChecked(op.Out, w) {
+				changed = true
+			}
+		}
+	}
+	return changed
+}
+
+// bindOnClick wires declarative android:onClick handlers: when an inflated
+// tree becomes the content of an activity or dialog, each onClick-annotated
+// view flows to the View parameter of the owner's handler method, and the
+// owner is recorded as the view's listener.
+func (a *analysis) bindOnClick(owner graph.Value, inf *inflation) bool {
+	k := onClickKey{owner, inf}
+	if a.boundOnClick[k] {
+		return false
+	}
+	a.boundOnClick[k] = true
+
+	var ownerClass *ir.Class
+	switch o := owner.(type) {
+	case *graph.ActivityNode:
+		ownerClass = o.Class
+	case *graph.AllocNode:
+		ownerClass = o.Class
+	default:
+		return false
+	}
+	changed := false
+	for _, n := range inf.all {
+		if n.OnClick == "" {
+			continue
+		}
+		m := ownerClass.Dispatch(n.OnClick + "(R)")
+		if m == nil || m.Body == nil || len(m.Params) != 1 {
+			continue
+		}
+		if a.seedChecked(a.g.VarNode(m.Params[0]), n) {
+			changed = true
+		}
+		// The handler runs on the owner: the callback is owner.m(view).
+		if a.seedChecked(a.g.VarNode(m.This), owner) {
+			changed = true
+		}
+		if a.g.AddListener(n, owner) {
+			changed = true
+		}
+	}
+	return changed
+}
+
+// hasViewID reports whether view carries id.
+func (a *analysis) hasViewID(view graph.Value, id *graph.ViewIDNode) bool {
+	for _, x := range a.g.ViewIDsOf(view) {
+		if x == id {
+			return true
+		}
+	}
+	return false
+}
+
+// descendantsIncl returns view plus its transitive children (the ancestorOf
+// relation of the paper, read downward, reflexively). Memoized; the memo is
+// invalidated whenever a relationship edge is added.
+func (a *analysis) descendantsIncl(view graph.Value) []graph.Value {
+	if a.descGen != a.g.Gen() {
+		a.descMemo = map[graph.Value][]graph.Value{}
+		a.descGen = a.g.Gen()
+	}
+	if d, ok := a.descMemo[view]; ok {
+		return d
+	}
+	var out []graph.Value
+	seen := map[int]bool{}
+	queue := []graph.Value{view}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		if seen[v.ID()] {
+			continue
+		}
+		seen[v.ID()] = true
+		out = append(out, v)
+		queue = append(queue, a.g.Children(v)...)
+	}
+	a.descMemo[view] = out
+	return out
+}

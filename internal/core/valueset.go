@@ -1,0 +1,47 @@
+package core
+
+import "gator/internal/graph"
+
+// ValueSet is an insertion-ordered set of abstract values. Insertion order
+// is deterministic given a deterministic construction order, which keeps
+// the whole analysis reproducible run to run.
+type ValueSet struct {
+	order []graph.Value
+	has   map[int]bool
+}
+
+// NewValueSet returns an empty set.
+func NewValueSet() *ValueSet {
+	return &ValueSet{has: map[int]bool{}}
+}
+
+// Add inserts v, reporting whether it was new.
+func (s *ValueSet) Add(v graph.Value) bool {
+	if s.has[v.ID()] {
+		return false
+	}
+	s.has[v.ID()] = true
+	s.order = append(s.order, v)
+	return true
+}
+
+// Contains reports membership.
+func (s *ValueSet) Contains(v graph.Value) bool { return s.has[v.ID()] }
+
+// Len returns the number of values.
+func (s *ValueSet) Len() int { return len(s.order) }
+
+// Values returns the values in insertion order. The returned slice is the
+// set's backing store; callers must not modify it.
+func (s *ValueSet) Values() []graph.Value { return s.order }
+
+// Views returns the member values that abstract views.
+func (s *ValueSet) Views() []graph.Value {
+	var out []graph.Value
+	for _, v := range s.order {
+		if graph.IsViewValue(v) {
+			out = append(out, v)
+		}
+	}
+	return out
+}

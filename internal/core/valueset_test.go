@@ -1,0 +1,92 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"gator/internal/graph"
+)
+
+// mkValues builds n distinct values (view id nodes are the simplest).
+func mkValues(n int) []graph.Value {
+	g := graph.New()
+	out := make([]graph.Value, n)
+	for i := range out {
+		out[i] = g.ViewIDNode(i, "v")
+	}
+	return out
+}
+
+func TestValueSetBasics(t *testing.T) {
+	vals := mkValues(3)
+	s := NewValueSet()
+	if s.Len() != 0 || s.Contains(vals[0]) {
+		t.Error("empty set misbehaves")
+	}
+	if !s.Add(vals[0]) || !s.Add(vals[1]) {
+		t.Error("Add of new value = false")
+	}
+	if s.Add(vals[0]) {
+		t.Error("Add of duplicate = true")
+	}
+	if s.Len() != 2 || !s.Contains(vals[0]) || s.Contains(vals[2]) {
+		t.Error("membership wrong")
+	}
+	got := s.Values()
+	if len(got) != 2 || got[0] != vals[0] || got[1] != vals[1] {
+		t.Error("insertion order not preserved")
+	}
+}
+
+// TestValueSetQuickProperties: for any insertion sequence, (1) Len equals
+// the number of distinct elements, (2) Values preserves first-insertion
+// order, (3) Contains agrees with insertion, (4) re-adding changes nothing.
+func TestValueSetQuickProperties(t *testing.T) {
+	universe := mkValues(16)
+	prop := func(indices []uint8) bool {
+		s := NewValueSet()
+		var firstOrder []graph.Value
+		seen := map[int]bool{}
+		for _, i := range indices {
+			v := universe[int(i)%len(universe)]
+			added := s.Add(v)
+			if added == seen[v.ID()] {
+				return false // Add result disagrees with history
+			}
+			if added {
+				seen[v.ID()] = true
+				firstOrder = append(firstOrder, v)
+			}
+		}
+		if s.Len() != len(firstOrder) {
+			return false
+		}
+		got := s.Values()
+		for i := range firstOrder {
+			if got[i] != firstOrder[i] {
+				return false
+			}
+		}
+		for _, v := range universe {
+			if s.Contains(v) != seen[v.ID()] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValueSetViews(t *testing.T) {
+	g := graph.New()
+	id := g.ViewIDNode(1, "x")
+	act := g.ActivityNode(nil) // nil class is fine for this structural test
+	s := NewValueSet()
+	s.Add(id)
+	s.Add(act)
+	if len(s.Views()) != 0 {
+		t.Errorf("Views() of non-view values = %v", s.Views())
+	}
+}

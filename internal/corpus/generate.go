@@ -1,0 +1,459 @@
+package corpus
+
+import (
+	"fmt"
+	"strings"
+
+	"gator/internal/alite"
+	"gator/internal/layout"
+)
+
+// App is one generated benchmark application.
+type App struct {
+	Name    string
+	Spec    Spec
+	Source  string // single ALite compilation unit
+	Files   []*alite.File
+	Layouts map[string]*layout.Layout
+}
+
+// FreshFiles re-parses the source, yielding an independent AST.
+func (a *App) FreshFiles() []*alite.File {
+	return []*alite.File{alite.MustParse(a.Name+".alite", a.Source)}
+}
+
+// FreshLayouts deep-copies the layouts so a caller can link them (linking
+// splices include nodes in place).
+func (a *App) FreshLayouts() map[string]*layout.Layout {
+	out := make(map[string]*layout.Layout, len(a.Layouts))
+	for name, l := range a.Layouts {
+		out[name] = layout.Clone(l)
+	}
+	return out
+}
+
+// lcg is a tiny deterministic pseudo-random sequence for cosmetic choices.
+type lcg uint64
+
+func newLCG(name string) *lcg {
+	var h uint64 = 1469598103934665603
+	for i := 0; i < len(name); i++ {
+		h = (h ^ uint64(name[i])) * 1099511628211
+	}
+	l := lcg(h | 1)
+	return &l
+}
+
+func (l *lcg) next(n int) int {
+	*l = *l*6364136223846793005 + 1442695040888963407
+	return int((uint64(*l) >> 33) % uint64(n))
+}
+
+var widgetClasses = []string{"TextView", "Button", "ImageView", "EditText", "CheckBox", "ProgressBar", "ImageButton"}
+
+// listenerEvents cycles the generated listener kinds.
+var listenerEvents = []struct {
+	iface, setter, handler string
+}{
+	{"OnClickListener", "setOnClickListener", "onClick"},
+	{"OnLongClickListener", "setOnLongClickListener", "onLongClick"},
+	{"OnFocusChangeListener", "setOnFocusChangeListener", "onFocusChange"},
+}
+
+// genPlan is the derived construction plan for one spec.
+type genPlan struct {
+	spec   Spec
+	nAct   int
+	panels int
+	// actIDs[i] / panelIDs[k] are the widget id names per layout
+	// (activity roots carry an extra "<act>_root" id).
+	actIDs   [][]string
+	panelIDs [][]string
+	// extraNodes[l] are anonymous widgets added to layout l (activities
+	// first, then panels) to reach the inflated-view budget.
+	extraNodes []int
+	// allocPerAct[i] is the number of programmatic views built in act i.
+	allocPerAct []int
+	// listenersPerAct[i] is the number of listener classes owned by act i.
+	listenersPerAct []int
+	// probes is the number of fanout helper classes; routeSimple the number
+	// of widget vars routed to each; routeCollector whether each activity
+	// routes a findFocus collector to every probe.
+	probes         int
+	routeSimple    int
+	routeCollector bool
+	fillers        int
+	fillerMethods  int
+}
+
+func plan(s Spec) genPlan {
+	p := genPlan{spec: s}
+	p.nAct = (s.Layouts*2 + 2) / 3
+	if p.nAct < 1 {
+		p.nAct = 1
+	}
+	if p.nAct > s.Layouts {
+		p.nAct = s.Layouts
+	}
+	if p.nAct > s.ViewIDs {
+		p.nAct = s.ViewIDs
+	}
+	if p.nAct < 1 {
+		p.nAct = 1
+	}
+	p.panels = s.Layouts - p.nAct
+
+	// View id budget: one root id per activity, one probe sink when fanout
+	// is needed, the rest spread over all layouts round-robin.
+	needProbe := s.TargetReceivers > 1.02
+	widgetIDs := s.ViewIDs - p.nAct
+	if needProbe {
+		widgetIDs--
+	}
+	if widgetIDs < 0 {
+		widgetIDs = 0
+	}
+	p.actIDs = make([][]string, p.nAct)
+	p.panelIDs = make([][]string, p.panels)
+	for j := 0; j < widgetIDs; j++ {
+		l := j % s.Layouts
+		if l < p.nAct {
+			p.actIDs[l] = append(p.actIDs[l], fmt.Sprintf("a%d_w%d", l, len(p.actIDs[l])))
+		} else {
+			k := l - p.nAct
+			p.panelIDs[k] = append(p.panelIDs[k], fmt.Sprintf("p%d_w%d", k, len(p.panelIDs[k])))
+		}
+	}
+
+	// Inflated node budget.
+	base := 0
+	for i := 0; i < p.nAct; i++ {
+		base += 1 + len(p.actIDs[i])
+	}
+	for k := 0; k < p.panels; k++ {
+		base += 1 + len(p.panelIDs[k])
+	}
+	extra := s.InflatedViews - base
+	p.extraNodes = make([]int, s.Layouts)
+	for l := 0; extra > 0; l = (l + 1) % s.Layouts {
+		p.extraNodes[l]++
+		extra--
+	}
+
+	// Programmatic views and listeners round-robin across activities.
+	p.allocPerAct = make([]int, p.nAct)
+	for j := 0; j < s.AllocViews; j++ {
+		p.allocPerAct[j%p.nAct]++
+	}
+	p.listenersPerAct = make([]int, p.nAct)
+	for j := 0; j < s.Listeners; j++ {
+		p.listenersPerAct[j%p.nAct]++
+	}
+
+	p.calibrateFanout()
+	return p
+}
+
+// calibrateFanout chooses the shared-helper configuration that brings the
+// average view-receiver count close to the Table 2 target. The helper
+// pattern is the paper's XBMC effect: a context-insensitive analysis merges
+// all call sites of a shared lookup helper, so its receiver set holds every
+// view routed through it.
+func (p *genPlan) calibrateFanout() {
+	s := p.spec
+	// Single-receiver view ops planned elsewhere.
+	r1 := 0
+	for _, ids := range p.panelIDs {
+		r1 += len(ids) // FindView1 per panel widget
+	}
+	setIDOps := 0
+	if p.nAct > 1 {
+		setIDOps = s.AllocViews
+	}
+	r1 += setIDOps + s.Listeners
+	if s.AddViews {
+		r1 += p.panels + s.AllocViews // addView(panel root), addView(prog view)
+	}
+	simple := p.nAct // the per-activity root vars are routable
+	for _, ids := range p.actIDs {
+		simple += len(ids)
+	}
+	collK := s.InflatedViews
+	if s.AddViews {
+		collK += s.AllocViews
+	}
+
+	target := s.TargetReceivers
+	if target <= 1.02 || r1 == 0 {
+		return
+	}
+	bestErr := target - 1.0 // error of doing nothing
+	for h := 1; h <= 12; h++ {
+		// Collector routing: every activity routes its whole subtree.
+		avgC := (float64(r1+p.nAct) + float64(h*collK)) / float64(r1+p.nAct+h)
+		if err := abs(avgC - target); err < bestErr {
+			bestErr, p.probes, p.routeSimple, p.routeCollector = err, h, 0, true
+		}
+		// Simple routing: s widget vars to each probe.
+		want := target*float64(r1+h) - float64(r1)
+		sBest := int(want/float64(h) + 0.5)
+		if sBest < 0 {
+			sBest = 0
+		}
+		if sBest > simple {
+			sBest = simple
+		}
+		avgS := (float64(r1) + float64(h*sBest)) / float64(r1+h)
+		if err := abs(avgS - target); err < bestErr {
+			bestErr, p.probes, p.routeSimple, p.routeCollector = err, h, sBest, false
+		}
+	}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// Generate produces the application for a spec.
+func Generate(s Spec) *App {
+	p := plan(s)
+	rng := newLCG(s.Name)
+
+	layouts := map[string]*layout.Layout{}
+	for i := 0; i < p.nAct; i++ {
+		layouts[fmt.Sprintf("a%d", i)] = buildLayout(rng, fmt.Sprintf("a%d", i),
+			fmt.Sprintf("a%d_root", i), p.actIDs[i], p.extraNodes[i])
+	}
+	for k := 0; k < p.panels; k++ {
+		layouts[fmt.Sprintf("p%d", k)] = buildLayout(rng, fmt.Sprintf("p%d", k),
+			"", p.panelIDs[k], p.extraNodes[p.nAct+k])
+	}
+
+	src, methodCount, classCount := genSource(p, rng)
+
+	// Filler classes and methods to reach the Table 1 totals.
+	p.fillers = s.Classes - classCount
+	if p.fillers < 0 {
+		p.fillers = 0
+	}
+	p.fillerMethods = s.Methods - methodCount
+	if p.fillerMethods < 0 {
+		p.fillerMethods = 0
+	}
+	var b strings.Builder
+	b.WriteString(src)
+	writeFillers(&b, p.fillers, p.fillerMethods, rng)
+
+	return &App{
+		Name:    s.Name,
+		Spec:    s,
+		Source:  b.String(),
+		Files:   []*alite.File{alite.MustParse(s.Name+".alite", b.String())},
+		Layouts: layouts,
+	}
+}
+
+// buildLayout constructs one layout tree: a LinearLayout root (optionally
+// id'd), identified widgets, and anonymous extras. Every sixth widget opens
+// a nested container for depth.
+func buildLayout(rng *lcg, name, rootID string, ids []string, extras int) *layout.Layout {
+	root := &layout.Node{Class: "LinearLayout", ID: rootID}
+	parent := root
+	count := 0
+	addWidget := func(id string) {
+		if count > 0 && count%6 == 0 {
+			group := &layout.Node{Class: "LinearLayout"}
+			root.Children = append(root.Children, group)
+			parent = group
+			count++
+		}
+		w := &layout.Node{Class: widgetClasses[rng.next(len(widgetClasses))], ID: id}
+		parent.Children = append(parent.Children, w)
+		count++
+	}
+	for _, id := range ids {
+		addWidget(id)
+	}
+	// Anonymous extras; the interleaved containers consume budget too.
+	target := count + extras
+	for count < target {
+		addWidget("")
+	}
+	return &layout.Layout{Name: name, Root: root}
+}
+
+// genSource emits activities, listeners, and probe helpers; returns the
+// source text plus the class and method tallies so fillers can be sized.
+func genSource(p genPlan, rng *lcg) (string, int, int) {
+	s := p.spec
+	var b strings.Builder
+	methods, classes := 0, 0
+
+	// Probe helper classes.
+	for h := 0; h < p.probes; h++ {
+		fmt.Fprintf(&b, "class Probe%d {\n", h)
+		fmt.Fprintf(&b, "\tView probe(View v, int a) {\n\t\tView r = v.findViewById(a);\n\t\treturn r;\n\t}\n}\n")
+		classes++
+		methods++
+	}
+
+	// Listener classes.
+	lstIndex := 0
+	for i := 0; i < p.nAct; i++ {
+		for j := 0; j < p.listenersPerAct[i]; j++ {
+			ev := listenerEvents[lstIndex%len(listenerEvents)]
+			fmt.Fprintf(&b, "class Lst%d implements %s {\n", lstIndex, ev.iface)
+			fmt.Fprintf(&b, "\tint used;\n")
+			fmt.Fprintf(&b, "\tvoid %s(View v) {\n\t\tthis.used = 1;\n\t}\n}\n", ev.handler)
+			classes++
+			methods++
+			lstIndex++
+		}
+	}
+
+	// Simple-routing assignment: the first routeSimple widget vars across
+	// activities (round-robin by activity, then widget index).
+	routeBudget := p.routeSimple
+
+	lstIndex = 0
+	panelsPerAct := make([][]int, p.nAct)
+	for k := 0; k < p.panels; k++ {
+		panelsPerAct[k%p.nAct] = append(panelsPerAct[k%p.nAct], k)
+	}
+	for i := 0; i < p.nAct; i++ {
+		fmt.Fprintf(&b, "class Act%d extends Activity {\n", i)
+		fmt.Fprintf(&b, "\tView root;\n")
+
+		// onCreate.
+		fmt.Fprintf(&b, "\tvoid onCreate() {\n")
+		fmt.Fprintf(&b, "\t\tthis.setContentView(R.layout.a%d);\n", i)
+		fmt.Fprintf(&b, "\t\tView r0 = this.findViewById(R.id.a%d_root);\n", i)
+		fmt.Fprintf(&b, "\t\tthis.root = r0;\n")
+		var widgetVars []string
+		for j := range p.actIDs[i] {
+			fmt.Fprintf(&b, "\t\tView v%d = this.findViewById(R.id.%s);\n", j, p.actIDs[i][j])
+			widgetVars = append(widgetVars, fmt.Sprintf("v%d", j))
+		}
+		// Listener registrations on the found widgets (or the root).
+		for j := 0; j < p.listenersPerAct[i]; j++ {
+			ev := listenerEvents[lstIndex%len(listenerEvents)]
+			target := "r0"
+			if len(widgetVars) > 0 {
+				target = widgetVars[j%len(widgetVars)]
+			}
+			fmt.Fprintf(&b, "\t\tLst%d lk%d = new Lst%d();\n", lstIndex, j, lstIndex)
+			fmt.Fprintf(&b, "\t\t%s.%s(lk%d);\n", target, ev.setter, j)
+			lstIndex++
+		}
+		// Fanout routing.
+		if p.probes > 0 {
+			for h := 0; h < p.probes; h++ {
+				fmt.Fprintf(&b, "\t\tProbe%d pb%d = new Probe%d();\n", h, h, h)
+			}
+			if p.routeCollector {
+				fmt.Fprintf(&b, "\t\tView all = r0.findFocus();\n")
+				for h := 0; h < p.probes; h++ {
+					fmt.Fprintf(&b, "\t\tpb%d.probe(all, R.id.probe_sink);\n", h)
+				}
+			} else {
+				routable := append([]string{"r0"}, widgetVars...)
+				for _, v := range routable {
+					if routeBudget <= 0 {
+						break
+					}
+					routeBudget--
+					for h := 0; h < p.probes; h++ {
+						fmt.Fprintf(&b, "\t\tpb%d.probe(%s, R.id.probe_sink);\n", h, v)
+					}
+				}
+			}
+		}
+		if p.allocPerAct[i] > 0 {
+			fmt.Fprintf(&b, "\t\tthis.buildViews();\n")
+		}
+		for _, k := range panelsPerAct[i] {
+			fmt.Fprintf(&b, "\t\tthis.panel%d();\n", k)
+		}
+		fmt.Fprintf(&b, "\t}\n")
+		methods++
+
+		// Panel methods.
+		for _, k := range panelsPerAct[i] {
+			fmt.Fprintf(&b, "\tvoid panel%d() {\n", k)
+			fmt.Fprintf(&b, "\t\tLayoutInflater nf = this.getLayoutInflater();\n")
+			fmt.Fprintf(&b, "\t\tView p = nf.inflate(R.layout.p%d);\n", k)
+			for j, id := range p.panelIDs[k] {
+				fmt.Fprintf(&b, "\t\tView q%d = p.findViewById(R.id.%s);\n", j, id)
+			}
+			if s.AddViews {
+				fmt.Fprintf(&b, "\t\tViewGroup rg = (ViewGroup) this.root;\n")
+				fmt.Fprintf(&b, "\t\trg.addView(p);\n")
+			}
+			fmt.Fprintf(&b, "\t}\n")
+			methods++
+		}
+
+		// Programmatic view construction.
+		if p.allocPerAct[i] > 0 {
+			fmt.Fprintf(&b, "\tvoid buildViews() {\n")
+			if s.AddViews {
+				fmt.Fprintf(&b, "\t\tViewGroup rg = (ViewGroup) this.root;\n")
+			}
+			for j := 0; j < p.allocPerAct[i]; j++ {
+				cls := widgetClasses[rng.next(len(widgetClasses))]
+				fmt.Fprintf(&b, "\t\t%s b%d = new %s();\n", cls, j, cls)
+				if p.nAct > 1 {
+					fmt.Fprintf(&b, "\t\tb%d.setId(R.id.a%d_root);\n", j, (i+1)%p.nAct)
+				}
+				if s.AddViews {
+					fmt.Fprintf(&b, "\t\trg.addView(b%d);\n", j)
+				}
+			}
+			fmt.Fprintf(&b, "\t}\n")
+			methods++
+		}
+		fmt.Fprintf(&b, "}\n")
+		classes++
+	}
+	return b.String(), methods, classes
+}
+
+// writeFillers emits plain data/logic classes to reach the class and method
+// totals of Table 1.
+func writeFillers(b *strings.Builder, classes, methods int, rng *lcg) {
+	for i := 0; i < classes; i++ {
+		per := 0
+		if classes-i > 0 {
+			per = methods / (classes - i)
+		}
+		if per > 40 {
+			per = 40
+		}
+		methods -= per
+		fmt.Fprintf(b, "class D%d {\n\tint state;\n", i)
+		for j := 0; j < per; j++ {
+			switch rng.next(3) {
+			case 0:
+				fmt.Fprintf(b, "\tint f%d(int x) {\n\t\treturn x;\n\t}\n", j)
+			case 1:
+				fmt.Fprintf(b, "\tvoid g%d(int x) {\n\t\tthis.state = x;\n\t}\n", j)
+			default:
+				fmt.Fprintf(b, "\tint h%d() {\n\t\tint y = this.state;\n\t\treturn y;\n\t}\n", j)
+			}
+		}
+		fmt.Fprintf(b, "}\n")
+	}
+}
+
+// GenerateAll produces the full 20-application corpus.
+func GenerateAll() []*App {
+	specs := Table1Specs()
+	apps := make([]*App, len(specs))
+	for i, s := range specs {
+		apps[i] = Generate(s)
+	}
+	return apps
+}

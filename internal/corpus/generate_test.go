@@ -1,0 +1,99 @@
+package corpus
+
+import (
+	"testing"
+
+	"gator/internal/ir"
+)
+
+func TestFigure1Builds(t *testing.T) {
+	if _, err := ir.Build(Figure1Files(), Figure1Layouts()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ir.Build(Figure1ClosedFiles(), Figure1Layouts()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGenerateAllBuild(t *testing.T) {
+	for _, app := range GenerateAll() {
+		app := app
+		t.Run(app.Name, func(t *testing.T) {
+			p, err := ir.Build(app.FreshFiles(), app.FreshLayouts())
+			if err != nil {
+				t.Fatalf("build failed: %v", err)
+			}
+			// Class and method totals match the Table 1 spec exactly.
+			classes, methods := 0, 0
+			for _, c := range p.AppClasses() {
+				classes++
+				methods += len(c.Methods)
+			}
+			if classes != app.Spec.Classes {
+				t.Errorf("classes = %d, want %d", classes, app.Spec.Classes)
+			}
+			if methods != app.Spec.Methods {
+				t.Errorf("methods = %d, want %d", methods, app.Spec.Methods)
+			}
+			// Layout count matches L.
+			if p.R.NumLayouts() != app.Spec.Layouts {
+				t.Errorf("layouts = %d, want %d", p.R.NumLayouts(), app.Spec.Layouts)
+			}
+			// View id count is within one of V (the probe sink is reserved
+			// but only emitted when fanout calibration selects probes).
+			v := p.R.NumViewIDs()
+			if v != app.Spec.ViewIDs && v != app.Spec.ViewIDs-1 {
+				t.Errorf("view ids = %d, want %d (or one less)", v, app.Spec.ViewIDs)
+			}
+			// Inflated node budget: at least the spec, within 25% above
+			// (nesting containers may add a few).
+			nodes := 0
+			for _, l := range p.Layouts {
+				nodes += l.Root.Count()
+			}
+			if nodes < app.Spec.InflatedViews || nodes > app.Spec.InflatedViews*5/4+4 {
+				t.Errorf("layout nodes = %d, want ≈%d", nodes, app.Spec.InflatedViews)
+			}
+		})
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(Table1Specs()[0])
+	b := Generate(Table1Specs()[0])
+	if a.Source != b.Source {
+		t.Error("generation is not deterministic")
+	}
+}
+
+func TestSpecByName(t *testing.T) {
+	s, ok := SpecByName("XBMC")
+	if !ok || s.TargetReceivers != 8.81 {
+		t.Errorf("SpecByName(XBMC) = %+v, %v", s, ok)
+	}
+	if _, ok := SpecByName("nope"); ok {
+		t.Error("found nonexistent spec")
+	}
+	if len(Table1Specs()) != 20 {
+		t.Errorf("corpus has %d apps, want 20", len(Table1Specs()))
+	}
+}
+
+func TestCorpusShapeInvariants(t *testing.T) {
+	specs := Table1Specs()
+	noAdd, noAlloc := 0, 0
+	for _, s := range specs {
+		if !s.AddViews {
+			noAdd++
+		}
+		if s.AllocViews == 0 {
+			noAlloc++
+		}
+	}
+	if noAdd != 4 {
+		t.Errorf("apps without AddView = %d, want 4 (paper: all but four)", noAdd)
+	}
+	if noAlloc != 5 {
+		t.Errorf("apps without allocated views = %d, want 5 (paper: 15 of 20 have them)", noAlloc)
+	}
+}

@@ -1,0 +1,128 @@
+package corpus
+
+import (
+	"strings"
+	"testing"
+
+	"gator/internal/alite"
+)
+
+func TestPlanRespectsBudgets(t *testing.T) {
+	for _, s := range Table1Specs() {
+		p := plan(s)
+		if p.nAct < 1 || p.nAct > s.Layouts || p.nAct > s.ViewIDs {
+			t.Errorf("%s: nAct = %d (L=%d V=%d)", s.Name, p.nAct, s.Layouts, s.ViewIDs)
+		}
+		if p.nAct+p.panels != s.Layouts {
+			t.Errorf("%s: layouts = %d + %d != %d", s.Name, p.nAct, p.panels, s.Layouts)
+		}
+		// View id budget: roots + widgets (+ probe sink) == V.
+		widgets := 0
+		for _, ids := range p.actIDs {
+			widgets += len(ids)
+		}
+		for _, ids := range p.panelIDs {
+			widgets += len(ids)
+		}
+		sink := 0
+		if s.TargetReceivers > 1.02 {
+			sink = 1
+		}
+		if got := p.nAct + widgets + sink; got != s.ViewIDs {
+			t.Errorf("%s: id budget %d != %d", s.Name, got, s.ViewIDs)
+		}
+		// Allocation and listener distribution sums match.
+		allocs, lsts := 0, 0
+		for i := range p.allocPerAct {
+			allocs += p.allocPerAct[i]
+			lsts += p.listenersPerAct[i]
+		}
+		if allocs != s.AllocViews || lsts != s.Listeners {
+			t.Errorf("%s: alloc %d/%d, listeners %d/%d", s.Name, allocs, s.AllocViews, lsts, s.Listeners)
+		}
+	}
+}
+
+func TestFanoutCalibrationShape(t *testing.T) {
+	// Apps with a target near 1.0 get no probes; the outlier gets several.
+	noFan := plan(mustSpec(t, "ConnectBot"))
+	if noFan.probes != 0 {
+		t.Errorf("ConnectBot probes = %d, want 0", noFan.probes)
+	}
+	xbmc := plan(mustSpec(t, "XBMC"))
+	if xbmc.probes == 0 || !xbmc.routeCollector {
+		t.Errorf("XBMC plan = %+v, want collector fanout", xbmc.probes)
+	}
+	astrid := plan(mustSpec(t, "Astrid"))
+	if astrid.probes == 0 {
+		t.Error("Astrid plan has no probes")
+	}
+}
+
+func mustSpec(t *testing.T, name string) Spec {
+	t.Helper()
+	s, ok := SpecByName(name)
+	if !ok {
+		t.Fatalf("no spec %s", name)
+	}
+	return s
+}
+
+func TestRandomAppParsesAndPrints(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		sources, layouts := RandomApp(seed)
+		if len(sources) == 0 || len(layouts) == 0 {
+			t.Fatalf("seed %d: empty app", seed)
+		}
+		for name, src := range sources {
+			f, err := alite.Parse(name, src)
+			if err != nil {
+				t.Fatalf("seed %d: %v\n%s", seed, err, src)
+			}
+			// Print∘Parse is a fixed point on generated code too.
+			printed := alite.Print(f)
+			f2, err := alite.Parse(name, printed)
+			if err != nil {
+				t.Fatalf("seed %d: reparse: %v", seed, err)
+			}
+			if alite.Print(f2) != printed {
+				t.Errorf("seed %d: print not idempotent", seed)
+			}
+		}
+	}
+}
+
+func TestRandomAppDeterministic(t *testing.T) {
+	a1, l1 := RandomApp(42)
+	a2, l2 := RandomApp(42)
+	if a1["random.alite"] != a2["random.alite"] {
+		t.Error("sources differ for same seed")
+	}
+	for name := range l1 {
+		if l1[name] != l2[name] {
+			t.Errorf("layout %s differs", name)
+		}
+	}
+	b1, _ := RandomApp(43)
+	if a1["random.alite"] == b1["random.alite"] {
+		t.Error("different seeds gave identical sources")
+	}
+}
+
+func TestGeneratedSourceMentionsAllOps(t *testing.T) {
+	// Across the corpus, every operation family appears somewhere.
+	var all strings.Builder
+	for _, app := range GenerateAll() {
+		all.WriteString(app.Source)
+	}
+	src := all.String()
+	for _, want := range []string{
+		"setContentView(", "findViewById(", "addView(", "setId(",
+		"setOnClickListener(", "setOnLongClickListener(", "inflate(",
+		"findFocus()", "getLayoutInflater()",
+	} {
+		if !strings.Contains(src, want) {
+			t.Errorf("corpus never uses %q", want)
+		}
+	}
+}

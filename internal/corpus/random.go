@@ -1,0 +1,277 @@
+package corpus
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// RandomApp generates a small random-but-well-typed application for
+// property-based testing: random layout trees (with deliberately reused view
+// ids), activities whose onCreate performs a random mix of Android
+// operations under random control flow, and random listener classes. The
+// same seed always yields the same application.
+//
+// The generated programs compile (ir.Build succeeds); at run time they may
+// trap (null find-view results, view-tree cycles), which the interpreter
+// tolerates.
+func RandomApp(seed int64) (sources, layouts map[string]string) {
+	r := rand.New(rand.NewSource(seed))
+
+	idPool := []string{"alpha", "beta", "gamma", "delta", "epsilon"}
+	nLayouts := 1 + r.Intn(3)
+	layouts = map[string]string{}
+	for l := 0; l < nLayouts; l++ {
+		layouts[fmt.Sprintf("lay%d", l)] = randomLayout(r, idPool)
+	}
+
+	nListeners := 1 + r.Intn(3)
+	nActivities := 1 + r.Intn(2)
+	nAdapters := r.Intn(2)
+
+	var b strings.Builder
+	for j := 0; j < nAdapters; j++ {
+		fmt.Fprintf(&b, "class Ad%d implements Adapter {\n", j)
+		fmt.Fprintf(&b, "\tView getView(int position) {\n")
+		fmt.Fprintf(&b, "\t\tButton row = new Button();\n")
+		if r.Intn(2) == 0 {
+			fmt.Fprintf(&b, "\t\trow.setId(R.id.%s);\n", pick(r, idPool))
+		}
+		fmt.Fprintf(&b, "\t\treturn row;\n\t}\n}\n")
+	}
+	for j := 0; j < nListeners; j++ {
+		fmt.Fprintf(&b, "class Lst%d implements OnClickListener {\n", j)
+		fmt.Fprintf(&b, "\tView last;\n")
+		fmt.Fprintf(&b, "\tvoid onClick(View v) {\n")
+		switch r.Intn(4) {
+		case 0:
+			fmt.Fprintf(&b, "\t\tthis.last = v;\n")
+		case 1:
+			fmt.Fprintf(&b, "\t\tView w = v.findViewById(R.id.%s);\n", pick(r, idPool))
+		case 2:
+			fmt.Fprintf(&b, "\t\tv.setId(R.id.%s);\n", pick(r, idPool))
+		case 3:
+			fmt.Fprintf(&b, "\t\tView w = v.findFocus();\n\t\tthis.last = w;\n")
+		}
+		fmt.Fprintf(&b, "\t}\n}\n")
+	}
+
+	for a := 0; a < nActivities; a++ {
+		// Some activities are themselves click listeners (the paper's
+		// "any object could be a listener" general case).
+		selfListener := r.Intn(2) == 0
+		if selfListener {
+			fmt.Fprintf(&b, "class Act%d extends Activity implements OnClickListener {\n", a)
+		} else {
+			fmt.Fprintf(&b, "class Act%d extends Activity {\n", a)
+		}
+		fmt.Fprintf(&b, "\tView stash;\n")
+		if selfListener {
+			fmt.Fprintf(&b, "\tvoid onClick(View v) {\n\t\tthis.stash = v;\n\t}\n")
+		}
+		fmt.Fprintf(&b, "\tvoid onCreate() {\n")
+		g := &randomBody{r: r, b: &b, idPool: idPool, nLayouts: nLayouts,
+			nListeners: nListeners, nActivities: nActivities, nAdapters: nAdapters,
+			selfListener: selfListener}
+		g.emit(6+r.Intn(8), 2)
+		fmt.Fprintf(&b, "\t}\n")
+		// Options menu callbacks.
+		if r.Intn(2) == 0 {
+			fmt.Fprintf(&b, "\tvoid onCreateOptionsMenu(Menu menu) {\n")
+			for i, n := 0, 1+r.Intn(3); i < n; i++ {
+				fmt.Fprintf(&b, "\t\tMenuItem mi%d = menu.add(R.id.%s);\n", i, pick(r, idPool))
+			}
+			fmt.Fprintf(&b, "\t}\n")
+			fmt.Fprintf(&b, "\tvoid onOptionsItemSelected(MenuItem item) {\n\t}\n")
+		}
+		// Declarative android:onClick handlers (layouts reference
+		// handler0..handler3; defining a random subset exercises both the
+		// bound and unbound cases).
+		for h := 0; h < 4; h++ {
+			if r.Intn(2) == 0 {
+				continue
+			}
+			fmt.Fprintf(&b, "\tvoid handler%d(View v) {\n", h)
+			switch r.Intn(3) {
+			case 0:
+				fmt.Fprintf(&b, "\t\tthis.stash = v;\n")
+			case 1:
+				fmt.Fprintf(&b, "\t\tv.setId(R.id.%s);\n", pick(r, idPool))
+			case 2:
+				fmt.Fprintf(&b, "\t\tIntent i = new Intent(Act%d.class);\n", r.Intn(nActivities))
+				fmt.Fprintf(&b, "\t\tthis.startActivity(i);\n")
+			}
+			fmt.Fprintf(&b, "\t}\n")
+		}
+		fmt.Fprintf(&b, "}\n")
+	}
+
+	return map[string]string{"random.alite": b.String()}, layouts
+}
+
+func pick(r *rand.Rand, pool []string) string { return pool[r.Intn(len(pool))] }
+
+func randomLayout(r *rand.Rand, idPool []string) string {
+	var b strings.Builder
+	var node func(depth int)
+	node = func(depth int) {
+		id := ""
+		if r.Intn(2) == 0 {
+			id = fmt.Sprintf(" android:id=%q", "@+id/"+pick(r, idPool))
+		}
+		if depth > 0 && r.Intn(3) == 0 {
+			fmt.Fprintf(&b, "<LinearLayout%s>", id)
+			for i, n := 0, 1+r.Intn(3); i < n; i++ {
+				node(depth - 1)
+			}
+			b.WriteString("</LinearLayout>")
+			return
+		}
+		cls := []string{"TextView", "Button", "ImageView", "CheckBox"}[r.Intn(4)]
+		fmt.Fprintf(&b, "<%s%s/>", cls, id)
+	}
+	id := ""
+	if r.Intn(2) == 0 {
+		id = fmt.Sprintf(" android:id=%q", "@+id/"+pick(r, idPool))
+	}
+	fmt.Fprintf(&b, "<LinearLayout%s>", id)
+	for i, n := 0, 1+r.Intn(4); i < n; i++ {
+		node(2)
+	}
+	b.WriteString("</LinearLayout>")
+	return b.String()
+}
+
+// randomBody emits random well-typed statements for one onCreate body.
+type randomBody struct {
+	r            *rand.Rand
+	b            *strings.Builder
+	idPool       []string
+	nLayouts     int
+	nListeners   int
+	nActivities  int
+	nAdapters    int
+	selfListener bool
+
+	viewVars  []string // declared with static type View
+	groupVars []string // declared with static type LinearLayout
+	inflater  bool
+	nextVar   int
+}
+
+func (g *randomBody) fresh(prefix string) string {
+	g.nextVar++
+	return fmt.Sprintf("%s%d", prefix, g.nextVar)
+}
+
+func (g *randomBody) anyView() (string, bool) {
+	all := append(append([]string{}, g.viewVars...), g.groupVars...)
+	if len(all) == 0 {
+		return "", false
+	}
+	return all[g.r.Intn(len(all))], true
+}
+
+// emit writes n random statements at the given indent depth. Declarations
+// happen only at depth 2 (method top level), so nested blocks never leak
+// scoped variables.
+func (g *randomBody) emit(n, depth int) {
+	tabs := strings.Repeat("\t", depth)
+	topLevel := depth == 2
+	for i := 0; i < n; i++ {
+		switch c := g.r.Intn(16); {
+		case c == 0:
+			fmt.Fprintf(g.b, "%sthis.setContentView(R.layout.lay%d);\n", tabs, g.r.Intn(g.nLayouts))
+		case c == 1 && topLevel:
+			v := g.fresh("v")
+			fmt.Fprintf(g.b, "%sView %s = this.findViewById(R.id.%s);\n", tabs, v, pick(g.r, g.idPool))
+			g.viewVars = append(g.viewVars, v)
+		case c == 2 && topLevel:
+			v := g.fresh("g")
+			fmt.Fprintf(g.b, "%sLinearLayout %s = new LinearLayout();\n", tabs, v)
+			g.groupVars = append(g.groupVars, v)
+		case c == 3 && topLevel:
+			v := g.fresh("w")
+			cls := []string{"Button", "TextView", "ImageView"}[g.r.Intn(3)]
+			fmt.Fprintf(g.b, "%sView %s = new %s();\n", tabs, v, cls)
+			g.viewVars = append(g.viewVars, v)
+		case c == 4 && len(g.groupVars) > 0:
+			child, ok := g.anyView()
+			if !ok {
+				continue
+			}
+			parent := g.groupVars[g.r.Intn(len(g.groupVars))]
+			fmt.Fprintf(g.b, "%s%s.addView(%s);\n", tabs, parent, child)
+		case c == 5:
+			if v, ok := g.anyView(); ok {
+				fmt.Fprintf(g.b, "%s%s.setId(R.id.%s);\n", tabs, v, pick(g.r, g.idPool))
+			}
+		case c == 6:
+			if v, ok := g.anyView(); ok && topLevel {
+				if g.selfListener && g.r.Intn(3) == 0 {
+					fmt.Fprintf(g.b, "%s%s.setOnClickListener(this);\n", tabs, v)
+					continue
+				}
+				l := g.fresh("l")
+				j := g.r.Intn(g.nListeners)
+				fmt.Fprintf(g.b, "%sLst%d %s = new Lst%d();\n", tabs, j, l, j)
+				fmt.Fprintf(g.b, "%s%s.setOnClickListener(%s);\n", tabs, v, l)
+			}
+		case c == 7:
+			if v, ok := g.anyView(); ok {
+				fmt.Fprintf(g.b, "%sthis.stash = %s;\n", tabs, v)
+			}
+		case c == 8 && topLevel:
+			v := g.fresh("s")
+			fmt.Fprintf(g.b, "%sView %s = this.stash;\n", tabs, v)
+			g.viewVars = append(g.viewVars, v)
+		case c == 9 && topLevel:
+			if !g.inflater {
+				fmt.Fprintf(g.b, "%sLayoutInflater nf = this.getLayoutInflater();\n", tabs)
+				g.inflater = true
+			}
+			v := g.fresh("p")
+			fmt.Fprintf(g.b, "%sView %s = nf.inflate(R.layout.lay%d);\n", tabs, v, g.r.Intn(g.nLayouts))
+			g.viewVars = append(g.viewVars, v)
+		case c == 10 && depth < 4:
+			fmt.Fprintf(g.b, "%sif (*) {\n", tabs)
+			g.emit(1+g.r.Intn(2), depth+1)
+			if g.r.Intn(2) == 0 {
+				fmt.Fprintf(g.b, "%s} else {\n", tabs)
+				g.emit(1, depth+1)
+			}
+			fmt.Fprintf(g.b, "%s}\n", tabs)
+		case c == 11 && depth < 4:
+			fmt.Fprintf(g.b, "%swhile (*) {\n", tabs)
+			g.emit(1+g.r.Intn(2), depth+1)
+			fmt.Fprintf(g.b, "%s}\n", tabs)
+		case c == 12 && topLevel:
+			v := g.fresh("i")
+			fmt.Fprintf(g.b, "%sIntent %s = new Intent(Act%d.class);\n", tabs, v, g.r.Intn(g.nActivities))
+			fmt.Fprintf(g.b, "%sthis.startActivity(%s);\n", tabs, v)
+		case c == 13 && topLevel:
+			if v, ok := g.anyView(); ok {
+				p := g.fresh("q")
+				fmt.Fprintf(g.b, "%sViewGroup %s = %s.getParent();\n", tabs, p, v)
+				g.viewVars = append(g.viewVars, p)
+			}
+		case c == 15 && len(g.groupVars) > 0:
+			parent := g.groupVars[g.r.Intn(len(g.groupVars))]
+			if g.r.Intn(2) == 0 {
+				if v, ok := g.anyView(); ok {
+					fmt.Fprintf(g.b, "%s%s.removeView(%s);\n", tabs, parent, v)
+				}
+			} else {
+				fmt.Fprintf(g.b, "%s%s.removeAllViews();\n", tabs, parent)
+			}
+		case c == 14 && topLevel && g.nAdapters > 0:
+			lv := g.fresh("lv")
+			ad := g.fresh("ad")
+			j := g.r.Intn(g.nAdapters)
+			fmt.Fprintf(g.b, "%sListView %s = new ListView();\n", tabs, lv)
+			fmt.Fprintf(g.b, "%sAd%d %s = new Ad%d();\n", tabs, j, ad, j)
+			fmt.Fprintf(g.b, "%s%s.setAdapter(%s);\n", tabs, lv, ad)
+			g.viewVars = append(g.viewVars, lv)
+		}
+	}
+}

@@ -1,0 +1,67 @@
+package corpus
+
+// Spec describes the feature profile of one benchmark application from
+// Table 1 of the paper. Classes, Methods, Layouts (L), and ViewIDs (V) are
+// taken from the paper's table; the remaining columns of the published
+// table are partially illegible in the available copy, so InflatedViews,
+// AllocViews, and Listeners are reconstructed to preserve the reported
+// shape (XML layouts dominate; 15 of 20 apps allocate views explicitly;
+// 4 of 20 have no add-child operations). TargetReceivers is the "receivers"
+// column of Table 2 and drives the context-insensitivity profile of the
+// generated code (XBMC is the outlier).
+type Spec struct {
+	Name    string
+	Classes int
+	Methods int
+
+	Layouts int // L: number of layout files
+	ViewIDs int // V: number of distinct view id names
+
+	InflatedViews int // total view nodes across all layouts
+	AllocViews    int // programmatically created views (0 for five apps)
+	Listeners     int // listener classes/allocations
+
+	// AddViews is false for the four applications without add-child
+	// operations (Table 2 prints "-" for their parameters column).
+	AddViews bool
+
+	// TargetReceivers is the Table 2 "receivers" average the generated
+	// application should roughly reproduce.
+	TargetReceivers float64
+}
+
+// Table1Specs returns the 20 applications of the paper's evaluation.
+func Table1Specs() []Spec {
+	return []Spec{
+		{Name: "APV", Classes: 68, Methods: 415, Layouts: 3, ViewIDs: 12, InflatedViews: 16, AllocViews: 2, Listeners: 6, AddViews: false, TargetReceivers: 1.00},
+		{Name: "Astrid", Classes: 1228, Methods: 5782, Layouts: 95, ViewIDs: 230, InflatedViews: 460, AllocViews: 46, Listeners: 79, AddViews: true, TargetReceivers: 3.09},
+		{Name: "BarcodeScanner", Classes: 126, Methods: 1224, Layouts: 9, ViewIDs: 33, InflatedViews: 61, AllocViews: 0, Listeners: 12, AddViews: true, TargetReceivers: 1.00},
+		{Name: "Beem", Classes: 284, Methods: 1883, Layouts: 12, ViewIDs: 17, InflatedViews: 50, AllocViews: 0, Listeners: 26, AddViews: true, TargetReceivers: 1.04},
+		{Name: "ConnectBot", Classes: 371, Methods: 2366, Layouts: 19, ViewIDs: 45, InflatedViews: 140, AllocViews: 7, Listeners: 26, AddViews: true, TargetReceivers: 1.00},
+		{Name: "FBReader", Classes: 954, Methods: 5452, Layouts: 23, ViewIDs: 111, InflatedViews: 201, AllocViews: 9, Listeners: 43, AddViews: true, TargetReceivers: 1.54},
+		{Name: "K9", Classes: 815, Methods: 5311, Layouts: 33, ViewIDs: 153, InflatedViews: 385, AllocViews: 8, Listeners: 54, AddViews: true, TargetReceivers: 1.15},
+		{Name: "KeePassDroid", Classes: 465, Methods: 2784, Layouts: 19, ViewIDs: 70, InflatedViews: 213, AllocViews: 12, Listeners: 29, AddViews: true, TargetReceivers: 1.80},
+		{Name: "Mileage", Classes: 221, Methods: 1223, Layouts: 64, ViewIDs: 155, InflatedViews: 355, AllocViews: 30, Listeners: 30, AddViews: true, TargetReceivers: 2.55},
+		{Name: "MyTracks", Classes: 485, Methods: 2680, Layouts: 35, ViewIDs: 118, InflatedViews: 240, AllocViews: 4, Listeners: 30, AddViews: true, TargetReceivers: 1.12},
+		{Name: "NPR", Classes: 249, Methods: 1359, Layouts: 15, ViewIDs: 88, InflatedViews: 274, AllocViews: 9, Listeners: 17, AddViews: true, TargetReceivers: 1.89},
+		{Name: "NotePad", Classes: 89, Methods: 394, Layouts: 8, ViewIDs: 7, InflatedViews: 12, AllocViews: 0, Listeners: 9, AddViews: false, TargetReceivers: 1.00},
+		{Name: "OpenManager", Classes: 60, Methods: 252, Layouts: 8, ViewIDs: 46, InflatedViews: 147, AllocViews: 0, Listeners: 20, AddViews: true, TargetReceivers: 1.31},
+		{Name: "OpenSudoku", Classes: 140, Methods: 728, Layouts: 10, ViewIDs: 31, InflatedViews: 109, AllocViews: 6, Listeners: 16, AddViews: true, TargetReceivers: 1.40},
+		{Name: "SipDroid", Classes: 351, Methods: 2683, Layouts: 12, ViewIDs: 36, InflatedViews: 75, AllocViews: 4, Listeners: 11, AddViews: true, TargetReceivers: 1.00},
+		{Name: "SuperGenPass", Classes: 65, Methods: 268, Layouts: 3, ViewIDs: 9, InflatedViews: 37, AllocViews: 0, Listeners: 12, AddViews: false, TargetReceivers: 2.07},
+		{Name: "TippyTipper", Classes: 57, Methods: 241, Layouts: 6, ViewIDs: 6, InflatedViews: 42, AllocViews: 3, Listeners: 22, AddViews: true, TargetReceivers: 1.15},
+		{Name: "VLC", Classes: 242, Methods: 1374, Layouts: 10, ViewIDs: 35, InflatedViews: 91, AllocViews: 11, Listeners: 45, AddViews: true, TargetReceivers: 1.13},
+		{Name: "VuDroid", Classes: 69, Methods: 385, Layouts: 5, ViewIDs: 3, InflatedViews: 11, AllocViews: 6, Listeners: 4, AddViews: false, TargetReceivers: 1.00},
+		{Name: "XBMC", Classes: 568, Methods: 3012, Layouts: 24, ViewIDs: 28, InflatedViews: 151, AllocViews: 23, Listeners: 88, AddViews: true, TargetReceivers: 8.81},
+	}
+}
+
+// SpecByName returns the spec for one benchmark app.
+func SpecByName(name string) (Spec, bool) {
+	for _, s := range Table1Specs() {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Spec{}, false
+}

@@ -1,0 +1,78 @@
+package dot
+
+import (
+	"strings"
+	"testing"
+
+	"gator/internal/core"
+	"gator/internal/corpus"
+	"gator/internal/ir"
+)
+
+func figure1Result(t *testing.T) *core.Result {
+	t.Helper()
+	p, err := ir.Build(corpus.Figure1Files(), corpus.Figure1Layouts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return core.Analyze(p, core.Options{})
+}
+
+func TestExportStructure(t *testing.T) {
+	res := figure1Result(t)
+	out := Export(res, Options{Flow: true, Relations: true, PointsTo: true})
+	if !strings.HasPrefix(out, "digraph gator {") || !strings.HasSuffix(out, "}\n") {
+		t.Fatalf("not a digraph:\n%.80s...", out)
+	}
+	for _, want := range []string{
+		"shape=box",        // op/alloc nodes
+		"shape=hexagon",    // activity node
+		"shape=diamond",    // id nodes
+		`label="child"`,    // parent-child relation
+		`label="listener"`, // listener relation
+		`label="root"`,     // activity root
+		`label="id"`,       // view id association
+		"Activity[ConsoleActivity]",
+		"SetListener",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("dot output missing %q", want)
+		}
+	}
+	// Every edge references declared nodes.
+	declared := map[string]bool{}
+	for _, line := range strings.Split(out, "\n") {
+		line = strings.TrimSpace(line)
+		if strings.HasPrefix(line, "n") && strings.Contains(line, "[label=") && !strings.Contains(line, "->") {
+			declared[line[:strings.Index(line, " ")]] = true
+		}
+	}
+	for _, line := range strings.Split(out, "\n") {
+		line = strings.TrimSpace(line)
+		if i := strings.Index(line, " -> "); i > 0 {
+			src := line[:i]
+			dst := line[i+4:]
+			if j := strings.IndexAny(dst, " ;["); j > 0 {
+				dst = dst[:j]
+			}
+			if !declared[src] || !declared[dst] {
+				t.Errorf("edge references undeclared node: %s", line)
+			}
+		}
+	}
+}
+
+func TestExportSelectivity(t *testing.T) {
+	res := figure1Result(t)
+	flowOnly := Export(res, Options{Flow: true})
+	if strings.Contains(flowOnly, `label="child"`) {
+		t.Error("flow-only export contains relation edges")
+	}
+	relOnly := Export(res, Options{Relations: true})
+	if strings.Contains(relOnly, `label="recv"`) {
+		t.Error("relations-only export contains op connections")
+	}
+	if !strings.Contains(relOnly, `label="child"`) {
+		t.Error("relations-only export missing child edges")
+	}
+}

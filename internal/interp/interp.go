@@ -1,0 +1,284 @@
+package interp
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"gator/internal/ir"
+	"gator/internal/platform"
+)
+
+// Config bounds and seeds an exploration run.
+type Config struct {
+	// Seed drives all nondeterministic choices ('*' conditions, loop trip
+	// counts, FindView3 picks, poke arguments).
+	Seed int64
+	// MaxSteps bounds the total number of executed statements.
+	MaxSteps int
+	// MaxLoopIter bounds iterations of any single loop execution.
+	MaxLoopIter int
+	// EventRounds is the number of GUI event-dispatch rounds.
+	EventRounds int
+}
+
+// DefaultConfig returns sensible exploration bounds.
+func DefaultConfig() Config {
+	return Config{
+		Seed:        1,
+		MaxSteps:    200000,
+		MaxLoopIter: 4,
+		EventRounds: 6,
+	}
+}
+
+// errTrap aborts one driver action (like an uncaught exception).
+var errTrap = errors.New("runtime trap")
+
+// errBudget aborts the whole run when MaxSteps is exhausted.
+var errBudget = errors.New("step budget exhausted")
+
+// Interp executes an ir.Program.
+type Interp struct {
+	prog *ir.Program
+	cfg  Config
+	rng  *rand.Rand
+	obs  *Observations
+
+	nextID     int
+	activities []*Object
+	dialogs    []*Object
+	// inflaters caches the opaque LayoutInflater object per owner.
+	inflaters map[*Object]*Object
+}
+
+// New creates an interpreter for prog. Zero Config fields take defaults.
+func New(prog *ir.Program, cfg Config) *Interp {
+	def := DefaultConfig()
+	if cfg.MaxSteps == 0 {
+		cfg.MaxSteps = def.MaxSteps
+	}
+	if cfg.MaxLoopIter == 0 {
+		cfg.MaxLoopIter = def.MaxLoopIter
+	}
+	if cfg.EventRounds == 0 {
+		cfg.EventRounds = def.EventRounds
+	}
+	return &Interp{
+		prog:      prog,
+		cfg:       cfg,
+		rng:       rand.New(rand.NewSource(cfg.Seed)),
+		obs:       newObservations(),
+		inflaters: map[*Object]*Object{},
+	}
+}
+
+func (in *Interp) newObject(c *ir.Class, tag Tag) *Object {
+	in.nextID++
+	return &Object{ID: in.nextID, Class: c, Tag: tag}
+}
+
+// trap aborts the current driver action.
+func (in *Interp) trap(format string, args ...any) {
+	_ = fmt.Sprintf(format, args...)
+	in.obs.Trapped++
+	panic(errTrap)
+}
+
+func (in *Interp) tick() {
+	in.obs.Steps++
+	if in.obs.Steps > in.cfg.MaxSteps {
+		panic(errBudget)
+	}
+}
+
+// frame is one activation record.
+type frame struct {
+	method *ir.Method
+	vars   map[*ir.Var]Value
+	ret    Value
+	hasRet bool
+}
+
+func (f *frame) get(v *ir.Var) Value    { return f.vars[v] }
+func (f *frame) set(v *ir.Var, x Value) { f.vars[v] = x }
+
+// call invokes a method body with the given receiver and arguments.
+func (in *Interp) call(m *ir.Method, this *Object, args []Value) Value {
+	if m.Body == nil {
+		return Value{}
+	}
+	f := &frame{method: m, vars: map[*ir.Var]Value{}}
+	if m.This != nil {
+		f.set(m.This, RefVal(this))
+	}
+	for i, p := range m.Params {
+		if i < len(args) {
+			f.set(p, args[i])
+		}
+	}
+	in.exec(f, m.Body)
+	return f.ret
+}
+
+// exec runs a statement list; returns true when a return was executed.
+func (in *Interp) exec(f *frame, stmts []ir.Stmt) bool {
+	for _, s := range stmts {
+		in.tick()
+		switch s := s.(type) {
+		case *ir.New:
+			in.execNew(f, s)
+		case *ir.Copy:
+			v := f.get(s.Src)
+			if s.CastTo != nil && v.Obj != nil && !v.Obj.Class.SubtypeOf(s.CastTo) {
+				in.trap("class cast: %s to %s", v.Obj.Class.Name, s.CastTo.Name)
+			}
+			f.set(s.Dst, v)
+		case *ir.Load:
+			base := f.get(s.Base)
+			if base.Obj == nil {
+				in.trap("null dereference loading %s", s.Field.Sig())
+			}
+			f.set(s.Dst, base.Obj.GetField(s.Field))
+		case *ir.Store:
+			base := f.get(s.Base)
+			if base.Obj == nil {
+				in.trap("null dereference storing %s", s.Field.Sig())
+			}
+			base.Obj.SetField(s.Field, f.get(s.Src))
+		case *ir.ConstInt:
+			f.set(s.Dst, IntVal(s.Value))
+		case *ir.ConstRes:
+			f.set(s.Dst, IntVal(s.ID))
+		case *ir.ConstNull:
+			f.set(s.Dst, Null)
+		case *ir.ConstClass:
+			obj := in.newObject(in.prog.Class("Class"), Tag{Kind: TagOpaque})
+			obj.ClassTarget = s.Class
+			f.set(s.Dst, RefVal(obj))
+		case *ir.Invoke:
+			in.execInvoke(f, s)
+		case *ir.Return:
+			if s.Src != nil {
+				f.ret = f.get(s.Src)
+			}
+			f.hasRet = true
+			return true
+		case *ir.If:
+			var taken bool
+			if s.Cond.Nondet {
+				taken = in.rng.Intn(2) == 0
+			} else {
+				isNull := f.get(s.Cond.X).Obj == nil
+				taken = isNull != s.Cond.Negated
+			}
+			if taken {
+				if in.exec(f, s.Then) {
+					return true
+				}
+			} else if s.Else != nil {
+				if in.exec(f, s.Else) {
+					return true
+				}
+			}
+		case *ir.While:
+			for iter := 0; iter < in.cfg.MaxLoopIter; iter++ {
+				in.tick()
+				if s.Cond.Nondet {
+					if in.rng.Intn(2) == 1 {
+						break
+					}
+				} else {
+					isNull := f.get(s.Cond.X).Obj == nil
+					if isNull == s.Cond.Negated {
+						break
+					}
+				}
+				if in.exec(f, s.Body) {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+func (in *Interp) execNew(f *frame, s *ir.New) {
+	obj := in.newObject(s.Class, Tag{Kind: TagAlloc, Alloc: s})
+	f.set(s.Dst, RefVal(obj))
+	var args []Value
+	for _, a := range s.Args {
+		args = append(args, f.get(a))
+	}
+	if s.Ctor != nil {
+		if s.Ctor.API != nil && s.Ctor.API.Kind == platform.OpSetIntentTarget {
+			// new Intent(C.class): bind the target.
+			if len(args) > 0 && args[0].Obj != nil {
+				obj.IntentTarget = args[0].Obj.ClassTarget
+			}
+		} else {
+			in.call(s.Ctor, obj, args)
+		}
+	}
+	// Explicitly created dialogs receive lifecycle callbacks; defer them to
+	// the driver by registration.
+	if in.prog.IsDialogClass(s.Class) {
+		in.dialogs = append(in.dialogs, obj)
+		in.runLifecycle(obj, true)
+	}
+}
+
+func (in *Interp) execInvoke(f *frame, s *ir.Invoke) {
+	recv := f.get(s.Recv)
+	if recv.Obj == nil {
+		in.trap("call %s on null", s.Key)
+	}
+	var args []Value
+	for _, a := range s.Args {
+		args = append(args, f.get(a))
+	}
+	// Dynamic dispatch on the concrete class.
+	target := recv.Obj.Class.Dispatch(s.Key)
+	if target == nil {
+		target = s.Target
+	}
+	if target == nil {
+		// Opaque platform call: no effect, null/zero result.
+		if s.Dst != nil {
+			f.set(s.Dst, Null)
+		}
+		return
+	}
+	if target.API != nil {
+		res := in.execOp(s, target, recv.Obj, args)
+		if s.Dst != nil {
+			f.set(s.Dst, res)
+		}
+		return
+	}
+	if target.Body == nil {
+		// Modeled-but-bodyless platform method (e.g. getLayoutInflater).
+		res := in.execMiscPlatform(target, recv.Obj)
+		if s.Dst != nil {
+			f.set(s.Dst, res)
+		}
+		return
+	}
+	res := in.call(target, recv.Obj, args)
+	if s.Dst != nil {
+		f.set(s.Dst, res)
+	}
+}
+
+// execMiscPlatform handles typed platform helpers without API classification.
+func (in *Interp) execMiscPlatform(m *ir.Method, recv *Object) Value {
+	if m.Name == "getLayoutInflater" {
+		if infl, ok := in.inflaters[recv]; ok {
+			return RefVal(infl)
+		}
+		infl := in.newObject(in.prog.Class("LayoutInflater"), Tag{Kind: TagOpaque})
+		in.inflaters[recv] = infl
+		return RefVal(infl)
+	}
+	return Null
+}

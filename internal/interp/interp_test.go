@@ -1,0 +1,340 @@
+package interp
+
+import (
+	"testing"
+
+	"gator/internal/alite"
+	"gator/internal/corpus"
+	"gator/internal/ir"
+	"gator/internal/layout"
+	"gator/internal/platform"
+)
+
+func buildProg(t *testing.T, src string, layouts map[string]string) *ir.Program {
+	t.Helper()
+	f, err := alite.Parse("test.alite", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ls := map[string]*layout.Layout{}
+	for name, xml := range layouts {
+		ls[name] = layout.MustParse(name, xml)
+	}
+	p, err := ir.Build([]*alite.File{f}, ls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func run(t *testing.T, p *ir.Program, seed int64) *Observations {
+	t.Helper()
+	return New(p, Config{Seed: seed}).Run()
+}
+
+// siteObsByKind finds the observation of the first op site of a kind.
+func siteObsByKind(t *testing.T, p *ir.Program, obs *Observations, kind platform.OpKind) *SiteObs {
+	t.Helper()
+	for s, so := range obs.Sites {
+		if s.Target != nil && s.Target.API != nil && s.Target.API.Kind == kind {
+			return so
+		}
+	}
+	t.Fatalf("no observed op of kind %v", kind)
+	return nil
+}
+
+func TestLifecycleAndInflation(t *testing.T) {
+	src := `
+class A extends Activity {
+	int created;
+	void onCreate() {
+		this.setContentView(R.layout.main);
+	}
+}`
+	p := buildProg(t, src, map[string]string{
+		"main": `<LinearLayout><Button android:id="@+id/go"/></LinearLayout>`,
+	})
+	obs := run(t, p, 1)
+	so := siteObsByKind(t, p, obs, platform.OpInflate2)
+	if len(so.Receivers) != 1 {
+		t.Fatalf("receivers = %v", so.Receivers)
+	}
+	for tag := range so.Receivers {
+		if tag.Kind != TagActivity || tag.Class.Name != "A" {
+			t.Errorf("receiver tag = %v", tag)
+		}
+	}
+	if len(obs.RootPairs) != 1 {
+		t.Errorf("root pairs = %v", obs.RootPairs)
+	}
+	if len(obs.ChildPairs) != 1 {
+		t.Errorf("child pairs = %v", obs.ChildPairs)
+	}
+}
+
+func TestFindViewByIdConcrete(t *testing.T) {
+	src := `
+class A extends Activity {
+	void onCreate() {
+		this.setContentView(R.layout.main);
+		View v = this.findViewById(R.id.go);
+		v.setId(R.id.other);
+		View w = this.findViewById(R.id.other);
+	}
+}`
+	p := buildProg(t, src, map[string]string{
+		"main": `<LinearLayout><Button android:id="@+id/go"/></LinearLayout>`,
+	})
+	obs := run(t, p, 1)
+	find := siteObsByKind(t, p, obs, platform.OpFindView2)
+	if len(find.Results) == 0 {
+		t.Fatal("findViewById observed no results")
+	}
+	for tag := range find.Results {
+		if tag.Kind != TagInfl || tag.Layout != "main" || tag.Path != 1 {
+			t.Errorf("result tag = %v", tag)
+		}
+	}
+	set := siteObsByKind(t, p, obs, platform.OpSetId)
+	if len(set.Receivers) != 1 {
+		t.Errorf("setId receivers = %v", set.Receivers)
+	}
+}
+
+func TestEventDispatch(t *testing.T) {
+	src := `
+class Handler implements OnClickListener {
+	int fired;
+	void onClick(View v) {
+		v.setId(R.id.marker);
+	}
+}
+class A extends Activity {
+	void onCreate() {
+		this.setContentView(R.layout.main);
+		View b = this.findViewById(R.id.go);
+		Handler h = new Handler();
+		b.setOnClickListener(h);
+	}
+}`
+	p := buildProg(t, src, map[string]string{
+		"main": `<LinearLayout><Button android:id="@+id/go"/></LinearLayout>`,
+	})
+	obs := run(t, p, 1)
+	// The click fired: the handler's setId ran on the button.
+	set := siteObsByKind(t, p, obs, platform.OpSetId)
+	if len(set.Receivers) != 1 {
+		t.Fatalf("handler did not fire; setId receivers = %v", set.Receivers)
+	}
+	for tag := range set.Receivers {
+		if tag.Kind != TagInfl || tag.Path != 1 {
+			t.Errorf("setId receiver = %v", tag)
+		}
+	}
+	if len(obs.ListenerPairs) != 1 {
+		t.Errorf("listener pairs = %v", obs.ListenerPairs)
+	}
+}
+
+func TestDeclarativeOnClickDispatch(t *testing.T) {
+	src := `
+class A extends Activity {
+	void onCreate() {
+		this.setContentView(R.layout.main);
+	}
+	void go(View v) {
+		v.setId(R.id.marker);
+	}
+}`
+	p := buildProg(t, src, map[string]string{
+		"main": `<LinearLayout><Button android:onClick="go"/></LinearLayout>`,
+	})
+	obs := run(t, p, 1)
+	set := siteObsByKind(t, p, obs, platform.OpSetId)
+	if len(set.Receivers) != 1 {
+		t.Fatalf("declarative handler did not fire")
+	}
+}
+
+func TestTrapsDoNotAbortRun(t *testing.T) {
+	src := `
+class A extends Activity {
+	View missing;
+	void onCreate() {
+		View v = this.missing;
+		View w = v.findViewById(R.id.go); // null dereference
+	}
+}
+class B extends Activity {
+	void onCreate() {
+		this.setContentView(R.layout.main);
+	}
+}`
+	p := buildProg(t, src, map[string]string{"main": `<LinearLayout/>`})
+	obs := run(t, p, 1)
+	if obs.Trapped == 0 {
+		t.Error("expected a trapped null dereference")
+	}
+	// B still ran.
+	if len(obs.RootPairs) != 1 {
+		t.Errorf("root pairs = %v", obs.RootPairs)
+	}
+}
+
+func TestLoopAndBranchBounds(t *testing.T) {
+	src := `
+class A extends Activity {
+	void onCreate() {
+		while (*) {
+			LinearLayout v = new LinearLayout();
+			if (*) {
+				v.setId(R.id.a);
+			} else {
+				v.setId(R.id.b);
+			}
+		}
+	}
+}`
+	p := buildProg(t, src, nil)
+	obs := New(p, Config{Seed: 7, MaxLoopIter: 3}).Run()
+	if obs.Steps == 0 {
+		t.Fatal("nothing executed")
+	}
+	// Several seeds never exceed the loop bound (no hang = pass).
+	for seed := int64(0); seed < 5; seed++ {
+		New(p, Config{Seed: seed, MaxLoopIter: 3}).Run()
+	}
+}
+
+func TestStepBudgetStopsRun(t *testing.T) {
+	src := `
+class A extends Activity {
+	void onCreate() {
+		this.spin();
+	}
+	void spin() {
+		this.spin(); // unbounded recursion
+	}
+}`
+	p := buildProg(t, src, nil)
+	obs := New(p, Config{Seed: 1, MaxSteps: 500}).Run()
+	if obs.Steps < 500 {
+		t.Errorf("steps = %d, want budget exhaustion", obs.Steps)
+	}
+}
+
+func TestViewTreeCycleTrapped(t *testing.T) {
+	src := `
+class A extends Activity {
+	void onCreate() {
+		LinearLayout x = new LinearLayout();
+		LinearLayout y = new LinearLayout();
+		x.addView(y);
+		y.addView(x);
+	}
+}`
+	p := buildProg(t, src, nil)
+	obs := run(t, p, 1)
+	if obs.Trapped == 0 {
+		t.Error("view-tree cycle not trapped")
+	}
+}
+
+func TestDialogLifecycle(t *testing.T) {
+	src := `
+class D extends Dialog {
+	void onCreate() {
+		this.setContentView(R.layout.d);
+	}
+}
+class A extends Activity {
+	void onCreate() {
+		D d = new D();
+		View v = d.findViewById(R.id.x);
+		v.setId(R.id.y);
+	}
+}`
+	p := buildProg(t, src, map[string]string{"d": `<LinearLayout><TextView android:id="@+id/x"/></LinearLayout>`})
+	obs := run(t, p, 1)
+	set := siteObsByKind(t, p, obs, platform.OpSetId)
+	if len(set.Receivers) != 1 {
+		t.Fatalf("dialog content not found: %v", set.Receivers)
+	}
+}
+
+func TestInflate1AttachParentConcrete(t *testing.T) {
+	src := `
+class A extends Activity {
+	void onCreate() {
+		this.setContentView(R.layout.main);
+		LinearLayout box = (LinearLayout) this.findViewById(R.id.box);
+		LayoutInflater i = this.getLayoutInflater();
+		i.inflate(R.layout.row, box);
+		View cell = this.findViewById(R.id.cell);
+		cell.setId(R.id.done);
+	}
+}`
+	p := buildProg(t, src, map[string]string{
+		"main": `<LinearLayout android:id="@+id/box"/>`,
+		"row":  `<TextView android:id="@+id/cell"/>`,
+	})
+	obs := run(t, p, 1)
+	// The attached row is reachable from the activity content.
+	set := siteObsByKind(t, p, obs, platform.OpSetId)
+	if len(set.Receivers) != 1 {
+		t.Fatalf("attached view not found via activity: %v", set.Receivers)
+	}
+	for tag := range set.Receivers {
+		if tag.Layout != "row" {
+			t.Errorf("receiver = %v, want row view", tag)
+		}
+	}
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	p, err := ir.Build(corpus.Figure1ClosedFiles(), corpus.Figure1Layouts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := New(p, Config{Seed: 42}).Run()
+	b := New(p, Config{Seed: 42}).Run()
+	if a.Steps != b.Steps {
+		t.Errorf("steps differ: %d vs %d", a.Steps, b.Steps)
+	}
+	if len(a.Sites) != len(b.Sites) {
+		t.Errorf("sites differ: %d vs %d", len(a.Sites), len(b.Sites))
+	}
+	if len(a.ListenerPairs) != len(b.ListenerPairs) {
+		t.Errorf("listener pairs differ")
+	}
+}
+
+func TestFigure1ClosedReachesTerminal(t *testing.T) {
+	p, err := ir.Build(corpus.Figure1ClosedFiles(), corpus.Figure1Layouts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs := New(p, Config{Seed: 3, EventRounds: 8}).Run()
+	// addNewTerminalView ran: item_terminal was inflated at the Inflate1 op.
+	found := false
+	for s, so := range obs.Sites {
+		if s.Target != nil && s.Target.API != nil && s.Target.API.Kind == platform.OpInflate1 {
+			for tag := range so.Results {
+				if tag.Layout == "item_terminal" {
+					found = true
+				}
+			}
+		}
+	}
+	if !found {
+		t.Error("addNewTerminalView never inflated item_terminal")
+	}
+	// The TerminalView allocation was observed as a SetId receiver.
+	set := siteObsByKind(t, p, obs, platform.OpSetId)
+	for tag := range set.Receivers {
+		if tag.Kind != TagAlloc || tag.Alloc.Class.Name != "TerminalView" {
+			t.Errorf("setId receiver = %v", tag)
+		}
+	}
+}

@@ -1,0 +1,87 @@
+package interp
+
+import (
+	"testing"
+
+	"gator/internal/platform"
+)
+
+func TestMenuConcrete(t *testing.T) {
+	src := `
+class A extends Activity {
+	int selections;
+	void onCreate() {
+	}
+	void onCreateOptionsMenu(Menu menu) {
+		MenuItem save = menu.add(R.id.menu_save);
+	}
+	void onOptionsItemSelected(MenuItem item) {
+		LinearLayout marker = new LinearLayout();
+		marker.setId(R.id.selected);
+	}
+}`
+	p := buildProg(t, src, nil)
+	obs := run(t, p, 1)
+
+	add := siteObsByKind(t, p, obs, platform.OpMenuAdd)
+	if len(add.Receivers) != 1 {
+		t.Fatalf("add receivers = %v", add.Receivers)
+	}
+	for tag := range add.Receivers {
+		if tag.Kind != TagMenu || tag.Class.Name != "A" {
+			t.Errorf("receiver = %v", tag)
+		}
+	}
+	if len(add.Results) != 1 {
+		t.Fatalf("add results = %v", add.Results)
+	}
+	for tag := range add.Results {
+		if tag.Kind != TagMenuItem {
+			t.Errorf("result = %v", tag)
+		}
+	}
+
+	// onOptionsItemSelected fired: its setId op was observed.
+	set := siteObsByKind(t, p, obs, platform.OpSetId)
+	if len(set.Receivers) != 1 {
+		t.Error("selection callback never fired")
+	}
+}
+
+func TestAdapterConcrete(t *testing.T) {
+	src := `
+class RowAdapter implements Adapter {
+	View getView(int position) {
+		Button row = new Button();
+		row.setId(R.id.row_id);
+		return row;
+	}
+}
+class A extends Activity {
+	void onCreate() {
+		this.setContentView(R.layout.main);
+		ListView list = (ListView) this.findViewById(R.id.list);
+		RowAdapter ad = new RowAdapter();
+		list.setAdapter(ad);
+	}
+}`
+	p := buildProg(t, src, map[string]string{"main": `<LinearLayout><ListView android:id="@+id/list"/></LinearLayout>`})
+	obs := run(t, p, 1)
+
+	set := siteObsByKind(t, p, obs, platform.OpSetAdapter)
+	if len(set.Receivers) != 1 || len(set.Args) != 1 {
+		t.Fatalf("setAdapter obs = %+v", set)
+	}
+	// getView ran and its rows were attached: a child pair from the
+	// ListView inflation node to the Button allocation exists.
+	attached := false
+	for pair := range obs.ChildPairs {
+		if pair[0].Kind == TagInfl && pair[1].Kind == TagAlloc &&
+			pair[1].Alloc.Class.Name == "Button" {
+			attached = true
+		}
+	}
+	if !attached {
+		t.Errorf("adapter rows never attached: %v", obs.ChildPairs)
+	}
+}

@@ -1,0 +1,274 @@
+package interp
+
+import (
+	"gator/internal/ir"
+	"gator/internal/layout"
+	"gator/internal/platform"
+)
+
+// execOp applies the concrete semantics of one Android operation (the
+// semantic rules of Section 3.2), recording observations for the site.
+func (in *Interp) execOp(site *ir.Invoke, target *ir.Method, recv *Object, args []Value) Value {
+	api := target.API
+	so := in.obs.site(site)
+	switch api.Kind {
+	case platform.OpInflate1:
+		root := in.inflate(site, args[0])
+		if root == nil {
+			return Null
+		}
+		if api.AttachParent && api.ParentArg < len(args) {
+			if parent := args[api.ParentArg].Obj; parent != nil {
+				in.attachChild(parent, root)
+			}
+		}
+		so.Results[root.Tag] = true
+		return RefVal(root)
+
+	case platform.OpInflate2:
+		so.Receivers[recv.Tag] = true
+		root := in.inflate(site, args[0])
+		if root == nil {
+			return Null
+		}
+		recv.ContentRoot = root
+		in.obs.RootPairs[[2]Tag{recv.Tag, root.Tag}] = true
+		return Null
+
+	case platform.OpAddView1:
+		so.Receivers[recv.Tag] = true
+		view := args[0].Obj
+		if view == nil {
+			in.trap("setContentView(null)")
+		}
+		so.Args[view.Tag] = true
+		recv.ContentRoot = view
+		in.obs.RootPairs[[2]Tag{recv.Tag, view.Tag}] = true
+		return Null
+
+	case platform.OpAddView2:
+		so.Receivers[recv.Tag] = true
+		child := args[0].Obj
+		if child == nil {
+			in.trap("addView(null)")
+		}
+		so.Args[child.Tag] = true
+		in.attachChild(recv, child)
+		in.obs.ChildPairs[[2]Tag{recv.Tag, child.Tag}] = true
+		return Null
+
+	case platform.OpSetId:
+		so.Receivers[recv.Tag] = true
+		recv.ViewID = args[0].Int
+		return Null
+
+	case platform.OpSetListener:
+		so.Receivers[recv.Tag] = true
+		lst := args[0].Obj
+		if lst == nil {
+			return Null // clearing a listener
+		}
+		so.Args[lst.Tag] = true
+		recv.AddListener(api.Event, lst)
+		in.obs.ListenerPairs[[2]Tag{recv.Tag, lst.Tag}] = true
+		return Null
+
+	case platform.OpFindView1:
+		so.Receivers[recv.Tag] = true
+		found := findByID(recv, args[0].Int)
+		if found != nil {
+			so.Results[found.Tag] = true
+			return RefVal(found)
+		}
+		return Null
+
+	case platform.OpFindView2:
+		so.Receivers[recv.Tag] = true
+		if recv.ContentRoot == nil {
+			return Null
+		}
+		found := findByID(recv.ContentRoot, args[0].Int)
+		if found != nil {
+			so.Results[found.Tag] = true
+			return RefVal(found)
+		}
+		return Null
+
+	case platform.OpFindView3:
+		so.Receivers[recv.Tag] = true
+		found := in.pickView(recv, api.Scope, args)
+		if found != nil {
+			so.Results[found.Tag] = true
+			return RefVal(found)
+		}
+		return Null
+
+	case platform.OpRemoveView:
+		so.Receivers[recv.Tag] = true
+		if len(args) == 1 {
+			if child := args[0].Obj; child != nil && child.Parent == recv {
+				detach(child)
+			}
+			return Null
+		}
+		for _, child := range append([]*Object{}, recv.Children...) {
+			detach(child)
+		}
+		return Null
+
+	case platform.OpSetAdapter:
+		so.Receivers[recv.Tag] = true
+		if args[0].Obj != nil {
+			so.Args[args[0].Obj.Tag] = true
+			recv.Adapter = args[0].Obj
+		}
+		return Null
+
+	case platform.OpMenuAdd:
+		so.Receivers[recv.Tag] = true
+		item := in.newObject(in.prog.Class("MenuItem"), Tag{Kind: TagMenuItem, InflSite: site})
+		item.ViewID = args[0].Int
+		recv.MenuItems = append(recv.MenuItems, item)
+		so.Results[item.Tag] = true
+		return RefVal(item)
+
+	case platform.OpFindParent:
+		so.Receivers[recv.Tag] = true
+		if recv.Parent != nil {
+			so.Results[recv.Parent.Tag] = true
+			return RefVal(recv.Parent)
+		}
+		return Null
+
+	case platform.OpSetIntentTarget:
+		// Intent.setClass(C.class); returns the receiver for chaining.
+		if args[0].Obj != nil {
+			recv.IntentTarget = args[0].Obj.ClassTarget
+		}
+		return RefVal(recv)
+
+	case platform.OpStartActivity:
+		so.Receivers[recv.Tag] = true
+		intent := args[0].Obj
+		if intent == nil {
+			in.trap("startActivity(null)")
+		}
+		target := intent.IntentTarget
+		if target == nil || !in.prog.IsActivityClass(target) {
+			return Null
+		}
+		targetTag := Tag{Kind: TagActivity, Class: target}
+		in.obs.TransitionPairs[[2]Tag{recv.Tag, targetTag}] = true
+		// Launch: a fresh instance of the target runs its creation
+		// lifecycle (bounded, to keep cyclic launch chains finite).
+		if len(in.activities) < 64 {
+			act := in.newObject(target, targetTag)
+			in.activities = append(in.activities, act)
+			in.bootActivity(act)
+		}
+		return Null
+	}
+	return Null
+}
+
+// detach removes child from its parent's children list.
+func detach(child *Object) {
+	p := child.Parent
+	if p == nil {
+		return
+	}
+	for i, k := range p.Children {
+		if k == child {
+			p.Children = append(p.Children[:i:i], p.Children[i+1:]...)
+			break
+		}
+	}
+	child.Parent = nil
+}
+
+// attachChild links child under parent, re-parenting if needed and trapping
+// on view-tree cycles (Android throws in both situations; re-parenting is
+// tolerated here to keep exploration going).
+func (in *Interp) attachChild(parent, child *Object) {
+	if parent.IsDescendantOf(child) {
+		in.trap("view-tree cycle: %s under %s", child.Class.Name, parent.Class.Name)
+	}
+	detach(child)
+	child.Parent = parent
+	parent.Children = append(parent.Children, child)
+}
+
+// findByID is the concrete find of rule FINDVIEW: preorder search of the
+// subtree rooted at v (including v) for the first view with the id.
+func findByID(v *Object, id int) *Object {
+	if id == 0 {
+		return nil
+	}
+	if v.ViewID == id {
+		return v
+	}
+	for _, c := range v.Children {
+		if f := findByID(c, id); f != nil {
+			return f
+		}
+	}
+	return nil
+}
+
+// pickView implements the findOne function of rule FINDVIEW3: some view with
+// a run-time property. The choice is random (seeded); child-scope operations
+// pick among direct children, descendant-scope among the whole subtree.
+func (in *Interp) pickView(recv *Object, scope platform.Scope, args []Value) *Object {
+	if scope == platform.ScopeChildren {
+		if len(recv.Children) == 0 {
+			return nil
+		}
+		// getChildAt(i) uses the index when valid.
+		if len(args) == 1 && args[0].IsInt {
+			if i := args[0].Int; i >= 0 && i < len(recv.Children) {
+				return recv.Children[i]
+			}
+		}
+		return recv.Children[in.rng.Intn(len(recv.Children))]
+	}
+	sub := recv.Subtree()
+	return sub[in.rng.Intn(len(sub))]
+}
+
+// inflate instantiates the layout named by the id value (rules INFLATE1/2):
+// fresh view objects for every layout node, parent-child links, and view
+// ids. Objects are tagged with (site, layout, preorder path), matching the
+// analysis's inflation nodes exactly.
+func (in *Interp) inflate(site *ir.Invoke, idVal Value) *Object {
+	name, ok := in.prog.R.LayoutName(idVal.Int)
+	if !ok {
+		in.trap("inflate of non-layout id %#x", idVal.Int)
+	}
+	l := in.prog.Layouts[name]
+	path := 0
+	var build func(n *layout.Node, parent *Object) *Object
+	build = func(n *layout.Node, parent *Object) *Object {
+		cls := in.prog.Class(n.Class)
+		if n.Merge {
+			cls = in.prog.Class("ViewGroup")
+		}
+		obj := in.newObject(cls, Tag{Kind: TagInfl, InflSite: site, Layout: name, Path: path})
+		path++
+		obj.OnClick = n.OnClick
+		if n.ID != "" {
+			if resID, ok := in.prog.R.ViewID(n.ID); ok {
+				obj.ViewID = resID
+			}
+		}
+		if parent != nil {
+			obj.Parent = parent
+			parent.Children = append(parent.Children, obj)
+			in.obs.ChildPairs[[2]Tag{parent.Tag, obj.Tag}] = true
+		}
+		for _, ch := range n.Children {
+			build(ch, obj)
+		}
+		return obj
+	}
+	return build(l.Root, nil)
+}

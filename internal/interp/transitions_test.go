@@ -1,0 +1,73 @@
+package interp
+
+import "testing"
+
+func TestStartActivityConcrete(t *testing.T) {
+	src := `
+class SecondActivity extends Activity {
+	void onCreate() {
+		this.setContentView(R.layout.second);
+	}
+}
+class FirstActivity extends Activity {
+	void onCreate() {
+		Intent i = new Intent(SecondActivity.class);
+		this.startActivity(i);
+	}
+}`
+	p := buildProg(t, src, map[string]string{"second": `<LinearLayout/>`})
+	obs := run(t, p, 1)
+	found := false
+	for pair := range obs.TransitionPairs {
+		if pair[0].Class.Name == "FirstActivity" && pair[1].Class.Name == "SecondActivity" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("transition not observed: %v", obs.TransitionPairs)
+	}
+	// The launched activity's onCreate ran (setContentView happened at
+	// least twice: once for the implicit instance, once for the launched
+	// one — both share the same root pair abstraction).
+	if len(obs.RootPairs) == 0 {
+		t.Error("launched activity never inflated content")
+	}
+}
+
+func TestCyclicLaunchBounded(t *testing.T) {
+	src := `
+class A extends Activity {
+	void onCreate() {
+		Intent i = new Intent(B.class);
+		this.startActivity(i);
+	}
+}
+class B extends Activity {
+	void onCreate() {
+		Intent i = new Intent(A.class);
+		this.startActivity(i);
+	}
+}`
+	p := buildProg(t, src, nil)
+	obs := New(p, Config{Seed: 1, MaxSteps: 100000}).Run()
+	// A<->B launches must terminate via the instance cap.
+	if len(obs.TransitionPairs) != 2 {
+		t.Errorf("transitions = %v", obs.TransitionPairs)
+	}
+}
+
+func TestStartActivityNullIntentTraps(t *testing.T) {
+	src := `
+class A extends Activity {
+	Intent none;
+	void onCreate() {
+		Intent i = this.none;
+		this.startActivity(i);
+	}
+}`
+	p := buildProg(t, src, nil)
+	obs := run(t, p, 1)
+	if obs.Trapped == 0 {
+		t.Error("null intent launch not trapped")
+	}
+}

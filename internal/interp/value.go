@@ -1,0 +1,246 @@
+// Package interp is a concrete interpreter for ALite implementing the
+// operational semantics of Section 3 of the paper: environments, a heap of
+// objects, layout inflation, the view operations (set-content-view,
+// add-view, set-id, set-listener, find-view), and the platform's implicit
+// callbacks (activity lifecycle and GUI event dispatch).
+//
+// The interpreter serves as an executable ground-truth oracle: a seeded,
+// bounded driver explores the application, and every Android operation
+// records the concrete receivers, arguments, and results it observed, each
+// tagged with its static abstraction. A static solution is sound for an
+// execution iff it contains every observed abstraction; the ratio of
+// solution size to observed size measures precision (the paper's Section 5
+// case study, mechanized).
+package interp
+
+import (
+	"fmt"
+
+	"gator/internal/ir"
+)
+
+// TagKind discriminates the static abstraction of a concrete object.
+type TagKind int
+
+const (
+	// TagAlloc is an object created by an application 'new'.
+	TagAlloc TagKind = iota
+	// TagInfl is a view created by inflating a layout node.
+	TagInfl
+	// TagActivity is a platform-created activity instance.
+	TagActivity
+	// TagMenu is the options menu of one activity class.
+	TagMenu
+	// TagMenuItem is a menu item created at one Menu.add site (the site is
+	// carried in InflSite).
+	TagMenuItem
+	// TagOpaque is an unmodeled platform object (e.g. a LayoutInflater).
+	TagOpaque
+)
+
+// Tag is the static abstraction of a concrete object. Tags are comparable
+// and correspond 1:1 to the analysis's value nodes:
+// TagAlloc ↔ graph.AllocNode (by allocation site), TagInfl ↔ graph.InflNode
+// (by inflation call site, layout, and preorder path), TagActivity ↔
+// graph.ActivityNode (by class).
+type Tag struct {
+	Kind TagKind
+	// Alloc is the allocation site for TagAlloc.
+	Alloc *ir.New
+	// InflSite is the inflation call site for TagInfl; nil when the
+	// inflation was driven by a synthesized callback.
+	InflSite *ir.Invoke
+	// Layout and Path identify the layout node for TagInfl.
+	Layout string
+	Path   int
+	// Class is the activity class for TagActivity.
+	Class *ir.Class
+}
+
+func (t Tag) String() string {
+	switch t.Kind {
+	case TagAlloc:
+		return fmt.Sprintf("alloc:%s@%s", t.Alloc.Class.Name, t.Alloc.Pos())
+	case TagInfl:
+		return fmt.Sprintf("infl:%s:%d@%v", t.Layout, t.Path, t.InflSite.Pos())
+	case TagActivity:
+		return "activity:" + t.Class.Name
+	case TagMenu:
+		return "menu:" + t.Class.Name
+	case TagMenuItem:
+		return fmt.Sprintf("menuitem@%v", t.InflSite.Pos())
+	default:
+		return "opaque"
+	}
+}
+
+// Object is one heap object.
+type Object struct {
+	ID    int
+	Class *ir.Class
+	Tag   Tag
+
+	// fields holds reference and int field values.
+	fields map[*ir.Field]Value
+
+	// View state (meaningful for view objects).
+	Children []*Object
+	Parent   *Object
+	ViewID   int // resource constant, 0 when unset
+	// OnClick is the declarative android:onClick handler name, if any.
+	OnClick string
+	// listeners maps event name to registered listener objects.
+	listeners map[string][]*Object
+
+	// ContentRoot is the content view of an activity or dialog.
+	ContentRoot *Object
+
+	// ClassTarget is the class a Class-literal object denotes.
+	ClassTarget *ir.Class
+	// IntentTarget is the component class an Intent object targets.
+	IntentTarget *ir.Class
+
+	// Menu is the options menu of an activity object; MenuItems are the
+	// items added to a menu object.
+	Menu      *Object
+	MenuItems []*Object
+
+	// Adapter is the list adapter bound to an AdapterView.
+	Adapter *Object
+}
+
+// Value is an ALite runtime value: an integer or a reference (possibly nil).
+type Value struct {
+	IsInt bool
+	Int   int
+	Obj   *Object // nil means null for references
+}
+
+// Null is the null reference.
+var Null = Value{}
+
+// IntVal makes an integer value.
+func IntVal(i int) Value { return Value{IsInt: true, Int: i} }
+
+// RefVal makes a reference value.
+func RefVal(o *Object) Value { return Value{Obj: o} }
+
+func (v Value) String() string {
+	switch {
+	case v.IsInt:
+		return fmt.Sprintf("%d", v.Int)
+	case v.Obj == nil:
+		return "null"
+	default:
+		return fmt.Sprintf("%s#%d", v.Obj.Class.Name, v.Obj.ID)
+	}
+}
+
+// GetField reads a field (zero value when never written).
+func (o *Object) GetField(f *ir.Field) Value {
+	if v, ok := o.fields[f]; ok {
+		return v
+	}
+	return Value{IsInt: !f.Type.IsRef()}
+}
+
+// SetField writes a field.
+func (o *Object) SetField(f *ir.Field, v Value) {
+	if o.fields == nil {
+		o.fields = map[*ir.Field]Value{}
+	}
+	o.fields[f] = v
+}
+
+// Listeners returns the listeners registered for an event.
+func (o *Object) Listeners(event string) []*Object { return o.listeners[event] }
+
+// AddListener registers a listener for an event (idempotent per object).
+func (o *Object) AddListener(event string, lst *Object) {
+	if o.listeners == nil {
+		o.listeners = map[string][]*Object{}
+	}
+	for _, x := range o.listeners[event] {
+		if x == lst {
+			return
+		}
+	}
+	o.listeners[event] = append(o.listeners[event], lst)
+}
+
+// IsDescendantOf reports whether o is v or below v in the view tree.
+func (o *Object) IsDescendantOf(v *Object) bool {
+	for x := o; x != nil; x = x.Parent {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// Subtree returns o and its transitive children in preorder.
+func (o *Object) Subtree() []*Object {
+	out := []*Object{o}
+	for _, c := range o.Children {
+		out = append(out, c.Subtree()...)
+	}
+	return out
+}
+
+// SiteObs aggregates what one operation site observed across a run.
+type SiteObs struct {
+	// Receivers are the tags of concrete receiver objects.
+	Receivers map[Tag]bool
+	// Args are the tags of reference arguments (views for add-view,
+	// listeners for set-listener).
+	Args map[Tag]bool
+	// Results are the tags of returned view objects.
+	Results map[Tag]bool
+}
+
+func newSiteObs() *SiteObs {
+	return &SiteObs{
+		Receivers: map[Tag]bool{},
+		Args:      map[Tag]bool{},
+		Results:   map[Tag]bool{},
+	}
+}
+
+// Observations is the per-site record of a run.
+type Observations struct {
+	// Sites maps operation call sites to their observations.
+	Sites map[*ir.Invoke]*SiteObs
+	// ListenerPairs records every (view tag, listener tag) registration.
+	ListenerPairs map[[2]Tag]bool
+	// ChildPairs records every (parent tag, child tag) attachment.
+	ChildPairs map[[2]Tag]bool
+	// RootPairs records every (owner tag, content root tag) association.
+	RootPairs map[[2]Tag]bool
+	// TransitionPairs records every (source activity tag, target activity
+	// tag) launch performed by startActivity.
+	TransitionPairs map[[2]Tag]bool
+	// Steps is the number of statements executed.
+	Steps int
+	// Trapped counts runtime errors (null dereferences, view-tree cycles)
+	// that aborted a driver action.
+	Trapped int
+}
+
+func newObservations() *Observations {
+	return &Observations{
+		Sites:           map[*ir.Invoke]*SiteObs{},
+		ListenerPairs:   map[[2]Tag]bool{},
+		ChildPairs:      map[[2]Tag]bool{},
+		RootPairs:       map[[2]Tag]bool{},
+		TransitionPairs: map[[2]Tag]bool{},
+	}
+}
+
+func (o *Observations) site(s *ir.Invoke) *SiteObs {
+	so, ok := o.Sites[s]
+	if !ok {
+		so = newSiteObs()
+		o.Sites[s] = so
+	}
+	return so
+}

@@ -1,0 +1,371 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+
+	"gator/internal/alite"
+	"gator/internal/corpus"
+	"gator/internal/layout"
+	"gator/internal/platform"
+)
+
+func buildSrc(t *testing.T, src string, layouts map[string]string) *Program {
+	t.Helper()
+	p, err := buildSrcErr(src, layouts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func buildSrcErr(src string, layouts map[string]string) (*Program, error) {
+	f, err := alite.Parse("test.alite", src)
+	if err != nil {
+		return nil, err
+	}
+	ls := map[string]*layout.Layout{}
+	for name, xml := range layouts {
+		l, err := layout.Parse(name, xml)
+		if err != nil {
+			return nil, err
+		}
+		ls[name] = l
+	}
+	return Build([]*alite.File{f}, ls)
+}
+
+func TestBuildFigure1(t *testing.T) {
+	p, err := Build(corpus.Figure1Files(), corpus.Figure1Layouts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ca := p.Class("ConsoleActivity")
+	if ca == nil {
+		t.Fatal("no ConsoleActivity")
+	}
+	if !p.IsActivityClass(ca) {
+		t.Error("ConsoleActivity is not classified as activity")
+	}
+	tv := p.Class("TerminalView")
+	if !p.IsViewClass(tv) {
+		t.Error("TerminalView is not classified as view")
+	}
+	ebl := p.Class("EscapeButtonListener")
+	if !p.IsListenerClass(ebl) {
+		t.Error("EscapeButtonListener is not classified as listener")
+	}
+	specs := p.ListenerSpecsOf(ebl)
+	if len(specs) != 1 || specs[0].Event != "click" {
+		t.Errorf("listener specs = %v", specs)
+	}
+	if p.IsListenerClass(tv) || p.IsActivityClass(tv) {
+		t.Error("TerminalView misclassified")
+	}
+
+	// The R table has both layouts and all four view ids.
+	if p.R.NumLayouts() != 2 {
+		t.Errorf("NumLayouts = %d", p.R.NumLayouts())
+	}
+	if p.R.NumViewIDs() != 4 {
+		t.Errorf("NumViewIDs = %d: %v", p.R.NumViewIDs(), p.R.ViewIDNames())
+	}
+
+	// onCreate lowered: find the ops by walking statements.
+	onCreate := ca.Methods["onCreate()"]
+	if onCreate == nil {
+		t.Fatal("no onCreate")
+	}
+	var kinds []platform.OpKind
+	WalkStmts(onCreate.Body, func(s Stmt) {
+		if inv, ok := s.(*Invoke); ok && inv.Target != nil && inv.Target.API != nil {
+			kinds = append(kinds, inv.Target.API.Kind)
+		}
+	})
+	want := []platform.OpKind{platform.OpInflate2, platform.OpFindView2, platform.OpFindView2, platform.OpSetListener}
+	if len(kinds) != len(want) {
+		t.Fatalf("op kinds = %v, want %v", kinds, want)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Errorf("op %d = %v, want %v", i, kinds[i], want[i])
+		}
+	}
+
+	// getLayoutInflater is a typed misc API, not opaque.
+	if len(p.Opaque) != 0 {
+		t.Errorf("opaque calls: %v", p.Opaque)
+	}
+}
+
+func TestBuildChainedCallsLowered(t *testing.T) {
+	src := `
+class A extends Activity {
+	void onCreate() {
+		View v = this.getLayoutInflater().inflate(R.layout.main).findViewById(R.id.x);
+	}
+}`
+	p := buildSrc(t, src, map[string]string{"main": `<LinearLayout><Button android:id="@+id/x"/></LinearLayout>`})
+	m := p.Class("A").Methods["onCreate()"]
+	var invokes int
+	WalkStmts(m.Body, func(s Stmt) {
+		if _, ok := s.(*Invoke); ok {
+			invokes++
+		}
+	})
+	if invokes != 3 {
+		t.Errorf("lowered to %d invokes, want 3", invokes)
+	}
+}
+
+func TestDispatchAndOverriding(t *testing.T) {
+	src := `
+class Base extends Activity {
+	View pick(View v) { return v; }
+}
+class Derived extends Base {
+	View pick(View v) { return v.findFocus(); }
+}`
+	p := buildSrc(t, src, nil)
+	base, derived := p.Class("Base"), p.Class("Derived")
+	key := "pick(R)"
+	if got := derived.Dispatch(key); got != derived.Methods[key] {
+		t.Errorf("Dispatch on Derived = %v", got)
+	}
+	if got := base.Dispatch(key); got != base.Methods[key] {
+		t.Errorf("Dispatch on Base = %v", got)
+	}
+	if got := derived.LookupMethod("setContentView(I)"); got == nil || got.API == nil {
+		t.Errorf("platform lookup through app hierarchy failed: %v", got)
+	}
+}
+
+func TestOverloadResolutionByKind(t *testing.T) {
+	src := `
+class A extends Activity {
+	void onCreate() {
+		this.setContentView(R.layout.main);
+		LinearLayout root = new LinearLayout();
+		this.setContentView(root);
+	}
+}`
+	p := buildSrc(t, src, map[string]string{"main": `<LinearLayout/>`})
+	m := p.Class("A").Methods["onCreate()"]
+	var ops []platform.OpKind
+	WalkStmts(m.Body, func(s Stmt) {
+		if inv, ok := s.(*Invoke); ok && inv.Target != nil && inv.Target.API != nil {
+			ops = append(ops, inv.Target.API.Kind)
+		}
+	})
+	if len(ops) != 2 || ops[0] != platform.OpInflate2 || ops[1] != platform.OpAddView1 {
+		t.Errorf("ops = %v", ops)
+	}
+}
+
+func TestSubtypeOf(t *testing.T) {
+	p := buildSrc(t, `class L implements OnClickListener { void onClick(View v) { } }`, nil)
+	cases := []struct {
+		sub, sup string
+		want     bool
+	}{
+		{"Button", "View", true},
+		{"Button", "TextView", true},
+		{"ViewFlipper", "ViewGroup", true},
+		{"ViewFlipper", "FrameLayout", true},
+		{"TextView", "Button", false},
+		{"Activity", "View", false},
+		{"L", "OnClickListener", true},
+		{"L", "Object", true},
+		{"ListView", "AdapterView", true},
+	}
+	for _, c := range cases {
+		got := p.Class(c.sub).SubtypeOf(p.Class(c.sup))
+		if got != c.want {
+			t.Errorf("%s subtype of %s = %v, want %v", c.sub, c.sup, got, c.want)
+		}
+	}
+}
+
+func TestFieldResolutionThroughSuper(t *testing.T) {
+	src := `
+class Base { View stored; }
+class Sub extends Base {
+	void put(View v) { this.stored = v; }
+	View get() { View r = this.stored; return r; }
+}`
+	p := buildSrc(t, src, nil)
+	sub := p.Class("Sub")
+	f := sub.LookupField("stored")
+	if f == nil || f.Class.Name != "Base" {
+		t.Fatalf("LookupField = %v", f)
+	}
+	var stores, loads int
+	for _, m := range sub.MethodsSorted() {
+		WalkStmts(m.Body, func(s Stmt) {
+			switch s := s.(type) {
+			case *Store:
+				stores++
+				if s.Field != f {
+					t.Errorf("store to %v, want %v", s.Field, f)
+				}
+			case *Load:
+				loads++
+			}
+		})
+	}
+	if stores != 1 || loads != 1 {
+		t.Errorf("stores=%d loads=%d", stores, loads)
+	}
+}
+
+func TestOpaquePlatformCalls(t *testing.T) {
+	src := `
+class A extends Activity {
+	void onCreate() {
+		this.requestWindowFeature(1);
+	}
+}`
+	p := buildSrc(t, src, nil)
+	if len(p.Opaque) != 1 {
+		t.Fatalf("opaque = %v", p.Opaque)
+	}
+	if p.Opaque[0].Key != "requestWindowFeature(I)" {
+		t.Errorf("opaque key = %q", p.Opaque[0].Key)
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	cases := []struct {
+		name, src string
+		wantSub   string
+	}{
+		{"dup class", `class A { } class A { }`, "duplicate class"},
+		{"platform clash", `class View { }`, "conflicts with a platform class"},
+		{"unknown super", `class A extends Zorp { }`, "unknown class"},
+		{"extends iface", `class A extends OnClickListener { }`, "extends interface"},
+		{"implements class", `class A implements View { }`, "non-interface"},
+		{"cycle", `class A extends B { } class B extends A { }`, "cycle"},
+		{"unknown field type", `class A { Zorp f; }`, "unknown type"},
+		{"dup field", `class A { View f; View f; }`, "duplicate field"},
+		{"dup method", `class A { void m() { } void m() { } }`, "duplicate method"},
+		{"undefined var", `class A { void m() { x = null; } }`, "undefined variable"},
+		{"redeclared var", `class A { void m() { View v; View v; } }`, "already declared"},
+		{"no field", `class A { void m(View v) { View w = v.zorp; } }`, "no field"},
+		{"no app method", `class B { } class A { void m(B b) { b.zorp(); } }`, "no method"},
+		{"bad assign", `class A { void m(View v) { int x; x = v; } }`, "cannot assign"},
+		{"bad arg", `class A { void take(Button b) { } void m(View v) { A a = new A(); a.take(v); } }`, "cannot pass"},
+		{"impossible cast", `class B { } class A { void m(B b) { View v = (View) b; } }`, "impossible cast"},
+		{"void value", `class A { void m(View v) { View w = v.setId(3); } }`, "returns no value"},
+		{"void return val", `class A { void m() { return; } int n() { return; } }`, "missing return value"},
+		{"nonvoid return", `class A { void m() { View v; return v; } }`, "returns a value"},
+		{"iface new", `class A { void m() { OnClickListener l = new OnClickListener(); } }`, "cannot instantiate interface"},
+		{"missing layout", `class A extends Activity { void onCreate() { this.setContentView(R.layout.nope); } }`, "does not match any layout"},
+		{"ctor args", `class B { } class A { void m() { B b = new B(null); } }`, "no constructor"},
+		{"int cond", `class A { void m(int i) { if (i == null) { } } }`, "reference operand"},
+	}
+	for _, c := range cases {
+		_, err := buildSrcErr(c.src, nil)
+		if err == nil {
+			t.Errorf("%s: want error containing %q, got none", c.name, c.wantSub)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.wantSub) {
+			t.Errorf("%s: error %q does not contain %q", c.name, err, c.wantSub)
+		}
+	}
+}
+
+func TestLayoutValidation(t *testing.T) {
+	_, err := buildSrcErr(`class A { }`, map[string]string{"main": `<Zorp/>`})
+	if err == nil || !strings.Contains(err.Error(), "unknown view class") {
+		t.Errorf("err = %v", err)
+	}
+	_, err = buildSrcErr(`class A { }`, map[string]string{"main": `<Activity/>`})
+	if err == nil || !strings.Contains(err.Error(), "not a view class") {
+		t.Errorf("err = %v", err)
+	}
+	// App-defined view classes are allowed in layouts.
+	_, err = buildSrcErr(`class MyWidget extends View { }`, map[string]string{"main": `<MyWidget/>`})
+	if err != nil {
+		t.Errorf("app view class rejected: %v", err)
+	}
+}
+
+func TestProgrammaticViewIDRegistration(t *testing.T) {
+	src := `
+class A extends Activity {
+	void onCreate() {
+		Button b = new Button();
+		b.setId(R.id.made_up);
+	}
+}`
+	p := buildSrc(t, src, nil)
+	if _, ok := p.R.ViewID("made_up"); !ok {
+		t.Error("programmatic view id not registered")
+	}
+}
+
+func TestListenerSpecsTransitive(t *testing.T) {
+	src := `
+interface Command extends OnClickListener { }
+class Impl implements Command {
+	void onClick(View v) { }
+}
+class Multi implements OnClickListener, OnKeyListener {
+	void onClick(View v) { }
+	void onKey(View v, int code) { }
+}`
+	p := buildSrc(t, src, nil)
+	if got := p.ListenerSpecsOf(p.Class("Impl")); len(got) != 1 || got[0].Event != "click" {
+		t.Errorf("Impl specs = %v", got)
+	}
+	if got := p.ListenerSpecsOf(p.Class("Multi")); len(got) != 2 {
+		t.Errorf("Multi specs = %v", got)
+	}
+}
+
+func TestTempNaming(t *testing.T) {
+	src := `class A { View m(View v) { return v.findFocus().findFocus(); } }`
+	p := buildSrc(t, src, nil)
+	m := p.Class("A").Methods["m(R)"]
+	var temps int
+	for _, v := range m.Locals {
+		if v.Temp {
+			temps++
+		}
+	}
+	if temps != 2 {
+		t.Errorf("temps = %d, want 2", temps)
+	}
+}
+
+func TestControlFlowLowering(t *testing.T) {
+	src := `
+class A {
+	void m(View v) {
+		if (v != null) {
+			v.setId(1);
+		} else {
+			while (*) {
+				v.findFocus();
+			}
+		}
+	}
+}`
+	p := buildSrc(t, src, nil)
+	m := p.Class("A").Methods["m(R)"]
+	var ifs, whiles, invokes int
+	WalkStmts(m.Body, func(s Stmt) {
+		switch s.(type) {
+		case *If:
+			ifs++
+		case *While:
+			whiles++
+		case *Invoke:
+			invokes++
+		}
+	})
+	if ifs != 1 || whiles != 1 || invokes != 2 {
+		t.Errorf("ifs=%d whiles=%d invokes=%d", ifs, whiles, invokes)
+	}
+}

@@ -1,0 +1,93 @@
+package ir
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// DumpMethod renders a method's lowered three-address body as a readable
+// listing, one statement per line, with nesting for structured control
+// flow. Useful for debugging the frontend and for golden tests.
+func DumpMethod(m *Method) string {
+	var b strings.Builder
+	params := make([]string, len(m.Params))
+	for i, p := range m.Params {
+		params[i] = fmt.Sprintf("%s %s", p.Type, p.Name)
+	}
+	fmt.Fprintf(&b, "%s %s.%s(%s)", m.Return, m.Class.Name, m.Name, strings.Join(params, ", "))
+	if m.Body == nil {
+		b.WriteString(" <no body>\n")
+		return b.String()
+	}
+	b.WriteString(" {\n")
+	dumpStmts(&b, m.Body, 1)
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func dumpStmts(b *strings.Builder, stmts []Stmt, depth int) {
+	indent := strings.Repeat("    ", depth)
+	for _, s := range stmts {
+		switch s := s.(type) {
+		case *If:
+			fmt.Fprintf(b, "%sif (%s) {\n", indent, s.Cond)
+			dumpStmts(b, s.Then, depth+1)
+			if len(s.Else) > 0 {
+				fmt.Fprintf(b, "%s} else {\n", indent)
+				dumpStmts(b, s.Else, depth+1)
+			}
+			fmt.Fprintf(b, "%s}\n", indent)
+		case *While:
+			fmt.Fprintf(b, "%swhile (%s) {\n", indent, s.Cond)
+			dumpStmts(b, s.Body, depth+1)
+			fmt.Fprintf(b, "%s}\n", indent)
+		default:
+			fmt.Fprintf(b, "%s%s\n", indent, s)
+		}
+	}
+}
+
+// DumpClass renders a class's fields and lowered methods.
+func DumpClass(c *Class) string {
+	var b strings.Builder
+	kind := "class"
+	if c.IsInterface {
+		kind = "interface"
+	}
+	fmt.Fprintf(&b, "%s %s", kind, c.Name)
+	if c.Super != nil && c.Super.Name != "Object" {
+		fmt.Fprintf(&b, " extends %s", c.Super.Name)
+	}
+	if len(c.Interfaces) > 0 {
+		names := make([]string, len(c.Interfaces))
+		for i, in := range c.Interfaces {
+			names[i] = in.Name
+		}
+		sort.Strings(names)
+		fmt.Fprintf(&b, " implements %s", strings.Join(names, ", "))
+	}
+	b.WriteString(" {\n")
+	for _, f := range c.Fields {
+		fmt.Fprintf(&b, "    %s %s  // %s\n", f.Type, f.Name, f.Sig())
+	}
+	for _, m := range c.MethodsSorted() {
+		for _, line := range strings.Split(strings.TrimRight(DumpMethod(m), "\n"), "\n") {
+			fmt.Fprintf(&b, "    %s\n", line)
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// DumpProgram renders every application class.
+func DumpProgram(p *Program) string {
+	var b strings.Builder
+	for i, c := range p.AppClasses() {
+		if i > 0 {
+			b.WriteByte('\n')
+		}
+		b.WriteString(DumpClass(c))
+	}
+	return b.String()
+}

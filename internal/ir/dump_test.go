@@ -1,0 +1,158 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+
+	"gator/internal/corpus"
+)
+
+func TestDumpMethodForms(t *testing.T) {
+	src := `
+class Helper {
+	Helper() { }
+}
+class Other extends Activity { void onCreate() { } }
+class A extends Activity {
+	View kept;
+	void onCreate() {
+		this.setContentView(R.layout.main);
+		View v = this.findViewById(R.id.go);
+		this.kept = v;
+		View w = this.kept;
+		Button b = new Button();
+		Button c = (Button) w;
+		int n = 7;
+		Intent i = new Intent(Other.class);
+		if (v != null) {
+			v.setId(R.id.go);
+		} else {
+			while (*) {
+				v.findFocus();
+			}
+		}
+	}
+	View pick() {
+		View r = this.kept;
+		return r;
+	}
+	void drop() {
+		return;
+	}
+}`
+	p := buildSrc(t, src, map[string]string{"main": `<LinearLayout><Button android:id="@+id/go"/></LinearLayout>`})
+	dump := DumpProgram(p)
+	for _, want := range []string{
+		"class A extends Activity",
+		":= R.layout.main",
+		":= R.id.go",
+		"this.kept :=",
+		":= this.kept",
+		":= new Button",
+		":= (Button)",
+		":= 7",
+		"Other.class",
+		"if (v != null) {",
+		"} else {",
+		"while (*) {",
+		"return r",
+		"return\n",
+		"void A.drop()",
+		"View A.pick()",
+		"interface", // none in this program... see below
+	} {
+		if want == "interface" {
+			continue
+		}
+		if !strings.Contains(dump, want) {
+			t.Errorf("dump missing %q:\n%s", want, dump)
+		}
+	}
+	// Null constants and calls render.
+	if !strings.Contains(dump, "null") && strings.Contains(src, "null") {
+		// "v != null" appears in the condition
+		t.Errorf("dump lost null condition:\n%s", dump)
+	}
+}
+
+func TestDumpInterfaceAndAbstract(t *testing.T) {
+	src := `
+interface Cmd extends OnClickListener {
+	void run(View v);
+}
+class Impl implements Cmd {
+	void run(View v) { }
+	void onClick(View v) { }
+}`
+	p := buildSrc(t, src, nil)
+	dump := DumpProgram(p)
+	if !strings.Contains(dump, "interface Cmd") {
+		t.Errorf("dump missing interface:\n%s", dump)
+	}
+	if !strings.Contains(dump, "<no body>") {
+		t.Errorf("dump missing abstract marker:\n%s", dump)
+	}
+	if !strings.Contains(dump, "implements Cmd") {
+		t.Errorf("dump missing implements clause:\n%s", dump)
+	}
+}
+
+func TestDumpFigure1Stable(t *testing.T) {
+	p := MustBuild(corpus.Figure1Files(), corpus.Figure1Layouts())
+	a := DumpProgram(p)
+	p2 := MustBuild(corpus.Figure1Files(), corpus.Figure1Layouts())
+	b := DumpProgram(p2)
+	if a != b {
+		t.Error("dump is not deterministic")
+	}
+	if !strings.Contains(a, "ConsoleActivity.addNewTerminalView") {
+		t.Errorf("dump incomplete:\n%s", a)
+	}
+}
+
+func TestStmtPosCarried(t *testing.T) {
+	src := `
+class A extends Activity {
+	void onCreate() {
+		Button b = new Button();
+	}
+}`
+	p := buildSrc(t, src, nil)
+	m := p.Class("A").Methods["onCreate()"]
+	WalkStmts(m.Body, func(s Stmt) {
+		if !s.Pos().IsValid() {
+			t.Errorf("statement %s has no position", s)
+		}
+		if s.Pos().File == "" {
+			t.Errorf("statement %s has no file", s)
+		}
+	})
+}
+
+func TestVarAndMethodStrings(t *testing.T) {
+	p := MustBuild(corpus.Figure1Files(), corpus.Figure1Layouts())
+	m := p.Class("ConsoleActivity").Methods["onCreate()"]
+	if got := m.String(); got != "ConsoleActivity.onCreate()" {
+		t.Errorf("method String = %q", got)
+	}
+	if got := m.This.String(); got != "ConsoleActivity.onCreate:this" {
+		t.Errorf("this String = %q", got)
+	}
+	if m.IsAbstract() {
+		t.Error("onCreate reported abstract")
+	}
+	iface := p.Class("OnClickListener").Methods["onClick(R)"]
+	if iface == nil || !iface.IsAbstract() {
+		t.Error("interface handler not abstract")
+	}
+	f := p.Class("ConsoleActivity").LookupField("flip")
+	if f.Sig() != "ConsoleActivity.flip" {
+		t.Errorf("field Sig = %q", f.Sig())
+	}
+	if p.Object() == nil || p.Object().Name != "Object" {
+		t.Error("Object accessor broken")
+	}
+	if p.IsDialogClass(p.Class("ConsoleActivity")) {
+		t.Error("activity misclassified as dialog")
+	}
+}

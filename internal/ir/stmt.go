@@ -1,0 +1,218 @@
+package ir
+
+import (
+	"fmt"
+
+	"gator/internal/alite"
+)
+
+// Stmt is one lowered three-address statement. The forms mirror the ALite
+// abstract syntax of the paper (Section 3), with structured control flow
+// retained for the concrete interpreter; the flow-insensitive analysis
+// simply walks all nested statements.
+type Stmt interface {
+	Pos() alite.Pos
+	String() string
+}
+
+// New is x := new C(args); the constructor call is part of the statement.
+type New struct {
+	Dst   *Var
+	Class *Class
+	// Ctor is the resolved constructor; nil for platform classes with the
+	// implicit default constructor.
+	Ctor *Method
+	Args []*Var
+	At   alite.Pos
+}
+
+// Copy is x := y, optionally through a cast.
+type Copy struct {
+	Dst *Var
+	Src *Var
+	// CastTo is the resolved cast target class for (C) y, or nil.
+	CastTo *Class
+	At     alite.Pos
+}
+
+// Load is x := y.f.
+type Load struct {
+	Dst   *Var
+	Base  *Var
+	Field *Field
+	At    alite.Pos
+}
+
+// Store is x.f := y.
+type Store struct {
+	Base  *Var
+	Field *Field
+	Src   *Var
+	At    alite.Pos
+}
+
+// Invoke is [x :=] y.m(args).
+type Invoke struct {
+	// Dst is nil when the result is unused or the method returns void.
+	Dst  *Var
+	Recv *Var
+	// Target is the statically resolved method in the declared type of
+	// Recv; nil for opaque (unmodeled platform) calls.
+	Target *Method
+	// Key is the signature key used for dynamic dispatch.
+	Key  string
+	Args []*Var
+	At   alite.Pos
+}
+
+// ConstInt is x := <integer literal>.
+type ConstInt struct {
+	Dst   *Var
+	Value int
+	At    alite.Pos
+}
+
+// ConstRes is x := R.layout.f or x := R.id.f, with the constant resolved.
+type ConstRes struct {
+	Dst    *Var
+	ID     int
+	Layout bool
+	Name   string
+	At     alite.Pos
+}
+
+// ConstClass is x := C.class.
+type ConstClass struct {
+	Dst   *Var
+	Class *Class
+	At    alite.Pos
+}
+
+// ConstNull is x := null.
+type ConstNull struct {
+	Dst *Var
+	At  alite.Pos
+}
+
+// Return is return [x].
+type Return struct {
+	Src *Var // nil for bare return
+	At  alite.Pos
+}
+
+// Cond is a lowered branch condition.
+type Cond struct {
+	Nondet  bool
+	X       *Var
+	Negated bool
+}
+
+func (c Cond) String() string {
+	if c.Nondet {
+		return "*"
+	}
+	op := "=="
+	if c.Negated {
+		op = "!="
+	}
+	return fmt.Sprintf("%s %s null", c.X.Name, op)
+}
+
+// If is a conditional.
+type If struct {
+	Cond Cond
+	Then []Stmt
+	Else []Stmt
+	At   alite.Pos
+}
+
+// While is a loop.
+type While struct {
+	Cond Cond
+	Body []Stmt
+	At   alite.Pos
+}
+
+func (s *New) Pos() alite.Pos        { return s.At }
+func (s *Copy) Pos() alite.Pos       { return s.At }
+func (s *Load) Pos() alite.Pos       { return s.At }
+func (s *Store) Pos() alite.Pos      { return s.At }
+func (s *Invoke) Pos() alite.Pos     { return s.At }
+func (s *ConstInt) Pos() alite.Pos   { return s.At }
+func (s *ConstRes) Pos() alite.Pos   { return s.At }
+func (s *ConstClass) Pos() alite.Pos { return s.At }
+func (s *ConstNull) Pos() alite.Pos  { return s.At }
+func (s *Return) Pos() alite.Pos     { return s.At }
+func (s *If) Pos() alite.Pos         { return s.At }
+func (s *While) Pos() alite.Pos      { return s.At }
+
+func (s *New) String() string {
+	return fmt.Sprintf("%s := new %s", s.Dst.Name, s.Class.Name)
+}
+
+func (s *Copy) String() string {
+	if s.CastTo != nil {
+		return fmt.Sprintf("%s := (%s) %s", s.Dst.Name, s.CastTo.Name, s.Src.Name)
+	}
+	return fmt.Sprintf("%s := %s", s.Dst.Name, s.Src.Name)
+}
+
+func (s *Load) String() string {
+	return fmt.Sprintf("%s := %s.%s", s.Dst.Name, s.Base.Name, s.Field.Name)
+}
+
+func (s *Store) String() string {
+	return fmt.Sprintf("%s.%s := %s", s.Base.Name, s.Field.Name, s.Src.Name)
+}
+
+func (s *Invoke) String() string {
+	callee := s.Key
+	if s.Target != nil {
+		callee = s.Target.String()
+	}
+	if s.Dst != nil {
+		return fmt.Sprintf("%s := %s.%s", s.Dst.Name, s.Recv.Name, callee)
+	}
+	return fmt.Sprintf("%s.%s", s.Recv.Name, callee)
+}
+
+func (s *ConstInt) String() string { return fmt.Sprintf("%s := %d", s.Dst.Name, s.Value) }
+
+func (s *ConstRes) String() string {
+	section := "id"
+	if s.Layout {
+		section = "layout"
+	}
+	return fmt.Sprintf("%s := R.%s.%s", s.Dst.Name, section, s.Name)
+}
+
+func (s *ConstClass) String() string {
+	return fmt.Sprintf("%s := %s.class", s.Dst.Name, s.Class.Name)
+}
+
+func (s *ConstNull) String() string { return s.Dst.Name + " := null" }
+
+func (s *Return) String() string {
+	if s.Src != nil {
+		return "return " + s.Src.Name
+	}
+	return "return"
+}
+
+func (s *If) String() string    { return "if (" + s.Cond.String() + ") ..." }
+func (s *While) String() string { return "while (" + s.Cond.String() + ") ..." }
+
+// WalkStmts visits every statement in the list, recursing into If/While
+// bodies, in syntactic order.
+func WalkStmts(stmts []Stmt, visit func(Stmt)) {
+	for _, s := range stmts {
+		visit(s)
+		switch s := s.(type) {
+		case *If:
+			WalkStmts(s.Then, visit)
+			WalkStmts(s.Else, visit)
+		case *While:
+			WalkStmts(s.Body, visit)
+		}
+	}
+}

@@ -1,0 +1,127 @@
+package layout
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// randomTree builds a random layout tree (no include/merge pseudo-nodes,
+// which Render emits but Link removes).
+func randomTree(r *rand.Rand, depth int) *Node {
+	classes := []string{"LinearLayout", "RelativeLayout", "TextView", "Button", "ImageView"}
+	n := &Node{Class: classes[r.Intn(len(classes))]}
+	if r.Intn(2) == 0 {
+		n.ID = fmt.Sprintf("id%d", r.Intn(8))
+	}
+	if r.Intn(3) == 0 {
+		n.OnClick = fmt.Sprintf("handler%d", r.Intn(4))
+	}
+	if depth > 0 {
+		for i, k := 0, r.Intn(4); i < k; i++ {
+			n.Children = append(n.Children, randomTree(r, depth-1))
+		}
+	}
+	return n
+}
+
+// TestPropertyRenderParseRoundTrip: Parse(Render(l)) reproduces the tree.
+func TestPropertyRenderParseRoundTrip(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		l := &Layout{Name: "t", Root: randomTree(r, 3)}
+		parsed, err := Parse("t", Render(l))
+		if err != nil {
+			t.Logf("seed %d: %v\n%s", seed, err, Render(l))
+			return false
+		}
+		return reflect.DeepEqual(l.Root, parsed.Root)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyCloneIndependence: mutating a clone leaves the original
+// untouched, and the clone is structurally equal before mutation.
+func TestPropertyCloneIndependence(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		l := &Layout{Name: "t", Root: randomTree(r, 3)}
+		c := Clone(l)
+		if !reflect.DeepEqual(l.Root, c.Root) {
+			return false
+		}
+		c.Root.Class = "Mutated"
+		c.Root.Children = append(c.Root.Children, &Node{Class: "Extra"})
+		return l.Root.Class != "Mutated" && l.Root.Count() == Clone(l).Root.Count()
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyRTable: for any set of layouts, ids are dense, deterministic,
+// and name↔id round-trips hold.
+func TestPropertyRTable(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		layouts := map[string]*Layout{}
+		for i, n := 0, 1+r.Intn(5); i < n; i++ {
+			name := fmt.Sprintf("lay%d", i)
+			layouts[name] = &Layout{Name: name, Root: randomTree(r, 2)}
+		}
+		a := NewRTable(layouts)
+		b := NewRTable(layouts)
+		for _, name := range a.LayoutNames() {
+			ida, _ := a.LayoutID(name)
+			idb, _ := b.LayoutID(name)
+			if ida != idb {
+				return false // nondeterministic
+			}
+			back, ok := a.LayoutName(ida)
+			if !ok || back != name {
+				return false
+			}
+		}
+		for _, name := range a.ViewIDNames() {
+			ida, _ := a.ViewID(name)
+			idb, _ := b.ViewID(name)
+			if ida != idb {
+				return false
+			}
+			back, ok := a.ViewIDName(ida)
+			if !ok || back != name {
+				return false
+			}
+		}
+		// Ranges don't collide.
+		if a.NumLayouts() > 0 && a.NumViewIDs() > 0 {
+			lid, _ := a.LayoutID(a.LayoutNames()[0])
+			vid, _ := a.ViewID(a.ViewIDNames()[0])
+			if lid >= ViewIDBase || vid < ViewIDBase {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyCountWalkAgree: Count equals the number of Walk visits.
+func TestPropertyCountWalkAgree(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		root := randomTree(r, 4)
+		visits := 0
+		root.Walk(func(*Node) { visits++ })
+		return visits == root.Count()
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,124 @@
+package layout
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Resource id spaces, mirroring the aapt-generated constants the paper shows
+// (e.g. R.layout.act_console = 0x7f030000).
+const (
+	LayoutIDBase = 0x7f030000
+	ViewIDBase   = 0x7f080000
+)
+
+// RTable maps layout and view id names to generated integer constants, the
+// moral equivalent of the generated R class.
+type RTable struct {
+	layoutByName map[string]int
+	layoutByID   map[int]string
+	viewByName   map[string]int
+	viewByID     map[int]string
+}
+
+// NewRTable builds the R table for a set of linked layouts: one R.layout
+// constant per layout, one R.id constant per distinct view id name.
+// Additional view id names (used only programmatically via setId) can be
+// registered with AddViewID.
+func NewRTable(layouts map[string]*Layout) *RTable {
+	t := &RTable{
+		layoutByName: map[string]int{},
+		layoutByID:   map[int]string{},
+		viewByName:   map[string]int{},
+		viewByID:     map[int]string{},
+	}
+	names := make([]string, 0, len(layouts))
+	for name := range layouts {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for i, name := range names {
+		id := LayoutIDBase + i
+		t.layoutByName[name] = id
+		t.layoutByID[id] = name
+	}
+	for _, name := range names {
+		for _, vid := range layouts[name].IDNames() {
+			t.AddViewID(vid)
+		}
+	}
+	return t
+}
+
+// AddViewID registers a view id name, returning its constant. Idempotent.
+func (t *RTable) AddViewID(name string) int {
+	if id, ok := t.viewByName[name]; ok {
+		return id
+	}
+	id := ViewIDBase + len(t.viewByName)
+	t.viewByName[name] = id
+	t.viewByID[id] = name
+	return id
+}
+
+// LayoutID returns the R.layout constant for a layout name.
+func (t *RTable) LayoutID(name string) (int, bool) {
+	id, ok := t.layoutByName[name]
+	return id, ok
+}
+
+// ViewID returns the R.id constant for a view id name.
+func (t *RTable) ViewID(name string) (int, bool) {
+	id, ok := t.viewByName[name]
+	return id, ok
+}
+
+// LayoutName returns the layout name for an R.layout constant.
+func (t *RTable) LayoutName(id int) (string, bool) {
+	name, ok := t.layoutByID[id]
+	return name, ok
+}
+
+// ViewIDName returns the view id name for an R.id constant.
+func (t *RTable) ViewIDName(id int) (string, bool) {
+	name, ok := t.viewByID[id]
+	return name, ok
+}
+
+// NumLayouts returns the number of layout constants.
+func (t *RTable) NumLayouts() int { return len(t.layoutByName) }
+
+// NumViewIDs returns the number of view id constants.
+func (t *RTable) NumViewIDs() int { return len(t.viewByName) }
+
+// LayoutNames returns the sorted layout names.
+func (t *RTable) LayoutNames() []string {
+	names := make([]string, 0, len(t.layoutByName))
+	for n := range t.layoutByName {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ViewIDNames returns the sorted view id names.
+func (t *RTable) ViewIDNames() []string {
+	names := make([]string, 0, len(t.viewByName))
+	for n := range t.viewByName {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// DescribeID renders a resource constant for diagnostics: the symbolic name
+// when known, hex otherwise.
+func (t *RTable) DescribeID(id int) string {
+	if name, ok := t.layoutByID[id]; ok {
+		return "R.layout." + name
+	}
+	if name, ok := t.viewByID[id]; ok {
+		return "R.id." + name
+	}
+	return fmt.Sprintf("0x%x", id)
+}

@@ -1,0 +1,110 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"gator/internal/alite"
+	"gator/internal/core"
+	"gator/internal/corpus"
+	"gator/internal/ir"
+	"gator/internal/layout"
+)
+
+func figure1Result(t *testing.T) *core.Result {
+	t.Helper()
+	p, err := ir.Build(corpus.Figure1Files(), corpus.Figure1Layouts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return core.Analyze(p, core.Options{})
+}
+
+func TestTable1Figure1(t *testing.T) {
+	row := Table1("fig1", figure1Result(t))
+	if row.Classes != 4 {
+		t.Errorf("classes = %d, want 4", row.Classes)
+	}
+	if row.Methods != 7 {
+		t.Errorf("methods = %d, want 7", row.Methods)
+	}
+	if row.LayoutIDs != 2 || row.ViewIDs != 4 {
+		t.Errorf("ids = %d/%d", row.LayoutIDs, row.ViewIDs)
+	}
+	if row.ViewsInflated != 6 || row.ViewsAllocated != 1 {
+		t.Errorf("views = %d/%d", row.ViewsInflated, row.ViewsAllocated)
+	}
+	if row.Listeners != 1 {
+		t.Errorf("listeners = %d", row.Listeners)
+	}
+	if row.InflateOps != 2 || row.FindViewOps != 4 || row.AddViewOps != 2 ||
+		row.SetListenerOps != 1 || row.SetIdOps != 1 {
+		t.Errorf("ops = %+v", row)
+	}
+}
+
+func TestTable2Figure1(t *testing.T) {
+	row := Table2("fig1", figure1Result(t), 7*time.Millisecond)
+	if row.Time != 7*time.Millisecond {
+		t.Errorf("time = %v", row.Time)
+	}
+	if row.AvgReceivers < 1.0 || row.AvgReceivers > 3.0 {
+		t.Errorf("receivers = %v", row.AvgReceivers)
+	}
+	if !row.HasAddView {
+		t.Error("HasAddView = false")
+	}
+	if row.AvgListeners != 1.0 {
+		t.Errorf("listeners = %v", row.AvgListeners)
+	}
+	if row.AvgResults < 1.0 {
+		t.Errorf("results = %v", row.AvgResults)
+	}
+}
+
+func TestTable2NoAddView(t *testing.T) {
+	src := `
+class A extends Activity {
+	void onCreate() {
+		this.setContentView(R.layout.main);
+		View v = this.findViewById(R.id.go);
+	}
+}`
+	f, err := alite.Parse("t", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ls := map[string]*layout.Layout{
+		"main": layout.MustParse("main", `<LinearLayout><Button android:id="@+id/go"/></LinearLayout>`),
+	}
+	p, err := ir.Build([]*alite.File{f}, ls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := Table2("t", core.Analyze(p, core.Options{}), 0)
+	if row.HasAddView {
+		t.Error("HasAddView = true for app without AddView ops")
+	}
+	out := FormatTable2([]Table2Row{row})
+	if !strings.Contains(out, "-") {
+		t.Errorf("formatted table missing '-':\n%s", out)
+	}
+}
+
+func TestFormatting(t *testing.T) {
+	t1 := FormatTable1([]Table1Row{Table1("fig1", figure1Result(t))})
+	for _, want := range []string{"fig1", "Classes", "SetListener"} {
+		if !strings.Contains(t1, want) {
+			t.Errorf("table1 output missing %q:\n%s", want, t1)
+		}
+	}
+	t2 := FormatTable2([]Table2Row{{App: "x", Time: time.Second, AvgReceivers: 1.5, HasAddView: true, AvgParameters: 2.0}})
+	if !strings.Contains(t2, "1.50") || !strings.Contains(t2, "2.00") {
+		t.Errorf("table2 output:\n%s", t2)
+	}
+	tp := FormatPrecision([]PrecisionRow{{App: "x", ObservedSites: 10, PerfectSites: 9, Violations: 0, Steps: 100}})
+	if !strings.Contains(tp, "x") || !strings.Contains(tp, "10") {
+		t.Errorf("precision output:\n%s", tp)
+	}
+}

@@ -1,0 +1,235 @@
+package oracle
+
+import (
+	"testing"
+
+	"gator/internal/alite"
+	"gator/internal/core"
+	"gator/internal/corpus"
+	"gator/internal/interp"
+	"gator/internal/ir"
+	"gator/internal/layout"
+)
+
+func buildProg(t *testing.T, src string, layouts map[string]string) *ir.Program {
+	t.Helper()
+	f, err := alite.Parse("test.alite", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ls := map[string]*layout.Layout{}
+	for name, xml := range layouts {
+		ls[name] = layout.MustParse(name, xml)
+	}
+	p, err := ir.Build([]*alite.File{f}, ls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// checkSound runs the analysis and the interpreter over several seeds and
+// requires zero violations.
+func checkSound(t *testing.T, p *ir.Program, opts core.Options) {
+	t.Helper()
+	res := core.Analyze(p, opts)
+	for seed := int64(1); seed <= 5; seed++ {
+		obs := interp.New(p, interp.Config{Seed: seed}).Run()
+		rep := Compare(res, obs)
+		if !rep.Sound() {
+			for _, v := range rep.Violations {
+				t.Errorf("seed %d: %s", seed, v)
+			}
+			t.Fatalf("seed %d: %d violations", seed, len(rep.Violations))
+		}
+	}
+}
+
+func TestFigure1ClosedSoundness(t *testing.T) {
+	p, err := ir.Build(corpus.Figure1ClosedFiles(), corpus.Figure1Layouts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkSound(t, p, core.Options{})
+	// The refinements stay sound too.
+	checkSound(t, p, core.Options{FilterCasts: true})
+	checkSound(t, p, core.Options{SharedInflation: true})
+	checkSound(t, p, core.Options{NoFindView3Refinement: true})
+}
+
+func TestSmallProgramsSoundness(t *testing.T) {
+	cases := []struct {
+		name    string
+		src     string
+		layouts map[string]string
+	}{
+		{
+			name: "declarative onclick",
+			src: `
+class A extends Activity {
+	void onCreate() { this.setContentView(R.layout.main); }
+	void go(View v) { v.setId(R.id.mark); }
+}`,
+			layouts: map[string]string{"main": `<LinearLayout><Button android:onClick="go"/></LinearLayout>`},
+		},
+		{
+			name: "listener chain",
+			src: `
+class H implements OnClickListener {
+	void onClick(View v) {
+		View w = v.findViewById(R.id.inner);
+		if (w != null) { w.setId(R.id.mark); }
+	}
+}
+class A extends Activity {
+	void onCreate() {
+		this.setContentView(R.layout.main);
+		View box = this.findViewById(R.id.box);
+		H h = new H();
+		box.setOnClickListener(h);
+	}
+}`,
+			layouts: map[string]string{"main": `<LinearLayout android:id="@+id/box"><TextView android:id="@+id/inner"/></LinearLayout>`},
+		},
+		{
+			name: "programmatic tree",
+			src: `
+class A extends Activity {
+	void onCreate() {
+		LinearLayout root = new LinearLayout();
+		Button b = new Button();
+		b.setId(R.id.go);
+		root.addView(b);
+		this.setContentView(root);
+		View f = this.findViewById(R.id.go);
+		ViewGroup g = (ViewGroup) root.getChildAt(0);
+	}
+}`,
+		},
+		{
+			name: "dialog",
+			src: `
+class D extends Dialog {
+	void onCreate() { this.setContentView(R.layout.d); }
+}
+class A extends Activity {
+	void onCreate() {
+		D d = new D();
+		View v = d.findViewById(R.id.x);
+		if (v != null) { v.setId(R.id.mark); }
+	}
+}`,
+			layouts: map[string]string{"d": `<FrameLayout><TextView android:id="@+id/x"/></FrameLayout>`},
+		},
+		{
+			name: "include and merge",
+			src: `
+class A extends Activity {
+	void onCreate() {
+		this.setContentView(R.layout.main);
+		View v = this.findViewById(R.id.title);
+		if (v != null) { v.setId(R.id.mark); }
+	}
+}`,
+			layouts: map[string]string{
+				"main":   `<LinearLayout><include layout="@layout/header"/></LinearLayout>`,
+				"header": `<merge><TextView android:id="@+id/title"/></merge>`,
+			},
+		},
+		{
+			name: "loops and branches",
+			src: `
+class A extends Activity {
+	void onCreate() {
+		LinearLayout root = new LinearLayout();
+		this.setContentView(root);
+		while (*) {
+			Button b = new Button();
+			if (*) { b.setId(R.id.even); } else { b.setId(R.id.odd); }
+			root.addView(b);
+		}
+		View e = this.findViewById(R.id.even);
+		View o = this.findViewById(R.id.odd);
+	}
+}`,
+		},
+		{
+			name: "inflate attach",
+			src: `
+class A extends Activity {
+	void onCreate() {
+		this.setContentView(R.layout.main);
+		LinearLayout box = (LinearLayout) this.findViewById(R.id.box);
+		LayoutInflater i = this.getLayoutInflater();
+		while (*) {
+			i.inflate(R.layout.row, box);
+		}
+		View cell = this.findViewById(R.id.cell);
+	}
+}`,
+			layouts: map[string]string{
+				"main": `<ScrollView android:id="@+id/top"><LinearLayout android:id="@+id/box"/></ScrollView>`,
+				"row":  `<TextView android:id="@+id/cell"/>`,
+			},
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			checkSound(t, buildProg(t, c.src, c.layouts), core.Options{})
+		})
+	}
+}
+
+// TestOracleDetectsUnsoundness makes sure the oracle is not vacuous: the
+// DeclaredDispatchOnly ablation misses interface-dispatched handlers, and
+// the oracle must notice when their effects show up concretely.
+func TestOracleDetectsUnsoundness(t *testing.T) {
+	src := `
+interface Cmd extends OnClickListener { }
+class H implements Cmd {
+	void onClick(View v) {
+		Button b = new Button();
+		v.findViewById(R.id.x);
+	}
+}
+class A extends Activity {
+	void onCreate() {
+		this.setContentView(R.layout.main);
+		View w = this.findViewById(R.id.x);
+		Cmd h = new H();
+		w.setOnClickListener(h);
+	}
+}`
+	p := buildProg(t, src, map[string]string{"main": `<LinearLayout><Button android:id="@+id/x"/></LinearLayout>`})
+
+	// Full analysis: sound.
+	checkSound(t, p, core.Options{})
+
+	// Crippled analysis: the handler's FindView1 receiver set misses the
+	// concrete view because no callback edge delivered it.
+	res := core.Analyze(p, core.Options{DeclaredDispatchOnly: true})
+	obs := interp.New(p, interp.Config{Seed: 1}).Run()
+	rep := Compare(res, obs)
+	if rep.Sound() {
+		t.Error("oracle failed to flag the crippled analysis")
+	}
+}
+
+func TestReportCounters(t *testing.T) {
+	p, err := ir.Build(corpus.Figure1ClosedFiles(), corpus.Figure1Layouts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := core.Analyze(p, core.Options{})
+	obs := interp.New(p, interp.Config{Seed: 2, EventRounds: 8}).Run()
+	rep := Compare(res, obs)
+	if !rep.Sound() {
+		t.Fatalf("violations: %v", rep.Violations)
+	}
+	if rep.ObservedSites == 0 || rep.CheckedValues == 0 {
+		t.Errorf("counters: sites=%d values=%d", rep.ObservedSites, rep.CheckedValues)
+	}
+	if rep.PerfectSites > rep.ObservedSites {
+		t.Errorf("perfect=%d > observed=%d", rep.PerfectSites, rep.ObservedSites)
+	}
+}

@@ -1,0 +1,80 @@
+package gator
+
+import (
+	"testing"
+	"time"
+
+	"gator/internal/core"
+	"gator/internal/corpus"
+	"gator/internal/ir"
+)
+
+// TestScalability supports the paper's "low cost" claim an order of
+// magnitude beyond its largest subject: a synthetic application with ~5000
+// classes, ~20000 methods, 200 layouts, and 600 view ids must analyze in
+// seconds.
+func TestScalability(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scale test skipped in -short mode")
+	}
+	spec := corpus.Spec{
+		Name:            "Goliath",
+		Classes:         5000,
+		Methods:         20000,
+		Layouts:         200,
+		ViewIDs:         600,
+		InflatedViews:   1500,
+		AllocViews:      120,
+		Listeners:       300,
+		AddViews:        true,
+		TargetReceivers: 1.5,
+	}
+	app := corpus.Generate(spec)
+
+	start := time.Now()
+	prog, err := ir.Build(app.FreshFiles(), app.FreshLayouts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	frontend := time.Since(start)
+
+	start = time.Now()
+	res := core.Analyze(prog, core.Options{})
+	analysis := time.Since(start)
+
+	t.Logf("frontend %v, analysis %v, %d fixpoint rounds, %d nodes",
+		frontend, analysis, res.Iterations, len(res.Graph.Nodes()))
+
+	if analysis > 30*time.Second {
+		t.Errorf("analysis took %v; the approach should stay practical at scale", analysis)
+	}
+	classes := 0
+	for range prog.AppClasses() {
+		classes++
+	}
+	if classes != spec.Classes {
+		t.Errorf("classes = %d", classes)
+	}
+	if got := len(res.Graph.Infls()); got < spec.InflatedViews {
+		t.Errorf("inflated views = %d, want >= %d", got, spec.InflatedViews)
+	}
+}
+
+// BenchmarkScale measures the full pipeline on the large synthetic app.
+func BenchmarkScale(b *testing.B) {
+	spec := corpus.Spec{
+		Name: "Goliath", Classes: 2000, Methods: 8000, Layouts: 100,
+		ViewIDs: 300, InflatedViews: 700, AllocViews: 60, Listeners: 150,
+		AddViews: true, TargetReceivers: 1.2,
+	}
+	app := corpus.Generate(spec)
+	prog, err := ir.Build(app.FreshFiles(), app.FreshLayouts())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.Analyze(prog, core.Options{})
+	}
+}
