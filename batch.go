@@ -1,0 +1,178 @@
+package gator
+
+// Parallel batch analysis. The paper's evaluation (Section 5) analyzes its
+// 20 applications one at a time; AnalyzeBatch fans a set of applications
+// across a bounded worker pool. Per-app parallelism is safe because the
+// analysis holds no cross-application state: each app gets its own
+// ir.Program, constraint graph, and fixpoint solution (see DESIGN.md,
+// "Batch analysis & parallelism"), so the per-app solutions are identical
+// to sequential runs — a property the differential tests in batch_test.go
+// verify byte-for-byte under the race detector.
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"time"
+
+	"gator/internal/metrics"
+)
+
+// BatchInput names one application of a batch. Exactly one source should be
+// set, checked in this order: Load (a custom loader), Dir (a directory for
+// LoadDir), or the in-memory Sources/Layouts maps (for Load).
+type BatchInput struct {
+	// Name labels the application in results and stats; when "" the loaded
+	// app's own name is used.
+	Name string
+	// Load, when non-nil, supplies the application (overrides Dir/Sources).
+	Load func() (*App, error)
+	// Dir is an application directory, as for LoadDir.
+	Dir string
+	// Sources and Layouts are in-memory inputs, as for Load.
+	Sources map[string]string
+	Layouts map[string]string
+}
+
+// BatchOptions configure a batch run.
+type BatchOptions struct {
+	// Workers bounds the worker pool; <= 0 means runtime.GOMAXPROCS(0).
+	Workers int
+	// Options are the per-application analysis options.
+	Options Options
+}
+
+// AppReport is one application's outcome within a batch, in input order.
+type AppReport struct {
+	// Name is the application label.
+	Name string
+	// Result is the solution, nil when Err is set.
+	Result *Result
+	// Err is the application's failure: a load/build error, or a recovered
+	// panic from any stage. One failing app never affects the others.
+	Err error
+	// Stats carries the per-stage wall-clock accounting.
+	Stats metrics.AppStats
+}
+
+// BatchResult is the outcome of AnalyzeBatch.
+type BatchResult struct {
+	// Apps holds one report per input, in input order — independent of the
+	// order in which workers completed them.
+	Apps []AppReport
+	// Stats summarizes the run (workers, wall, per-app stages, allocation).
+	Stats metrics.BatchStats
+}
+
+// Failed returns the reports that ended in error.
+func (b *BatchResult) Failed() []AppReport {
+	var out []AppReport
+	for _, r := range b.Apps {
+		if r.Err != nil {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// AnalyzeBatch loads and analyzes every input on a bounded worker pool and
+// returns per-app results in input order. Each application is fully
+// isolated: its frontend, constraint graph, and fixpoint run on one worker
+// with no shared mutable state, a panic in any app is recovered into that
+// app's Err, and result ordering is independent of scheduling. The zero
+// BatchOptions analyzes with the paper's configuration on GOMAXPROCS
+// workers.
+func AnalyzeBatch(inputs []BatchInput, opts BatchOptions) *BatchResult {
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(inputs) {
+		workers = len(inputs)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	var memBefore runtime.MemStats
+	runtime.ReadMemStats(&memBefore)
+	start := time.Now()
+
+	out := &BatchResult{Apps: make([]AppReport, len(inputs))}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				// Writing to a distinct index needs no lock and pins each
+				// report to its input position.
+				out.Apps[i] = analyzeOne(inputs[i], opts.Options)
+			}
+		}()
+	}
+	for i := range inputs {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+
+	var memAfter runtime.MemStats
+	runtime.ReadMemStats(&memAfter)
+	out.Stats = metrics.BatchStats{
+		Workers:    workers,
+		Wall:       time.Since(start),
+		AllocBytes: memAfter.TotalAlloc - memBefore.TotalAlloc,
+		Apps:       make([]metrics.AppStats, len(out.Apps)),
+	}
+	for i := range out.Apps {
+		out.Stats.Apps[i] = out.Apps[i].Stats
+	}
+	return out
+}
+
+// analyzeOne runs one application through the load and analyze stages,
+// converting any panic into the app's error.
+func analyzeOne(in BatchInput, opts Options) (rep AppReport) {
+	rep.Name = in.Name
+	rep.Stats.App = in.Name
+	defer func() {
+		if p := recover(); p != nil {
+			rep.Result = nil
+			rep.Err = fmt.Errorf("gator: %s: panic during analysis: %v\n%s", rep.Name, p, debug.Stack())
+			rep.Stats.Err = rep.Err.Error()
+		}
+	}()
+
+	t0 := time.Now()
+	var app *App
+	var err error
+	switch {
+	case in.Load != nil:
+		app, err = in.Load()
+	case in.Dir != "":
+		app, err = LoadDir(in.Dir)
+	default:
+		app, err = Load(in.Sources, in.Layouts)
+	}
+	rep.Stats.Add("load", time.Since(t0))
+	if err != nil {
+		rep.Err = err
+		rep.Stats.Err = err.Error()
+		return rep
+	}
+	if in.Name != "" {
+		app.Name = in.Name
+	} else {
+		rep.Name = app.Name
+		rep.Stats.App = app.Name
+	}
+
+	t0 = time.Now()
+	res := app.Analyze(opts)
+	rep.Stats.Add("analyze", time.Since(t0))
+	rep.Result = res
+	return rep
+}

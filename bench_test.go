@@ -16,6 +16,8 @@ package gator
 // Regenerate the actual tables with: go run ./cmd/gatorbench -table all
 
 import (
+	"fmt"
+	"runtime"
 	"testing"
 
 	"gator/internal/core"
@@ -150,6 +152,31 @@ func BenchmarkAblationDeclaredDispatch(b *testing.B) {
 
 func BenchmarkAblationContext1(b *testing.B) {
 	benchAblation(b, core.Options{Context1: true})
+}
+
+// BenchmarkBatch measures AnalyzeBatch over the full 20-app corpus at one
+// worker versus a full worker pool — the parallel-speedup evidence for the
+// batch engine (run on a multi-core machine; j1 and jN coincide on one
+// core). Inputs are pre-rendered so only the engine is on the clock.
+func BenchmarkBatch(b *testing.B) {
+	inputs := corpusInputs(corpus.GenerateAll())
+	widths := []int{1, runtime.GOMAXPROCS(0)}
+	if widths[1] == 1 {
+		widths[1] = 4 // still exercise pool scheduling on a single core
+	}
+	for _, j := range widths {
+		j := j
+		b.Run(fmt.Sprintf("j%d", j), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				br := AnalyzeBatch(inputs, BatchOptions{Workers: j})
+				if failed := br.Failed(); len(failed) > 0 {
+					b.Fatalf("%s: %v", failed[0].Name, failed[0].Err)
+				}
+			}
+			b.ReportMetric(float64(j), "workers")
+		})
+	}
 }
 
 // BenchmarkInterpreter measures the exploration oracle itself.

@@ -1,4 +1,4 @@
-// Command gator analyzes one application directory (*.alite sources plus
+// Command gator analyzes application directories (*.alite sources plus
 // layout XML files) and reports the computed GUI-object solution: views,
 // activity content, the view hierarchy, (activity, view, event, handler)
 // tuples, Table 1/2 measurements, or a Graphviz rendering of the constraint
@@ -6,20 +6,24 @@
 //
 // Usage:
 //
-//	gator [flags] <app-dir>
+//	gator [flags] <app-dir> [<app-dir>...]
 //
-// With -figure1, the embedded running example of the paper is analyzed
-// instead of a directory.
+// With several directories the apps are analyzed as a batch on -j parallel
+// workers; one failing app is reported and the rest still complete. With
+// -figure1, the embedded running example of the paper is analyzed instead
+// of a directory.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
 	"gator"
 	"gator/internal/corpus"
+	"gator/internal/metrics"
 )
 
 func main() {
@@ -30,59 +34,85 @@ func main() {
 	filterCasts := flag.Bool("filter-casts", false, "enable cast filtering")
 	sharedInfl := flag.Bool("shared-inflation", false, "share inflation nodes per layout")
 	noFV3 := flag.Bool("no-findview3", false, "disable the FindView3 child-only refinement")
+	jobs := flag.Int("j", runtime.GOMAXPROCS(0), "parallel analysis workers for multi-directory batches")
+	stats := flag.Bool("stats", false, "print per-stage batch statistics to stderr")
 	flag.Parse()
 
-	var app *gator.App
-	var err error
-	switch {
-	case *figure1:
-		app, err = gator.Load(
-			map[string]string{"connectbot.alite": corpus.Figure1Source},
-			map[string]string{
-				"act_console":   corpus.Figure1ActConsoleXML,
-				"item_terminal": corpus.Figure1ItemTerminalXML,
-			})
-		if app != nil {
-			app.Name = "Figure1"
-		}
-	case flag.NArg() == 1:
-		app, err = gator.LoadDir(flag.Arg(0))
-	default:
-		fmt.Fprintln(os.Stderr, "usage: gator [flags] <app-dir>  (or -figure1)")
-		os.Exit(2)
-	}
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "gator:", err)
-		os.Exit(1)
-	}
-
-	res := app.Analyze(gator.Options{
+	opts := gator.Options{
 		FilterCasts:           *filterCasts,
 		SharedInflation:       *sharedInfl,
 		NoFindView3Refinement: *noFV3,
-	})
+	}
 
-	if *explain != "" {
-		parts := strings.SplitN(*explain, ".", 3)
+	var inputs []gator.BatchInput
+	switch {
+	case *figure1:
+		inputs = []gator.BatchInput{{
+			Name:    "Figure1",
+			Sources: map[string]string{"connectbot.alite": corpus.Figure1Source},
+			Layouts: map[string]string{
+				"act_console":   corpus.Figure1ActConsoleXML,
+				"item_terminal": corpus.Figure1ItemTerminalXML,
+			},
+		}}
+	case flag.NArg() >= 1:
+		for _, dir := range flag.Args() {
+			inputs = append(inputs, gator.BatchInput{Dir: dir})
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "usage: gator [flags] <app-dir> [<app-dir>...]  (or -figure1)")
+		os.Exit(2)
+	}
+
+	batch := gator.AnalyzeBatch(inputs, gator.BatchOptions{Workers: *jobs, Options: opts})
+	if *stats {
+		fmt.Fprint(os.Stderr, metrics.FormatBatch(batch.Stats))
+	}
+
+	exit := 0
+	for i, rep := range batch.Apps {
+		if rep.Err != nil {
+			fmt.Fprintln(os.Stderr, "gator:", rep.Err)
+			exit = 1
+			continue
+		}
+		if len(batch.Apps) > 1 {
+			if i > 0 {
+				fmt.Println()
+			}
+			fmt.Printf("== %s ==\n", rep.Name)
+		}
+		if code := printReport(rep.Name, rep.Result, *report, *explain, *seed); code > exit {
+			exit = code
+		}
+	}
+	os.Exit(exit)
+}
+
+// printReport renders one app's solution and returns the exit code the
+// report asks for (reports with pass/fail semantics exit nonzero on fail).
+func printReport(name string, res *gator.Result, report, explain string, seed int64) int {
+	if explain != "" {
+		parts := strings.SplitN(explain, ".", 3)
 		if len(parts) != 3 {
 			fmt.Fprintln(os.Stderr, "gator: -explain wants Class.method.var")
-			os.Exit(2)
+			return 2
 		}
 		lines, err := res.ExplainVar(parts[0], parts[1], parts[2])
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "gator:", err)
-			os.Exit(1)
+			return 1
 		}
 		for _, l := range lines {
 			fmt.Println(l)
 		}
-		return
+		return 0
 	}
 
-	switch *report {
+	switch report {
 	case "summary":
 		t1 := res.Table1()
-		fmt.Printf("%s: %d classes, %d methods\n", app.Name, t1.Classes, t1.Methods)
+		fmt.Printf("%s: %d classes, %d methods\n", name, t1.Classes, t1.Methods)
 		fmt.Printf("ids: %d layouts, %d view ids\n", t1.LayoutIDs, t1.ViewIDs)
 		fmt.Printf("views: %d inflated, %d allocated; %d listeners\n",
 			t1.ViewsInflated, t1.ViewsAllocated, t1.Listeners)
@@ -129,7 +159,7 @@ func main() {
 		for _, f := range fs {
 			where := f.Pos
 			if where == "" {
-				where = app.Name
+				where = name
 			}
 			fmt.Printf("%s: %s: [%s] %s\n", where, f.Severity, f.Check, f.Msg)
 			if f.Severity == "warning" {
@@ -137,7 +167,7 @@ func main() {
 			}
 		}
 		if warnings > 0 {
-			os.Exit(1)
+			return 1
 		}
 	case "menus":
 		for _, e := range res.MenuEntries() {
@@ -151,7 +181,7 @@ func main() {
 		data, err := res.Model().JSON()
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "gator:", err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Println(string(data))
 	case "ir":
@@ -159,17 +189,18 @@ func main() {
 	case "dot":
 		fmt.Print(res.Dot())
 	case "explore":
-		rep := res.Explore(*seed)
+		rep := res.Explore(seed)
 		fmt.Printf("sound=%v sites=%d perfect=%d steps=%d\n",
 			rep.Sound, rep.ObservedSites, rep.PerfectSites, rep.Steps)
 		for _, v := range rep.Violations {
 			fmt.Println("violation:", v)
 		}
 		if !rep.Sound {
-			os.Exit(1)
+			return 1
 		}
 	default:
-		fmt.Fprintf(os.Stderr, "gator: unknown report %q\n", *report)
-		os.Exit(2)
+		fmt.Fprintf(os.Stderr, "gator: unknown report %q\n", report)
+		return 2
 	}
+	return 0
 }

@@ -75,3 +75,35 @@ func TestCLIReports(t *testing.T) {
 		}
 	}
 }
+
+// TestCLIBatch: several directories analyze as one batch; per-app sections
+// come out in argument order, a bad directory fails its own app only, and
+// -stats summarizes the pool.
+func TestCLIBatch(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI exec test skipped in -short mode")
+	}
+	bin := buildCLI(t)
+	appDir := filepath.Join("..", "..", "testdata", "notepad")
+
+	out, code := runCLI(t, bin, "-j", "2", "-stats", appDir, appDir)
+	if code != 0 {
+		t.Fatalf("batch exit %d\n%s", code, out)
+	}
+	if got := strings.Count(out, "== notepad =="); got != 2 {
+		t.Errorf("want 2 app sections, got %d\n%s", got, out)
+	}
+	if !strings.Contains(out, "2 workers") {
+		t.Errorf("missing -stats summary\n%s", out)
+	}
+
+	// One bad directory: its error is reported, the good app still prints,
+	// and the exit code is 1.
+	out, code = runCLI(t, bin, appDir, "/nonexistent-dir-xyz")
+	if code != 1 {
+		t.Errorf("mixed batch exit %d, want 1\n%s", code, out)
+	}
+	if !strings.Contains(out, "5 classes") || !strings.Contains(out, "gator:") {
+		t.Errorf("mixed batch output\n%s", out)
+	}
+}

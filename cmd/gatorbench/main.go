@@ -1,11 +1,13 @@
 // Command gatorbench regenerates the paper's evaluation (Section 5) over
 // the 20-application corpus: Table 1 (application features and constraint
 // graph nodes), Table 2 (analysis cost and precision averages), and the
-// case-study comparison against the concrete-interpreter oracle.
+// case-study comparison against the concrete-interpreter oracle. The corpus
+// is analyzed as one parallel batch (-j workers); per-app results are
+// reported in corpus order regardless of completion order.
 //
 // Usage:
 //
-//	gatorbench [-table 1|2|precision|all] [-app NAME] [-seed N]
+//	gatorbench [-table 1|2|precision|all] [-app NAME] [-seed N] [-j N] [-stats]
 //	           [-filter-casts] [-shared-inflation] [-no-findview3] [-declared-dispatch]
 package main
 
@@ -13,14 +15,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"time"
+	"runtime"
 
-	"gator/internal/core"
+	"gator"
 	"gator/internal/corpus"
-	"gator/internal/interp"
-	"gator/internal/ir"
 	"gator/internal/metrics"
-	"gator/internal/oracle"
 )
 
 func main() {
@@ -32,9 +31,11 @@ func main() {
 	noFV3 := flag.Bool("no-findview3", false, "ablation: disable child-only FindView3 refinement")
 	declared := flag.Bool("declared-dispatch", false, "ablation: declared-type-only dispatch")
 	ctx1 := flag.Bool("context1", false, "refinement: bounded call-site context sensitivity")
+	jobs := flag.Int("j", runtime.GOMAXPROCS(0), "parallel analysis workers")
+	stats := flag.Bool("stats", false, "print per-stage batch statistics to stderr")
 	flag.Parse()
 
-	opts := core.Options{
+	opts := gator.Options{
 		FilterCasts:           *filterCasts,
 		SharedInflation:       *sharedInfl,
 		NoFindView3Refinement: *noFV3,
@@ -42,38 +43,46 @@ func main() {
 		Context1:              *ctx1,
 	}
 
-	var rows1 []metrics.Table1Row
-	var rows2 []metrics.Table2Row
-	var rowsP []metrics.PrecisionRow
-
+	var inputs []gator.BatchInput
 	for _, app := range corpus.GenerateAll() {
 		if *appFilter != "" && app.Name != *appFilter {
 			continue
 		}
-		prog, err := ir.Build(app.FreshFiles(), app.FreshLayouts())
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "gatorbench: %s: %v\n", app.Name, err)
+		inputs = append(inputs, gator.BatchInput{
+			Name:    app.Name,
+			Sources: app.BatchSources(),
+			Layouts: app.LayoutXML(),
+		})
+	}
+
+	batch := gator.AnalyzeBatch(inputs, gator.BatchOptions{Workers: *jobs, Options: opts})
+	if *stats {
+		fmt.Fprint(os.Stderr, metrics.FormatBatch(batch.Stats))
+	}
+
+	var rows1 []metrics.Table1Row
+	var rows2 []metrics.Table2Row
+	var rowsP []metrics.PrecisionRow
+	for _, rep := range batch.Apps {
+		if rep.Err != nil {
+			fmt.Fprintf(os.Stderr, "gatorbench: %s: %v\n", rep.Name, rep.Err)
 			os.Exit(1)
 		}
-		start := time.Now()
-		res := core.Analyze(prog, opts)
-		elapsed := time.Since(start)
-
-		rows1 = append(rows1, metrics.Table1(app.Name, res))
-		rows2 = append(rows2, metrics.Table2(app.Name, res, elapsed))
+		res := rep.Result
+		rows1 = append(rows1, res.Table1())
+		rows2 = append(rows2, res.Table2())
 
 		if *table == "precision" || *table == "all" {
-			obs := interp.New(prog, interp.Config{Seed: *seed}).Run()
-			rep := oracle.Compare(res, obs)
+			er := res.Explore(*seed)
 			rowsP = append(rowsP, metrics.PrecisionRow{
-				App:           app.Name,
-				ObservedSites: rep.ObservedSites,
-				PerfectSites:  rep.PerfectSites,
-				Violations:    len(rep.Violations),
-				Steps:         obs.Steps,
+				App:           rep.Name,
+				ObservedSites: er.ObservedSites,
+				PerfectSites:  er.PerfectSites,
+				Violations:    len(er.Violations),
+				Steps:         er.Steps,
 			})
-			for _, v := range rep.Violations {
-				fmt.Fprintf(os.Stderr, "gatorbench: %s: SOUNDNESS VIOLATION: %s\n", app.Name, v)
+			for _, v := range er.Violations {
+				fmt.Fprintf(os.Stderr, "gatorbench: %s: SOUNDNESS VIOLATION: %s\n", rep.Name, v)
 			}
 		}
 	}

@@ -52,3 +52,47 @@ func TestGatorbenchSingleApp(t *testing.T) {
 		t.Error("unknown table did not fail")
 	}
 }
+
+// TestGatorbenchParallelDeterminism: the rendered tables must be
+// byte-identical at -j 1 and -j 8 (tables 1 and precision carry no
+// wall-clock columns, so any difference is a real nondeterminism bug).
+func TestGatorbenchParallelDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI exec test skipped in -short mode")
+	}
+	bin := filepath.Join(t.TempDir(), "gatorbench")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	build.Env = os.Environ()
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("build: %v\n%s", err, out)
+	}
+
+	for _, table := range []string{"1", "precision"} {
+		var outputs []string
+		for _, j := range []string{"1", "8"} {
+			out, err := exec.Command(bin, "-table", table, "-j", j).Output()
+			if err != nil {
+				t.Fatalf("-table %s -j %s: %v", table, j, err)
+			}
+			outputs = append(outputs, string(out))
+		}
+		if outputs[0] != outputs[1] {
+			t.Errorf("-table %s differs between -j 1 and -j 8:\n-- j1 --\n%s\n-- j8 --\n%s",
+				table, outputs[0], outputs[1])
+		}
+		if !strings.Contains(outputs[0], "XBMC") {
+			t.Errorf("-table %s output missing the corpus:\n%s", table, outputs[0])
+		}
+	}
+
+	// -stats reports the batch accounting on stderr.
+	cmd := exec.Command(bin, "-table", "1", "-j", "4", "-stats")
+	var stderr strings.Builder
+	cmd.Stderr = &stderr
+	if _, err := cmd.Output(); err != nil {
+		t.Fatalf("-stats run: %v", err)
+	}
+	if !strings.Contains(stderr.String(), "4 workers") {
+		t.Errorf("-stats stderr missing batch summary:\n%s", stderr.String())
+	}
+}

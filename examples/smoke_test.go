@@ -1,0 +1,59 @@
+// Package examples holds runnable demonstration programs; this test keeps
+// them honest. Every example under examples/ is compiled and executed, and
+// must exit 0 with non-empty output — so the demo programs cannot silently
+// rot as the API evolves.
+package examples
+
+import (
+	"os"
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// expectedOutput pins one load-bearing line per example, so a demo that
+// runs but prints garbage still fails.
+var expectedOutput = map[string]string{
+	"quickstart":    "button_esc",
+	"transitions":   "->",
+	"errorcheck":    "dangling",
+	"securityaudit": "password",
+	"testgen":       "test case",
+	"explorer":      "sound",
+}
+
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("example exec test skipped in -short mode")
+	}
+	entries, err := os.ReadDir(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ran := 0
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		name := e.Name()
+		ran++
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			cmd := exec.Command("go", "run", "./examples/"+name)
+			cmd.Dir = ".." // module root
+			out, err := cmd.CombinedOutput()
+			if err != nil {
+				t.Fatalf("example exited nonzero: %v\n%s", err, out)
+			}
+			if len(strings.TrimSpace(string(out))) == 0 {
+				t.Fatal("example produced no output")
+			}
+			if want, ok := expectedOutput[name]; ok && !strings.Contains(strings.ToLower(string(out)), want) {
+				t.Errorf("output missing %q:\n%s", want, out)
+			}
+		})
+	}
+	if ran == 0 {
+		t.Fatal("no example directories found")
+	}
+}

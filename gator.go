@@ -14,6 +14,10 @@
 //	app, err := gator.LoadDir("path/to/app")
 //	res, err := app.Analyze(gator.Options{})
 //	for _, t := range res.EventTuples() { ... }
+//
+// Many applications can be analyzed as one parallel batch with
+// AnalyzeBatch; per-app solutions are identical to sequential runs (see
+// batch.go and DESIGN.md).
 package gator
 
 import (

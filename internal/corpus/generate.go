@@ -32,6 +32,22 @@ func (a *App) FreshLayouts() map[string]*layout.Layout {
 	return out
 }
 
+// LayoutXML renders the layouts back to XML source, keyed by layout name —
+// the input form the public gator.Load/AnalyzeBatch API consumes.
+func (a *App) LayoutXML() map[string]string {
+	out := make(map[string]string, len(a.Layouts))
+	for name, l := range a.Layouts {
+		out[name] = layout.Render(l)
+	}
+	return out
+}
+
+// BatchSources returns the app's ALite sources keyed by file name, the
+// companion of LayoutXML for the public batch API.
+func (a *App) BatchSources() map[string]string {
+	return map[string]string{a.Name + ".alite": a.Source}
+}
+
 // lcg is a tiny deterministic pseudo-random sequence for cosmetic choices.
 type lcg uint64
 

@@ -1,0 +1,68 @@
+package layout_test
+
+// FuzzLayout: the layout XML parser must never panic — malformed documents
+// yield errors. Seeded with the on-disk demo layouts, corpus-generated
+// layouts (via Render), and XML corner cases.
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"gator/internal/corpus"
+	"gator/internal/layout"
+)
+
+func FuzzLayout(f *testing.F) {
+	if paths, err := filepath.Glob("../../testdata/notepad/layout/*.xml"); err == nil {
+		for _, p := range paths {
+			if data, err := os.ReadFile(p); err == nil {
+				f.Add(string(data))
+			}
+		}
+	}
+	if spec, ok := corpus.SpecByName("NotePad"); ok {
+		for _, xml := range corpus.Generate(spec).LayoutXML() {
+			f.Add(xml)
+		}
+	}
+	for _, seed := range []string{
+		"",
+		"<LinearLayout/>",
+		`<LinearLayout android:id="@+id/root"><Button android:id="@id/b" android:onClick="go"/></LinearLayout>`,
+		`<merge><TextView/></merge>`,
+		`<LinearLayout><include layout="@layout/other"/></LinearLayout>`,
+		`<include layout="@layout/other"/>`,
+		`<LinearLayout><include/></LinearLayout>`,
+		`<LinearLayout android:id="bogus"/>`,
+		`<LinearLayout android:id="@+id/"/>`,
+		"<a><b></a></b>",
+		"<a>",
+		"</a>",
+		"<a/><b/>",
+		"<?xml version=\"1.0\"?><LinearLayout/>",
+		"<!-- comment --><LinearLayout/>",
+		"<a:b:c/>",
+		"\x00<a/>",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		l, err := layout.Parse("fuzz", src)
+		if err != nil {
+			return
+		}
+		if l == nil || l.Root == nil {
+			t.Fatalf("Parse returned neither layout nor error")
+		}
+		// A successfully parsed layout must survive its own round trip:
+		// Render output re-parses to a tree with the same node count.
+		l2, err := layout.Parse("roundtrip", layout.Render(l))
+		if err != nil {
+			t.Fatalf("Render output does not re-parse: %v", err)
+		}
+		if l.Root.Count() != l2.Root.Count() {
+			t.Fatalf("round trip changed node count: %d -> %d", l.Root.Count(), l2.Root.Count())
+		}
+	})
+}

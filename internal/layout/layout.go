@@ -146,6 +146,10 @@ func elementNode(layout string, t xml.StartElement) (*Node, error) {
 		n.Merge = true
 	case "include":
 		n.Include = "?" // filled from the layout attribute below
+	default:
+		if !validClassName(n.Class) {
+			return nil, fmt.Errorf("layout %s: bad view class name %q", layout, n.Class)
+		}
 	}
 	for _, a := range t.Attr {
 		switch localName(a.Name) {
@@ -156,6 +160,9 @@ func elementNode(layout string, t xml.StartElement) (*Node, error) {
 			}
 			n.ID = id
 		case "onClick":
+			if !validIdent(a.Value) {
+				return nil, fmt.Errorf("layout %s: bad onClick handler name %q", layout, a.Value)
+			}
 			n.OnClick = a.Value
 		case "layout":
 			if n.Include != "" {
@@ -202,13 +209,46 @@ func localName(n xml.Name) string {
 func parseIDRef(v string) (string, error) {
 	for _, prefix := range []string{"@+id/", "@id/"} {
 		if name, ok := strings.CutPrefix(v, prefix); ok {
-			if name == "" {
-				return "", fmt.Errorf("empty view id in %q", v)
+			if !validIdent(name) {
+				return "", fmt.Errorf("bad view id name in %q", v)
 			}
 			return name, nil
 		}
 	}
 	return "", fmt.Errorf("bad view id reference %q (want @+id/name)", v)
+}
+
+// validIdent reports whether s is a Java-style identifier — the form view
+// id names and onClick handler names take. Constraining names here keeps
+// every accepted layout renderable (Render ∘ Parse round-trips) and every
+// name usable as an R constant.
+func validIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r == '_', r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// validClassName is validIdent extended with interior dots, for qualified
+// view classes such as android.widget.Button.
+func validClassName(s string) bool {
+	for _, part := range strings.Split(s, ".") {
+		if !validIdent(part) {
+			return false
+		}
+	}
+	return true
 }
 
 // Link resolves <include> references across a set of layouts, splicing the

@@ -1,0 +1,139 @@
+package metrics
+
+// Batch-analysis instrumentation: per-application, per-stage wall-clock
+// accounting and batch-level throughput summaries. The batch engine in the
+// root package fills these in; the CLIs render them next to the paper's
+// tables so the cost of scaling beyond the paper's one-app-at-a-time
+// evaluation is measured, not guessed.
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Stage is one timed pipeline stage of a single application's analysis
+// (e.g. "load" = parse + resolve + lower, "analyze" = graph construction +
+// fixpoint).
+type Stage struct {
+	Name string
+	Wall time.Duration
+}
+
+// AppStats is the per-stage accounting for one application in a batch.
+type AppStats struct {
+	App    string
+	Stages []Stage
+	// Err is the application's failure, "" on success. A failed app still
+	// carries the stages that completed before the failure.
+	Err string
+}
+
+// Add appends one timed stage.
+func (a *AppStats) Add(name string, wall time.Duration) {
+	a.Stages = append(a.Stages, Stage{Name: name, Wall: wall})
+}
+
+// StageWall returns the wall-clock of a named stage (0 when absent).
+func (a AppStats) StageWall(name string) time.Duration {
+	for _, s := range a.Stages {
+		if s.Name == name {
+			return s.Wall
+		}
+	}
+	return 0
+}
+
+// Total is the summed wall-clock across the application's stages.
+func (a AppStats) Total() time.Duration {
+	var t time.Duration
+	for _, s := range a.Stages {
+		t += s.Wall
+	}
+	return t
+}
+
+// BatchStats summarizes one batch run.
+type BatchStats struct {
+	// Workers is the resolved worker-pool size.
+	Workers int
+	// Wall is the end-to-end batch wall-clock.
+	Wall time.Duration
+	// AllocBytes is the heap allocated during the batch, summed over all
+	// workers (from runtime.MemStats.TotalAlloc; includes any concurrent
+	// allocation elsewhere in the process).
+	AllocBytes uint64
+	// Apps holds the per-application accounting, in input order.
+	Apps []AppStats
+}
+
+// TotalWork sums the per-application stage wall-clocks: the time a
+// single-worker run would need, modulo scheduling. Per-app walls include
+// time spent descheduled, so when workers exceed available cores TotalWork
+// (and therefore Speedup) overstates the realized parallelism; compare
+// BenchmarkBatch/j1 vs /jN wall-clocks for an honest number.
+func (b BatchStats) TotalWork() time.Duration {
+	var t time.Duration
+	for _, a := range b.Apps {
+		t += a.Total()
+	}
+	return t
+}
+
+// Speedup is TotalWork / Wall — the effective parallelism of the run.
+func (b BatchStats) Speedup() float64 {
+	if b.Wall <= 0 {
+		return 0
+	}
+	return float64(b.TotalWork()) / float64(b.Wall)
+}
+
+// Failed counts applications that ended in error.
+func (b BatchStats) Failed() int {
+	n := 0
+	for _, a := range b.Apps {
+		if a.Err != "" {
+			n++
+		}
+	}
+	return n
+}
+
+// FormatBatch renders a batch summary: one line per application with its
+// stage breakdown, then the totals line.
+func FormatBatch(b BatchStats) string {
+	var out strings.Builder
+	fmt.Fprintf(&out, "%-16s %10s %10s %10s  %s\n", "App", "load", "analyze", "total", "status")
+	for _, a := range b.Apps {
+		status := "ok"
+		if a.Err != "" {
+			status = "ERROR: " + firstLine(a.Err)
+		}
+		fmt.Fprintf(&out, "%-16s %10s %10s %10s  %s\n",
+			a.App, round(a.StageWall("load")), round(a.StageWall("analyze")), round(a.Total()), status)
+	}
+	fmt.Fprintf(&out, "batch: %d apps, %d workers, wall %s, work %s, speedup %.2fx, %s allocated\n",
+		len(b.Apps), b.Workers, round(b.Wall), round(b.TotalWork()), b.Speedup(), fmtBytes(b.AllocBytes))
+	return out.String()
+}
+
+func round(d time.Duration) time.Duration { return d.Round(10 * time.Microsecond) }
+
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
+}
+
+func fmtBytes(n uint64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.2fGiB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.2fMiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.2fKiB", float64(n)/(1<<10))
+	}
+	return fmt.Sprintf("%dB", n)
+}

@@ -1,0 +1,73 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestAppStats(t *testing.T) {
+	var a AppStats
+	a.App = "X"
+	a.Add("load", 10*time.Millisecond)
+	a.Add("analyze", 30*time.Millisecond)
+	if got := a.StageWall("load"); got != 10*time.Millisecond {
+		t.Errorf("StageWall(load) = %v", got)
+	}
+	if got := a.StageWall("missing"); got != 0 {
+		t.Errorf("StageWall(missing) = %v", got)
+	}
+	if got := a.Total(); got != 40*time.Millisecond {
+		t.Errorf("Total = %v", got)
+	}
+}
+
+func TestBatchStatsSummary(t *testing.T) {
+	b := BatchStats{
+		Workers: 4,
+		Wall:    25 * time.Millisecond,
+		Apps: []AppStats{
+			{App: "A", Stages: []Stage{{"load", 10 * time.Millisecond}, {"analyze", 40 * time.Millisecond}}},
+			{App: "B", Stages: []Stage{{"load", 20 * time.Millisecond}}, Err: "boom\nstack..."},
+		},
+	}
+	if got := b.TotalWork(); got != 70*time.Millisecond {
+		t.Errorf("TotalWork = %v", got)
+	}
+	if got := b.Speedup(); got < 2.7 || got > 2.9 {
+		t.Errorf("Speedup = %.2f, want 2.8", got)
+	}
+	if got := b.Failed(); got != 1 {
+		t.Errorf("Failed = %d", got)
+	}
+
+	s := FormatBatch(b)
+	for _, want := range []string{"A", "B", "ERROR: boom", "2 apps, 4 workers", "speedup 2.80x"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("summary missing %q:\n%s", want, s)
+		}
+	}
+	if strings.Contains(s, "stack...") {
+		t.Errorf("summary should keep only the first error line:\n%s", s)
+	}
+}
+
+func TestSpeedupZeroWall(t *testing.T) {
+	if got := (BatchStats{}).Speedup(); got != 0 {
+		t.Errorf("Speedup = %v", got)
+	}
+}
+
+func TestFmtBytes(t *testing.T) {
+	cases := map[uint64]string{
+		512:         "512B",
+		2 << 10:     "2.00KiB",
+		3 << 20:     "3.00MiB",
+		5 << 30:     "5.00GiB",
+	}
+	for in, want := range cases {
+		if got := fmtBytes(in); got != want {
+			t.Errorf("fmtBytes(%d) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,37 @@
+#!/bin/sh
+# Tier-1 CI gate (see README.md, "Testing & CI"). Every PR must keep this
+# green:
+#
+#   1. go vet        — static checks
+#   2. go build      — everything compiles
+#   3. go test       — the full suite, including the differential
+#                      batch-determinism tests, example smoke tests, and
+#                      checked-in fuzz regression seeds
+#   4. go test -race — the same suite under the race detector, which is
+#                      what makes the parallel batch engine's "identical to
+#                      sequential" guarantee a verified property
+#
+# Usage: scripts/ci.sh [-short]
+#   -short trims the corpus-wide tests for a quick local signal.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+SHORT=""
+if [ "${1:-}" = "-short" ]; then
+    SHORT="-short"
+fi
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== go build ./..."
+go build ./...
+
+echo "== go test $SHORT ./..."
+go test $SHORT ./...
+
+echo "== go test -race $SHORT ./..."
+go test -race $SHORT ./...
+
+echo "== CI gate green"
