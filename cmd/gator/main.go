@@ -36,7 +36,19 @@ func main() {
 	noFV3 := flag.Bool("no-findview3", false, "disable the FindView3 child-only refinement")
 	jobs := flag.Int("j", runtime.GOMAXPROCS(0), "parallel analysis workers for multi-directory batches")
 	stats := flag.Bool("stats", false, "print per-stage batch statistics to stderr")
+	checksMode := flag.Bool("checks", false, "run the diagnostics engine and print its findings (exit 1 on warnings)")
+	only := flag.String("only", "", "comma-separated check IDs to run (with -checks; default all)")
+	sarifOut := flag.String("sarif", "", "write findings as SARIF 2.1.0 to `file` (implies -checks)")
+	listChecks := flag.Bool("listchecks", false, "print the checker registry and exit")
 	flag.Parse()
+
+	if *listChecks {
+		fmt.Print(gator.ListChecks())
+		os.Exit(0)
+	}
+	if *sarifOut != "" {
+		*checksMode = true
+	}
 
 	opts := gator.Options{
 		FilterCasts:           *filterCasts,
@@ -70,6 +82,7 @@ func main() {
 	}
 
 	exit := 0
+	var checkReports []*gator.CheckReport
 	for i, rep := range batch.Apps {
 		if rep.Err != nil {
 			fmt.Fprintln(os.Stderr, "gator:", rep.Err)
@@ -82,11 +95,48 @@ func main() {
 			}
 			fmt.Printf("== %s ==\n", rep.Name)
 		}
+		if *checksMode {
+			cr, err := rep.Result.CheckReport(splitChecks(*only)...)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "gator:", err)
+				os.Exit(2)
+			}
+			fmt.Print(cr.Text())
+			if *stats {
+				fmt.Fprint(os.Stderr, cr.PassTimings())
+			}
+			checkReports = append(checkReports, cr)
+			if cr.Warnings() > 0 && exit == 0 {
+				exit = 1
+			}
+			continue
+		}
 		if code := printReport(rep.Name, rep.Result, *report, *explain, *seed); code > exit {
 			exit = code
 		}
 	}
+	if *sarifOut != "" && len(checkReports) > 0 {
+		data, err := gator.SARIFAll(checkReports...)
+		if err == nil {
+			err = os.WriteFile(*sarifOut, data, 0o644)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gator:", err)
+			exit = 1
+		}
+	}
 	os.Exit(exit)
+}
+
+// splitChecks parses the -only flag into check IDs.
+func splitChecks(s string) []string {
+	var out []string
+	for _, id := range strings.Split(s, ",") {
+		if id = strings.TrimSpace(id); id != "" {
+			out = append(out, id)
+		}
+	}
+	return out
 }
 
 // printReport renders one app's solution and returns the exit code the

@@ -107,3 +107,81 @@ func TestCLIBatch(t *testing.T) {
 		t.Errorf("mixed batch output\n%s", out)
 	}
 }
+
+// TestCLIChecks: the diagnostics engine end-to-end — findings with
+// positions, warning exit code, selection, SARIF output, and the registry
+// listing.
+func TestCLIChecks(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI exec test skipped in -short mode")
+	}
+	bin := buildCLI(t)
+	buggy := filepath.Join("..", "..", "examples", "buggyapp")
+	notepad := filepath.Join("..", "..", "testdata", "notepad")
+
+	out, code := runCLI(t, bin, "-checks", buggy)
+	if code != 1 {
+		t.Errorf("-checks on buggy app: exit %d, want 1\n%s", code, out)
+	}
+	for _, w := range []string{
+		"app.alite:13:21: warning: [findview-before-setcontentview]",
+		"app.alite:16:8: warning: [null-view-deref]",
+		"app.alite:21:7: warning: [listener-reset]",
+		"1 suppressed",
+	} {
+		if !strings.Contains(out, w) {
+			t.Errorf("-checks output missing %q\n%s", w, out)
+		}
+	}
+
+	// A clean app (info findings only) exits 0.
+	out, code = runCLI(t, bin, "-checks", notepad)
+	if code != 0 {
+		t.Errorf("-checks on notepad: exit %d\n%s", code, out)
+	}
+	if !strings.Contains(out, "0 warnings") {
+		t.Errorf("-checks summary missing\n%s", out)
+	}
+
+	// -only restricts the run; unknown names exit 2.
+	out, code = runCLI(t, bin, "-checks", "-only", "listener-reset", buggy)
+	if code != 1 || strings.Contains(out, "null-view-deref") || !strings.Contains(out, "listener-reset") {
+		t.Errorf("-only output (exit %d):\n%s", code, out)
+	}
+	if out, code = runCLI(t, bin, "-checks", "-only", "bogus", buggy); code != 2 || !strings.Contains(out, "bogus") {
+		t.Errorf("unknown -only: exit %d\n%s", code, out)
+	}
+
+	// -sarif implies -checks and writes a SARIF 2.1.0 log.
+	sarifFile := filepath.Join(t.TempDir(), "out.sarif")
+	_, code = runCLI(t, bin, "-sarif", sarifFile, buggy)
+	if code != 1 {
+		t.Errorf("-sarif exit %d, want 1", code)
+	}
+	data, err := os.ReadFile(sarifFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []string{`"version": "2.1.0"`, `"ruleId": "null-view-deref"`, `"startLine": 16`, `"uri": "app.alite"`} {
+		if !strings.Contains(string(data), w) {
+			t.Errorf("SARIF missing %s\n%s", w, data)
+		}
+	}
+
+	// -stats adds per-pass timing on stderr.
+	out, _ = runCLI(t, bin, "-checks", "-stats", buggy)
+	if !strings.Contains(out, "Pass") || !strings.Contains(out, "total") {
+		t.Errorf("-stats pass table missing\n%s", out)
+	}
+
+	// -listchecks prints the registry and exits 0.
+	out, code = runCLI(t, bin, "-listchecks")
+	if code != 0 {
+		t.Errorf("-listchecks exit %d", code)
+	}
+	for _, id := range []string{"dangling-findview", "findview-before-setcontentview", "null-view-deref", "listener-reset"} {
+		if !strings.Contains(out, id) {
+			t.Errorf("-listchecks missing %s\n%s", id, out)
+		}
+	}
+}

@@ -12,10 +12,12 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"runtime"
+	"time"
 
 	"gator"
 	"gator/internal/corpus"
@@ -33,6 +35,7 @@ func main() {
 	ctx1 := flag.Bool("context1", false, "refinement: bounded call-site context sensitivity")
 	jobs := flag.Int("j", runtime.GOMAXPROCS(0), "parallel analysis workers")
 	stats := flag.Bool("stats", false, "print per-stage batch statistics to stderr")
+	benchJSON := flag.String("benchjson", "", "write machine-readable benchmark results to `file`")
 	flag.Parse()
 
 	opts := gator.Options{
@@ -112,7 +115,71 @@ func main() {
 		fmt.Fprintf(os.Stderr, "gatorbench: unknown table %q\n", *table)
 		os.Exit(2)
 	}
+
+	if *benchJSON != "" {
+		if err := writeBenchJSON(*benchJSON, batch, *jobs); err != nil {
+			fmt.Fprintln(os.Stderr, "gatorbench:", err)
+			os.Exit(1)
+		}
+	}
 }
+
+// benchApp is one application's record in the -benchjson output.
+type benchApp struct {
+	App        string  `json:"app"`
+	AnalysisMs float64 `json:"analysisMs"`
+	Iterations int     `json:"iterations"`
+	ChecksMs   float64 `json:"checksMs"`
+	Findings   int     `json:"findings"`
+	Warnings   int     `json:"warnings"`
+}
+
+// benchOutput is the -benchjson file shape: corpus-wide per-app analysis
+// and diagnostics cost, plus batch parallelism numbers — the repo's
+// recorded performance trajectory across PRs.
+type benchOutput struct {
+	GeneratedAt string     `json:"generatedAt"`
+	Workers     int        `json:"workers"`
+	BatchWallMs float64    `json:"batchWallMs"`
+	TotalWorkMs float64    `json:"totalWorkMs"`
+	Speedup     float64    `json:"speedup"`
+	Apps        []benchApp `json:"apps"`
+}
+
+func writeBenchJSON(path string, batch *gator.BatchResult, workers int) error {
+	out := benchOutput{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		Workers:     workers,
+		BatchWallMs: ms(batch.Stats.Wall),
+		TotalWorkMs: ms(batch.Stats.TotalWork()),
+		Speedup:     batch.Stats.Speedup(),
+	}
+	for _, rep := range batch.Apps {
+		if rep.Err != nil {
+			continue
+		}
+		start := time.Now()
+		cr, err := rep.Result.CheckReport()
+		if err != nil {
+			return err
+		}
+		out.Apps = append(out.Apps, benchApp{
+			App:        rep.Name,
+			AnalysisMs: ms(rep.Result.Elapsed()),
+			Iterations: rep.Result.Iterations(),
+			ChecksMs:   ms(time.Since(start)),
+			Findings:   len(cr.Findings),
+			Warnings:   cr.Warnings(),
+		})
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
 
 // printReceiverComparison puts the measured receivers average next to the
 // paper's Table 2 value for the same application.

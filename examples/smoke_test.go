@@ -36,6 +36,11 @@ func TestExamplesRun(t *testing.T) {
 			continue
 		}
 		name := e.Name()
+		// Data-only directories (e.g. buggyapp, an ALite demo app for
+		// `gator -checks`) hold no Go program to run.
+		if !hasGoFiles(t, name) {
+			continue
+		}
 		ran++
 		t.Run(name, func(t *testing.T) {
 			t.Parallel()
@@ -56,4 +61,17 @@ func TestExamplesRun(t *testing.T) {
 	if ran == 0 {
 		t.Fatal("no example directories found")
 	}
+}
+
+func hasGoFiles(t *testing.T, dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			return true
+		}
+	}
+	return false
 }

@@ -21,7 +21,9 @@
 package gator
 
 import (
+	"errors"
 	"fmt"
+	"io/fs"
 	"os"
 	"path/filepath"
 	"sort"
@@ -29,7 +31,7 @@ import (
 	"time"
 
 	"gator/internal/alite"
-	"gator/internal/checks"
+	"gator/internal/analysis"
 	"gator/internal/core"
 	"gator/internal/dot"
 	"gator/internal/graph"
@@ -46,6 +48,9 @@ type App struct {
 	// Name labels the application in reports.
 	Name string
 	prog *ir.Program
+	// sources retains the raw ALite texts (file name → source) so the
+	// checkers can honor inline `// gator:disable` suppressions.
+	sources map[string]string
 }
 
 // Options configure analysis variants; the zero value is the configuration
@@ -81,30 +86,34 @@ func (o Options) internal() core.Options {
 
 // LoadDir loads an application from a directory containing *.alite sources
 // and *.xml layout files (optionally under a layout/ subdirectory).
+// Extensions are matched case-insensitively (MAIN.XML is a layout).
 func LoadDir(dir string) (*App, error) {
 	sources := map[string]string{}
 	layouts := map[string]string{}
 	addFile := func(path string) error {
+		base := filepath.Base(path)
+		ext := strings.ToLower(filepath.Ext(base))
+		if ext != ".alite" && ext != ".xml" {
+			return nil
+		}
 		data, err := os.ReadFile(path)
 		if err != nil {
-			return err
+			return fmt.Errorf("gator: reading %s: %w", path, err)
 		}
-		base := filepath.Base(path)
-		switch filepath.Ext(base) {
-		case ".alite":
+		if ext == ".alite" {
 			sources[base] = string(data)
-		case ".xml":
-			layouts[strings.TrimSuffix(base, ".xml")] = string(data)
+		} else {
+			layouts[base[:len(base)-len(".xml")]] = string(data)
 		}
 		return nil
 	}
 	for _, sub := range []string{dir, filepath.Join(dir, "layout")} {
 		entries, err := os.ReadDir(sub)
 		if err != nil {
-			if sub == dir {
-				return nil, err
+			if sub != dir && errors.Is(err, fs.ErrNotExist) {
+				continue // the layout/ subdirectory is optional
 			}
-			continue
+			return nil, fmt.Errorf("gator: reading %s: %w", sub, err)
 		}
 		for _, e := range entries {
 			if !e.IsDir() {
@@ -153,7 +162,13 @@ func Load(sources map[string]string, layoutXML map[string]string) (*App, error) 
 	if err != nil {
 		return nil, err
 	}
-	return &App{Name: "app", prog: prog}, nil
+	// Copy so later caller mutations of the map cannot skew suppression
+	// scanning.
+	kept := make(map[string]string, len(sources))
+	for n, src := range sources {
+		kept[n] = src
+	}
+	return &App{Name: "app", prog: prog, sources: kept}, nil
 }
 
 // Analyze runs the reference analysis.
@@ -445,24 +460,105 @@ type CheckFinding struct {
 	Pos string
 	// Msg describes the issue.
 	Msg string
+	// SuggestedFix describes how to address the finding, or "".
+	SuggestedFix string
 }
 
-// Check runs the analysis-backed GUI error checkers (the static error
-// checking application of Section 6): dangling find-view calls, missing
-// content views, unused ids, unfired handlers, invisible listener views,
-// duplicate ids, unhandled menus, bad intent targets, and isolated
-// activities.
-func (r *Result) Check() []CheckFinding {
-	var out []CheckFinding
-	for _, f := range checks.Run(r.res) {
-		cf := CheckFinding{Check: f.Check, Severity: f.Severity.String(), Msg: f.Msg}
+// PassTiming is one checker pass's wall-clock and yield in a CheckReport.
+type PassTiming struct {
+	Check    string
+	Wall     time.Duration
+	Findings int
+}
+
+// CheckReport is the outcome of running the diagnostics engine over one
+// solution: the findings in deterministic (position, check, message) order
+// plus per-pass accounting.
+type CheckReport struct {
+	// App is the analyzed application's name.
+	App string
+	// Findings are the kept findings.
+	Findings []CheckFinding
+	// Suppressed counts findings dropped by `// gator:disable` comments.
+	Suppressed int
+	// Passes records per-pass timing in execution order.
+	Passes []PassTiming
+
+	rep *analysis.Report
+}
+
+// Warnings counts findings at warning severity.
+func (c *CheckReport) Warnings() int { return c.rep.Warnings() }
+
+// SARIF renders the report as a SARIF 2.1.0 log.
+func (c *CheckReport) SARIF() ([]byte, error) { return analysis.SARIF(c.rep) }
+
+// Text renders the report as plain text: one line per finding plus a
+// summary.
+func (c *CheckReport) Text() string { return analysis.Text(c.rep) }
+
+// PassTimings renders the per-pass accounting as aligned text.
+func (c *CheckReport) PassTimings() string { return metrics.FormatPasses(c.rep.Passes) }
+
+// CheckReport runs the analysis-backed GUI diagnostics engine (the static
+// error checking application of Section 6, extended with flow-sensitive
+// passes). checkIDs restricts the run to the named checks; empty runs all.
+// Inline `// gator:disable <check>` comments in the loaded sources suppress
+// findings on their own line or the line below.
+func (r *Result) CheckReport(checkIDs ...string) (*CheckReport, error) {
+	rep, err := analysis.Run(r.app.Name, r.res, analysis.Options{
+		Checks:  checkIDs,
+		Sources: r.app.sources,
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := &CheckReport{App: rep.App, Suppressed: rep.Suppressed, rep: rep}
+	for _, f := range rep.Findings {
+		cf := CheckFinding{
+			Check:        f.Check,
+			Severity:     f.Severity.String(),
+			Msg:          f.Msg,
+			SuggestedFix: f.SuggestedFix,
+		}
 		if f.Pos.IsValid() {
 			cf.Pos = f.Pos.String()
 		}
-		out = append(out, cf)
+		out.Findings = append(out.Findings, cf)
 	}
-	return out
+	for _, p := range rep.Passes {
+		out.Passes = append(out.Passes, PassTiming{Check: p.Pass, Wall: p.Wall, Findings: p.Findings})
+	}
+	return out, nil
 }
+
+// Check runs every checker and returns the findings. It is the simple form
+// of CheckReport.
+func (r *Result) Check() []CheckFinding {
+	rep, err := r.CheckReport()
+	if err != nil {
+		// Unreachable: an empty selection cannot name an unknown check.
+		panic(err)
+	}
+	return rep.Findings
+}
+
+// SARIFAll renders several check reports (typically one per batch
+// application) as one SARIF 2.1.0 log with one run per report.
+func SARIFAll(reports ...*CheckReport) ([]byte, error) {
+	inner := make([]*analysis.Report, len(reports))
+	for i, r := range reports {
+		inner[i] = r.rep
+	}
+	return analysis.SARIFMulti(inner)
+}
+
+// ListChecks renders the checker registry, one aligned line per check.
+func ListChecks() string { return analysis.ListChecks() }
+
+// CheckTable renders the checker registry as a Markdown table (the README's
+// checker section is generated from it).
+func CheckTable() string { return analysis.MarkdownTable() }
 
 // ExplainVar reconstructs how each view reached a variable: one line per
 // value, showing the chain of graph nodes from the value's origin (an

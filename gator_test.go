@@ -383,3 +383,222 @@ func TestTable2Metrics(t *testing.T) {
 		t.Errorf("listeners = %v, want 1.0", row.AvgListeners)
 	}
 }
+
+func TestLoadDirUppercaseExtensions(t *testing.T) {
+	dir := t.TempDir()
+	src := `
+class A extends Activity {
+	void onCreate() {
+		this.setContentView(R.layout.main);
+		View v = this.findViewById(R.id.x);
+	}
+}`
+	if err := os.WriteFile(filepath.Join(dir, "app.alite"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Uppercase layout extension must still load as layout "main".
+	xml := `<LinearLayout><Button android:id="@+id/x"/></LinearLayout>`
+	if err := os.WriteFile(filepath.Join(dir, "main.XML"), []byte(xml), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	app, err := LoadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := app.Analyze(Options{})
+	for _, f := range res.Check() {
+		if f.Check == "missing-content-view" || f.Check == "dangling-findview" {
+			t.Errorf("main.XML was not loaded as a layout: %+v", f)
+		}
+	}
+}
+
+func TestLoadDirSurfacesReadErrors(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "app.alite"), []byte("class A { }"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// layout as a *file* makes the subdirectory read fail with something
+	// other than fs.ErrNotExist; the error must surface and name the path.
+	if err := os.WriteFile(filepath.Join(dir, "layout"), []byte("not a dir"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := LoadDir(dir)
+	if err == nil {
+		t.Fatal("want error for unreadable layout entry")
+	}
+	if !strings.Contains(err.Error(), filepath.Join(dir, "layout")) {
+		t.Errorf("error does not name the offending path: %v", err)
+	}
+}
+
+func TestCheckDeterministicTiebreak(t *testing.T) {
+	// Both dangling-findview and missing-content-view report at the same
+	// findViewById position: the (Pos, Check, Msg) order must break the tie
+	// by check name, identically on every run.
+	src := `
+class A extends Activity {
+	void onCreate() {
+		View v = this.findViewById(R.id.x);
+	}
+}`
+	app, err := Load(map[string]string{"a.alite": src},
+		map[string]string{"main": `<LinearLayout><Button android:id="@+id/x"/></LinearLayout>`})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var first []CheckFinding
+	for i := 0; i < 25; i++ {
+		fs := app.Analyze(Options{}).Check()
+		if i == 0 {
+			first = fs
+			samePos := 0
+			for j := 1; j < len(fs); j++ {
+				if fs[j].Pos == fs[j-1].Pos && fs[j].Pos != "" {
+					samePos++
+					if fs[j-1].Check > fs[j].Check {
+						t.Errorf("tie not broken by check name: %s before %s", fs[j-1].Check, fs[j].Check)
+					}
+				}
+			}
+			if samePos == 0 {
+				t.Error("test app no longer produces findings at one position")
+			}
+			continue
+		}
+		if len(fs) != len(first) {
+			t.Fatalf("run %d: %d findings, first run had %d", i, len(fs), len(first))
+		}
+		for j := range fs {
+			if fs[j] != first[j] {
+				t.Fatalf("run %d: finding %d = %+v, first run had %+v", i, j, fs[j], first[j])
+			}
+		}
+	}
+}
+
+func TestCheckReportAPI(t *testing.T) {
+	src := `
+class Main extends Activity {
+	void onCreate() {
+		View early = this.findViewById(R.id.root);
+		this.setContentView(R.layout.main);
+		View gone = this.findViewById(R.id.gone);
+		gone.setId(R.id.root);
+	}
+}`
+	app, err := Load(map[string]string{"app.alite": src}, map[string]string{
+		"main":  `<LinearLayout android:id="@+id/root"/>`,
+		"other": `<LinearLayout android:id="@+id/gone"/>`,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := app.Analyze(Options{})
+
+	rep, err := res.CheckReport()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]bool{"findview-before-setcontentview": false, "null-view-deref": false}
+	for _, f := range rep.Findings {
+		if _, ok := want[f.Check]; ok {
+			want[f.Check] = true
+			if f.Pos == "" || f.SuggestedFix == "" {
+				t.Errorf("finding incomplete: %+v", f)
+			}
+		}
+	}
+	for id, seen := range want {
+		if !seen {
+			t.Errorf("missing %s in %+v", id, rep.Findings)
+		}
+	}
+	if rep.Warnings() == 0 || len(rep.Passes) == 0 {
+		t.Errorf("warnings = %d, passes = %d", rep.Warnings(), len(rep.Passes))
+	}
+	if out := rep.PassTimings(); !strings.Contains(out, "null-view-deref") {
+		t.Errorf("pass timings = %q", out)
+	}
+
+	sarif, err := rep.SARIF()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, frag := range []string{`"version": "2.1.0"`, `"ruleId"`, `"startLine"`, `"gator"`} {
+		if !strings.Contains(string(sarif), frag) {
+			t.Errorf("SARIF misses %s", frag)
+		}
+	}
+
+	// Selection narrows the run; unknown names fail loudly.
+	only, err := res.CheckReport("null-view-deref")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(only.Passes) != 1 {
+		t.Errorf("passes = %+v", only.Passes)
+	}
+	if _, err := res.CheckReport("bogus"); err == nil {
+		t.Error("unknown check accepted")
+	}
+}
+
+func TestCheckSuppressionAPI(t *testing.T) {
+	src := `
+class Main extends Activity {
+	void onCreate() {
+		this.setContentView(R.layout.main);
+		View gone = this.findViewById(R.id.gone);
+		gone.setId(R.id.root); // gator:disable null-view-deref
+	}
+}`
+	app, err := Load(map[string]string{"app.alite": src}, map[string]string{
+		"main":  `<LinearLayout android:id="@+id/root"/>`,
+		"other": `<LinearLayout android:id="@+id/gone"/>`,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := app.Analyze(Options{}).CheckReport("null-view-deref")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Findings) != 0 || rep.Suppressed != 1 {
+		t.Errorf("findings = %+v, suppressed = %d", rep.Findings, rep.Suppressed)
+	}
+}
+
+func TestListChecksAndTable(t *testing.T) {
+	list := ListChecks()
+	table := CheckTable()
+	for _, id := range []string{"dangling-findview", "null-view-deref", "listener-reset", "findview-before-setcontentview"} {
+		if !strings.Contains(list, id) {
+			t.Errorf("ListChecks misses %s", id)
+		}
+		if !strings.Contains(table, "`"+id+"`") {
+			t.Errorf("CheckTable misses %s", id)
+		}
+	}
+}
+
+// TestReadmeCheckerTable pins the README's generated checker table to the
+// live registry: edit the pass Docs, regenerate the block between the
+// markers with CheckTable(), or this fails.
+func TestReadmeCheckerTable(t *testing.T) {
+	data, err := os.ReadFile("README.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(data)
+	begin, end := "<!-- checks:begin -->\n", "<!-- checks:end -->"
+	i := strings.Index(s, begin)
+	j := strings.Index(s, end)
+	if i < 0 || j < 0 || j < i {
+		t.Fatal("README.md checker-table markers missing")
+	}
+	got := s[i+len(begin) : j]
+	if want := CheckTable(); got != want {
+		t.Errorf("README checker table is stale; regenerate from CheckTable().\n--- README ---\n%s--- registry ---\n%s", got, want)
+	}
+}

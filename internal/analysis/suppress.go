@@ -1,0 +1,85 @@
+package analysis
+
+import (
+	"strings"
+
+	"gator/internal/checks"
+)
+
+// Suppressions records `// gator:disable` comments per file and line. A
+// directive suppresses matching findings reported on its own line and on
+// the line directly below, so both trailing and leading comment placement
+// work:
+//
+//	v.setId(R.id.x); // gator:disable null-view-deref
+//
+//	// gator:disable listener-reset, null-view-deref
+//	b.setOnClickListener(h);
+//
+// A bare `// gator:disable` (no names) suppresses every check on those
+// lines. Findings without a source position (structural findings) cannot be
+// suppressed inline.
+type Suppressions map[string]map[int][]string
+
+const disableMarker = "// gator:disable"
+
+// ParseSuppressions scans source texts for disable directives. The map key
+// is the file name as it appears in finding positions.
+func ParseSuppressions(sources map[string]string) Suppressions {
+	var out Suppressions
+	for file, src := range sources {
+		for i, line := range strings.Split(src, "\n") {
+			at := strings.Index(line, disableMarker)
+			if at < 0 {
+				continue
+			}
+			rest := line[at+len(disableMarker):]
+			// Require a clean word boundary so e.g. "gator:disabled" does
+			// not count.
+			if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+				continue
+			}
+			var ids []string
+			for _, name := range strings.FieldsFunc(rest, func(r rune) bool {
+				return r == ',' || r == ' ' || r == '\t'
+			}) {
+				ids = append(ids, name)
+			}
+			if out == nil {
+				out = Suppressions{}
+			}
+			if out[file] == nil {
+				out[file] = map[int][]string{}
+			}
+			out[file][i+1] = ids // ids == nil means "all checks"
+		}
+	}
+	return out
+}
+
+// Matches reports whether a finding is covered by a directive on its line
+// or the line above.
+func (s Suppressions) Matches(f checks.Finding) bool {
+	if s == nil || !f.Pos.IsValid() {
+		return false
+	}
+	lines := s[f.Pos.File]
+	if lines == nil {
+		return false
+	}
+	for _, line := range []int{f.Pos.Line, f.Pos.Line - 1} {
+		ids, ok := lines[line]
+		if !ok {
+			continue
+		}
+		if len(ids) == 0 {
+			return true
+		}
+		for _, id := range ids {
+			if id == f.Check {
+				return true
+			}
+		}
+	}
+	return false
+}

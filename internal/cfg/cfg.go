@@ -1,0 +1,193 @@
+// Package cfg constructs per-method control-flow graphs over the lowered
+// three-address IR (package ir). The reference analysis itself is
+// flow-insensitive and never needs one; the flow-sensitive client analyses
+// (package dataflow and the CFG-based checkers in package checks) do. The
+// structured control flow the lowerer retains (If/While with nested bodies)
+// is flattened here into basic blocks with explicit branch edges.
+package cfg
+
+import (
+	"fmt"
+	"strings"
+
+	"gator/internal/alite"
+	"gator/internal/ir"
+)
+
+// Block is one basic block: a maximal sequence of atomic statements with a
+// single terminator. If/While statements never appear in Stmts; their
+// conditions terminate the block as Cond with a two-way branch.
+type Block struct {
+	// Index is the block's position in Graph.Blocks; blocks are numbered in
+	// source order (deterministic across runs).
+	Index int
+	// Stmts are the atomic statements of the block, in execution order.
+	Stmts []ir.Stmt
+	// Cond is the branch condition terminating the block, or nil when the
+	// block ends unconditionally. When non-nil, Succs is exactly
+	// [trueTarget, falseTarget].
+	Cond *ir.Cond
+	// CondPos locates the branch statement for diagnostics.
+	CondPos alite.Pos
+	// Succs are the successor blocks; Preds the predecessors.
+	Succs []*Block
+	Preds []*Block
+}
+
+// Graph is the control-flow graph of one method body.
+type Graph struct {
+	Method *ir.Method
+	// Blocks holds every block; Blocks[0] is Entry and the last block is
+	// Exit. Indexes follow source order, so iterating Blocks approximates a
+	// reverse postorder for reducible (structured) control flow.
+	Blocks []*Block
+	Entry  *Block
+	Exit   *Block
+}
+
+// Build constructs the CFG for a method with a body. It panics if the method
+// is abstract (Body == nil is the caller's check).
+func Build(m *ir.Method) *Graph {
+	g := &Graph{Method: m}
+	b := &builder{g: g}
+	entry := b.newBlock()
+	g.Entry = entry
+	end := b.seq(m.Body, entry)
+	exit := b.newBlock()
+	g.Exit = exit
+	if end != nil {
+		b.edge(end, exit)
+	}
+	for _, r := range b.returns {
+		b.edge(r, exit)
+	}
+	return g
+}
+
+type builder struct {
+	g *Graph
+	// returns collects blocks terminated by a return statement; they all get
+	// an edge to the exit block once it exists.
+	returns []*Block
+}
+
+func (b *builder) newBlock() *Block {
+	blk := &Block{Index: len(b.g.Blocks)}
+	b.g.Blocks = append(b.g.Blocks, blk)
+	return blk
+}
+
+func (b *builder) edge(from, to *Block) {
+	from.Succs = append(from.Succs, to)
+	to.Preds = append(to.Preds, from)
+}
+
+// seq lowers a statement list into blocks starting at cur and returns the
+// block where control continues afterwards, or nil when every path through
+// the list returns.
+func (b *builder) seq(stmts []ir.Stmt, cur *Block) *Block {
+	for _, s := range stmts {
+		if cur == nil {
+			// Statements after a return (or an if whose branches both
+			// return) are unreachable; they still get blocks, with no
+			// predecessors, so dataflow facts stay bottom there.
+			cur = b.newBlock()
+		}
+		switch s := s.(type) {
+		case *ir.Return:
+			cur.Stmts = append(cur.Stmts, s)
+			b.returns = append(b.returns, cur)
+			cur = nil
+
+		case *ir.If:
+			cond := cur
+			cond.Cond = &s.Cond
+			cond.CondPos = s.At
+			thenEntry := b.newBlock()
+			b.edge(cond, thenEntry)
+			thenEnd := b.seq(s.Then, thenEntry)
+			elseEntry := b.newBlock()
+			b.edge(cond, elseEntry)
+			elseEnd := b.seq(s.Else, elseEntry)
+			if thenEnd == nil && elseEnd == nil {
+				cur = nil
+				continue
+			}
+			join := b.newBlock()
+			if thenEnd != nil {
+				b.edge(thenEnd, join)
+			}
+			if elseEnd != nil {
+				b.edge(elseEnd, join)
+			}
+			cur = join
+
+		case *ir.While:
+			head := b.newBlock()
+			b.edge(cur, head)
+			head.Cond = &s.Cond
+			head.CondPos = s.At
+			body := b.newBlock()
+			b.edge(head, body)
+			bodyEnd := b.seq(s.Body, body)
+			after := b.newBlock()
+			b.edge(head, after)
+			if bodyEnd != nil {
+				b.edge(bodyEnd, head)
+			}
+			cur = after
+
+		default:
+			cur.Stmts = append(cur.Stmts, s)
+		}
+	}
+	return cur
+}
+
+// Reachable returns the set of blocks reachable from the entry, as a
+// per-index boolean slice.
+func (g *Graph) Reachable() []bool {
+	seen := make([]bool, len(g.Blocks))
+	stack := []*Block{g.Entry}
+	for len(stack) > 0 {
+		blk := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if seen[blk.Index] {
+			continue
+		}
+		seen[blk.Index] = true
+		stack = append(stack, blk.Succs...)
+	}
+	return seen
+}
+
+// Dump renders the graph as text, one block per line group, for golden tests
+// and debugging:
+//
+//	b0:
+//	  v := new Button
+//	  if v == null -> b1 | b2
+func (g *Graph) Dump() string {
+	var out strings.Builder
+	fmt.Fprintf(&out, "cfg %s (%d blocks)\n", g.Method.QualifiedName(), len(g.Blocks))
+	for _, blk := range g.Blocks {
+		fmt.Fprintf(&out, "b%d:", blk.Index)
+		if blk == g.Entry {
+			out.WriteString(" (entry)")
+		}
+		if blk == g.Exit {
+			out.WriteString(" (exit)")
+		}
+		out.WriteString("\n")
+		for _, s := range blk.Stmts {
+			fmt.Fprintf(&out, "  %s\n", s.String())
+		}
+		switch {
+		case blk.Cond != nil:
+			fmt.Fprintf(&out, "  if %s -> b%d | b%d\n", blk.Cond.String(), blk.Succs[0].Index, blk.Succs[1].Index)
+		case len(blk.Succs) == 1:
+			fmt.Fprintf(&out, "  -> b%d\n", blk.Succs[0].Index)
+		}
+	}
+	return out.String()
+}

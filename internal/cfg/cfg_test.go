@@ -1,0 +1,243 @@
+package cfg
+
+import (
+	"strings"
+	"testing"
+
+	"gator/internal/alite"
+	"gator/internal/ir"
+	"gator/internal/layout"
+)
+
+// method builds the program around one class body and returns the named
+// method, lowered.
+func method(t *testing.T, src, class, name string) *ir.Method {
+	t.Helper()
+	f, err := alite.Parse("test.alite", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := ir.Build([]*alite.File{f}, map[string]*layout.Layout{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := p.Class(class)
+	if c == nil {
+		t.Fatalf("no class %s", class)
+	}
+	for _, m := range c.MethodsSorted() {
+		if m.Name == name && m.Body != nil {
+			return m
+		}
+	}
+	t.Fatalf("no method %s.%s", class, name)
+	return nil
+}
+
+func TestStraightLine(t *testing.T) {
+	m := method(t, `
+class A extends Activity {
+	void onCreate() {
+		Button b = new Button();
+		Button c = new Button();
+	}
+}`, "A", "onCreate")
+	g := Build(m)
+	// entry block with both statements, then exit.
+	if len(g.Blocks) != 2 {
+		t.Fatalf("blocks = %d\n%s", len(g.Blocks), g.Dump())
+	}
+	if len(g.Entry.Stmts) != 2 || len(g.Entry.Succs) != 1 || g.Entry.Succs[0] != g.Exit {
+		t.Errorf("entry shape wrong\n%s", g.Dump())
+	}
+	if len(g.Exit.Stmts) != 0 || len(g.Exit.Succs) != 0 {
+		t.Errorf("exit shape wrong\n%s", g.Dump())
+	}
+}
+
+func TestIfElseJoin(t *testing.T) {
+	m := method(t, `
+class A extends Activity {
+	void onCreate() {
+		Button b = new Button();
+		if (b == null) {
+			Button x = new Button();
+		} else {
+			Button y = new Button();
+		}
+		Button z = new Button();
+	}
+}`, "A", "onCreate")
+	g := Build(m)
+	// b0(cond) -> b1(then), b2(else); both -> b3(join) -> exit.
+	if len(g.Blocks) != 5 {
+		t.Fatalf("blocks = %d\n%s", len(g.Blocks), g.Dump())
+	}
+	b0 := g.Entry
+	if b0.Cond == nil || len(b0.Succs) != 2 {
+		t.Fatalf("entry not a branch\n%s", g.Dump())
+	}
+	then, els := b0.Succs[0], b0.Succs[1]
+	if len(then.Succs) != 1 || len(els.Succs) != 1 || then.Succs[0] != els.Succs[0] {
+		t.Errorf("branches do not join\n%s", g.Dump())
+	}
+	join := then.Succs[0]
+	if len(join.Stmts) != 1 || len(join.Succs) != 1 || join.Succs[0] != g.Exit {
+		t.Errorf("join shape wrong\n%s", g.Dump())
+	}
+}
+
+func TestIfWithoutElseFallthrough(t *testing.T) {
+	m := method(t, `
+class A extends Activity {
+	void onCreate() {
+		Button b = new Button();
+		if (b != null) {
+			Button x = new Button();
+		}
+		Button z = new Button();
+	}
+}`, "A", "onCreate")
+	g := Build(m)
+	b0 := g.Entry
+	if b0.Cond == nil || b0.Cond.Negated != true {
+		t.Fatalf("want != null branch\n%s", g.Dump())
+	}
+	then, els := b0.Succs[0], b0.Succs[1]
+	if len(els.Stmts) != 0 {
+		t.Errorf("empty else branch should hold no statements\n%s", g.Dump())
+	}
+	if then.Succs[0] != els.Succs[0] {
+		t.Errorf("fallthrough does not rejoin\n%s", g.Dump())
+	}
+}
+
+func TestWhileLoop(t *testing.T) {
+	m := method(t, `
+class A extends Activity {
+	void onCreate() {
+		Button b = new Button();
+		while (*) {
+			Button x = new Button();
+		}
+		Button z = new Button();
+	}
+}`, "A", "onCreate")
+	g := Build(m)
+	// b0 -> head; head -> body | after; body -> head.
+	head := g.Entry.Succs[0]
+	if head.Cond == nil || !head.Cond.Nondet || len(head.Succs) != 2 {
+		t.Fatalf("loop head shape wrong\n%s", g.Dump())
+	}
+	body, after := head.Succs[0], head.Succs[1]
+	if len(body.Succs) != 1 || body.Succs[0] != head {
+		t.Errorf("no back edge\n%s", g.Dump())
+	}
+	if len(after.Stmts) != 1 || after.Succs[0] != g.Exit {
+		t.Errorf("loop exit shape wrong\n%s", g.Dump())
+	}
+	// head must have two preds: entry and the body (back edge).
+	if len(head.Preds) != 2 {
+		t.Errorf("head preds = %d\n%s", len(head.Preds), g.Dump())
+	}
+}
+
+func TestReturnInBranch(t *testing.T) {
+	m := method(t, `
+class A extends Activity {
+	void onCreate() {
+		Button b = new Button();
+		if (b == null) {
+			return;
+		}
+		Button z = new Button();
+	}
+}`, "A", "onCreate")
+	g := Build(m)
+	then := g.Entry.Succs[0]
+	// The then branch returns: its only successor is the exit block, and the
+	// join continues from the else branch alone.
+	if len(then.Succs) != 1 || then.Succs[0] != g.Exit {
+		t.Errorf("return branch must flow to exit\n%s", g.Dump())
+	}
+	els := g.Entry.Succs[1]
+	join := els.Succs[0]
+	if len(join.Preds) != 1 {
+		t.Errorf("join should only be reached from the else path\n%s", g.Dump())
+	}
+}
+
+func TestBothBranchesReturnUnreachableTail(t *testing.T) {
+	m := method(t, `
+class A extends Activity {
+	void onCreate() {
+		Button b = new Button();
+		if (*) {
+			return;
+		} else {
+			return;
+		}
+		Button z = new Button();
+	}
+}`, "A", "onCreate")
+	g := Build(m)
+	reach := g.Reachable()
+	unreachable := 0
+	for _, blk := range g.Blocks {
+		if !reach[blk.Index] {
+			unreachable++
+			if len(blk.Preds) != 0 && blk != g.Exit {
+				t.Errorf("unreachable block with preds\n%s", g.Dump())
+			}
+		}
+	}
+	if unreachable == 0 {
+		t.Errorf("trailing statement should be unreachable\n%s", g.Dump())
+	}
+}
+
+func TestNestedLoopBranch(t *testing.T) {
+	m := method(t, `
+class A extends Activity {
+	void onCreate() {
+		Button b = new Button();
+		while (*) {
+			if (b == null) {
+				Button x = new Button();
+			}
+		}
+	}
+}`, "A", "onCreate")
+	g := Build(m)
+	head := g.Entry.Succs[0]
+	body := head.Succs[0]
+	if body.Cond == nil {
+		t.Fatalf("body should branch\n%s", g.Dump())
+	}
+	// Inner join flows back to the loop head.
+	join := body.Succs[0].Succs[0]
+	if len(join.Succs) != 1 || join.Succs[0] != head {
+		t.Errorf("inner join should loop back\n%s", g.Dump())
+	}
+	if !strings.Contains(g.Dump(), "if b == null") {
+		t.Errorf("dump missing condition\n%s", g.Dump())
+	}
+}
+
+func TestDeterministicDump(t *testing.T) {
+	src := `
+class A extends Activity {
+	void onCreate() {
+		Button b = new Button();
+		while (*) {
+			if (b != null) { return; }
+			Button c = new Button();
+		}
+	}
+}`
+	d1 := Build(method(t, src, "A", "onCreate")).Dump()
+	d2 := Build(method(t, src, "A", "onCreate")).Dump()
+	if d1 != d2 {
+		t.Errorf("dump not deterministic:\n%s\n---\n%s", d1, d2)
+	}
+}

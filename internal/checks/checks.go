@@ -3,6 +3,13 @@
 // of the paper. Each checker inspects the solved reference analysis
 // (package core) for GUI misuse patterns that are invisible to a purely
 // syntactic linter because they depend on which views flow where.
+//
+// Checkers are registered as passes with stable IDs. Solution passes query
+// only the flow-insensitive fixpoint; CFG passes additionally consume
+// per-method control-flow graphs (package cfg) and forward dataflow results
+// (package dataflow), which lets them see statement ordering — e.g. a
+// findViewById that runs before setContentView on some path. The driver in
+// package analysis selects, orders, times, and renders passes.
 package checks
 
 import (
@@ -42,6 +49,8 @@ type Finding struct {
 	Pos alite.Pos
 	// Msg describes the issue and its consequence.
 	Msg string
+	// SuggestedFix is an optional one-line remediation hint.
+	SuggestedFix string
 }
 
 func (f Finding) String() string {
@@ -51,85 +60,199 @@ func (f Finding) String() string {
 	return fmt.Sprintf("%s: [%s] %s", f.Severity, f.Check, f.Msg)
 }
 
-// Checker is one registered checker.
-type Checker struct {
-	Name string
-	Doc  string
-	Run  func(res *core.Result) []Finding
+// PassKind orders passes by what they consume: solution passes need only
+// the flow-insensitive fixpoint, CFG passes additionally need control-flow
+// graphs and dataflow solutions. The driver runs all solution passes before
+// any CFG pass, so cheap whole-solution diagnostics surface even if a CFG
+// pass later fails an assertion.
+type PassKind int
+
+const (
+	// KindSolution marks passes that query only the solved constraint graph.
+	KindSolution PassKind = iota
+	// KindCFG marks passes that consume per-method CFGs and dataflow facts.
+	KindCFG
+)
+
+func (k PassKind) String() string {
+	if k == KindCFG {
+		return "cfg"
+	}
+	return "solution"
 }
 
-// All returns the registered checkers.
-func All() []Checker {
-	return []Checker{
+// Pass is one registered checker.
+type Pass struct {
+	// ID is the stable checker identifier (kebab-case); it is the SARIF
+	// rule id and the name accepted by // gator:disable comments.
+	ID string
+	// Doc is the one-line description shown by -listchecks.
+	Doc string
+	// Kind classifies what the pass consumes (see PassKind).
+	Kind PassKind
+	// Severity is the nominal severity of the pass's findings.
+	Severity Severity
+	// Run executes the pass.
+	Run func(ctx *Context) []Finding
+}
+
+// All returns the registered passes, solution passes first, each group in
+// ID order — the exact order the driver executes them in.
+func All() []Pass {
+	passes := []Pass{
 		{
-			Name: "dangling-findview",
+			ID: "dangling-findview",
 			Doc: "findViewById whose searched hierarchy can never contain " +
 				"the queried id: the call always returns null",
-			Run: checkDanglingFindView,
+			Kind:     KindSolution,
+			Severity: Warning,
+			Run:      solutionPass(checkDanglingFindView),
 		},
 		{
-			Name: "missing-content-view",
+			ID: "missing-content-view",
 			Doc: "activity findViewById without any setContentView on that " +
 				"activity: there is no hierarchy to search",
-			Run: checkMissingContentView,
+			Kind:     KindSolution,
+			Severity: Warning,
+			Run:      solutionPass(checkMissingContentView),
 		},
 		{
-			Name: "unused-view-id",
-			Doc:  "view id declared in a layout but never used by any operation",
-			Run:  checkUnusedViewID,
+			ID:       "unused-view-id",
+			Doc:      "view id declared in a layout but never used by any operation",
+			Kind:     KindSolution,
+			Severity: Info,
+			Run:      solutionPass(checkUnusedViewID),
 		},
 		{
-			Name: "unfired-handler",
+			ID: "unfired-handler",
 			Doc: "listener class whose handler can never receive a view: " +
 				"the listener is never registered on a reachable view",
-			Run: checkUnfiredHandler,
+			Kind:     KindSolution,
+			Severity: Warning,
+			Run:      solutionPass(checkUnfiredHandler),
 		},
 		{
-			Name: "invisible-listener-view",
+			ID: "invisible-listener-view",
 			Doc: "programmatically created view with listeners that is never " +
 				"attached to any activity content: its events cannot fire",
-			Run: checkInvisibleListenerView,
+			Kind:     KindSolution,
+			Severity: Warning,
+			Run:      solutionPass(checkInvisibleListenerView),
 		},
 		{
-			Name: "duplicate-id",
+			ID: "duplicate-id",
 			Doc: "two views with the same id in one activity's content: " +
 				"findViewById resolves only the first",
-			Run: checkDuplicateID,
+			Kind:     KindSolution,
+			Severity: Info,
+			Run:      solutionPass(checkDuplicateID),
 		},
 		{
-			Name: "unhandled-menu",
+			ID: "unhandled-menu",
 			Doc: "menu items added but the activity defines no " +
 				"onOptionsItemSelected handler",
-			Run: checkUnhandledMenu,
+			Kind:     KindSolution,
+			Severity: Warning,
+			Run:      solutionPass(checkUnhandledMenu),
 		},
 		{
-			Name: "bad-intent-target",
-			Doc:  "intent targets a class that is not an activity: startActivity would throw",
-			Run:  checkBadIntentTarget,
+			ID:       "bad-intent-target",
+			Doc:      "intent targets a class that is not an activity: startActivity would throw",
+			Kind:     KindSolution,
+			Severity: Warning,
+			Run:      solutionPass(checkBadIntentTarget),
 		},
 		{
-			Name: "isolated-activity",
+			ID: "isolated-activity",
 			Doc: "activity that no transition ever reaches (informational: " +
 				"it may be a launcher or externally exported entry point)",
-			Run: checkIsolatedActivity,
+			Kind:     KindSolution,
+			Severity: Info,
+			Run:      solutionPass(checkIsolatedActivity),
+		},
+		{
+			ID: "findview-before-setcontentview",
+			Doc: "findViewById that can run before the activity's " +
+				"setContentView along some path: the lookup returns null",
+			Kind:     KindCFG,
+			Severity: Warning,
+			Run:      checkFindViewBeforeSetContent,
+		},
+		{
+			ID: "null-view-deref",
+			Doc: "dereference of a view reference that is definitely null, " +
+				"e.g. the result of a findViewById that can never find a view",
+			Kind:     KindCFG,
+			Severity: Warning,
+			Run:      checkNullViewDeref,
+		},
+		{
+			ID: "listener-reset",
+			Doc: "a second setListener on the same view and event along one " +
+				"path: the first handler is silently replaced and never fires",
+			Kind:     KindCFG,
+			Severity: Warning,
+			Run:      checkListenerReset,
 		},
 	}
+	sort.SliceStable(passes, func(i, j int) bool {
+		if passes[i].Kind != passes[j].Kind {
+			return passes[i].Kind < passes[j].Kind
+		}
+		return passes[i].ID < passes[j].ID
+	})
+	return passes
 }
 
-// Run executes every checker and returns the sorted findings.
-func Run(res *core.Result) []Finding {
-	var out []Finding
-	for _, c := range All() {
-		out = append(out, c.Run(res)...)
+// PassByID returns the registered pass with the given ID.
+func PassByID(id string) (Pass, bool) {
+	for _, p := range All() {
+		if p.ID == id {
+			return p, true
+		}
 	}
-	sort.Slice(out, func(i, j int) bool {
-		a, b := out[i], out[j]
+	return Pass{}, false
+}
+
+// solutionPass adapts a checker over the bare solution to the pass
+// signature.
+func solutionPass(f func(res *core.Result) []Finding) func(*Context) []Finding {
+	return func(ctx *Context) []Finding { return f(ctx.Res) }
+}
+
+// Run executes every registered pass and returns the findings sorted by
+// (position, check, message) — the deterministic order the public API
+// promises.
+func Run(res *core.Result) []Finding {
+	ctx := NewContext(res)
+	var out []Finding
+	for _, p := range All() {
+		out = append(out, p.Run(ctx)...)
+	}
+	SortFindings(out)
+	return out
+}
+
+// SortFindings orders findings by (Pos, Check, Msg): position first so
+// output reads in source order, with the check id and message as
+// deterministic tiebreaks for findings sharing a position.
+func SortFindings(fs []Finding) {
+	sort.Slice(fs, func(i, j int) bool {
+		a, b := fs[i], fs[j]
+		if a.Pos.File != b.Pos.File {
+			return a.Pos.File < b.Pos.File
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Col != b.Pos.Col {
+			return a.Pos.Col < b.Pos.Col
+		}
 		if a.Check != b.Check {
 			return a.Check < b.Check
 		}
 		return a.Msg < b.Msg
 	})
-	return out
 }
 
 // checkDanglingFindView flags find-view operations that are reached by a

@@ -210,17 +210,36 @@ func TestFigure1Clean(t *testing.T) {
 
 func TestCheckerRegistry(t *testing.T) {
 	names := map[string]bool{}
-	for _, c := range All() {
-		if c.Name == "" || c.Doc == "" || c.Run == nil {
-			t.Errorf("incomplete checker %+v", c.Name)
+	sawCFG := false
+	for i, c := range All() {
+		if c.ID == "" || c.Doc == "" || c.Run == nil {
+			t.Errorf("incomplete checker %+v", c.ID)
 		}
-		if names[c.Name] {
-			t.Errorf("duplicate checker %s", c.Name)
+		if names[c.ID] {
+			t.Errorf("duplicate checker %s", c.ID)
 		}
-		names[c.Name] = true
+		names[c.ID] = true
+		// Solution passes come first; the order is the execution order.
+		if c.Kind == KindCFG {
+			sawCFG = true
+		} else if sawCFG {
+			t.Errorf("solution pass %s registered after a CFG pass", c.ID)
+		}
+		if i > 0 && All()[i-1].Kind == c.Kind && All()[i-1].ID >= c.ID {
+			t.Errorf("passes not ID-sorted within kind at %s", c.ID)
+		}
 	}
-	if len(names) < 7 {
+	if len(names) < 10 {
 		t.Errorf("only %d checkers", len(names))
+	}
+	if !sawCFG {
+		t.Error("no CFG passes registered")
+	}
+	if _, ok := PassByID("null-view-deref"); !ok {
+		t.Error("PassByID failed")
+	}
+	if _, ok := PassByID("nope"); ok {
+		t.Error("PassByID found a ghost")
 	}
 }
 

@@ -1,0 +1,189 @@
+package checks
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"gator/internal/cfg"
+	"gator/internal/core"
+	"gator/internal/dataflow"
+	"gator/internal/graph"
+	"gator/internal/ir"
+	"gator/internal/platform"
+)
+
+// Context carries the solved reference analysis plus lazily built
+// flow-sensitive artifacts shared across passes: per-method CFGs, nullness
+// solutions, and the site → operation index. One Context serves one app;
+// passes must not mutate it beyond the memoization the accessors perform.
+type Context struct {
+	Res *core.Result
+
+	cfgs     map[*ir.Method]*cfg.Graph
+	nullRes  map[*ir.Method]*dataflow.Result[dataflow.NullFact]
+	siteOps  map[*ir.Invoke][]*graph.OpNode
+	methOps  map[*ir.Method][]*graph.OpNode
+	nullSeed map[*ir.Invoke]dataflow.NullVal
+	indexed  bool
+}
+
+// NewContext prepares a pass context over one solved analysis.
+func NewContext(res *core.Result) *Context {
+	return &Context{
+		Res:     res,
+		cfgs:    map[*ir.Method]*cfg.Graph{},
+		nullRes: map[*ir.Method]*dataflow.Result[dataflow.NullFact]{},
+	}
+}
+
+// AppMethods returns every application method with a body, in deterministic
+// (class, signature) order.
+func (c *Context) AppMethods() []*ir.Method {
+	var out []*ir.Method
+	for _, cl := range c.Res.Prog.AppClasses() {
+		for _, m := range cl.MethodsSorted() {
+			if m.Body != nil {
+				out = append(out, m)
+			}
+		}
+	}
+	return out
+}
+
+// CFG returns the memoized control-flow graph of a method.
+func (c *Context) CFG(m *ir.Method) *cfg.Graph {
+	if g, ok := c.cfgs[m]; ok {
+		return g
+	}
+	g := cfg.Build(m)
+	c.cfgs[m] = g
+	return g
+}
+
+// buildIndexes populates the site → operations and method → operations maps
+// and the nullness seeds, once.
+func (c *Context) buildIndexes() {
+	if c.indexed {
+		return
+	}
+	c.indexed = true
+	c.siteOps = map[*ir.Invoke][]*graph.OpNode{}
+	c.methOps = map[*ir.Method][]*graph.OpNode{}
+	for _, op := range c.Res.Graph.Ops() {
+		if op.Site != nil {
+			c.siteOps[op.Site] = append(c.siteOps[op.Site], op)
+		}
+		if op.Method != nil {
+			c.methOps[op.Method] = append(c.methOps[op.Method], op)
+		}
+	}
+
+	// Nullness seeds: a find-view site is definitely null when every
+	// operation node materialized for it is live (receiver and id reached)
+	// yet produces no view in the solution. This is the reference-analysis
+	// seeding of the nullness lattice: it turns the flow-insensitive
+	// "dangling findViewById" call-site fact into per-dereference facts.
+	c.nullSeed = map[*ir.Invoke]dataflow.NullVal{}
+	for site, ops := range c.siteOps {
+		val, ok := c.seedForSite(site, ops)
+		if ok {
+			c.nullSeed[site] = val
+		}
+	}
+}
+
+func (c *Context) seedForSite(site *ir.Invoke, ops []*graph.OpNode) (dataflow.NullVal, bool) {
+	if site.Dst == nil {
+		return dataflow.NullVal{}, false
+	}
+	seen := false
+	var why string
+	for _, op := range ops {
+		switch op.Kind {
+		case platform.OpFindView1, platform.OpFindView2, platform.OpFindView3:
+		default:
+			return dataflow.NullVal{}, false
+		}
+		if op.Out == nil || len(c.Res.OpReceivers(op)) == 0 {
+			// Dead op (receiver never materializes): no conclusion.
+			return dataflow.NullVal{}, false
+		}
+		if op.Kind != platform.OpFindView3 {
+			ids := idNames(c.Res.OpArg(op, 0))
+			if len(ids) == 0 {
+				return dataflow.NullVal{}, false
+			}
+			why = fmt.Sprintf("findViewById(%s) at %s can never find a view", joinNames(ids), opPos(op))
+		} else {
+			name := site.Key
+			if i := strings.IndexByte(name, '('); i >= 0 {
+				name = name[:i]
+			}
+			why = fmt.Sprintf("%s at %s can never retrieve a view", name, opPos(op))
+		}
+		if len(c.Res.OpResults(op)) != 0 {
+			return dataflow.NullVal{}, false
+		}
+		seen = true
+	}
+	if !seen {
+		return dataflow.NullVal{}, false
+	}
+	return dataflow.NullVal{K: dataflow.Null, Why: why}, true
+}
+
+// Nullness returns the memoized nullness solution of a method, seeded by
+// the reference analysis.
+func (c *Context) Nullness(m *ir.Method) *dataflow.Result[dataflow.NullFact] {
+	if r, ok := c.nullRes[m]; ok {
+		return r
+	}
+	c.buildIndexes()
+	r := dataflow.SolveNullness(c.CFG(m), func(s *ir.Invoke) (dataflow.NullVal, bool) {
+		v, ok := c.nullSeed[s]
+		return v, ok
+	})
+	c.nullRes[m] = r
+	return r
+}
+
+// OpsAt returns the operation nodes materialized for one call site.
+func (c *Context) OpsAt(site *ir.Invoke) []*graph.OpNode {
+	c.buildIndexes()
+	return c.siteOps[site]
+}
+
+// OpsIn returns the operation nodes whose containing method is m.
+func (c *Context) OpsIn(m *ir.Method) []*graph.OpNode {
+	c.buildIndexes()
+	return c.methOps[m]
+}
+
+// receiverIDs returns the sorted value IDs of an operation's receiver
+// solution.
+func (c *Context) receiverIDs(op *graph.OpNode) []int {
+	vals := c.Res.OpReceivers(op)
+	out := make([]int, 0, len(vals))
+	for _, v := range vals {
+		out = append(out, v.ID())
+	}
+	sort.Ints(out)
+	return out
+}
+
+// intersects reports whether two sorted int slices share an element.
+func intersects(a, b []int) bool {
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			return true
+		case a[i] < b[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return false
+}

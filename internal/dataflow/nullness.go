@@ -1,0 +1,196 @@
+package dataflow
+
+import (
+	"gator/internal/cfg"
+	"gator/internal/ir"
+)
+
+// NullKind is one point of the per-variable nullness lattice:
+//
+//	   Unknown (may be either)
+//	   /            \
+//	Null          NonNull
+//	   \            /
+//	 (unreachable: no fact)
+//
+// The full fact is a map from variable to NullKind where a missing entry
+// means Unknown and the nil map is the bottom (unreachable) element.
+type NullKind uint8
+
+const (
+	// NullUnknown is the lattice top: the variable may or may not be null.
+	NullUnknown NullKind = iota
+	// Null means the variable is definitely null at this point.
+	Null
+	// NonNull means the variable definitely holds an object.
+	NonNull
+)
+
+func (k NullKind) String() string {
+	switch k {
+	case Null:
+		return "null"
+	case NonNull:
+		return "non-null"
+	}
+	return "unknown"
+}
+
+// NullVal is the per-variable fact: the lattice point plus, for Null, a
+// human-readable reason used in diagnostics ("findViewById(R.id.x) at ...
+// never finds a view").
+type NullVal struct {
+	K   NullKind
+	Why string
+}
+
+// NullFact maps variables to their nullness. The nil map is bottom
+// (unreachable); a missing key is NullUnknown.
+type NullFact map[*ir.Var]NullVal
+
+// Get returns the fact for v (NullUnknown when absent or unreachable).
+func (f NullFact) Get(v *ir.Var) NullVal { return f[v] }
+
+// Nullness is the flow-sensitive null-tracking instance. Seed classifies
+// call results using the solved reference analysis: a find-view call whose
+// static solution is empty is definitely null — this is what turns the
+// flow-insensitive "dangling findViewById" call-site guess into precise
+// dereference-site diagnostics.
+type Nullness struct {
+	// Seed returns the nullness of an invoke result, and whether the seed
+	// applies. Invokes without a seed produce NullUnknown results.
+	Seed func(s *ir.Invoke) (NullVal, bool)
+}
+
+// SolveNullness runs the nullness analysis over one CFG.
+func SolveNullness(g *cfg.Graph, seed func(s *ir.Invoke) (NullVal, bool)) *Result[NullFact] {
+	return Forward[NullFact](g, &Nullness{Seed: seed})
+}
+
+func (nl *Nullness) Bottom() NullFact { return nil }
+
+func (nl *Nullness) Entry(g *cfg.Graph) NullFact {
+	f := NullFact{}
+	if t := g.Method.This; t != nil {
+		f[t] = NullVal{K: NonNull}
+	}
+	return f
+}
+
+// Join is the pointwise lattice join; keys agreeing in both maps survive,
+// everything else rises to Unknown (dropped). Bottom is the identity.
+func (nl *Nullness) Join(a, b NullFact) NullFact {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	out := NullFact{}
+	for v, av := range a {
+		bv, ok := b[v]
+		if !ok || av.K != bv.K {
+			continue
+		}
+		// Same kind: keep, with the lexicographically smaller reason so
+		// joins are order-independent.
+		if bv.Why < av.Why {
+			av.Why = bv.Why
+		}
+		out[v] = av
+	}
+	return out
+}
+
+func (nl *Nullness) Equal(a, b NullFact) bool {
+	if (a == nil) != (b == nil) || len(a) != len(b) {
+		return false
+	}
+	for v, av := range a {
+		if bv, ok := b[v]; !ok || av != bv {
+			return false
+		}
+	}
+	return true
+}
+
+// set returns a copy of f with v set (or cleared, for NullUnknown).
+func (f NullFact) set(v *ir.Var, val NullVal) NullFact {
+	out := make(NullFact, len(f)+1)
+	for k, x := range f {
+		out[k] = x
+	}
+	if val.K == NullUnknown {
+		delete(out, v)
+	} else {
+		out[v] = val
+	}
+	return out
+}
+
+func (nl *Nullness) Transfer(s ir.Stmt, in NullFact) NullFact {
+	if in == nil {
+		return nil // unreachable stays unreachable
+	}
+	switch s := s.(type) {
+	case *ir.ConstNull:
+		return in.set(s.Dst, NullVal{K: Null, Why: "null assigned at " + s.At.String()})
+	case *ir.New:
+		return in.set(s.Dst, NullVal{K: NonNull})
+	case *ir.ConstInt:
+		return in.set(s.Dst, NullVal{K: NonNull})
+	case *ir.ConstRes:
+		return in.set(s.Dst, NullVal{K: NonNull})
+	case *ir.ConstClass:
+		return in.set(s.Dst, NullVal{K: NonNull})
+	case *ir.Copy:
+		return in.set(s.Dst, in.Get(s.Src))
+	case *ir.Load:
+		// Field contents are unknown; a completed load proves the base
+		// was non-null.
+		out := in.set(s.Dst, NullVal{})
+		return out.set(s.Base, NullVal{K: NonNull})
+	case *ir.Store:
+		return in.set(s.Base, NullVal{K: NonNull})
+	case *ir.Invoke:
+		// A completed call proves the receiver non-null; the result takes
+		// its seed from the reference analysis when one exists.
+		out := in.set(s.Recv, NullVal{K: NonNull})
+		if s.Dst != nil {
+			val := NullVal{}
+			if nl.Seed != nil {
+				if sv, ok := nl.Seed(s); ok {
+					val = sv
+				}
+			}
+			out = out.set(s.Dst, val)
+		}
+		return out
+	}
+	return in
+}
+
+// Branch refines the fact along a null-test edge. An edge contradicting a
+// definite fact is infeasible and yields bottom, which keeps downstream
+// diagnostics quiet on paths that cannot execute.
+func (nl *Nullness) Branch(c ir.Cond, taken bool, out NullFact) NullFact {
+	if out == nil || c.Nondet || c.X == nil {
+		return out
+	}
+	// "x == null" taken, or "x != null" not taken, means x is null here.
+	isNull := taken != c.Negated
+	cur := out.Get(c.X)
+	if isNull {
+		if cur.K == NonNull {
+			return nil // infeasible edge
+		}
+		if cur.K == Null {
+			return out
+		}
+		return out.set(c.X, NullVal{K: Null, Why: "tested == null"})
+	}
+	if cur.K == Null {
+		return nil // infeasible edge
+	}
+	return out.set(c.X, NullVal{K: NonNull})
+}

@@ -1,0 +1,76 @@
+package dataflow
+
+import (
+	"gator/internal/cfg"
+	"gator/internal/ir"
+)
+
+// ReachingDefs is the classic reaching-definitions instance: at each program
+// point, the set of assignments that may be the most recent writer of each
+// variable along some path.
+type ReachingDefs struct {
+	g *cfg.Graph
+	// defs indexes every defining statement of the method, in block order.
+	defs []ir.Stmt
+	// index maps a defining statement back to its bit.
+	index map[ir.Stmt]int
+	// kills maps each variable to the set of its defining statements.
+	kills map[*ir.Var]Bits
+
+	res *Result[Bits]
+}
+
+// NewReachingDefs solves reaching definitions over one CFG.
+func NewReachingDefs(g *cfg.Graph) *ReachingDefs {
+	rd := &ReachingDefs{
+		g:     g,
+		index: map[ir.Stmt]int{},
+		kills: map[*ir.Var]Bits{},
+	}
+	for _, b := range g.Blocks {
+		for _, s := range b.Stmts {
+			if v := DefinedVar(s); v != nil {
+				i := len(rd.defs)
+				rd.defs = append(rd.defs, s)
+				rd.index[s] = i
+				rd.kills[v] = rd.kills[v].With(i)
+			}
+		}
+	}
+	rd.res = Forward[Bits](g, rdAnalysis{rd})
+	return rd
+}
+
+// Result exposes the solved block-boundary facts.
+func (rd *ReachingDefs) Result() *Result[Bits] { return rd.res }
+
+// Defs decodes a fact into the statements it contains, restricted to
+// definitions of v (pass nil for all variables), in source order.
+func (rd *ReachingDefs) Defs(fact Bits, v *ir.Var) []ir.Stmt {
+	var out []ir.Stmt
+	for _, i := range fact.Ones() {
+		s := rd.defs[i]
+		if v == nil || DefinedVar(s) == v {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// rdAnalysis adapts ReachingDefs to the framework: a may (union) analysis
+// with gen = {s} and kill = all other defs of the same variable.
+type rdAnalysis struct{ rd *ReachingDefs }
+
+func (a rdAnalysis) Bottom() Bits                                { return nil }
+func (a rdAnalysis) Entry(g *cfg.Graph) Bits                     { return nil }
+func (a rdAnalysis) Join(x, y Bits) Bits                         { return x.Union(y) }
+func (a rdAnalysis) Equal(x, y Bits) bool                        { return x.Equal(y) }
+func (a rdAnalysis) Branch(c ir.Cond, taken bool, out Bits) Bits { return out }
+
+func (a rdAnalysis) Transfer(s ir.Stmt, in Bits) Bits {
+	v := DefinedVar(s)
+	if v == nil {
+		return in
+	}
+	return in.AndNot(a.rd.kills[v]).With(a.rd.index[s])
+}

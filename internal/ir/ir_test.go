@@ -1,0 +1,74 @@
+package ir
+
+import (
+	"testing"
+)
+
+// TestDefUses pins the def/use sets of the lowered statement forms — the
+// contract the dataflow layer (internal/dataflow) builds gen/kill sets on.
+func TestDefUses(t *testing.T) {
+	src := `
+class H implements OnClickListener {
+	void onClick(View v) { }
+}
+class A extends Activity {
+	View keep;
+	void onCreate() {
+		this.setContentView(R.layout.main);
+		View v = this.findViewById(R.id.x);
+		this.keep = v;
+		View w = this.keep;
+		if (w != null) {
+			H h = new H();
+			w.setOnClickListener(h);
+		}
+	}
+}`
+	p := buildSrc(t, src, map[string]string{
+		"main": `<LinearLayout><Button android:id="@+id/x"/></LinearLayout>`,
+	})
+	m := p.Class("A").Dispatch("onCreate()")
+	if m == nil {
+		t.Fatal("no onCreate")
+	}
+	defs := map[string]bool{}
+	var sawStore, sawIf, sawInvokeUse bool
+	WalkStmts(m.Body, func(s Stmt) {
+		if v := Def(s); v != nil {
+			defs[v.Name] = true
+		}
+		switch s := s.(type) {
+		case *Store:
+			sawStore = true
+			if Def(s) != nil {
+				t.Errorf("Store defines %v", Def(s))
+			}
+			us := Uses(s)
+			if len(us) != 2 || us[0] != s.Base || us[1] != s.Src {
+				t.Errorf("Store uses = %v", us)
+			}
+		case *If:
+			sawIf = true
+			us := Uses(s)
+			if len(us) != 1 || us[0].Name != "w" {
+				t.Errorf("If uses = %v", us)
+			}
+		case *Invoke:
+			if s.Dst == nil && len(s.Args) == 1 {
+				sawInvokeUse = true
+				us := Uses(s)
+				if len(us) != 2 || us[0] != s.Recv || us[1] != s.Args[0] {
+					t.Errorf("Invoke uses = %v", us)
+				}
+			}
+		}
+	})
+	for _, want := range []string{"v", "w", "h"} {
+		if !defs[want] {
+			t.Errorf("no def of %s seen (defs: %v)", want, defs)
+		}
+	}
+	if !sawStore || !sawIf || !sawInvokeUse {
+		t.Errorf("statement forms missed: store=%v if=%v invoke=%v", sawStore, sawIf, sawInvokeUse)
+	}
+}

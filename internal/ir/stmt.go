@@ -202,6 +202,62 @@ func (s *Return) String() string {
 func (s *If) String() string    { return "if (" + s.Cond.String() + ") ..." }
 func (s *While) String() string { return "while (" + s.Cond.String() + ") ..." }
 
+// Def returns the local variable an atomic statement (re)defines, or nil
+// for statements without a destination (Store, Return, control flow, and
+// void Invoke). Dataflow clients use this as the kill set of a statement.
+func Def(s Stmt) *Var {
+	switch s := s.(type) {
+	case *New:
+		return s.Dst
+	case *Copy:
+		return s.Dst
+	case *Load:
+		return s.Dst
+	case *Invoke:
+		return s.Dst // nil for void calls
+	case *ConstInt:
+		return s.Dst
+	case *ConstRes:
+		return s.Dst
+	case *ConstClass:
+		return s.Dst
+	case *ConstNull:
+		return s.Dst
+	}
+	return nil
+}
+
+// Uses returns the local variables an atomic statement reads, in operand
+// order. Control-flow statements contribute their condition variable.
+func Uses(s Stmt) []*Var {
+	switch s := s.(type) {
+	case *New:
+		return s.Args
+	case *Copy:
+		return []*Var{s.Src}
+	case *Load:
+		return []*Var{s.Base}
+	case *Store:
+		return []*Var{s.Base, s.Src}
+	case *Invoke:
+		out := []*Var{s.Recv}
+		return append(out, s.Args...)
+	case *Return:
+		if s.Src != nil {
+			return []*Var{s.Src}
+		}
+	case *If:
+		if !s.Cond.Nondet {
+			return []*Var{s.Cond.X}
+		}
+	case *While:
+		if !s.Cond.Nondet {
+			return []*Var{s.Cond.X}
+		}
+	}
+	return nil
+}
+
 // WalkStmts visits every statement in the list, recursing into If/While
 // bodies, in syntactic order.
 func WalkStmts(stmts []Stmt, visit func(Stmt)) {

@@ -53,6 +53,30 @@ func (a AppStats) Total() time.Duration {
 	return t
 }
 
+// PassStats is the wall-clock and yield of one diagnostics pass over one
+// application. The analysis driver fills these in; `gator -checks -stats`
+// renders them.
+type PassStats struct {
+	Pass     string
+	Wall     time.Duration
+	Findings int
+}
+
+// FormatPasses renders per-pass timings, one line per pass plus a total.
+func FormatPasses(ps []PassStats) string {
+	var out strings.Builder
+	fmt.Fprintf(&out, "%-32s %10s %9s\n", "Pass", "wall", "findings")
+	var wall time.Duration
+	total := 0
+	for _, p := range ps {
+		fmt.Fprintf(&out, "%-32s %10s %9d\n", p.Pass, round(p.Wall), p.Findings)
+		wall += p.Wall
+		total += p.Findings
+	}
+	fmt.Fprintf(&out, "%-32s %10s %9d\n", "total", round(wall), total)
+	return out.String()
+}
+
 // BatchStats summarizes one batch run.
 type BatchStats struct {
 	// Workers is the resolved worker-pool size.

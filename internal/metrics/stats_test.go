@@ -60,14 +60,29 @@ func TestSpeedupZeroWall(t *testing.T) {
 
 func TestFmtBytes(t *testing.T) {
 	cases := map[uint64]string{
-		512:         "512B",
-		2 << 10:     "2.00KiB",
-		3 << 20:     "3.00MiB",
-		5 << 30:     "5.00GiB",
+		512:     "512B",
+		2 << 10: "2.00KiB",
+		3 << 20: "3.00MiB",
+		5 << 30: "5.00GiB",
 	}
 	for in, want := range cases {
 		if got := fmtBytes(in); got != want {
 			t.Errorf("fmtBytes(%d) = %q, want %q", in, got, want)
 		}
+	}
+}
+
+func TestFormatPasses(t *testing.T) {
+	out := FormatPasses([]PassStats{
+		{Pass: "dangling-findview", Wall: 2 * time.Millisecond, Findings: 3},
+		{Pass: "null-view-deref", Wall: 1 * time.Millisecond, Findings: 1},
+	})
+	for _, w := range []string{"dangling-findview", "null-view-deref", "total", "4"} {
+		if !strings.Contains(out, w) {
+			t.Errorf("FormatPasses missing %q:\n%s", w, out)
+		}
+	}
+	if lines := strings.Count(out, "\n"); lines != 4 {
+		t.Errorf("want header + 2 rows + total, got %d lines:\n%s", lines, out)
 	}
 }

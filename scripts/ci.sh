@@ -10,6 +10,10 @@
 #   4. go test -race — the same suite under the race detector, which is
 #                      what makes the parallel batch engine's "identical to
 #                      sequential" guarantee a verified property
+#   5. gofmt -l      — all sources formatted
+#   6. self-check    — `gator -checks` over examples/buggyapp must exit 1
+#                      and byte-match the checked-in expected output
+#   7. gatorbench    — regenerate BENCH_2.json (skipped with -short)
 #
 # Usage: scripts/ci.sh [-short]
 #   -short trims the corpus-wide tests for a quick local signal.
@@ -33,5 +37,27 @@ go test $SHORT ./...
 
 echo "== go test -race $SHORT ./..."
 go test -race $SHORT ./...
+
+echo "== gofmt -l"
+UNFORMATTED=$(gofmt -l .)
+if [ -n "$UNFORMATTED" ]; then
+    echo "gofmt: needs formatting:" >&2
+    echo "$UNFORMATTED" >&2
+    exit 1
+fi
+
+echo "== gator -checks self-check (examples/buggyapp)"
+CHECKS_OUT=$(mktemp)
+trap 'rm -f "$CHECKS_OUT"' EXIT
+if go run ./cmd/gator -checks examples/buggyapp > "$CHECKS_OUT"; then
+    echo "self-check: expected exit 1 on the buggy app, got 0" >&2
+    exit 1
+fi
+diff -u examples/buggyapp/expected_checks.txt "$CHECKS_OUT"
+
+if [ -z "$SHORT" ]; then
+    echo "== gatorbench BENCH_2.json"
+    go run ./cmd/gatorbench -benchjson BENCH_2.json > /dev/null
+fi
 
 echo "== CI gate green"
