@@ -11,12 +11,14 @@ package gator
 
 import (
 	"fmt"
+	"path/filepath"
 	"runtime"
 	"runtime/debug"
 	"sync"
 	"time"
 
 	"gator/internal/metrics"
+	"gator/internal/trace"
 )
 
 // BatchInput names one application of a batch. Exactly one source should be
@@ -41,6 +43,26 @@ type BatchOptions struct {
 	Workers int
 	// Options are the per-application analysis options.
 	Options Options
+	// Tracer, when non-nil, instruments the whole batch: every app gets a
+	// per-(app, worker) scope carrying load/analyze phase spans and the
+	// solver's iteration and rule events, so a Chrome trace export renders
+	// one lane per worker. Overrides Options.Trace per app.
+	Tracer *trace.Tracer
+	// Progress, when non-nil, is called once per completed application, in
+	// completion order. Calls are serialized; the callback needs no locking.
+	Progress func(ProgressEvent)
+}
+
+// ProgressEvent reports one application's completion during AnalyzeBatch.
+type ProgressEvent struct {
+	// Index is the input position; Done counts completed apps so far
+	// (including this one) and Total the batch size.
+	Index, Done, Total int
+	// Name labels the app; Worker is the worker that ran it.
+	Name   string
+	Worker int
+	// Err is the application's failure, nil on success.
+	Err error
 }
 
 // AppReport is one application's outcome within a batch, in input order.
@@ -63,6 +85,14 @@ type BatchResult struct {
 	Apps []AppReport
 	// Stats summarizes the run (workers, wall, per-app stages, allocation).
 	Stats metrics.BatchStats
+}
+
+// StatsJSON renders the batch accounting as machine-readable JSON that is
+// byte-identical across repeated runs of the same batch (no wall-clock or
+// allocation fields; see metrics.BatchStats.StableJSON). The human-readable
+// timing summary stays in Stats/metrics.FormatBatch.
+func (b *BatchResult) StatsJSON() ([]byte, error) {
+	return b.Stats.StableJSON()
 }
 
 // Failed returns the reports that ended in error.
@@ -102,16 +132,31 @@ func AnalyzeBatch(inputs []BatchInput, opts BatchOptions) *BatchResult {
 	out := &BatchResult{Apps: make([]AppReport, len(inputs))}
 	jobs := make(chan int)
 	var wg sync.WaitGroup
+	var progressMu sync.Mutex
+	done := 0
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
 			for i := range jobs {
 				// Writing to a distinct index needs no lock and pins each
 				// report to its input position.
-				out.Apps[i] = analyzeOne(inputs[i], opts.Options)
+				out.Apps[i] = analyzeOne(inputs[i], i, worker, opts)
+				if opts.Progress != nil {
+					progressMu.Lock()
+					done++
+					opts.Progress(ProgressEvent{
+						Index:  i,
+						Done:   done,
+						Total:  len(inputs),
+						Name:   out.Apps[i].Name,
+						Worker: worker,
+						Err:    out.Apps[i].Err,
+					})
+					progressMu.Unlock()
+				}
 			}
-		}()
+		}(w)
 	}
 	for i := range inputs {
 		jobs <- i
@@ -133,9 +178,27 @@ func AnalyzeBatch(inputs []BatchInput, opts BatchOptions) *BatchResult {
 	return out
 }
 
+// batchLabel names an input for trace scopes before the app is loaded.
+func batchLabel(in BatchInput, index int) string {
+	switch {
+	case in.Name != "":
+		return in.Name
+	case in.Dir != "":
+		return filepath.Base(in.Dir)
+	}
+	return fmt.Sprintf("app%d", index)
+}
+
 // analyzeOne runs one application through the load and analyze stages,
-// converting any panic into the app's error.
-func analyzeOne(in BatchInput, opts Options) (rep AppReport) {
+// converting any panic into the app's error. When the batch is traced, the
+// stages run under a per-(app, worker) scope so exported traces show one
+// lane per worker.
+func analyzeOne(in BatchInput, index, worker int, batchOpts BatchOptions) (rep AppReport) {
+	opts := batchOpts.Options
+	scope := batchOpts.Tracer.Scope(batchLabel(in, index), worker)
+	if scope.Enabled() {
+		opts.Trace = scope
+	}
 	rep.Name = in.Name
 	rep.Stats.App = in.Name
 	defer func() {
@@ -147,6 +210,7 @@ func analyzeOne(in BatchInput, opts Options) (rep AppReport) {
 	}()
 
 	t0 := time.Now()
+	scope.Begin("load")
 	var app *App
 	var err error
 	switch {
@@ -157,6 +221,7 @@ func analyzeOne(in BatchInput, opts Options) (rep AppReport) {
 	default:
 		app, err = Load(in.Sources, in.Layouts)
 	}
+	scope.End("load")
 	rep.Stats.Add("load", time.Since(t0))
 	if err != nil {
 		rep.Err = err
@@ -173,6 +238,7 @@ func analyzeOne(in BatchInput, opts Options) (rep AppReport) {
 	t0 = time.Now()
 	res := app.Analyze(opts)
 	rep.Stats.Add("analyze", time.Since(t0))
+	rep.Stats.Iterations = res.Iterations()
 	rep.Result = res
 	return rep
 }

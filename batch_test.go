@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"gator/internal/corpus"
+	"gator/internal/trace"
 )
 
 // corpusInputs converts generated corpus apps into public batch inputs
@@ -192,5 +193,89 @@ func TestBatchNameDefaulting(t *testing.T) {
 	}
 	if got := br.Stats.Apps[0].App; got != "notepad" {
 		t.Errorf("stats name = %q", got)
+	}
+}
+
+// TestBatchProgress: the callback fires once per app with a monotonically
+// increasing done count, serialized, and covers every input exactly once.
+func TestBatchProgress(t *testing.T) {
+	inputs := corpusInputs(corpus.GenerateAll()[:6])
+	inputs = append(inputs, BatchInput{Name: "Bomb",
+		Load: func() (*App, error) { panic("injected") }})
+
+	var events []ProgressEvent
+	br := AnalyzeBatch(inputs, BatchOptions{
+		Workers: 4,
+		// The contract says calls are serialized; appending without a lock
+		// under -race proves it.
+		Progress: func(ev ProgressEvent) { events = append(events, ev) },
+	})
+	if len(br.Apps) != len(inputs) {
+		t.Fatalf("%d reports", len(br.Apps))
+	}
+	if len(events) != len(inputs) {
+		t.Fatalf("%d progress events for %d inputs", len(events), len(inputs))
+	}
+	seen := map[int]bool{}
+	for i, ev := range events {
+		if ev.Done != i+1 || ev.Total != len(inputs) {
+			t.Errorf("event %d: done=%d total=%d", i, ev.Done, ev.Total)
+		}
+		if seen[ev.Index] {
+			t.Errorf("index %d reported twice", ev.Index)
+		}
+		seen[ev.Index] = true
+		if (ev.Name == "Bomb") != (ev.Err != nil) {
+			t.Errorf("event %+v: only the bomb should carry an error", ev)
+		}
+	}
+}
+
+// TestBatchTracing: a traced batch tags every event with its app label and a
+// valid worker lane, brackets each app's load phase, and streams the
+// solver's phase/iteration events — while leaving the solutions identical to
+// an untraced run.
+func TestBatchTracing(t *testing.T) {
+	inputs := corpusInputs(corpus.GenerateAll()[:4])
+	sink := &trace.Collect{}
+	br := AnalyzeBatch(inputs, BatchOptions{Workers: 2, Tracer: trace.New(sink)})
+	plain := AnalyzeBatch(inputs, BatchOptions{Workers: 2})
+
+	for i, rep := range br.Apps {
+		if rep.Err != nil {
+			t.Fatalf("%s: %v", rep.Name, rep.Err)
+		}
+		got, want := canonical(t, rep.Result), canonical(t, plain.Apps[i].Result)
+		if !bytes.Equal(got, want) {
+			t.Errorf("%s: tracing changed the solution", rep.Name)
+		}
+	}
+
+	byApp := map[string]map[trace.Kind]int{}
+	for _, ev := range sink.Events() {
+		if ev.App == "" {
+			t.Fatalf("unlabeled event %+v", ev)
+		}
+		if ev.Worker < 0 || ev.Worker >= 2 {
+			t.Fatalf("event %+v: worker out of range", ev)
+		}
+		if byApp[ev.App] == nil {
+			byApp[ev.App] = map[trace.Kind]int{}
+		}
+		byApp[ev.App][ev.Kind]++
+	}
+	if len(byApp) != len(inputs) {
+		t.Fatalf("events cover %d apps, want %d", len(byApp), len(inputs))
+	}
+	for app, kinds := range byApp {
+		if kinds[trace.KindPhaseBegin] < 3 { // load, build, solve
+			t.Errorf("%s: %d phase-begin events, want >= 3", app, kinds[trace.KindPhaseBegin])
+		}
+		if kinds[trace.KindPhaseBegin] != kinds[trace.KindPhaseEnd] {
+			t.Errorf("%s: unbalanced phases: %v", app, kinds)
+		}
+		if kinds[trace.KindIteration] == 0 || kinds[trace.KindRule] == 0 {
+			t.Errorf("%s: no solver events: %v", app, kinds)
+		}
 	}
 }

@@ -24,13 +24,14 @@ import (
 	"gator"
 	"gator/internal/corpus"
 	"gator/internal/metrics"
+	"gator/internal/trace"
 )
 
 func main() {
 	report := flag.String("report", "summary", "what to print: summary, views, tuples, hierarchy, activities, transitions, menus, check, table1, table2, dot, ir, json, explore")
 	figure1 := flag.Bool("figure1", false, "analyze the paper's embedded Figure 1 example")
 	seed := flag.Int64("seed", 1, "seed for -report explore")
-	explain := flag.String("explain", "", "explain a variable's solution: Class.method.var")
+	explain := flag.String("explain", "", "print derivation trees for a variable's solution (Class.method.var) or a view id (id:name)")
 	filterCasts := flag.Bool("filter-casts", false, "enable cast filtering")
 	sharedInfl := flag.Bool("shared-inflation", false, "share inflation nodes per layout")
 	noFV3 := flag.Bool("no-findview3", false, "disable the FindView3 child-only refinement")
@@ -40,6 +41,8 @@ func main() {
 	only := flag.String("only", "", "comma-separated check IDs to run (with -checks; default all)")
 	sarifOut := flag.String("sarif", "", "write findings as SARIF 2.1.0 to `file` (implies -checks)")
 	listChecks := flag.Bool("listchecks", false, "print the checker registry and exit")
+	traceOut := flag.String("trace", "", "write a Chrome trace_event JSON of the whole run to `file` (open in chrome://tracing or Perfetto)")
+	statsJSON := flag.String("stats-json", "", "write byte-stable machine-readable batch stats JSON to `file` (\"-\" for stdout)")
 	flag.Parse()
 
 	if *listChecks {
@@ -54,6 +57,8 @@ func main() {
 		FilterCasts:           *filterCasts,
 		SharedInflation:       *sharedInfl,
 		NoFindView3Refinement: *noFV3,
+		// -explain renders derivation trees, which need the recorded DAG.
+		Provenance: *explain != "",
 	}
 
 	var inputs []gator.BatchInput
@@ -76,9 +81,36 @@ func main() {
 		os.Exit(2)
 	}
 
-	batch := gator.AnalyzeBatch(inputs, gator.BatchOptions{Workers: *jobs, Options: opts})
+	bopts := gator.BatchOptions{Workers: *jobs, Options: opts}
+	var sink *trace.Collect
+	if *traceOut != "" {
+		sink = &trace.Collect{}
+		bopts.Tracer = trace.New(sink)
+	}
+
+	batch := gator.AnalyzeBatch(inputs, bopts)
 	if *stats {
 		fmt.Fprint(os.Stderr, metrics.FormatBatch(batch.Stats))
+	}
+	if *traceOut != "" {
+		if err := writeTrace(*traceOut, sink.Events()); err != nil {
+			fmt.Fprintln(os.Stderr, "gator:", err)
+			os.Exit(1)
+		}
+	}
+	if *statsJSON != "" {
+		data, err := batch.StatsJSON()
+		if err == nil {
+			if *statsJSON == "-" {
+				_, err = os.Stdout.Write(data)
+			} else {
+				err = os.WriteFile(*statsJSON, data, 0o644)
+			}
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gator:", err)
+			os.Exit(1)
+		}
 	}
 
 	exit := 0
@@ -128,6 +160,19 @@ func main() {
 	os.Exit(exit)
 }
 
+// writeTrace writes the collected events in Chrome trace_event format.
+func writeTrace(path string, events []trace.Event) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := trace.WriteChrome(f, events); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
 // splitChecks parses the -only flag into check IDs.
 func splitChecks(s string) []string {
 	var out []string
@@ -143,18 +188,27 @@ func splitChecks(s string) []string {
 // report asks for (reports with pass/fail semantics exit nonzero on fail).
 func printReport(name string, res *gator.Result, report, explain string, seed int64) int {
 	if explain != "" {
-		parts := strings.SplitN(explain, ".", 3)
-		if len(parts) != 3 {
-			fmt.Fprintln(os.Stderr, "gator: -explain wants Class.method.var")
-			return 2
+		var trees []string
+		var err error
+		if strings.HasPrefix(explain, "id:") {
+			trees, err = res.ExplainViewID(strings.TrimPrefix(explain, "id:"))
+		} else {
+			parts := strings.SplitN(explain, ".", 3)
+			if len(parts) != 3 {
+				fmt.Fprintln(os.Stderr, "gator: -explain wants Class.method.var or id:name")
+				return 2
+			}
+			trees, err = res.ExplainDerivation(parts[0], parts[1], parts[2])
 		}
-		lines, err := res.ExplainVar(parts[0], parts[1], parts[2])
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "gator:", err)
 			return 1
 		}
-		for _, l := range lines {
-			fmt.Println(l)
+		for i, t := range trees {
+			if i > 0 {
+				fmt.Println()
+			}
+			fmt.Print(t)
 		}
 		return 0
 	}

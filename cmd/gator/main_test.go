@@ -57,7 +57,7 @@ func TestCLIReports(t *testing.T) {
 		{[]string{"-report", "ir", appDir}, []string{"class NoteListActivity", ":= new"}, 0},
 		{[]string{"-report", "json", appDir}, []string{`"eventTuples"`}, 0},
 		{[]string{"-report", "explore", appDir}, []string{"sound=true"}, 0},
-		{[]string{"-explain", "SaveListener.onClick.body", appDir}, []string{"->"}, 0},
+		{[]string{"-explain", "SaveListener.onClick.body", appDir}, []string{"flowsTo(", "[Seed]"}, 0},
 		{[]string{"-figure1"}, []string{"6 inflated"}, 0},
 		{[]string{"-report", "bogus", appDir}, []string{"unknown report"}, 2},
 		{[]string{}, []string{"usage"}, 2},
@@ -105,6 +105,79 @@ func TestCLIBatch(t *testing.T) {
 	}
 	if !strings.Contains(out, "5 classes") || !strings.Contains(out, "gator:") {
 		t.Errorf("mixed batch output\n%s", out)
+	}
+}
+
+// TestCLIExplainDeterministic: the acceptance contract of the provenance
+// layer — `-explain` prints byte-identical derivation trees whether the
+// batch runs on one worker or eight. Two copies of the app make the batch
+// genuinely parallel under -j 8.
+func TestCLIExplainDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI exec test skipped in -short mode")
+	}
+	bin := buildCLI(t)
+	buggy := filepath.Join("..", "..", "examples", "buggyapp")
+
+	for _, query := range []string{"Main.onCreate.btn", "id:go"} {
+		out1, code1 := runCLI(t, bin, "-j", "1", "-explain", query, buggy, buggy)
+		out8, code8 := runCLI(t, bin, "-j", "8", "-explain", query, buggy, buggy)
+		if code1 != 0 || code8 != 0 {
+			t.Fatalf("explain %q: exits %d/%d\n%s\n%s", query, code1, code8, out1, out8)
+		}
+		if out1 != out8 {
+			t.Errorf("explain %q differs between -j 1 and -j 8:\n--- j1 ---\n%s--- j8 ---\n%s", query, out1, out8)
+		}
+	}
+
+	// The tree names the paper's rule and bottoms out in seeds.
+	out, _ := runCLI(t, bin, "-explain", "Main.onCreate.btn", buggy)
+	for _, w := range []string{"[FindView2]", "[Seed]", "rootView(", "ancestorOf(", "hasId("} {
+		if !strings.Contains(out, w) {
+			t.Errorf("-explain tree missing %q\n%s", w, out)
+		}
+	}
+}
+
+// TestCLITraceAndStatsJSON: -trace writes a loadable Chrome trace and
+// -stats-json is byte-stable across runs (and excludes wall-clock fields).
+func TestCLITraceAndStatsJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI exec test skipped in -short mode")
+	}
+	bin := buildCLI(t)
+	appDir := filepath.Join("..", "..", "testdata", "notepad")
+
+	traceFile := filepath.Join(t.TempDir(), "trace.json")
+	out, code := runCLI(t, bin, "-trace", traceFile, appDir)
+	if code != 0 {
+		t.Fatalf("-trace exit %d\n%s", code, out)
+	}
+	data, err := os.ReadFile(traceFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []string{`"traceEvents"`, `notepad:load`, `notepad:solve`, `"ph": "B"`, `"ph": "C"`} {
+		if !strings.Contains(string(data), w) {
+			t.Errorf("trace file missing %s\n%s", w, data)
+		}
+	}
+
+	stats1, code := runCLI(t, bin, "-stats-json", "-", "-report", "dot", appDir)
+	if code != 0 {
+		t.Fatalf("-stats-json exit %d\n%s", code, stats1)
+	}
+	stats2, _ := runCLI(t, bin, "-stats-json", "-", "-report", "dot", appDir)
+	if stats1 != stats2 {
+		t.Errorf("-stats-json is not byte-stable:\n--- run 1 ---\n%s--- run 2 ---\n%s", stats1, stats2)
+	}
+	for _, w := range []string{`"app": "notepad"`, `"iterations"`, `"status": "ok"`} {
+		if !strings.Contains(stats1, w) {
+			t.Errorf("-stats-json missing %s\n%s", w, stats1)
+		}
+	}
+	if strings.Contains(stats1, "Wall") || strings.Contains(stats1, "wall") {
+		t.Errorf("-stats-json leaks wall-clock fields\n%s", stats1)
 	}
 }
 

@@ -9,12 +9,16 @@
 //
 //	gatorbench [-table 1|2|precision|all] [-app NAME] [-seed N] [-j N] [-stats]
 //	           [-filter-casts] [-shared-inflation] [-no-findview3] [-declared-dispatch]
+//	           [-trace FILE] [-metrics FILE] [-pprof ADDR] [-benchjson FILE]
 package main
 
 import (
 	"encoding/json"
+	"expvar"
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof" // -pprof serves the standard profiling endpoints
 	"os"
 	"runtime"
 	"time"
@@ -22,6 +26,7 @@ import (
 	"gator"
 	"gator/internal/corpus"
 	"gator/internal/metrics"
+	"gator/internal/trace"
 )
 
 func main() {
@@ -36,7 +41,20 @@ func main() {
 	jobs := flag.Int("j", runtime.GOMAXPROCS(0), "parallel analysis workers")
 	stats := flag.Bool("stats", false, "print per-stage batch statistics to stderr")
 	benchJSON := flag.String("benchjson", "", "write machine-readable benchmark results to `file`")
+	traceOut := flag.String("trace", "", "write a Chrome trace_event JSON of the corpus run to `file`")
+	metricsOut := flag.String("metrics", "", "write the aggregated counter/histogram registry as JSON to `file` (\"-\" for stderr; implies tracing)")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof and expvar on `addr` (e.g. localhost:6060) for the duration of the run")
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		// The imports register /debug/pprof/* and /debug/vars on the default
+		// mux; the trace registry is published under "gator" below.
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "gatorbench: pprof:", err)
+			}
+		}()
+	}
 
 	opts := gator.Options{
 		FilterCasts:           *filterCasts,
@@ -58,9 +76,40 @@ func main() {
 		})
 	}
 
-	batch := gator.AnalyzeBatch(inputs, gator.BatchOptions{Workers: *jobs, Options: opts})
+	bopts := gator.BatchOptions{Workers: *jobs, Options: opts}
+	var sink *trace.Collect
+	var reg *metrics.Registry
+	if *traceOut != "" || *metricsOut != "" || *pprofAddr != "" {
+		sink = &trace.Collect{}
+		reg = metrics.NewRegistry()
+		bopts.Tracer = trace.New(sink, trace.WithRegistry(reg))
+		// Live aggregates for /debug/vars while the batch runs.
+		expvar.Publish("gator", expvar.Func(func() any { return reg.Snapshot() }))
+	}
+
+	batch := gator.AnalyzeBatch(inputs, bopts)
 	if *stats {
 		fmt.Fprint(os.Stderr, metrics.FormatBatch(batch.Stats))
+	}
+	if *traceOut != "" {
+		if err := writeTrace(*traceOut, sink.Events()); err != nil {
+			fmt.Fprintln(os.Stderr, "gatorbench:", err)
+			os.Exit(1)
+		}
+	}
+	if *metricsOut != "" {
+		data, err := reg.JSON()
+		if err == nil {
+			if *metricsOut == "-" {
+				_, err = os.Stderr.Write(data)
+			} else {
+				err = os.WriteFile(*metricsOut, data, 0o644)
+			}
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gatorbench:", err)
+			os.Exit(1)
+		}
 	}
 
 	var rows1 []metrics.Table1Row
@@ -180,6 +229,19 @@ func writeBenchJSON(path string, batch *gator.BatchResult, workers int) error {
 }
 
 func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// writeTrace writes the collected events in Chrome trace_event format.
+func writeTrace(path string, events []trace.Event) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := trace.WriteChrome(f, events); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
 
 // printReceiverComparison puts the measured receivers average next to the
 // paper's Table 2 value for the same application.

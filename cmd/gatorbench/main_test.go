@@ -96,3 +96,45 @@ func TestGatorbenchParallelDeterminism(t *testing.T) {
 		t.Errorf("-stats stderr missing batch summary:\n%s", stderr.String())
 	}
 }
+
+// TestGatorbenchTraceAndMetrics: -trace writes a Chrome trace of the corpus
+// run and -metrics the aggregated rule/worklist registry.
+func TestGatorbenchTraceAndMetrics(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI exec test skipped in -short mode")
+	}
+	bin := filepath.Join(t.TempDir(), "gatorbench")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	build.Env = os.Environ()
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("build: %v\n%s", err, out)
+	}
+
+	traceFile := filepath.Join(t.TempDir(), "trace.json")
+	metricsFile := filepath.Join(t.TempDir(), "metrics.json")
+	out, err := exec.Command(bin, "-app", "ConnectBot", "-table", "1",
+		"-trace", traceFile, "-metrics", metricsFile).CombinedOutput()
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, out)
+	}
+
+	traceData, err := os.ReadFile(traceFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"traceEvents"`, "ConnectBot:load", "ConnectBot:solve", `"ph": "C"`} {
+		if !strings.Contains(string(traceData), want) {
+			t.Errorf("trace missing %s", want)
+		}
+	}
+
+	metricsData, err := os.ReadFile(metricsFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"counters"`, `"rule/FindView2"`, `"solver/iterations"`, `"histograms"`, `"solver/worklist"`} {
+		if !strings.Contains(string(metricsData), want) {
+			t.Errorf("metrics missing %s\n%s", want, metricsData)
+		}
+	}
+}

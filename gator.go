@@ -41,6 +41,7 @@ import (
 	"gator/internal/metrics"
 	"gator/internal/oracle"
 	"gator/internal/platform"
+	"gator/internal/trace"
 )
 
 // App is a loaded, resolved application.
@@ -72,6 +73,14 @@ type Options struct {
 	// helper methods — the refinement the paper's case study identifies
 	// for the XBMC receiver imprecision.
 	Context1 bool
+	// Provenance records the solver's derivation DAG, enabling the
+	// ExplainDerivation/ExplainViewID queries. Costs memory proportional to
+	// the number of derived facts; off by default.
+	Provenance bool
+	// Trace receives solver instrumentation events (phase boundaries,
+	// fixpoint iterations, rule firings, dataflow solves). nil disables
+	// tracing with no overhead.
+	Trace *trace.Scope
 }
 
 func (o Options) internal() core.Options {
@@ -81,6 +90,8 @@ func (o Options) internal() core.Options {
 		NoFindView3Refinement: o.NoFindView3Refinement,
 		DeclaredDispatchOnly:  o.DeclaredDispatchOnly,
 		Context1:              o.Context1,
+		Provenance:            o.Provenance,
+		Trace:                 o.Trace,
 	}
 }
 
@@ -107,6 +118,7 @@ func LoadDir(dir string) (*App, error) {
 		}
 		return nil
 	}
+	var paths []string
 	for _, sub := range []string{dir, filepath.Join(dir, "layout")} {
 		entries, err := os.ReadDir(sub)
 		if err != nil {
@@ -117,10 +129,17 @@ func LoadDir(dir string) (*App, error) {
 		}
 		for _, e := range entries {
 			if !e.IsDir() {
-				if err := addFile(filepath.Join(sub, e.Name())); err != nil {
-					return nil, err
-				}
+				paths = append(paths, filepath.Join(sub, e.Name()))
 			}
+		}
+	}
+	// Deterministic load order regardless of how the OS enumerated the
+	// directories (os.ReadDir sorts per directory; this pins the combined
+	// order too, so batch results cannot depend on filesystem quirks).
+	sort.Strings(paths)
+	for _, path := range paths {
+		if err := addFile(path); err != nil {
+			return nil, err
 		}
 	}
 	if len(sources) == 0 {
@@ -175,7 +194,7 @@ func Load(sources map[string]string, layoutXML map[string]string) (*App, error) 
 func (a *App) Analyze(opts Options) *Result {
 	start := time.Now()
 	res := core.Analyze(a.prog, opts.internal())
-	return &Result{app: a, res: res, elapsed: time.Since(start)}
+	return &Result{app: a, res: res, elapsed: time.Since(start), tr: opts.Trace}
 }
 
 // Result is a computed analysis solution with user-facing query methods.
@@ -183,6 +202,7 @@ type Result struct {
 	app     *App
 	res     *core.Result
 	elapsed time.Duration
+	tr      *trace.Scope
 }
 
 // Elapsed returns the analysis running time.
@@ -509,6 +529,7 @@ func (r *Result) CheckReport(checkIDs ...string) (*CheckReport, error) {
 	rep, err := analysis.Run(r.app.Name, r.res, analysis.Options{
 		Checks:  checkIDs,
 		Sources: r.app.sources,
+		Trace:   r.tr,
 	})
 	if err != nil {
 		return nil, err
@@ -591,6 +612,59 @@ func (r *Result) ExplainVar(class, method, varName string) ([]string, error) {
 		}
 	}
 	return nil, fmt.Errorf("gator: no variable %s in %s.%s", varName, class, method)
+}
+
+// ExplainDerivation renders, for each value reaching Class.method.var, the
+// minimal derivation tree of the fact flowsTo(var, value): every node is one
+// derived fact annotated with the paper's inference rule that produced it
+// (FindView2, Inflate1, ...), and every chain bottoms out in Seed facts.
+// Requires Options.Provenance; trees are identical across runs and across
+// batch parallelism levels.
+func (r *Result) ExplainDerivation(class, method, varName string) ([]string, error) {
+	if !r.res.HasProvenance() {
+		return nil, errors.New("gator: derivation explanations need Options.Provenance")
+	}
+	c := r.app.prog.Class(class)
+	if c == nil {
+		return nil, fmt.Errorf("gator: unknown class %s", class)
+	}
+	for _, m := range c.MethodsSorted() {
+		if m.Name != method {
+			continue
+		}
+		for _, v := range m.Locals {
+			if v.Name != varName {
+				continue
+			}
+			node := r.res.Graph.VarNode(v)
+			var out []string
+			for _, val := range r.res.PointsTo(node) {
+				if f, ok := r.res.FlowFactOf(node, val); ok {
+					out = append(out, r.res.RenderDerivation(f))
+				}
+			}
+			return out, nil
+		}
+	}
+	return nil, fmt.Errorf("gator: no variable %s in %s.%s", varName, class, method)
+}
+
+// ExplainViewID renders the derivation tree of every hasId(view, id) fact
+// for the named view id: why each view carries the id. Requires
+// Options.Provenance.
+func (r *Result) ExplainViewID(name string) ([]string, error) {
+	if !r.res.HasProvenance() {
+		return nil, errors.New("gator: derivation explanations need Options.Provenance")
+	}
+	facts := r.res.ViewIDFacts(name)
+	if len(facts) == 0 {
+		return nil, fmt.Errorf("gator: no view carries id %q", name)
+	}
+	out := make([]string, 0, len(facts))
+	for _, f := range facts {
+		out = append(out, r.res.RenderDerivation(f))
+	}
+	return out, nil
 }
 
 // MenuEntry describes one options-menu item: the owning activity, the

@@ -1,6 +1,7 @@
 package gator
 
 import (
+	"bytes"
 	"os"
 	"path/filepath"
 	"strings"
@@ -600,5 +601,57 @@ func TestReadmeCheckerTable(t *testing.T) {
 	got := s[i+len(begin) : j]
 	if want := CheckTable(); got != want {
 		t.Errorf("README checker table is stale; regenerate from CheckTable().\n--- README ---\n%s--- registry ---\n%s", got, want)
+	}
+}
+
+// TestLoadDirDeterministicOrder: LoadDir pins the combined file order of the
+// app directory and its layout/ subdirectory by sorting full paths, so the
+// duplicate-name overwrite order (and with it the whole analysis, whose node
+// numbering follows load order) cannot depend on filesystem enumeration.
+// "layout/main.xml" sorts before "main.xml", so the root-directory file wins
+// a basename collision.
+func TestLoadDirDeterministicOrder(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "app.alite"),
+		[]byte("class A extends Activity {\n\tvoid onCreate() {\n\t\tthis.setContentView(R.layout.main);\n\t}\n}\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	sub := filepath.Join(dir, "layout")
+	if err := os.Mkdir(sub, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	// The same layout name in both places, with different view ids.
+	if err := os.WriteFile(filepath.Join(sub, "main.xml"),
+		[]byte(`<LinearLayout android:id="@+id/from_subdir"/>`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "main.xml"),
+		[]byte(`<LinearLayout android:id="@+id/from_root"/>`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var first []byte
+	for i := 0; i < 3; i++ {
+		app, err := LoadDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := app.Analyze(Options{})
+		m := res.Model()
+		m.Elapsed = ""
+		data, err := m.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			first = data
+			if !strings.Contains(string(data), "from_root") || strings.Contains(string(data), "from_subdir") {
+				t.Errorf("root-directory layout should win the collision:\n%s", data)
+			}
+			continue
+		}
+		if !bytes.Equal(data, first) {
+			t.Errorf("LoadDir order drifted between runs:\nrun 0:\n%s\nrun %d:\n%s", first, i, data)
+		}
 	}
 }

@@ -14,6 +14,7 @@ import (
 	"gator/internal/checks"
 	"gator/internal/core"
 	"gator/internal/metrics"
+	"gator/internal/trace"
 )
 
 // Options selects and configures a driver run.
@@ -25,6 +26,9 @@ type Options struct {
 	// program. It is scanned for `// gator:disable` suppression comments;
 	// nil disables suppression handling.
 	Sources map[string]string
+	// Trace, when non-nil, brackets every pass in a "check:<id>" phase and
+	// forwards the checkers' dataflow-solver events.
+	Trace *trace.Scope
 }
 
 // Report is the outcome of one driver run over one application.
@@ -61,10 +65,13 @@ func Run(app string, res *core.Result, opts Options) (*Report, error) {
 	}
 	sup := ParseSuppressions(opts.Sources)
 	ctx := checks.NewContext(res)
+	ctx.Trace = opts.Trace
 	rep := &Report{App: app}
 	for _, p := range passes {
 		start := time.Now()
+		opts.Trace.Begin("check:" + p.ID)
 		found := p.Run(ctx)
+		opts.Trace.End("check:" + p.ID)
 		kept := found[:0]
 		for _, f := range found {
 			if sup.Matches(f) {

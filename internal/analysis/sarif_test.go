@@ -1,0 +1,130 @@
+package analysis
+
+// Validation of the SARIF writer against a checked-in fragment of the SARIF
+// 2.1.0 schema (testdata/sarif-2.1.0-minimal.schema.json). The fragment
+// keeps only the required-field structure of the subset gator emits;
+// validateSchema below is the matching interpreter: it walks the fragment's
+// type / required / properties / items keywords over the emitted document.
+// Together they catch the failure mode SARIF consumers reject hardest —
+// a required field silently dropped by a writer refactor.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// validateSchema checks doc against a JSON-schema fragment, appending one
+// error per violation. path names the document location for messages.
+func validateSchema(schema, doc any, path string, errs *[]string) {
+	s, ok := schema.(map[string]any)
+	if !ok {
+		return
+	}
+	switch s["type"] {
+	case "object":
+		obj, ok := doc.(map[string]any)
+		if !ok {
+			*errs = append(*errs, fmt.Sprintf("%s: want object, got %T", path, doc))
+			return
+		}
+		if req, ok := s["required"].([]any); ok {
+			for _, r := range req {
+				name := r.(string)
+				if _, present := obj[name]; !present {
+					*errs = append(*errs, fmt.Sprintf("%s: missing required field %q", path, name))
+				}
+			}
+		}
+		if props, ok := s["properties"].(map[string]any); ok {
+			for name, sub := range props {
+				if v, present := obj[name]; present {
+					validateSchema(sub, v, path+"."+name, errs)
+				}
+			}
+		}
+	case "array":
+		arr, ok := doc.([]any)
+		if !ok {
+			*errs = append(*errs, fmt.Sprintf("%s: want array, got %T", path, doc))
+			return
+		}
+		if items, ok := s["items"]; ok {
+			for i, v := range arr {
+				validateSchema(items, v, fmt.Sprintf("%s[%d]", path, i), errs)
+			}
+		}
+	}
+}
+
+func loadSchema(t *testing.T) any {
+	t.Helper()
+	data, err := os.ReadFile(filepath.Join("testdata", "sarif-2.1.0-minimal.schema.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var schema any
+	if err := json.Unmarshal(data, &schema); err != nil {
+		t.Fatalf("schema fragment is not valid JSON: %v", err)
+	}
+	return schema
+}
+
+func TestSARIFAgainstSchemaFragment(t *testing.T) {
+	schema := loadSchema(t)
+	rep, err := Run("app", analyzeSrc(t, buggySrc, buggyLayouts), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Findings) == 0 {
+		t.Fatal("buggy source produced no findings; schema validation would be vacuous")
+	}
+
+	for _, tc := range []struct {
+		name    string
+		reports []*Report
+	}{
+		{"single", []*Report{rep}},
+		{"multi", []*Report{rep, rep}},
+		{"empty", []*Report{{App: "empty"}}},
+	} {
+		out, err := SARIFMulti(tc.reports)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		var doc any
+		if err := json.Unmarshal(out, &doc); err != nil {
+			t.Fatalf("%s: writer emitted invalid JSON: %v", tc.name, err)
+		}
+		var errs []string
+		validateSchema(schema, doc, "$", &errs)
+		for _, e := range errs {
+			t.Errorf("%s: %s", tc.name, e)
+		}
+	}
+}
+
+// TestSchemaFragmentCatches: the validator must actually reject documents
+// missing required fields — otherwise the schema test proves nothing.
+func TestSchemaFragmentCatches(t *testing.T) {
+	schema := loadSchema(t)
+	bad := map[string]any{
+		"version": "2.1.0",
+		"$schema": "x",
+		"runs": []any{
+			map[string]any{
+				"tool": map[string]any{"driver": map[string]any{}}, // no name
+				"results": []any{
+					map[string]any{"ruleId": "r", "level": "warning"}, // no message
+				},
+			},
+		},
+	}
+	var errs []string
+	validateSchema(schema, bad, "$", &errs)
+	if len(errs) != 2 {
+		t.Errorf("want 2 violations (driver.name, result.message), got %d: %v", len(errs), errs)
+	}
+}

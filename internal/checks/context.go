@@ -11,6 +11,7 @@ import (
 	"gator/internal/graph"
 	"gator/internal/ir"
 	"gator/internal/platform"
+	"gator/internal/trace"
 )
 
 // Context carries the solved reference analysis plus lazily built
@@ -19,6 +20,10 @@ import (
 // passes must not mutate it beyond the memoization the accessors perform.
 type Context struct {
 	Res *core.Result
+
+	// Trace, when non-nil, receives one dataflow event per nullness solve
+	// with the method name and its block-visit count.
+	Trace *trace.Scope
 
 	cfgs     map[*ir.Method]*cfg.Graph
 	nullRes  map[*ir.Method]*dataflow.Result[dataflow.NullFact]
@@ -145,6 +150,9 @@ func (c *Context) Nullness(m *ir.Method) *dataflow.Result[dataflow.NullFact] {
 		return v, ok
 	})
 	c.nullRes[m] = r
+	if c.Trace.Enabled() {
+		c.Trace.Dataflow(m.String(), int64(r.Visits))
+	}
 	return r
 }
 

@@ -10,6 +10,7 @@ import (
 	"gator/internal/graph"
 	"gator/internal/ir"
 	"gator/internal/platform"
+	"gator/internal/trace"
 )
 
 // Options configure analysis variants. The zero value is the configuration
@@ -41,6 +42,17 @@ type Options struct {
 	// refinement the paper's case study identifies as the fix for the
 	// XBMC receiver imprecision.
 	Context1 bool
+
+	// Provenance records the derivation DAG: every derived fact keeps its
+	// inference rule and premise facts, queryable through Result.Why and
+	// RenderDerivation. Off by default — recording costs memory
+	// proportional to the number of derived facts.
+	Provenance bool
+
+	// Trace receives solver events: build/solve phase boundaries,
+	// per-iteration worklist sizes, and per-rule firing counts. A nil
+	// scope disables tracing with no overhead (see internal/trace).
+	Trace *trace.Scope
 }
 
 // Result is the computed analysis solution.
@@ -51,6 +63,7 @@ type Result struct {
 
 	pts        map[graph.Node]*ValueSet
 	provenance map[provKey]graph.Node
+	rec        *recorder
 
 	// Iterations counts outer fixpoint rounds (flow propagation followed by
 	// operation processing) until quiescence.
@@ -185,14 +198,19 @@ func (r *Result) Transitions() []Transition {
 // Analyze runs the full analysis on a resolved program.
 func Analyze(p *ir.Program, opts Options) *Result {
 	a := newAnalysis(p, opts)
+	a.tr.Begin("build")
 	a.buildGraph()
+	a.tr.End("build")
+	a.tr.Begin("solve")
 	a.solve()
+	a.tr.End("solve")
 	return &Result{
 		Prog:       p,
 		Graph:      a.g,
 		Opts:       opts,
 		pts:        a.pts,
 		provenance: a.provenance,
+		rec:        a.rec,
 		Iterations: a.iterations,
 	}
 }

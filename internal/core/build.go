@@ -5,6 +5,7 @@ import (
 	"gator/internal/graph"
 	"gator/internal/ir"
 	"gator/internal/platform"
+	"gator/internal/trace"
 )
 
 // analysis carries the mutable state shared by graph construction and the
@@ -66,6 +67,11 @@ type analysis struct {
 	// seeds are attributed to it.
 	provSource graph.Node
 
+	// rec, when non-nil, accumulates the derivation DAG (Options.Provenance).
+	rec *recorder
+	// tr is the trace scope for solver events; nil-safe (Options.Trace).
+	tr *trace.Scope
+
 	iterations int
 }
 
@@ -114,7 +120,7 @@ type onClickKey struct {
 }
 
 func newAnalysis(p *ir.Program, opts Options) *analysis {
-	return &analysis{
+	a := &analysis{
 		prog:           p,
 		opts:           opts,
 		g:              graph.New(),
@@ -129,11 +135,21 @@ func newAnalysis(p *ir.Program, opts Options) *analysis {
 		descMemo:       map[graph.Value][]graph.Value{},
 		cloneableCache: map[*ir.Method]bool{},
 		provenance:     map[provKey]graph.Node{},
+		tr:             opts.Trace,
 	}
+	if opts.Provenance {
+		a.rec = newRecorder()
+	}
+	return a
 }
 
 // seed adds a value to a node's points-to set and schedules propagation.
-func (a *analysis) seed(n graph.Node, v graph.Value) { a.seedChecked(n, v) }
+func (a *analysis) seed(n graph.Node, v graph.Value) {
+	if a.seedChecked(n, v) && a.rec != nil {
+		// A direct seed outside any rule application: an initial fact.
+		a.rec.record(flowFact(n, v), "Seed")
+	}
+}
 
 // addFlow records a value-flow edge.
 func (a *analysis) addFlow(src, dst graph.Node) {

@@ -21,12 +21,14 @@ import (
 func (a *analysis) solve() {
 	for {
 		a.iterations++
+		a.tr.Iteration(a.iterations, len(a.worklist))
 		a.propagate()
 		changed := false
 		for _, op := range a.g.Ops() {
 			a.provSource = op
 			if a.applyOp(op) {
 				changed = true
+				a.tr.Rule(op.Kind.String(), 1)
 			}
 			a.provSource = nil
 		}
@@ -51,7 +53,9 @@ func (a *analysis) propagate() {
 					continue
 				}
 			}
-			a.seed(succ, it.val)
+			if a.seedChecked(succ, it.val) && a.rec != nil {
+				a.rec.record(flowFact(succ, it.val), "Flow", flowFact(it.node, it.val))
+			}
 		}
 	}
 	a.provSource = nil
@@ -223,6 +227,11 @@ func (a *analysis) applySetAdapter(op *graph.OpNode) bool {
 				for _, parent := range viewsOf(a.ptsOf(op.Recv)) {
 					if a.g.AddChild(parent, item) {
 						changed = true
+						if a.rec != nil {
+							a.rec.record(childFact(parent, item), op.Kind.String(),
+								flowFact(op.Recv, parent), flowFact(op.Args[0], adapter),
+								flowFact(a.g.VarNode(rv), item))
+						}
 					}
 				}
 			}
@@ -244,18 +253,32 @@ func (a *analysis) applyMenuAdd(op *graph.OpNode) bool {
 		item := a.g.MenuItemNode(op)
 		if a.g.AddMenuItem(menu, item) {
 			changed = true
+			if a.rec != nil {
+				a.rec.record(menuItemFact(menu, item), op.Kind.String(), flowFact(op.Recv, menu))
+			}
 		}
 		for _, id := range viewIDsOf(a.ptsOf(op.Args[0])) {
 			if a.g.AddViewID(item, id) {
 				changed = true
+				if a.rec != nil {
+					a.rec.record(viewIDFact(item, id), op.Kind.String(),
+						flowFact(op.Recv, menu), flowFact(op.Args[0], id))
+				}
 			}
 		}
 		if op.Out != nil && a.seedChecked(op.Out, item) {
 			changed = true
+			if a.rec != nil {
+				a.rec.record(flowFact(op.Out, item), op.Kind.String(), flowFact(op.Recv, menu))
+			}
 		}
 		if h := menu.Activity.Dispatch(platform.MenuSelectCallback + "(R)"); h != nil && h.Body != nil && len(h.Params) == 1 {
 			if a.seedChecked(a.g.VarNode(h.Params[0]), item) {
 				changed = true
+				if a.rec != nil {
+					a.rec.record(flowFact(a.g.VarNode(h.Params[0]), item), op.Kind.String(),
+						menuItemFact(menu, item))
+				}
 			}
 		}
 	}
@@ -273,6 +296,10 @@ func (a *analysis) applyFindParent(op *graph.OpNode) bool {
 		for _, p := range a.g.Parents(view) {
 			if a.seedChecked(op.Out, p) {
 				changed = true
+				if a.rec != nil {
+					a.rec.record(flowFact(op.Out, p), op.Kind.String(),
+						flowFact(op.Recv, view), childFact(p, view))
+				}
 			}
 		}
 	}
@@ -295,11 +322,18 @@ func (a *analysis) applySetIntentTarget(op *graph.OpNode) bool {
 			}
 			if a.g.AddIntentTarget(intent, cls) {
 				changed = true
+				if a.rec != nil {
+					a.rec.record(intentFact(intent, cls), op.Kind.String(),
+						flowFact(op.Recv, intent), flowFact(op.Args[0], cls))
+				}
 			}
 		}
 		// setClass returns the receiver for chaining.
 		if op.Out != nil && a.seedChecked(op.Out, intent) {
 			changed = true
+			if a.rec != nil {
+				a.rec.record(flowFact(op.Out, intent), op.Kind.String(), flowFact(op.Recv, intent))
+			}
 		}
 	}
 	return changed
@@ -308,6 +342,9 @@ func (a *analysis) applySetIntentTarget(op *graph.OpNode) bool {
 // inflate materializes the view nodes for inflating layout lid at op,
 // once per (site, layout) pair — or per layout under SharedInflation.
 // It returns the materialization and whether new nodes or edges appeared.
+// The structural facts it establishes — child edges and view ids read from
+// the layout XML — are derived by the inflation rule from the fact that the
+// layout id reached the operation.
 func (a *analysis) inflate(op *graph.OpNode, lid *graph.LayoutIDNode) (*inflation, bool) {
 	key := lid.Name
 	if !a.opts.SharedInflation {
@@ -336,11 +373,18 @@ func (a *analysis) inflate(op *graph.OpNode, lid *graph.LayoutIDNode) (*inflatio
 			inf.root = node
 		} else {
 			a.g.AddChild(parent, node)
+			if a.rec != nil {
+				a.rec.record(childFact(parent, node), op.Kind.String(), flowFact(op.Args[0], lid))
+			}
 		}
 		inf.all = append(inf.all, node)
 		if n.ID != "" {
 			if resID, ok := a.prog.R.ViewID(n.ID); ok {
-				a.g.AddViewID(node, a.g.ViewIDNode(resID, n.ID))
+				id := a.g.ViewIDNode(resID, n.ID)
+				a.g.AddViewID(node, id)
+				if a.rec != nil {
+					a.rec.record(viewIDFact(node, id), op.Kind.String(), flowFact(op.Args[0], lid))
+				}
 			}
 		}
 		for _, ch := range n.Children {
@@ -364,11 +408,18 @@ func (a *analysis) applyInflate1(op *graph.OpNode) bool {
 		changed = changed || c
 		if op.Out != nil && a.seedChecked(op.Out, inf.root) {
 			changed = true
+			if a.rec != nil {
+				a.rec.record(flowFact(op.Out, inf.root), op.Kind.String(), flowFact(op.Args[0], lid))
+			}
 		}
 		if op.AttachParent && op.ParentArg < len(op.Args) {
 			for _, parent := range viewsOf(a.ptsOf(op.Args[op.ParentArg])) {
 				if a.g.AddChild(parent, inf.root) {
 					changed = true
+					if a.rec != nil {
+						a.rec.record(childFact(parent, inf.root), op.Kind.String(),
+							flowFact(op.Args[0], lid), flowFact(op.Args[op.ParentArg], parent))
+					}
 				}
 			}
 		}
@@ -387,6 +438,10 @@ func (a *analysis) applyInflate2(op *graph.OpNode) bool {
 		for _, owner := range ownersOf(a.ptsOf(op.Recv)) {
 			if a.g.AddRoot(owner, inf.root) {
 				changed = true
+				if a.rec != nil {
+					a.rec.record(rootFact(owner, inf.root), op.Kind.String(),
+						flowFact(op.Recv, owner), flowFact(op.Args[0], lid))
+				}
 			}
 			if a.bindOnClick(owner, inf) {
 				changed = true
@@ -402,6 +457,10 @@ func (a *analysis) applyAddView1(op *graph.OpNode) bool {
 		for _, view := range viewsOf(a.ptsOf(op.Args[0])) {
 			if a.g.AddRoot(owner, view) {
 				changed = true
+				if a.rec != nil {
+					a.rec.record(rootFact(owner, view), op.Kind.String(),
+						flowFact(op.Recv, owner), flowFact(op.Args[0], view))
+				}
 			}
 			if root, ok := view.(*graph.InflNode); ok {
 				if inf := a.rootInflation[root]; inf != nil && a.bindOnClick(owner, inf) {
@@ -419,6 +478,10 @@ func (a *analysis) applyAddView2(op *graph.OpNode) bool {
 		for _, child := range viewsOf(a.ptsOf(op.Args[0])) {
 			if a.g.AddChild(parent, child) {
 				changed = true
+				if a.rec != nil {
+					a.rec.record(childFact(parent, child), op.Kind.String(),
+						flowFact(op.Recv, parent), flowFact(op.Args[0], child))
+				}
 			}
 		}
 	}
@@ -431,6 +494,10 @@ func (a *analysis) applySetID(op *graph.OpNode) bool {
 		for _, id := range viewIDsOf(a.ptsOf(op.Args[0])) {
 			if a.g.AddViewID(view, id) {
 				changed = true
+				if a.rec != nil {
+					a.rec.record(viewIDFact(view, id), op.Kind.String(),
+						flowFact(op.Recv, view), flowFact(op.Args[0], id))
+				}
 			}
 		}
 	}
@@ -449,6 +516,10 @@ func (a *analysis) applySetListener(op *graph.OpNode) bool {
 			}
 			if a.g.AddListener(view, lst) {
 				changed = true
+				if a.rec != nil {
+					a.rec.record(listenerFact(view, lst), op.Kind.String(),
+						flowFact(op.Recv, view), flowFact(op.Args[0], lst))
+				}
 			}
 		}
 	}
@@ -465,6 +536,12 @@ func (a *analysis) applyFindView1(op *graph.OpNode) bool {
 			for _, w := range a.descendantsIncl(view) {
 				if a.hasViewID(w, id) && a.seedChecked(op.Out, w) {
 					changed = true
+					if a.rec != nil {
+						prem := []Fact{flowFact(op.Recv, view), flowFact(op.Args[0], id)}
+						prem = append(prem, a.childPath(view, w)...)
+						prem = append(prem, viewIDFact(w, id))
+						a.rec.record(flowFact(op.Out, w), op.Kind.String(), prem...)
+					}
 				}
 			}
 		}
@@ -483,6 +560,13 @@ func (a *analysis) applyFindView2(op *graph.OpNode) bool {
 				for _, w := range a.descendantsIncl(root) {
 					if a.hasViewID(w, id) && a.seedChecked(op.Out, w) {
 						changed = true
+						if a.rec != nil {
+							prem := []Fact{flowFact(op.Recv, owner), flowFact(op.Args[0], id),
+								rootFact(owner, root)}
+							prem = append(prem, a.childPath(root, w)...)
+							prem = append(prem, viewIDFact(w, id))
+							a.rec.record(flowFact(op.Out, w), op.Kind.String(), prem...)
+						}
 					}
 				}
 			}
@@ -507,6 +591,11 @@ func (a *analysis) applyFindView3(op *graph.OpNode) bool {
 		for _, w := range candidates {
 			if a.seedChecked(op.Out, w) {
 				changed = true
+				if a.rec != nil {
+					prem := []Fact{flowFact(op.Recv, view)}
+					prem = append(prem, a.childPath(view, w)...)
+					a.rec.record(flowFact(op.Out, w), op.Kind.String(), prem...)
+				}
 			}
 		}
 	}
@@ -544,13 +633,24 @@ func (a *analysis) bindOnClick(owner graph.Value, inf *inflation) bool {
 		}
 		if a.seedChecked(a.g.VarNode(m.Params[0]), n) {
 			changed = true
+			if a.rec != nil {
+				a.rec.record(flowFact(a.g.VarNode(m.Params[0]), n), "OnClick",
+					rootFact(owner, inf.root))
+			}
 		}
 		// The handler runs on the owner: the callback is owner.m(view).
 		if a.seedChecked(a.g.VarNode(m.This), owner) {
 			changed = true
+			if a.rec != nil {
+				a.rec.record(flowFact(a.g.VarNode(m.This), owner), "OnClick",
+					rootFact(owner, inf.root))
+			}
 		}
 		if a.g.AddListener(n, owner) {
 			changed = true
+			if a.rec != nil {
+				a.rec.record(listenerFact(n, owner), "OnClick", rootFact(owner, inf.root))
+			}
 		}
 	}
 	return changed

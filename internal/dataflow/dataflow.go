@@ -52,6 +52,9 @@ type Result[F any] struct {
 	// Block.Index.
 	In  []F
 	Out []F
+	// Visits counts block visits until fixpoint — the solver's convergence
+	// cost, reported through the trace layer as a dataflow event.
+	Visits int
 }
 
 // Forward solves a forward dataflow problem to fixpoint with a worklist,
@@ -78,6 +81,7 @@ func Forward[F any](g *cfg.Graph, an Analysis[F]) *Result[F] {
 		work = work[1:]
 		inWork[idx] = false
 		blk := g.Blocks[idx]
+		res.Visits++
 
 		in := an.Bottom()
 		if blk == g.Entry {

@@ -1,0 +1,91 @@
+package metrics
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestRegistryCountersAndHistograms(t *testing.T) {
+	r := NewRegistry()
+	r.Add("rule/FindView2", 3)
+	r.Add("rule/FindView2", 2)
+	r.Add("rule/Inflate1", 1)
+	r.Observe("worklist", 0)
+	r.Observe("worklist", 1)
+	r.Observe("worklist", 5)
+	r.Observe("worklist", 5)
+
+	if got := r.Counter("rule/FindView2").Value(); got != 5 {
+		t.Errorf("FindView2 counter = %d, want 5", got)
+	}
+	s := r.Snapshot()
+	if s.Counters["rule/Inflate1"] != 1 {
+		t.Errorf("snapshot counters = %v", s.Counters)
+	}
+	h := s.Histograms["worklist"]
+	if h.Count != 4 || h.Sum != 11 || h.Max != 5 {
+		t.Errorf("histogram = %+v", h)
+	}
+	// 0 -> bucket [.,1), 1 -> [1,2), 5 -> [4,8) twice.
+	want := [][2]int64{{1, 1}, {2, 1}, {8, 2}}
+	if len(h.Buckets) != len(want) {
+		t.Fatalf("buckets = %v, want %v", h.Buckets, want)
+	}
+	for i, b := range want {
+		if h.Buckets[i] != b {
+			t.Errorf("bucket %d = %v, want %v", i, h.Buckets[i], b)
+		}
+	}
+}
+
+// TestRegistryJSONDeterministic: equal registry states render to identical
+// bytes (the property the -stats-json and trace exports rely on).
+func TestRegistryJSONDeterministic(t *testing.T) {
+	build := func(order []string) *Registry {
+		r := NewRegistry()
+		for _, n := range order {
+			r.Add(n, 1)
+			r.Observe("h/"+n, 4)
+		}
+		return r
+	}
+	a, err := build([]string{"x", "y", "z"}).JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := build([]string{"z", "x", "y"}).JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Errorf("JSON not deterministic:\n%s\nvs\n%s", a, b)
+	}
+}
+
+// TestRegistryNilSafe: the disabled path (nil registry, nil counter, nil
+// histogram) must be a silent no-op and must not allocate.
+func TestRegistryNilSafe(t *testing.T) {
+	var r *Registry
+	if c := r.Counter("x"); c != nil {
+		t.Errorf("nil registry Counter = %v", c)
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		r.Add("x", 1)
+		r.Observe("y", 2)
+		r.Counter("x").Add(1)
+		r.Histogram("y").Observe(3)
+	})
+	if allocs != 0 {
+		t.Errorf("disabled registry allocates %v allocs/op, want 0", allocs)
+	}
+	if got := r.Counter("x").Value(); got != 0 {
+		t.Errorf("nil counter value = %d", got)
+	}
+	s := r.Snapshot()
+	if len(s.Counters) != 0 || len(s.Histograms) != 0 {
+		t.Errorf("nil snapshot = %+v", s)
+	}
+	if names := r.CounterNames(); names != nil {
+		t.Errorf("nil CounterNames = %v", names)
+	}
+}

@@ -7,6 +7,7 @@ package metrics
 // evaluation is measured, not guessed.
 
 import (
+	"encoding/json"
 	"fmt"
 	"strings"
 	"time"
@@ -24,6 +25,9 @@ type Stage struct {
 type AppStats struct {
 	App    string
 	Stages []Stage
+	// Iterations is the solver's fixpoint round count (0 when the app never
+	// reached the analyze stage).
+	Iterations int
 	// Err is the application's failure, "" on success. A failed app still
 	// carries the stages that completed before the failure.
 	Err string
@@ -139,6 +143,49 @@ func FormatBatch(b BatchStats) string {
 	fmt.Fprintf(&out, "batch: %d apps, %d workers, wall %s, work %s, speedup %.2fx, %s allocated\n",
 		len(b.Apps), b.Workers, round(b.Wall), round(b.TotalWork()), b.Speedup(), fmtBytes(b.AllocBytes))
 	return out.String()
+}
+
+// stableApp and stableBatch are the StableJSON shapes. They carry only
+// run-independent fields: no wall-clock, no allocation totals.
+type stableApp struct {
+	App        string   `json:"app"`
+	Stages     []string `json:"stages"`
+	Iterations int      `json:"iterations"`
+	Status     string   `json:"status"`
+	Error      string   `json:"error,omitempty"`
+}
+
+type stableBatch struct {
+	Workers int         `json:"workers"`
+	Failed  int         `json:"failed"`
+	Apps    []stableApp `json:"apps"`
+}
+
+// StableJSON renders the batch accounting as machine-readable JSON that is
+// byte-identical across repeated runs of the same batch: app names in input
+// order, stage names, solver iteration counts, and statuses — but no timing
+// or allocation figures, which vary run to run (those stay in FormatBatch,
+// the human -stats rendering).
+func (b BatchStats) StableJSON() ([]byte, error) {
+	out := stableBatch{Workers: b.Workers, Failed: b.Failed(), Apps: []stableApp{}}
+	for _, a := range b.Apps {
+		sa := stableApp{App: a.App, Stages: []string{}, Iterations: a.Iterations, Status: "ok"}
+		for _, s := range a.Stages {
+			sa.Stages = append(sa.Stages, s.Name)
+		}
+		if a.Err != "" {
+			sa.Status = "error"
+			// Only the first line: panic messages carry a stack trace whose
+			// addresses vary run to run.
+			sa.Error = firstLine(a.Err)
+		}
+		out.Apps = append(out.Apps, sa)
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
 }
 
 func round(d time.Duration) time.Duration { return d.Round(10 * time.Microsecond) }

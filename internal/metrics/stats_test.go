@@ -86,3 +86,46 @@ func TestFormatPasses(t *testing.T) {
 		t.Errorf("want header + 2 rows + total, got %d lines:\n%s", lines, out)
 	}
 }
+
+// TestStableJSON: the machine-readable rendering keeps only run-independent
+// fields — identical batches serialize byte-identically even though their
+// wall-clocks and allocation totals differ.
+func TestStableJSON(t *testing.T) {
+	mk := func(wall time.Duration, alloc uint64) BatchStats {
+		return BatchStats{
+			Workers:    4,
+			Wall:       wall,
+			AllocBytes: alloc,
+			Apps: []AppStats{
+				{App: "A", Stages: []Stage{{"load", wall}, {"analyze", wall * 2}}, Iterations: 3},
+				{App: "B", Stages: []Stage{{"load", wall / 2}}, Err: "boom\ngoroutine 7 [running]: 0xc000123456"},
+			},
+		}
+	}
+	run1, err := mk(25*time.Millisecond, 1<<20).StableJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	run2, err := mk(99*time.Millisecond, 1<<30).StableJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(run1) != string(run2) {
+		t.Errorf("StableJSON varies with timing/allocation:\n%s\nvs\n%s", run1, run2)
+	}
+
+	s := string(run1)
+	for _, want := range []string{
+		`"workers": 4`, `"failed": 1`, `"app": "A"`, `"iterations": 3`,
+		`"status": "error"`, `"error": "boom"`, `"stages"`,
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("StableJSON missing %s:\n%s", want, s)
+		}
+	}
+	for _, leak := range []string{"goroutine", "0xc000", "Wall", "alloc"} {
+		if strings.Contains(s, leak) {
+			t.Errorf("StableJSON leaks %q:\n%s", leak, s)
+		}
+	}
+}

@@ -13,7 +13,11 @@
 #   5. gofmt -l      — all sources formatted
 #   6. self-check    — `gator -checks` over examples/buggyapp must exit 1
 #                      and byte-match the checked-in expected output
-#   7. gatorbench    — regenerate BENCH_2.json (skipped with -short)
+#   7. trace smoke   — `gator -trace -explain` over examples/buggyapp must
+#                      exit 0: tracing and provenance stay wired end-to-end
+#   8. no-alloc      — BenchmarkSolveTracingDisabled asserts that disabled
+#                      tracing adds zero allocations to the solver
+#   9. gatorbench    — regenerate BENCH_2.json (skipped with -short)
 #
 # Usage: scripts/ci.sh [-short]
 #   -short trims the corpus-wide tests for a quick local signal.
@@ -54,6 +58,12 @@ if go run ./cmd/gator -checks examples/buggyapp > "$CHECKS_OUT"; then
     exit 1
 fi
 diff -u examples/buggyapp/expected_checks.txt "$CHECKS_OUT"
+
+echo "== trace + explain smoke (examples/buggyapp)"
+go run ./cmd/gator -trace /dev/null -explain Main.onCreate.btn examples/buggyapp > /dev/null
+
+echo "== zero-allocation guard (tracing disabled)"
+go test -run TestTracingDisabledZeroAlloc -bench BenchmarkSolveTracingDisabled -benchtime 1x ./internal/core
 
 if [ -z "$SHORT" ]; then
     echo "== gatorbench BENCH_2.json"
