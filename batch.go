@@ -51,6 +51,11 @@ type BatchOptions struct {
 	// Progress, when non-nil, is called once per completed application, in
 	// completion order. Calls are serialized; the callback needs no locking.
 	Progress func(ProgressEvent)
+	// Cache, when non-nil, is shared across all workers: source files with
+	// identical content parse once for the whole batch (corpus apps share
+	// helper files heavily). It applies to Dir and Sources inputs; custom
+	// Load functions manage their own caching.
+	Cache *Cache
 }
 
 // ProgressEvent reports one application's completion during AnalyzeBatch.
@@ -217,9 +222,9 @@ func analyzeOne(in BatchInput, index, worker int, batchOpts BatchOptions) (rep A
 	case in.Load != nil:
 		app, err = in.Load()
 	case in.Dir != "":
-		app, err = LoadDir(in.Dir)
+		app, err = LoadDirCached(in.Dir, batchOpts.Cache)
 	default:
-		app, err = Load(in.Sources, in.Layouts)
+		app, err = LoadCached(in.Sources, in.Layouts, batchOpts.Cache)
 	}
 	scope.End("load")
 	rep.Stats.Add("load", time.Since(t0))

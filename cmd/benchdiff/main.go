@@ -1,0 +1,140 @@
+// Command benchdiff compares a freshly regenerated benchmark record against
+// the checked-in baseline and exits non-zero on regression. It understands
+// both record shapes the repo tracks:
+//
+//   - corpus records (BENCH_2.json, gatorbench -benchjson): per-app findings
+//     and warnings must match the baseline exactly (a drift there is a
+//     behavior change, not noise), and total analysis work may not grow by
+//     more than the threshold;
+//   - incremental records (BENCH_4.json, gatorbench -incjson): the warm/cold
+//     speedup may not drop by more than the threshold, and never below the
+//     5x floor the incremental re-solver is built to clear. The speedup is a
+//     same-machine ratio, so it is stable across runner hardware in a way
+//     absolute milliseconds are not.
+//
+// Usage:
+//
+//	benchdiff [-threshold 0.15] BASELINE REGENERATED
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+// speedupFloor is the minimum acceptable warm/cold speedup for incremental
+// records, independent of the baseline (see DESIGN.md, "Incremental
+// solving").
+const speedupFloor = 5.0
+
+type appRec struct {
+	App      string `json:"app"`
+	Findings int    `json:"findings"`
+	Warnings int    `json:"warnings"`
+}
+
+// record is the superset of both benchmark file shapes; shape is detected
+// by which fields are populated (corpus records carry apps, incremental
+// records carry warmMs).
+type record struct {
+	TotalWorkMs float64  `json:"totalWorkMs"`
+	Speedup     float64  `json:"speedup"`
+	WarmMs      float64  `json:"warmMs"`
+	ColdMs      float64  `json:"coldMs"`
+	Apps        []appRec `json:"apps"`
+}
+
+func load(path string) (record, error) {
+	var r record
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return r, err
+	}
+	if err := json.Unmarshal(data, &r); err != nil {
+		return r, fmt.Errorf("%s: %v", path, err)
+	}
+	return r, nil
+}
+
+func main() {
+	threshold := flag.Float64("threshold", 0.15, "maximum tolerated fractional regression")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold F] BASELINE REGENERATED")
+		os.Exit(2)
+	}
+	old, err := load(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	cur, err := load(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+
+	var failures []string
+	fail := func(format string, args ...any) {
+		failures = append(failures, fmt.Sprintf(format, args...))
+	}
+
+	switch {
+	case len(old.Apps) > 0:
+		// Corpus record: behavior exactly, cost within threshold.
+		byName := map[string]appRec{}
+		for _, a := range cur.Apps {
+			byName[a.App] = a
+		}
+		for _, want := range old.Apps {
+			got, ok := byName[want.App]
+			if !ok {
+				fail("%s: missing from regenerated record", want.App)
+				continue
+			}
+			if got.Findings != want.Findings || got.Warnings != want.Warnings {
+				fail("%s: findings/warnings %d/%d, baseline %d/%d",
+					want.App, got.Findings, got.Warnings, want.Findings, want.Warnings)
+			}
+		}
+		if len(cur.Apps) != len(old.Apps) {
+			fail("app count %d, baseline %d", len(cur.Apps), len(old.Apps))
+		}
+		if old.TotalWorkMs > 0 {
+			limit := old.TotalWorkMs * (1 + *threshold)
+			fmt.Printf("%s: totalWorkMs %.1f vs baseline %.1f (limit %.1f)\n",
+				flag.Arg(1), cur.TotalWorkMs, old.TotalWorkMs, limit)
+			if cur.TotalWorkMs > limit {
+				fail("totalWorkMs %.1f exceeds baseline %.1f by more than %.0f%%",
+					cur.TotalWorkMs, old.TotalWorkMs, *threshold*100)
+			}
+		}
+
+	case old.WarmMs > 0:
+		// Incremental record: the speedup ratio is the guarded quantity.
+		limit := old.Speedup * (1 - *threshold)
+		fmt.Printf("%s: speedup %.2fx vs baseline %.2fx (limit %.2fx, floor %.1fx)\n",
+			flag.Arg(1), cur.Speedup, old.Speedup, limit, speedupFloor)
+		if cur.Speedup < limit {
+			fail("speedup %.2fx regressed more than %.0f%% from baseline %.2fx",
+				cur.Speedup, *threshold*100, old.Speedup)
+		}
+		if cur.Speedup < speedupFloor {
+			fail("speedup %.2fx below the %.1fx floor", cur.Speedup, speedupFloor)
+		}
+
+	default:
+		fmt.Fprintf(os.Stderr, "benchdiff: %s: unrecognized record shape\n", flag.Arg(0))
+		os.Exit(2)
+	}
+
+	if len(failures) > 0 {
+		for _, f := range failures {
+			fmt.Fprintln(os.Stderr, "benchdiff: REGRESSION:", f)
+		}
+		os.Exit(1)
+	}
+	fmt.Println("benchdiff: ok")
+}

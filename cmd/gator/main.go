@@ -15,13 +15,19 @@
 package main
 
 import (
+	"bytes"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"path/filepath"
 	"runtime"
 	"strings"
+	"time"
 
 	"gator"
+	"gator/internal/cache"
 	"gator/internal/corpus"
 	"gator/internal/metrics"
 	"gator/internal/trace"
@@ -43,6 +49,8 @@ func main() {
 	listChecks := flag.Bool("listchecks", false, "print the checker registry and exit")
 	traceOut := flag.String("trace", "", "write a Chrome trace_event JSON of the whole run to `file` (open in chrome://tracing or Perfetto)")
 	statsJSON := flag.String("stats-json", "", "write byte-stable machine-readable batch stats JSON to `file` (\"-\" for stdout)")
+	watch := flag.Bool("watch", false, "watch one app directory and re-analyze incrementally on change (polls modification times)")
+	cacheDir := flag.String("cache-dir", "", "content-addressed result cache `directory`: reprint cached reports for unchanged inputs without re-analyzing")
 	flag.Parse()
 
 	if *listChecks {
@@ -59,6 +67,14 @@ func main() {
 		NoFindView3Refinement: *noFV3,
 		// -explain renders derivation trees, which need the recorded DAG.
 		Provenance: *explain != "",
+	}
+
+	if *watch {
+		if *figure1 || flag.NArg() != 1 || *checksMode {
+			fmt.Fprintln(os.Stderr, "gator: -watch wants exactly one app directory (and no -checks/-sarif)")
+			os.Exit(2)
+		}
+		runWatch(flag.Arg(0), opts, *report, *explain, *seed)
 	}
 
 	var inputs []gator.BatchInput
@@ -81,11 +97,52 @@ func main() {
 		os.Exit(2)
 	}
 
-	bopts := gator.BatchOptions{Workers: *jobs, Options: opts}
+	bopts := gator.BatchOptions{Workers: *jobs, Options: opts, Cache: gator.NewCache()}
 	var sink *trace.Collect
 	if *traceOut != "" {
 		sink = &trace.Collect{}
 		bopts.Tracer = trace.New(sink)
+	}
+
+	// With -cache-dir, apps whose fingerprint (options, report, sources,
+	// layouts) matches a stored entry skip analysis entirely and replay the
+	// stored report. Reports with unstable output (summary timing) or side
+	// outputs (-checks/-sarif aggregation, derivation trees) always run.
+	var store *cache.DiskStore
+	total := len(inputs)
+	keys := make([]string, total)
+	replay := make([][]byte, total)
+	names := make([]string, total)
+	if *cacheDir != "" && !*checksMode && *explain == "" && *report != "summary" {
+		var err error
+		if store, err = cache.OpenDiskStore(*cacheDir); err != nil {
+			fmt.Fprintln(os.Stderr, "gator:", err)
+			os.Exit(1)
+		}
+		tag := fmt.Sprintf("%s|report=%s|seed=%d", opts.CacheTag(), *report, *seed)
+		var run []gator.BatchInput
+		for i, in := range inputs {
+			sources, layouts := in.Sources, in.Layouts
+			if in.Dir != "" {
+				s, l, err := gator.ReadAppDir(in.Dir)
+				if err != nil {
+					// Let the batch produce the proper per-app error.
+					run = append(run, in)
+					continue
+				}
+				sources, layouts = s, l
+			}
+			keys[i] = cache.AppFingerprint(tag, sources, layouts)
+			names[i] = batchLabelOf(in, i)
+			data, hit := store.Get(keys[i])
+			bopts.Tracer.Scope(names[i], 0).CacheProbe("result", hit)
+			if hit && len(data) > 0 {
+				replay[i] = data
+			} else {
+				run = append(run, in)
+			}
+		}
+		inputs = run
 	}
 
 	batch := gator.AnalyzeBatch(inputs, bopts)
@@ -115,13 +172,31 @@ func main() {
 
 	exit := 0
 	var checkReports []*gator.CheckReport
-	for i, rep := range batch.Apps {
+	next := 0 // next unconsumed entry of batch.Apps
+	for i := 0; i < total; i++ {
+		if replay[i] != nil {
+			if total > 1 {
+				if i > 0 {
+					fmt.Println()
+				}
+				fmt.Printf("== %s ==\n", names[i])
+			}
+			// Entries store one exit-code digit followed by the rendered
+			// report (see the Put below).
+			os.Stdout.Write(replay[i][1:])
+			if code := int(replay[i][0] - '0'); code > exit {
+				exit = code
+			}
+			continue
+		}
+		rep := batch.Apps[next]
+		next++
 		if rep.Err != nil {
 			fmt.Fprintln(os.Stderr, "gator:", rep.Err)
 			exit = 1
 			continue
 		}
-		if len(batch.Apps) > 1 {
+		if total > 1 {
 			if i > 0 {
 				fmt.Println()
 			}
@@ -143,7 +218,16 @@ func main() {
 			}
 			continue
 		}
-		if code := printReport(rep.Name, rep.Result, *report, *explain, *seed); code > exit {
+		var buf bytes.Buffer
+		code := printReport(&buf, rep.Name, rep.Result, *report, *explain, *seed)
+		os.Stdout.Write(buf.Bytes())
+		if store != nil && keys[i] != "" && code <= 1 {
+			entry := append([]byte{byte('0' + code)}, buf.Bytes()...)
+			if err := store.Put(keys[i], entry); err != nil {
+				fmt.Fprintln(os.Stderr, "gator:", err)
+			}
+		}
+		if code > exit {
 			exit = code
 		}
 	}
@@ -184,9 +268,96 @@ func splitChecks(s string) []string {
 	return out
 }
 
-// printReport renders one app's solution and returns the exit code the
+// batchLabelOf names one input the way AnalyzeBatch will, for headers and
+// trace scopes of apps served from the result cache.
+func batchLabelOf(in gator.BatchInput, index int) string {
+	switch {
+	case in.Name != "":
+		return in.Name
+	case in.Dir != "":
+		return filepath.Base(in.Dir)
+	}
+	return fmt.Sprintf("app%d", index)
+}
+
+// runWatch polls one application directory and re-analyzes on change,
+// delta-resolving body-only edits against the previous solution. It never
+// returns; interrupt the process to stop.
+func runWatch(dir string, opts gator.Options, report, explain string, seed int64) {
+	const pollInterval = 500 * time.Millisecond
+	c := gator.NewCache()
+	var prev *gator.Result
+	lastSig := "\x00unread" // never matches a real signature
+	for {
+		sig, err := dirSignature(dir)
+		if err == nil && sig == lastSig {
+			time.Sleep(pollInterval)
+			continue
+		}
+		lastSig = sig
+		sources, layouts, err := gator.ReadAppDir(dir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gator:", err)
+			time.Sleep(pollInterval)
+			continue
+		}
+		res, err := gator.AnalyzeIncremental(prev, sources, layouts, opts, c)
+		if err != nil {
+			// Mid-edit parse errors leave prev usable; a consumed prev does
+			// not — drop it and recover with a full analysis next round.
+			if errors.Is(err, gator.ErrStaleResult) {
+				prev = nil
+			}
+			fmt.Fprintln(os.Stderr, "gator:", err)
+			time.Sleep(pollInterval)
+			continue
+		}
+		prev = res
+		st := res.Incremental()
+		if st.Mode == "unchanged" {
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "gator: %s analyzed in %v (%s", dir, res.Elapsed(), st.Mode)
+		switch {
+		case st.Mode == "warm":
+			fmt.Fprintf(os.Stderr, ": retained %d, retracted %d facts", st.Retained, st.Retracted)
+		case st.Reason != "":
+			fmt.Fprintf(os.Stderr, ": %s", st.Reason)
+		}
+		fmt.Fprintln(os.Stderr, ")")
+		printReport(os.Stdout, filepath.Base(dir), res, report, explain, seed)
+	}
+}
+
+// dirSignature fingerprints the watched directory by file names, sizes, and
+// modification times, so the poll loop only re-reads contents after a change.
+func dirSignature(dir string) (string, error) {
+	var b strings.Builder
+	for _, sub := range []string{dir, filepath.Join(dir, "layout")} {
+		entries, err := os.ReadDir(sub)
+		if err != nil {
+			if sub != dir {
+				continue // the layout/ subdirectory is optional
+			}
+			return "", err
+		}
+		for _, e := range entries {
+			if e.IsDir() {
+				continue
+			}
+			info, err := e.Info()
+			if err != nil {
+				continue
+			}
+			fmt.Fprintf(&b, "%s/%s:%d:%d\n", sub, e.Name(), info.Size(), info.ModTime().UnixNano())
+		}
+	}
+	return b.String(), nil
+}
+
+// printReport renders one app's solution to w and returns the exit code the
 // report asks for (reports with pass/fail semantics exit nonzero on fail).
-func printReport(name string, res *gator.Result, report, explain string, seed int64) int {
+func printReport(w io.Writer, name string, res *gator.Result, report, explain string, seed int64) int {
 	if explain != "" {
 		var trees []string
 		var err error
@@ -206,9 +377,9 @@ func printReport(name string, res *gator.Result, report, explain string, seed in
 		}
 		for i, t := range trees {
 			if i > 0 {
-				fmt.Println()
+				fmt.Fprintln(w)
 			}
-			fmt.Print(t)
+			fmt.Fprint(w, t)
 		}
 		return 0
 	}
@@ -216,20 +387,20 @@ func printReport(name string, res *gator.Result, report, explain string, seed in
 	switch report {
 	case "summary":
 		t1 := res.Table1()
-		fmt.Printf("%s: %d classes, %d methods\n", name, t1.Classes, t1.Methods)
-		fmt.Printf("ids: %d layouts, %d view ids\n", t1.LayoutIDs, t1.ViewIDs)
-		fmt.Printf("views: %d inflated, %d allocated; %d listeners\n",
+		fmt.Fprintf(w, "%s: %d classes, %d methods\n", name, t1.Classes, t1.Methods)
+		fmt.Fprintf(w, "ids: %d layouts, %d view ids\n", t1.LayoutIDs, t1.ViewIDs)
+		fmt.Fprintf(w, "views: %d inflated, %d allocated; %d listeners\n",
 			t1.ViewsInflated, t1.ViewsAllocated, t1.Listeners)
-		fmt.Printf("ops: %d inflate, %d find-view, %d add-view, %d set-listener, %d set-id\n",
+		fmt.Fprintf(w, "ops: %d inflate, %d find-view, %d add-view, %d set-listener, %d set-id\n",
 			t1.InflateOps, t1.FindViewOps, t1.AddViewOps, t1.SetListenerOps, t1.SetIdOps)
-		fmt.Printf("analysis: %v, %d fixpoint rounds\n", res.Elapsed(), res.Iterations())
+		fmt.Fprintf(w, "analysis: %v, %d fixpoint rounds\n", res.Elapsed(), res.Iterations())
 	case "views":
 		for _, v := range res.Views() {
 			id := v.ID
 			if id == "" {
 				id = "-"
 			}
-			fmt.Printf("%-20s %-28s id=%s\n", v.Class, v.Origin, id)
+			fmt.Fprintf(w, "%-20s %-28s id=%s\n", v.Class, v.Origin, id)
 		}
 	case "tuples":
 		for _, t := range res.EventTuples() {
@@ -237,25 +408,25 @@ func printReport(name string, res *gator.Result, report, explain string, seed in
 			if act == "" {
 				act = "-"
 			}
-			fmt.Printf("activity=%-20s view=%s(%s) event=%-12s handler=%s\n",
+			fmt.Fprintf(w, "activity=%-20s view=%s(%s) event=%-12s handler=%s\n",
 				act, t.View.Class, t.View.Origin, t.Event, t.Handler)
 		}
 	case "hierarchy":
 		for _, e := range res.Hierarchy() {
-			fmt.Printf("%s(%s) => %s(%s)\n", e.Parent.Class, e.Parent.Origin, e.Child.Class, e.Child.Origin)
+			fmt.Fprintf(w, "%s(%s) => %s(%s)\n", e.Parent.Class, e.Parent.Origin, e.Child.Class, e.Child.Origin)
 		}
 	case "activities":
 		for _, a := range res.Activities() {
-			fmt.Printf("%s:\n", a.Activity)
+			fmt.Fprintf(w, "%s:\n", a.Activity)
 			for _, r := range a.Roots {
-				fmt.Printf("\troot %s (%s)\n", r.Class, r.Origin)
+				fmt.Fprintf(w, "\troot %s (%s)\n", r.Class, r.Origin)
 			}
 		}
 	case "table1":
-		fmt.Printf("%+v\n", res.Table1())
+		fmt.Fprintf(w, "%+v\n", res.Table1())
 	case "table2":
 		r := res.Table2()
-		fmt.Printf("time=%v receivers=%.2f results=%.2f listeners=%.2f\n",
+		fmt.Fprintf(w, "time=%v receivers=%.2f results=%.2f listeners=%.2f\n",
 			r.Time, r.AvgReceivers, r.AvgResults, r.AvgListeners)
 	case "check":
 		fs := res.Check()
@@ -265,7 +436,7 @@ func printReport(name string, res *gator.Result, report, explain string, seed in
 			if where == "" {
 				where = name
 			}
-			fmt.Printf("%s: %s: [%s] %s\n", where, f.Severity, f.Check, f.Msg)
+			fmt.Fprintf(w, "%s: %s: [%s] %s\n", where, f.Severity, f.Check, f.Msg)
 			if f.Severity == "warning" {
 				warnings++
 			}
@@ -275,11 +446,11 @@ func printReport(name string, res *gator.Result, report, explain string, seed in
 		}
 	case "menus":
 		for _, e := range res.MenuEntries() {
-			fmt.Printf("activity=%-20s item=%-16s handler=%s\n", e.Activity, e.ItemID, e.Handler)
+			fmt.Fprintf(w, "activity=%-20s item=%-16s handler=%s\n", e.Activity, e.ItemID, e.Handler)
 		}
 	case "transitions":
 		for _, tr := range res.Transitions() {
-			fmt.Printf("%s -> %s  (via %s)\n", tr.Source, tr.Target, tr.Via)
+			fmt.Fprintf(w, "%s -> %s  (via %s)\n", tr.Source, tr.Target, tr.Via)
 		}
 	case "json":
 		data, err := res.Model().JSON()
@@ -287,17 +458,17 @@ func printReport(name string, res *gator.Result, report, explain string, seed in
 			fmt.Fprintln(os.Stderr, "gator:", err)
 			return 1
 		}
-		fmt.Println(string(data))
+		fmt.Fprintln(w, string(data))
 	case "ir":
-		fmt.Print(res.DumpIR())
+		fmt.Fprint(w, res.DumpIR())
 	case "dot":
-		fmt.Print(res.Dot())
+		fmt.Fprint(w, res.Dot())
 	case "explore":
 		rep := res.Explore(seed)
-		fmt.Printf("sound=%v sites=%d perfect=%d steps=%d\n",
+		fmt.Fprintf(w, "sound=%v sites=%d perfect=%d steps=%d\n",
 			rep.Sound, rep.ObservedSites, rep.PerfectSites, rep.Steps)
 		for _, v := range rep.Violations {
-			fmt.Println("violation:", v)
+			fmt.Fprintln(w, "violation:", v)
 		}
 		if !rep.Sound {
 			return 1

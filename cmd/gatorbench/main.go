@@ -10,6 +10,7 @@
 //	gatorbench [-table 1|2|precision|all] [-app NAME] [-seed N] [-j N] [-stats]
 //	           [-filter-casts] [-shared-inflation] [-no-findview3] [-declared-dispatch]
 //	           [-trace FILE] [-metrics FILE] [-pprof ADDR] [-benchjson FILE]
+//	           [-incjson FILE]
 package main
 
 import (
@@ -21,6 +22,7 @@ import (
 	_ "net/http/pprof" // -pprof serves the standard profiling endpoints
 	"os"
 	"runtime"
+	"strings"
 	"time"
 
 	"gator"
@@ -41,6 +43,7 @@ func main() {
 	jobs := flag.Int("j", runtime.GOMAXPROCS(0), "parallel analysis workers")
 	stats := flag.Bool("stats", false, "print per-stage batch statistics to stderr")
 	benchJSON := flag.String("benchjson", "", "write machine-readable benchmark results to `file`")
+	incJSON := flag.String("incjson", "", "write the incremental re-analysis benchmark (single-file edit, warm vs cold) to `file`")
 	traceOut := flag.String("trace", "", "write a Chrome trace_event JSON of the corpus run to `file`")
 	metricsOut := flag.String("metrics", "", "write the aggregated counter/histogram registry as JSON to `file` (\"-\" for stderr; implies tracing)")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof and expvar on `addr` (e.g. localhost:6060) for the duration of the run")
@@ -171,6 +174,12 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	if *incJSON != "" {
+		if err := writeIncrementalJSON(*incJSON); err != nil {
+			fmt.Fprintln(os.Stderr, "gatorbench:", err)
+			os.Exit(1)
+		}
+	}
 }
 
 // benchApp is one application's record in the -benchjson output.
@@ -229,6 +238,109 @@ func writeBenchJSON(path string, batch *gator.BatchResult, workers int) error {
 }
 
 func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// incBenchOutput is the -incjson file shape (BENCH_4.json): the cost of
+// re-analyzing after a single-file body edit, warm (AnalyzeIncremental
+// resuming the retained fact base) vs cold (Load + Analyze from scratch),
+// on the largest modular app that fits the 64-unit dependency-tracking
+// budget. Speedup is the recorded incremental-solving win; the nightly
+// benchdiff gate fails when it regresses below 5x or by more than the
+// threshold against the checked-in record.
+type incBenchOutput struct {
+	GeneratedAt string  `json:"generatedAt"`
+	App         string  `json:"app"`
+	Units       int     `json:"units"`
+	Edits       int     `json:"edits"`
+	ColdMs      float64 `json:"coldMs"`
+	WarmMs      float64 `json:"warmMs"`
+	Speedup     float64 `json:"speedup"`
+	Retained    int     `json:"retained"`
+	Retracted   int     `json:"retracted"`
+}
+
+// writeIncrementalJSON measures the incremental-edit benchmark: the same
+// alternating body-only edit the BenchmarkIncrementalEdit/BenchmarkScratchEdit
+// pair in incremental_bench_test.go runs, timed here over a fixed number of
+// edits with the minimum per-edit time reported (minimum, not mean, to shed
+// scheduler noise on shared CI runners).
+func writeIncrementalJSON(path string) error {
+	const nActs = 30 // keep in sync with benchEditSize (incremental_bench_test.go)
+	const edits = 10
+	sources, layouts := corpus.ModularApp(nActs)
+	base := sources["act1.alite"]
+	va := strings.Replace(base, "\t\tthis.stash = back;\n", "\t\tthis.stash = btn;\n", 1)
+	vb := strings.Replace(base, "\t\tthis.stash = back;\n", "\t\tthis.stash = p;\n", 1)
+	if va == base || vb == base {
+		return fmt.Errorf("incjson: edit variants did not apply to act1.alite")
+	}
+	edit := func(i int) {
+		if i%2 == 0 {
+			sources["act1.alite"] = va
+		} else {
+			sources["act1.alite"] = vb
+		}
+	}
+
+	// Cold baseline: each edit handled the way a non-incremental pipeline
+	// must — re-load everything and solve from scratch.
+	cold := time.Duration(1<<63 - 1)
+	for i := 0; i < edits; i++ {
+		edit(i)
+		start := time.Now()
+		app, err := gator.Load(sources, layouts)
+		if err != nil {
+			return err
+		}
+		app.Analyze(gator.Options{})
+		if d := time.Since(start); d < cold {
+			cold = d
+		}
+	}
+
+	// Warm path: chained AnalyzeIncremental with a shared parse cache.
+	sources["act1.alite"] = base
+	c := gator.NewCache()
+	prev, err := gator.AnalyzeIncremental(nil, sources, layouts, gator.Options{}, c)
+	if err != nil {
+		return err
+	}
+	warm := time.Duration(1<<63 - 1)
+	var last gator.IncrementalStats
+	for i := 0; i < edits; i++ {
+		edit(i)
+		start := time.Now()
+		res, err := gator.AnalyzeIncremental(prev, sources, layouts, gator.Options{}, c)
+		if err != nil {
+			return err
+		}
+		d := time.Since(start)
+		last = res.Incremental()
+		if last.Mode != "warm" {
+			return fmt.Errorf("incjson: edit %d fell back to %q (%s)", i, last.Mode, last.Reason)
+		}
+		if d < warm {
+			warm = d
+		}
+		prev = res
+	}
+
+	out := incBenchOutput{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		App:         fmt.Sprintf("modular-%d", nActs),
+		Units:       len(sources) + len(layouts),
+		Edits:       edits,
+		ColdMs:      ms(cold),
+		WarmMs:      ms(warm),
+		Speedup:     float64(cold) / float64(warm),
+		Retained:    last.Retained,
+		Retracted:   last.Retracted,
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
 
 // writeTrace writes the collected events in Chrome trace_event format.
 func writeTrace(path string, events []trace.Event) error {

@@ -32,6 +32,7 @@ import (
 
 	"gator/internal/alite"
 	"gator/internal/analysis"
+	"gator/internal/cache"
 	"gator/internal/core"
 	"gator/internal/dot"
 	"gator/internal/graph"
@@ -50,8 +51,17 @@ type App struct {
 	Name string
 	prog *ir.Program
 	// sources retains the raw ALite texts (file name → source) so the
-	// checkers can honor inline `// gator:disable` suppressions.
+	// checkers can honor inline `// gator:disable` suppressions and
+	// AnalyzeIncremental can diff edits.
 	sources map[string]string
+	// layouts retains the raw layout XML (layout name → XML) for
+	// incremental diffing; layout definitions are always re-parsed on
+	// rebuild because linking resolves them in place.
+	layouts map[string]string
+	// shapes fingerprints each source file's declarations
+	// (ir.ShapeSignature); an edit whose shape is unchanged touches method
+	// bodies only and is eligible for in-place re-lowering.
+	shapes map[string]string
 }
 
 // Options configure analysis variants; the zero value is the configuration
@@ -99,8 +109,30 @@ func (o Options) internal() core.Options {
 // and *.xml layout files (optionally under a layout/ subdirectory).
 // Extensions are matched case-insensitively (MAIN.XML is a layout).
 func LoadDir(dir string) (*App, error) {
-	sources := map[string]string{}
-	layouts := map[string]string{}
+	return LoadDirCached(dir, nil)
+}
+
+// LoadDirCached is LoadDir with a shared parse cache (see LoadCached).
+func LoadDirCached(dir string, c *Cache) (*App, error) {
+	sources, layouts, err := ReadAppDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	app, err := LoadCached(sources, layouts, c)
+	if err != nil {
+		return nil, err
+	}
+	app.Name = filepath.Base(dir)
+	return app, nil
+}
+
+// ReadAppDir reads an application directory into raw unit maps (file name →
+// ALite source, layout name → XML) without parsing or resolving anything.
+// It is the input form AnalyzeIncremental diffs against, so watch loops can
+// re-read a directory cheaply and hand both maps back unchanged.
+func ReadAppDir(dir string) (sources, layouts map[string]string, err error) {
+	sources = map[string]string{}
+	layouts = map[string]string{}
 	addFile := func(path string) error {
 		base := filepath.Base(path)
 		ext := strings.ToLower(filepath.Ext(base))
@@ -125,7 +157,7 @@ func LoadDir(dir string) (*App, error) {
 			if sub != dir && errors.Is(err, fs.ErrNotExist) {
 				continue // the layout/ subdirectory is optional
 			}
-			return nil, fmt.Errorf("gator: reading %s: %w", sub, err)
+			return nil, nil, fmt.Errorf("gator: reading %s: %w", sub, err)
 		}
 		for _, e := range entries {
 			if !e.IsDir() {
@@ -139,35 +171,54 @@ func LoadDir(dir string) (*App, error) {
 	sort.Strings(paths)
 	for _, path := range paths {
 		if err := addFile(path); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 	}
 	if len(sources) == 0 {
-		return nil, fmt.Errorf("gator: no .alite sources in %s", dir)
+		return nil, nil, fmt.Errorf("gator: no .alite sources in %s", dir)
 	}
-	app, err := Load(sources, layouts)
-	if err != nil {
-		return nil, err
-	}
-	app.Name = filepath.Base(dir)
-	return app, nil
+	return sources, layouts, nil
 }
 
 // Load builds an application from in-memory sources: file name → ALite
 // source, and layout name → layout XML.
 func Load(sources map[string]string, layoutXML map[string]string) (*App, error) {
+	return loadApp(sources, layoutXML, nil)
+}
+
+// LoadCached is Load with a shared parse cache: source files whose content
+// the cache has seen before (under any application) skip parsing. Layout
+// definitions are always re-parsed — linking resolves them in place, so
+// their parsed form is per-build.
+func LoadCached(sources, layoutXML map[string]string, c *Cache) (*App, error) {
+	var pc *cache.ParseCache
+	if c != nil {
+		pc = c.parse
+	}
+	return loadApp(sources, layoutXML, pc)
+}
+
+func loadApp(sources map[string]string, layoutXML map[string]string, pc *cache.ParseCache) (*App, error) {
 	var names []string
 	for n := range sources {
 		names = append(names, n)
 	}
 	sort.Strings(names)
 	var files []*alite.File
+	shapes := make(map[string]string, len(names))
 	for _, n := range names {
-		f, err := alite.Parse(n, sources[n])
+		var f *alite.File
+		var err error
+		if pc != nil {
+			f, _, err = pc.Parse(n, sources[n])
+		} else {
+			f, err = alite.Parse(n, sources[n])
+		}
 		if err != nil {
 			return nil, err
 		}
 		files = append(files, f)
+		shapes[n] = ir.ShapeSignature(f)
 	}
 	layouts := map[string]*layout.Layout{}
 	for name, xml := range layoutXML {
@@ -181,13 +232,17 @@ func Load(sources map[string]string, layoutXML map[string]string) (*App, error) 
 	if err != nil {
 		return nil, err
 	}
-	// Copy so later caller mutations of the map cannot skew suppression
-	// scanning.
+	// Copy so later caller mutations of the maps cannot skew suppression
+	// scanning or incremental diffing.
 	kept := make(map[string]string, len(sources))
 	for n, src := range sources {
 		kept[n] = src
 	}
-	return &App{Name: "app", prog: prog, sources: kept}, nil
+	keptLayouts := make(map[string]string, len(layoutXML))
+	for n, xml := range layoutXML {
+		keptLayouts[n] = xml
+	}
+	return &App{Name: "app", prog: prog, sources: kept, layouts: keptLayouts, shapes: shapes}, nil
 }
 
 // Analyze runs the reference analysis.
@@ -203,6 +258,11 @@ type Result struct {
 	res     *core.Result
 	elapsed time.Duration
 	tr      *trace.Scope
+	incr    IncrementalStats
+	// invalid marks a result whose underlying program has since been
+	// patched in place by AnalyzeIncremental; queries on it would mix old
+	// facts with new IR. See the staleness contract in DESIGN.md.
+	invalid bool
 }
 
 // Elapsed returns the analysis running time.
@@ -246,7 +306,21 @@ func (r *Result) viewInfo(v graph.Value) View {
 	return out
 }
 
-// Views returns every abstract view object the analysis discovered.
+// viewLess orders views by content (origin, class, id) — not by internal
+// node numbering, which depends on the solver's materialization order and
+// differs between from-scratch and incremental runs.
+func viewLess(a, b View) bool {
+	if a.Origin != b.Origin {
+		return a.Origin < b.Origin
+	}
+	if a.Class != b.Class {
+		return a.Class < b.Class
+	}
+	return a.ID < b.ID
+}
+
+// Views returns every abstract view object the analysis discovered, in
+// content order.
 func (r *Result) Views() []View {
 	var out []View
 	for _, n := range r.res.Graph.Infls() {
@@ -257,6 +331,7 @@ func (r *Result) Views() []View {
 			out = append(out, r.viewInfo(a))
 		}
 	}
+	sort.Slice(out, func(i, j int) bool { return viewLess(out[i], out[j]) })
 	return out
 }
 
@@ -418,11 +493,21 @@ func (r *Result) EventTuples() []EventTuple {
 // HierarchyEdge is one parent-child association between views.
 type HierarchyEdge struct{ Parent, Child View }
 
-// Hierarchy returns all parent-child view associations.
+// Hierarchy returns all parent-child view associations, in content order.
 func (r *Result) Hierarchy() []HierarchyEdge {
 	var out []HierarchyEdge
 	r.res.Graph.ChildPairs(func(p, c graph.Value) {
 		out = append(out, HierarchyEdge{r.viewInfo(p), r.viewInfo(c)})
+	})
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if viewLess(a.Parent, b.Parent) {
+			return true
+		}
+		if viewLess(b.Parent, a.Parent) {
+			return false
+		}
+		return viewLess(a.Child, b.Child)
 	})
 	return out
 }
@@ -453,7 +538,9 @@ func (r *Result) Activities() []ActivityContent {
 	sort.Strings(order)
 	out := make([]ActivityContent, len(order))
 	for i, n := range order {
-		out[i] = *byName[n]
+		ac := *byName[n]
+		sort.Slice(ac.Roots, func(i, j int) bool { return viewLess(ac.Roots[i], ac.Roots[j]) })
+		out[i] = ac
 	}
 	return out
 }

@@ -1,0 +1,149 @@
+// Package cache provides content-addressed caching for incremental
+// re-analysis: stable fingerprints of compilation units (source files,
+// layout files) and whole applications, an in-memory LRU parse cache shared
+// across batch workers, and an optional on-disk store for rendered analysis
+// outputs keyed by application fingerprint.
+//
+// Everything is keyed by content hash, never by file path or modification
+// time, so a cache entry can never go stale: an edit changes the content,
+// the content changes the key, and the old entry simply stops being asked
+// for. The LRU bound (and, on disk, the caller-managed directory) controls
+// the space cost.
+package cache
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"sort"
+	"sync"
+
+	"gator/internal/alite"
+)
+
+// Hash returns the hex-encoded sha256 of a compilation unit's content,
+// domain-separated by the unit's kind and name so a source file and a
+// layout with identical bytes get distinct fingerprints.
+func Hash(kind, name, content string) string {
+	h := sha256.New()
+	h.Write([]byte(kind))
+	h.Write([]byte{0})
+	h.Write([]byte(name))
+	h.Write([]byte{0})
+	h.Write([]byte(content))
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// AppFingerprint combines the unit hashes of one application plus an
+// options tag into one stable key: the units are sorted by name, so map
+// iteration order cannot leak in.
+func AppFingerprint(optionsTag string, sources, layouts map[string]string) string {
+	var lines []string
+	for name, src := range sources {
+		lines = append(lines, Hash("source", name, src))
+	}
+	for name, xml := range layouts {
+		lines = append(lines, Hash("layout", name, xml))
+	}
+	sort.Strings(lines)
+	h := sha256.New()
+	h.Write([]byte(optionsTag))
+	h.Write([]byte{0})
+	for _, l := range lines {
+		h.Write([]byte(l))
+		h.Write([]byte{'\n'})
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// ParseCache is a bounded, content-addressed cache of parsed ALite files.
+// It is safe for concurrent use by batch workers; the cached *alite.File
+// values are shared, which is sound because ir.Build treats ASTs as
+// read-only.
+type ParseCache struct {
+	mu      sync.Mutex
+	max     int
+	entries map[string]*list.Element // unit hash → lru element
+	lru     *list.List               // front = most recent; value = *parseEntry
+	hits    int64
+	misses  int64
+}
+
+type parseEntry struct {
+	key  string
+	file *alite.File
+}
+
+// DefaultParseEntries bounds the parse cache when the caller passes a
+// non-positive size. Corpus files dominate batch workloads; a few thousand
+// entries cover every app in the evaluation many times over.
+const DefaultParseEntries = 4096
+
+// NewParseCache creates a parse cache holding at most max files (<=0 uses
+// DefaultParseEntries).
+func NewParseCache(max int) *ParseCache {
+	if max <= 0 {
+		max = DefaultParseEntries
+	}
+	return &ParseCache{
+		max:     max,
+		entries: map[string]*list.Element{},
+		lru:     list.New(),
+	}
+}
+
+// Parse returns the parsed form of one source file, parsing on miss, and
+// reports whether the lookup hit. Two files with identical content share
+// one AST regardless of app — the name participates in the key (it appears
+// in positions), so shared corpus files across apps hit, while the same
+// content under a different file name does not.
+func (c *ParseCache) Parse(name, src string) (*alite.File, bool, error) {
+	key := Hash("source", name, src)
+	c.mu.Lock()
+	if el, ok := c.entries[key]; ok {
+		c.lru.MoveToFront(el)
+		c.hits++
+		f := el.Value.(*parseEntry).file
+		c.mu.Unlock()
+		return f, true, nil
+	}
+	c.misses++
+	c.mu.Unlock()
+
+	// Parse outside the lock: distinct files parse concurrently. A racing
+	// duplicate parse of the same content is wasted work, not an error —
+	// last writer wins and both ASTs are valid.
+	f, err := alite.Parse(name, src)
+	if err != nil {
+		return nil, false, err
+	}
+
+	c.mu.Lock()
+	if el, ok := c.entries[key]; ok {
+		c.lru.MoveToFront(el)
+		f = el.Value.(*parseEntry).file
+	} else {
+		c.entries[key] = c.lru.PushFront(&parseEntry{key: key, file: f})
+		for c.lru.Len() > c.max {
+			last := c.lru.Back()
+			c.lru.Remove(last)
+			delete(c.entries, last.Value.(*parseEntry).key)
+		}
+	}
+	c.mu.Unlock()
+	return f, false, nil
+}
+
+// Stats returns the cumulative hit and miss counts.
+func (c *ParseCache) Stats() (hits, misses int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+// Len returns the number of cached files.
+func (c *ParseCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Len()
+}

@@ -1,0 +1,78 @@
+package cache
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// DiskStore persists rendered analysis outputs under a directory, one file
+// per key. Keys are application fingerprints (hex strings), so entries are
+// immutable: a Put never changes the meaning of an existing key, and
+// concurrent writers of the same key write identical bytes. Used by the
+// gator CLI's -cache-dir flag to skip re-analysis when neither the sources,
+// the layouts, nor the requested report changed.
+type DiskStore struct {
+	dir string
+}
+
+// OpenDiskStore opens (creating if needed) a disk store rooted at dir.
+func OpenDiskStore(dir string) (*DiskStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("cache: opening store %s: %w", dir, err)
+	}
+	return &DiskStore{dir: dir}, nil
+}
+
+// path maps a key to its entry file, sharding by the first two hex digits
+// to keep directories small.
+func (s *DiskStore) path(key string) (string, error) {
+	if len(key) < 8 || strings.ContainsAny(key, "/\\.") {
+		return "", fmt.Errorf("cache: invalid key %q", key)
+	}
+	return filepath.Join(s.dir, key[:2], key), nil
+}
+
+// Get returns the stored bytes for key, reporting whether an entry exists.
+func (s *DiskStore) Get(key string) ([]byte, bool) {
+	p, err := s.path(key)
+	if err != nil {
+		return nil, false
+	}
+	data, err := os.ReadFile(p)
+	if err != nil {
+		return nil, false
+	}
+	return data, true
+}
+
+// Put stores data under key. The write goes through a temporary file and a
+// rename, so readers never observe a partial entry.
+func (s *DiskStore) Put(key string, data []byte) error {
+	p, err := s.path(key)
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+		return fmt.Errorf("cache: %w", err)
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(p), ".put-*")
+	if err != nil {
+		return fmt.Errorf("cache: %w", err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("cache: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("cache: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), p); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("cache: %w", err)
+	}
+	return nil
+}

@@ -43,6 +43,13 @@ type Options struct {
 	// XBMC receiver imprecision.
 	Context1 bool
 
+	// Incremental records per-fact unit-dependency bitmasks (which source
+	// files and layouts each derivation touched), enabling AnalyzeIncremental
+	// to retract and re-derive only the facts an edit can affect. Tracking is
+	// silently disabled for applications with more than 64 compilation units
+	// (AnalyzeIncremental then falls back to from-scratch solving).
+	Incremental bool
+
 	// Provenance records the derivation DAG: every derived fact keeps its
 	// inference rule and premise facts, queryable through Result.Why and
 	// RenderDerivation. Off by default — recording costs memory
@@ -65,9 +72,21 @@ type Result struct {
 	provenance map[provKey]graph.Node
 	rec        *recorder
 
+	// dep and units carry the unit-dependency state for incremental
+	// re-solving (Options.Incremental); warm carries the reusable solver
+	// working state AnalyzeIncremental resumes in place. All nil when
+	// tracking was disabled.
+	dep   *depTracker
+	units *unitTable
+	warm  *warmState
+
 	// Iterations counts outer fixpoint rounds (flow propagation followed by
 	// operation processing) until quiescence.
 	Iterations int
+
+	// Incr describes how this result was computed when it came from
+	// AnalyzeIncremental; zero for plain Analyze runs.
+	Incr IncrementalStats
 }
 
 // Explain reconstructs how value v reached node n: the chain of nodes the
@@ -211,6 +230,9 @@ func Analyze(p *ir.Program, opts Options) *Result {
 		pts:        a.pts,
 		provenance: a.provenance,
 		rec:        a.rec,
+		dep:        a.dep,
+		units:      a.units,
+		warm:       a.warmState(),
 		Iterations: a.iterations,
 	}
 }

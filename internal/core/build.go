@@ -72,6 +72,26 @@ type analysis struct {
 	// tr is the trace scope for solver events; nil-safe (Options.Trace).
 	tr *trace.Scope
 
+	// units assigns each source file and layout a bit; dep tracks per-fact
+	// unit-dependency masks; edgeUnits holds the rule-site units of each flow
+	// edge, keyed like castFilter (Options.Incremental; see deps.go). tracking
+	// is true when either the dep tracker or the provenance recorder is live.
+	units     *unitTable
+	dep       *depTracker
+	edgeUnits map[[2]int]unitBits
+	tracking  bool
+
+	// methodUnits/classUnits record, per method body and per class's seed
+	// pass, the units of every foreign method the construction read (callee
+	// return variables, constructor bodies, inherited lifecycle callbacks) in
+	// addition to its own unit. Incremental rebuild re-runs buildMethod /
+	// buildClassSeeds exactly when this mask intersects the dirty set.
+	// curUnits, while a build pass runs, points at the accumulator mention()
+	// feeds.
+	methodUnits map[*ir.Method]unitBits
+	classUnits  map[*ir.Class]unitBits
+	curUnits    *unitBits
+
 	iterations int
 }
 
@@ -140,19 +160,46 @@ func newAnalysis(p *ir.Program, opts Options) *analysis {
 	if opts.Provenance {
 		a.rec = newRecorder()
 	}
+	if opts.Incremental {
+		if a.units = newUnitTable(p); a.units != nil {
+			a.dep = newDepTracker()
+			a.edgeUnits = map[[2]int]unitBits{}
+			a.methodUnits = map[*ir.Method]unitBits{}
+			a.classUnits = map[*ir.Class]unitBits{}
+		}
+	}
+	a.tracking = a.rec != nil || a.dep != nil
 	return a
 }
 
+// mention returns the unit mask of m like unitOf and, when a build pass is
+// accumulating its read set, folds it into the pass's mask. Every place graph
+// construction reads a method other than the one being built must resolve its
+// unit through mention, so incremental rebuild knows to re-run the pass when
+// that method's file changes.
+func (a *analysis) mention(m *ir.Method) unitBits {
+	u := a.unitOf(m)
+	if a.curUnits != nil {
+		*a.curUnits |= u
+	}
+	return u
+}
+
 // seed adds a value to a node's points-to set and schedules propagation.
-func (a *analysis) seed(n graph.Node, v graph.Value) {
-	if a.seedChecked(n, v) && a.rec != nil {
+// units are the compilation units the seed's existence depends on.
+func (a *analysis) seed(n graph.Node, v graph.Value, units unitBits) {
+	if a.seedChecked(n, v) && a.tracking {
 		// A direct seed outside any rule application: an initial fact.
-		a.rec.record(flowFact(n, v), "Seed")
+		a.record(flowFact(n, v), "Seed", units)
 	}
 }
 
-// addFlow records a value-flow edge.
-func (a *analysis) addFlow(src, dst graph.Node) {
+// addFlow records a value-flow edge. units are the compilation units the
+// edge's existence depends on; facts propagated across it inherit them.
+func (a *analysis) addFlow(src, dst graph.Node, units unitBits) {
+	if a.edgeUnits != nil && units != 0 {
+		a.edgeUnits[[2]int{src.ID(), dst.ID()}] |= units
+	}
 	if a.g.AddFlow(src, dst) {
 		// Replay already-known values across the new edge.
 		if s, ok := a.pts[src]; ok {
@@ -165,18 +212,18 @@ func (a *analysis) addFlow(src, dst graph.Node) {
 
 // addDispatchFlow records a receiver-to-this edge guarded by dynamic
 // dispatch: only values whose class resolves key to callee pass through.
-func (a *analysis) addDispatchFlow(recv *graph.VarNode, callee *ir.Method, key string) {
+func (a *analysis) addDispatchFlow(recv *graph.VarNode, callee *ir.Method, key string, units unitBits) {
 	this := a.varNode(callee.This)
 	a.dispatchFilter[[2]int{recv.ID(), this.ID()}] = dispatchReq{key: key, callee: callee}
-	a.addFlow(recv, this)
+	a.addFlow(recv, this, units)
 }
 
 // addCastFlow records a value-flow edge through a cast.
-func (a *analysis) addCastFlow(src, dst graph.Node, to *ir.Class) {
+func (a *analysis) addCastFlow(src, dst graph.Node, to *ir.Class, units unitBits) {
 	if to != nil {
 		a.castFilter[[2]int{src.ID(), dst.ID()}] = to
 	}
-	a.addFlow(src, dst)
+	a.addFlow(src, dst, units)
 }
 
 // buildGraph creates the statement-derived part of the constraint graph:
@@ -187,55 +234,97 @@ func (a *analysis) buildGraph() {
 
 	// Implicitly created activity instances and their lifecycle callbacks.
 	for _, c := range p.AppClasses() {
-		if c.IsInterface || !p.IsActivityClass(c) {
-			continue
-		}
-		act := a.g.ActivityNode(c)
-		act.IsListener = p.IsListenerClass(c)
-		for _, name := range platform.Lifecycle {
-			m := c.Dispatch(ir.MethodKey(name, nil))
-			if m != nil && m.Body != nil {
-				a.seed(a.varNode(m.This), act)
-			}
-		}
-		// Options-menu callbacks: the platform passes the activity's menu
-		// to onCreateOptionsMenu; items reach onOptionsItemSelected when
-		// MenuAdd operations are processed.
-		if m := c.Dispatch(platform.MenuCreateCallback + "(R)"); m != nil && m.Body != nil && len(m.Params) == 1 {
-			a.seed(a.varNode(m.This), act)
-			a.seed(a.varNode(m.Params[0]), a.g.MenuNode(c))
-		}
-		if m := c.Dispatch(platform.MenuSelectCallback + "(R)"); m != nil && m.Body != nil && len(m.Params) == 1 {
-			a.seed(a.varNode(m.This), act)
-		}
+		a.buildClassSeeds(c)
 	}
 
 	// Statement-derived nodes and edges.
 	for _, c := range p.AppClasses() {
 		for _, m := range c.MethodsSorted() {
-			if m.Body == nil {
-				continue
-			}
-			ir.WalkStmts(m.Body, func(s ir.Stmt) { a.buildStmt(m, s) })
+			a.buildMethod(m)
 		}
 	}
 }
 
+// buildClassSeeds seeds the platform-created facts of one class: the
+// implicit activity instance flowing into its lifecycle and options-menu
+// callbacks. Idempotent — incremental rebuild re-runs it against the
+// retained graph, where seed and node creation deduplicate.
+func (a *analysis) buildClassSeeds(c *ir.Class) {
+	p := a.prog
+	if c.IsInterface || !p.IsActivityClass(c) {
+		return
+	}
+	// Lifecycle seeds depend on the activity's declaring file (the class
+	// exists and dispatches there) and on the callback's declaring file
+	// (the body may be inherited from another file).
+	cu := unitBits(0)
+	if a.units != nil {
+		cu = a.units.bit(c.Pos.File)
+	}
+	if a.dep != nil {
+		acc := cu
+		a.curUnits = &acc
+		defer func() {
+			a.curUnits = nil
+			a.classUnits[c] = acc
+		}()
+	}
+	act := a.g.ActivityNode(c)
+	act.IsListener = p.IsListenerClass(c)
+	for _, name := range platform.Lifecycle {
+		m := c.Dispatch(ir.MethodKey(name, nil))
+		if m != nil && m.Body != nil {
+			a.seed(a.varNode(m.This), act, cu|a.mention(m))
+		}
+	}
+	// Options-menu callbacks: the platform passes the activity's menu
+	// to onCreateOptionsMenu; items reach onOptionsItemSelected when
+	// MenuAdd operations are processed.
+	if m := c.Dispatch(platform.MenuCreateCallback + "(R)"); m != nil && m.Body != nil && len(m.Params) == 1 {
+		mu := a.mention(m)
+		a.seed(a.varNode(m.This), act, cu|mu)
+		a.seed(a.varNode(m.Params[0]), a.g.MenuNode(c), cu|mu)
+	}
+	if m := c.Dispatch(platform.MenuSelectCallback + "(R)"); m != nil && m.Body != nil && len(m.Params) == 1 {
+		a.seed(a.varNode(m.This), act, cu|a.mention(m))
+	}
+}
+
+// buildMethod lowers one method body into graph nodes, edges, and seeds.
+// Idempotent against a retained graph, like buildClassSeeds.
+func (a *analysis) buildMethod(m *ir.Method) {
+	if m.Body == nil {
+		return
+	}
+	if a.dep != nil {
+		acc := a.unitOf(m)
+		a.curUnits = &acc
+		defer func() {
+			a.curUnits = nil
+			a.methodUnits[m] = acc
+		}()
+	}
+	ir.WalkStmts(m.Body, func(s ir.Stmt) { a.buildStmt(m, s) })
+}
+
 func (a *analysis) buildStmt(m *ir.Method, s ir.Stmt) {
 	p := a.prog
+	// Statement-derived facts and edges depend on the file declaring the
+	// enclosing method's body.
+	mu := a.unitOf(m)
 	switch s := s.(type) {
 	case *ir.New:
 		alloc := a.g.NewAllocNode(s, m,
 			p.IsViewClass(s.Class),
 			p.IsListenerClass(s.Class),
 			p.IsDialogClass(s.Class))
-		a.seed(a.varNode(s.Dst), alloc)
+		a.seed(a.varNode(s.Dst), alloc, mu)
 		// Constructor call: arguments and receiver flow into the ctor.
 		if s.Ctor != nil && s.Ctor.Body != nil {
-			a.seed(a.varNode(s.Ctor.This), alloc)
+			a.seed(a.varNode(s.Ctor.This), alloc, mu|a.mention(s.Ctor))
 			for i, arg := range s.Args {
 				if i < len(s.Ctor.Params) {
-					a.addFlow(a.varNode(arg), a.varNode(s.Ctor.Params[i]))
+					a.addFlow(a.varNode(arg), a.varNode(s.Ctor.Params[i]), mu)
 				}
 			}
 		}
@@ -253,29 +342,29 @@ func (a *analysis) buildStmt(m *ir.Method, s ir.Stmt) {
 			for _, name := range platform.DialogLifecycle {
 				lm := s.Class.Dispatch(ir.MethodKey(name, nil))
 				if lm != nil && lm.Body != nil {
-					a.seed(a.varNode(lm.This), alloc)
+					a.seed(a.varNode(lm.This), alloc, mu|a.mention(lm))
 				}
 			}
 		}
 
 	case *ir.Copy:
-		a.addCastFlow(a.varNode(s.Src), a.varNode(s.Dst), s.CastTo)
+		a.addCastFlow(a.varNode(s.Src), a.varNode(s.Dst), s.CastTo, mu)
 
 	case *ir.Load:
-		a.addFlow(a.g.FieldNode(s.Field), a.varNode(s.Dst))
+		a.addFlow(a.g.FieldNode(s.Field), a.varNode(s.Dst), mu)
 
 	case *ir.Store:
-		a.addFlow(a.varNode(s.Src), a.g.FieldNode(s.Field))
+		a.addFlow(a.varNode(s.Src), a.g.FieldNode(s.Field), mu)
 
 	case *ir.ConstRes:
 		if s.Layout {
-			a.seed(a.varNode(s.Dst), a.g.LayoutIDNode(s.ID, s.Name))
+			a.seed(a.varNode(s.Dst), a.g.LayoutIDNode(s.ID, s.Name), mu)
 		} else {
-			a.seed(a.varNode(s.Dst), a.g.ViewIDNode(s.ID, s.Name))
+			a.seed(a.varNode(s.Dst), a.g.ViewIDNode(s.ID, s.Name), mu)
 		}
 
 	case *ir.ConstClass:
-		a.seed(a.varNode(s.Dst), a.g.ClassNode(s.Class))
+		a.seed(a.varNode(s.Dst), a.g.ClassNode(s.Class), mu)
 
 	case *ir.Invoke:
 		a.buildInvoke(m, s)
@@ -293,21 +382,26 @@ func (a *analysis) buildInvoke(m *ir.Method, s *ir.Invoke) {
 		a.buildOp(m, s, api)
 		return
 	}
-	// Ordinary call: edges to every possible callee.
+	// Ordinary call: edges to every possible callee. Dispatch and argument
+	// edges depend only on the caller's file (callee signatures are shape);
+	// return edges also depend on the callee's file — methodReturnVars reads
+	// its body.
+	mu := a.unitOf(m)
 	for _, callee := range a.callTargets(s.Recv.TypeClass, s.Key, s.Target) {
+		cu := a.mention(callee)
 		if a.opts.Context1 && a.curSub == nil && a.cloneable(callee) {
-			a.buildClonedCall(s, callee)
+			a.buildClonedCall(s, callee, mu|cu)
 			continue
 		}
-		a.addDispatchFlow(a.varNode(s.Recv), callee, s.Key)
+		a.addDispatchFlow(a.varNode(s.Recv), callee, s.Key, mu)
 		for i, arg := range s.Args {
 			if i < len(callee.Params) {
-				a.addFlow(a.varNode(arg), a.varNode(callee.Params[i]))
+				a.addFlow(a.varNode(arg), a.varNode(callee.Params[i]), mu)
 			}
 		}
 		if s.Dst != nil {
 			for _, rv := range a.methodReturnVars(callee) {
-				a.addFlow(a.varNode(rv), a.varNode(s.Dst))
+				a.addFlow(a.varNode(rv), a.varNode(s.Dst), mu|cu)
 			}
 		}
 	}
@@ -338,7 +432,7 @@ func (a *analysis) cloneable(callee *ir.Method) bool {
 // sensitivity. This is the refinement the paper's case study points to for
 // the XBMC outlier ("applying existing techniques for context sensitivity
 // would lead to an even more precise solution").
-func (a *analysis) buildClonedCall(s *ir.Invoke, callee *ir.Method) {
+func (a *analysis) buildClonedCall(s *ir.Invoke, callee *ir.Method, units unitBits) {
 	// Caller-side nodes resolve under the caller's (nil) substitution.
 	recv := a.varNode(s.Recv)
 	args := make([]*graph.VarNode, len(s.Args))
@@ -363,15 +457,15 @@ func (a *analysis) buildClonedCall(s *ir.Invoke, callee *ir.Method) {
 	// Parameter, receiver, and return plumbing into the cloned nodes.
 	this := a.varNode(callee.This)
 	a.dispatchFilter[[2]int{recv.ID(), this.ID()}] = dispatchReq{key: s.Key, callee: callee}
-	a.addFlow(recv, this)
+	a.addFlow(recv, this, units)
 	for i := range args {
 		if i < len(callee.Params) {
-			a.addFlow(args[i], a.varNode(callee.Params[i]))
+			a.addFlow(args[i], a.varNode(callee.Params[i]), units)
 		}
 	}
 	if dst != nil {
 		for _, rv := range a.methodReturnVars(callee) {
-			a.addFlow(a.varNode(rv), dst)
+			a.addFlow(a.varNode(rv), dst, units)
 		}
 	}
 }
@@ -393,13 +487,15 @@ func (a *analysis) buildOp(m *ir.Method, s *ir.Invoke, api *platform.ApiSpec) {
 		op.Out = a.varNode(s.Dst)
 	}
 
+	mu := a.unitOf(m)
+
 	// Adapter callback: the adapter argument flows to getView's receiver;
 	// the solver later attaches getView's results to the AdapterView.
 	if api.Kind == platform.OpSetAdapter && len(s.Args) > 0 && s.Args[0].TypeClass != nil {
 		key := ir.MethodKey("getView", []alite.Type{{Prim: alite.TypeInt}})
 		static := s.Args[0].TypeClass.LookupMethod(key)
 		for _, target := range a.callTargets(s.Args[0].TypeClass, key, static) {
-			a.addDispatchFlow(a.varNode(s.Args[0]), target, key)
+			a.addDispatchFlow(a.varNode(s.Args[0]), target, key, mu)
 		}
 		return
 	}
@@ -431,10 +527,10 @@ func (a *analysis) buildOp(m *ir.Method, s *ir.Invoke, api *platform.ApiSpec) {
 		key := ir.MethodKey(h.Name, types)
 		static := lstArg.TypeClass.LookupMethod(key)
 		for _, handler := range a.callTargets(lstArg.TypeClass, key, static) {
-			a.addDispatchFlow(a.varNode(lstArg), handler, key)
+			a.addDispatchFlow(a.varNode(lstArg), handler, key, mu)
 			for _, vi := range h.ViewParams {
 				if vi < len(handler.Params) {
-					a.addFlow(a.varNode(s.Recv), a.varNode(handler.Params[vi]))
+					a.addFlow(a.varNode(s.Recv), a.varNode(handler.Params[vi]), mu)
 				}
 			}
 		}

@@ -1,0 +1,158 @@
+package core
+
+// Unit-dependency tracking, the substrate of incremental re-solving
+// (Options.Incremental). Every compilation unit of an application — each
+// source file and each layout — gets one bit of a uint64. Every derived
+// fact records the union of (a) the units its deriving rule application
+// reads directly (the file containing the statement or operation, the
+// layout being inflated, the file of a callee whose body the rule inspects)
+// and (b) the unit sets of its premise facts. Because rules fire only after
+// their premises hold, premises are always tracked before conclusions, and
+// the union is a transitive over-approximation of every input the fact's
+// derivation touched.
+//
+// On an edit, AnalyzeIncremental computes the dirty-unit mask and retracts,
+// in place, the facts whose bit set intersects it (plus facts on nodes the
+// rebuild replaces); the surviving fact base stays in the adopted graph and
+// the solver runs the Section 4.2 rules to a new fixed point. Soundness of
+// retention: a fact whose recorded derivation touched no dirty unit replays
+// verbatim against the edited program, so it belongs to the new least model;
+// keeping a subset of the least model on top of the re-derived base cannot
+// change the monotone fixpoint. Over-retraction is always safe — a retracted
+// fact that still holds is simply re-derived.
+//
+// Applications with more than 64 units fall back to from-scratch analysis
+// (the tracker stays nil); see DESIGN.md, "Incremental solving".
+
+import (
+	"sort"
+
+	"gator/internal/ir"
+)
+
+// unitBits is a set of compilation units, one bit per unit.
+type unitBits = uint64
+
+// unitTable assigns each compilation unit of a program a bit position:
+// source files in sorted order, then layouts (as "layout:<name>") in sorted
+// order. The assignment is derived purely from the unit names, so two
+// programs over the same file and layout sets — e.g. a program and its
+// patched successor — agree on every bit.
+type unitTable struct {
+	index map[string]int
+	names []string
+}
+
+// newUnitTable builds the unit table for p, or nil when p has more than 64
+// units (tracking disabled).
+func newUnitTable(p *ir.Program) *unitTable {
+	seen := map[string]bool{}
+	var names []string
+	for _, f := range p.SourceFiles() {
+		if !seen[f] {
+			seen[f] = true
+			names = append(names, f)
+		}
+	}
+	var layouts []string
+	for name := range p.Layouts {
+		layouts = append(layouts, "layout:"+name)
+	}
+	sort.Strings(names)
+	sort.Strings(layouts)
+	names = append(names, layouts...)
+	if len(names) > 64 {
+		return nil
+	}
+	t := &unitTable{index: make(map[string]int, len(names)), names: names}
+	for i, n := range names {
+		t.index[n] = i
+	}
+	return t
+}
+
+// bit returns the mask of the named unit, or 0 for unknown names (platform
+// code, synthesized positions).
+func (t *unitTable) bit(name string) unitBits {
+	if t == nil || name == "" {
+		return 0
+	}
+	i, ok := t.index[name]
+	if !ok {
+		return 0
+	}
+	return 1 << uint(i)
+}
+
+// equal reports whether two tables assign identical bits.
+func (t *unitTable) equal(o *unitTable) bool {
+	if t == nil || o == nil || len(t.names) != len(o.names) {
+		return false
+	}
+	for i, n := range t.names {
+		if o.names[i] != n {
+			return false
+		}
+	}
+	return true
+}
+
+// unitOf returns the unit mask of the source file declaring m's class
+// (0 for platform methods).
+func (a *analysis) unitOf(m *ir.Method) unitBits {
+	if a.units == nil || m == nil || m.Class.IsPlatform {
+		return 0
+	}
+	return a.units.bit(m.Class.Pos.File)
+}
+
+// layoutUnit returns the unit mask of a layout.
+func (a *analysis) layoutUnit(name string) unitBits {
+	if a.units == nil {
+		return 0
+	}
+	return a.units.bit("layout:" + name)
+}
+
+// depTracker records, per fact, the transitive unit-dependency mask of its
+// first derivation, in derivation order. masks mirrors order index-for-index
+// so the retraction scan reads straight arrays; bits is the dedup gate and
+// the premise-mask lookup.
+type depTracker struct {
+	bits  map[Fact]unitBits
+	order []Fact
+	masks []unitBits
+}
+
+func newDepTracker() *depTracker {
+	return &depTracker{bits: map[Fact]unitBits{}}
+}
+
+// record tracks a newly derived fact: the rule-site units ORed with every
+// premise's tracked mask. First derivation wins, keeping the tracker
+// consistent with the provenance DAG's minimality contract.
+func (d *depTracker) record(f Fact, units unitBits, premises []Fact) {
+	if _, ok := d.bits[f]; ok {
+		return
+	}
+	for _, p := range premises {
+		units |= d.bits[p]
+	}
+	d.bits[f] = units
+	d.order = append(d.order, f)
+	d.masks = append(d.masks, units)
+}
+
+// record registers one derived fact with both trackers: the unit-dependency
+// tracker (Options.Incremental) and the provenance DAG (Options.Provenance).
+// units are the rule-site units only; premise units are inherited through
+// the tracker. Call sites guard with a.tracking so the disabled path stays
+// allocation-free.
+func (a *analysis) record(f Fact, rule string, units unitBits, premises ...Fact) {
+	if a.dep != nil {
+		a.dep.record(f, units, premises)
+	}
+	if a.rec != nil {
+		a.rec.record(f, rule, premises...)
+	}
+}

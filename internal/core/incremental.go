@@ -1,0 +1,491 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"gator/internal/graph"
+	"gator/internal/ir"
+)
+
+// IncrementalStats describes how an AnalyzeIncremental run was computed.
+type IncrementalStats struct {
+	// Mode is "warm" when the previous solution was delta-resolved, or
+	// "scratch" when the analysis fell back to a full solve.
+	Mode string
+	// Reason explains a scratch fallback; empty for warm runs.
+	Reason string
+	// Retained and Retracted count previous-solution facts that survived
+	// the edit and facts whose derivations reached a dirty unit.
+	Retained  int
+	Retracted int
+	// DirtyUnits are the unit names the edit touched, as passed in.
+	DirtyUnits []string
+}
+
+// warmState is the part of the solver's working state a Result carries so the
+// next AnalyzeIncremental call can resume in place instead of rebuilding and
+// re-deriving everything: per-edge filters and unit masks, the inflation
+// memos, call-resolution caches, and the per-method/per-class build read
+// sets. nil when dependency tracking was off.
+type warmState struct {
+	castFilter     map[[2]int]*ir.Class
+	dispatchFilter map[[2]int]dispatchReq
+	returnVars     map[*ir.Method][]*ir.Var
+	chaCache       map[chaKey][]*ir.Method
+	inflations     map[string]*inflation
+	rootInflation  map[*graph.InflNode]*inflation
+	edgeUnits      map[[2]int]unitBits
+	methodUnits    map[*ir.Method]unitBits
+	classUnits     map[*ir.Class]unitBits
+}
+
+// warmState packages the solver state for reuse by a later incremental run.
+func (a *analysis) warmState() *warmState {
+	if a.dep == nil {
+		return nil
+	}
+	return &warmState{
+		castFilter:     a.castFilter,
+		dispatchFilter: a.dispatchFilter,
+		returnVars:     a.returnVars,
+		chaCache:       a.chaCache,
+		inflations:     a.inflations,
+		rootInflation:  a.rootInflation,
+		edgeUnits:      a.edgeUnits,
+		methodUnits:    a.methodUnits,
+		classUnits:     a.classUnits,
+	}
+}
+
+// AnalyzeIncremental re-analyzes prog after an edit confined to the named
+// compilation units (source file names, or "layout:<name>" for layouts),
+// reusing the unit-dependency masks recorded by a previous Incremental run.
+//
+// The caller must pass a prog that already reflects the edit (typically via
+// ir.PatchFile) and a prev computed with Options.Incremental from the
+// pre-edit program sharing all clean pointers with prog. The warm path works
+// in place on prev's constraint graph and fact base — prev is consumed:
+//
+//  1. retract: facts whose recorded unit mask intersects the dirty set, or
+//     that mention a node owned by a re-lowered method body, are deleted from
+//     the points-to sets and relations; flow edges built from dirty units are
+//     dropped.
+//  2. rebuild: the build passes whose recorded read sets intersect the dirty
+//     units re-run against the retained graph (they are idempotent), creating
+//     fresh nodes for the edited bodies.
+//  3. repair + solve: nodes that lost a fact get their predecessors' values
+//     re-propagated, and the Section 4.2 rules run to a new fixed point.
+//
+// The result is the same least model a from-scratch Analyze of the edited
+// program computes — only internal node numbering may differ, which is why
+// every query that crosses runs reports in content order.
+//
+// When reuse is not possible — no previous tracking state, provenance or
+// Context1 requested (both are schedule-sensitive), shared inflation (one
+// view tree serves many sites, defeating per-site retraction), options
+// changed, the unit set changed, or the application exceeds 64 units — the
+// analysis runs from scratch (with tracking on, so the next edit can be
+// incremental) and Result.Incr.Reason says why.
+func AnalyzeIncremental(prog *ir.Program, opts Options, prev *Result, dirty []string) *Result {
+	opts.Incremental = true
+	if reason := warmBlocker(opts, prev); reason != "" {
+		return analyzeScratch(prog, opts, dirty, reason)
+	}
+	units := newUnitTable(prog)
+	if units == nil {
+		return analyzeScratch(prog, opts, dirty, "more than 64 compilation units")
+	}
+	if !units.equal(prev.units) {
+		return analyzeScratch(prog, opts, dirty, "compilation unit set changed")
+	}
+	var dirtyBits unitBits
+	for _, name := range dirty {
+		b := units.bit(name)
+		if b == 0 {
+			return analyzeScratch(prog, opts, dirty,
+				fmt.Sprintf("edited unit %q not tracked", name))
+		}
+		dirtyBits |= b
+	}
+
+	a := adoptAnalysis(prog, opts, prev)
+
+	a.tr.Begin("retract")
+	retained, retracted, damaged := a.retract(dirtyBits)
+	a.tr.End("retract")
+	a.tr.Count("incremental/retained", int64(retained))
+	a.tr.Count("incremental/retracted", int64(retracted))
+
+	a.tr.Begin("rebuild")
+	a.rebuild(dirtyBits)
+	a.repair(damaged)
+	a.tr.End("rebuild")
+
+	a.tr.Begin("solve")
+	a.solve()
+	a.tr.End("solve")
+
+	return &Result{
+		Prog:       prog,
+		Graph:      a.g,
+		Opts:       opts,
+		pts:        a.pts,
+		provenance: a.provenance,
+		dep:        a.dep,
+		units:      a.units,
+		warm:       a.warmState(),
+		Iterations: a.iterations,
+		Incr: IncrementalStats{
+			Mode:       "warm",
+			Retained:   retained,
+			Retracted:  retracted,
+			DirtyUnits: sortedCopy(dirty),
+		},
+	}
+}
+
+// warmBlocker returns the reason warm re-solving is unavailable, or "".
+func warmBlocker(opts Options, prev *Result) string {
+	switch {
+	case prev == nil:
+		return "no previous result"
+	case prev.dep == nil || prev.units == nil:
+		return "previous result has no dependency tracking"
+	case prev.warm == nil:
+		return "previous result lacks reusable solver state"
+	case opts.Provenance:
+		return "provenance recording requires the full derivation schedule"
+	case opts.Context1 || prev.Opts.Context1:
+		return "context-sensitive cloning is not incrementalized"
+	case opts.SharedInflation:
+		return "shared inflation ties one view tree to many sites"
+	case opts.FilterCasts != prev.Opts.FilterCasts,
+		opts.SharedInflation != prev.Opts.SharedInflation,
+		opts.NoFindView3Refinement != prev.Opts.NoFindView3Refinement,
+		opts.DeclaredDispatchOnly != prev.Opts.DeclaredDispatchOnly:
+		return "analysis options changed"
+	}
+	return ""
+}
+
+// analyzeScratch is the fallback: a full solve with tracking enabled so the
+// next edit can go warm.
+func analyzeScratch(prog *ir.Program, opts Options, dirty []string, reason string) *Result {
+	r := Analyze(prog, opts)
+	r.Incr = IncrementalStats{Mode: "scratch", Reason: reason, DirtyUnits: sortedCopy(dirty)}
+	return r
+}
+
+func sortedCopy(s []string) []string {
+	out := append([]string(nil), s...)
+	sort.Strings(out)
+	return out
+}
+
+// adoptAnalysis resumes prev's solver state in place: the constraint graph,
+// points-to sets, dependency tracker, provenance links, edge filters, and
+// build caches all carry over. Memos whose validity an edit can silently
+// break — declarative-onClick binding, descendant sets, return-variable
+// caches of re-lowered methods — are reset instead.
+func adoptAnalysis(p *ir.Program, opts Options, prev *Result) *analysis {
+	w := prev.warm
+	a := &analysis{
+		prog:           p,
+		opts:           opts,
+		g:              prev.Graph,
+		pts:            prev.pts,
+		castFilter:     w.castFilter,
+		dispatchFilter: w.dispatchFilter,
+		returnVars:     w.returnVars,
+		chaCache:       w.chaCache,
+		inflations:     w.inflations,
+		rootInflation:  w.rootInflation,
+		boundOnClick:   map[onClickKey]bool{},
+		descMemo:       map[graph.Value][]graph.Value{},
+		descGen:        -1,
+		cloneableCache: map[*ir.Method]bool{},
+		provenance:     prev.provenance,
+		tr:             opts.Trace,
+		units:          prev.units,
+		dep:            prev.dep,
+		edgeUnits:      w.edgeUnits,
+		methodUnits:    w.methodUnits,
+		classUnits:     w.classUnits,
+		tracking:       true,
+	}
+	return a
+}
+
+// relowered reports whether m's body was re-lowered by the edit: its
+// declaring file is dirty, so its local and temporary variables are fresh ir
+// objects and the previous run's nodes for them are stale. The receiver and
+// parameters are reused by ir.PatchFile and stay live.
+func (a *analysis) relowered(m *ir.Method, dirty unitBits) bool {
+	return m != nil && a.unitOf(m)&dirty != 0
+}
+
+// rebuilds reports whether m's build pass must re-run: its own file is dirty,
+// or the pass read another method declared in a dirty file (recorded in
+// methodUnits via mention). A rebuilt body re-creates its allocation,
+// operation, and inflation nodes, so those nodes are stale even when the
+// body's own file is clean.
+func (a *analysis) rebuilds(m *ir.Method, dirty unitBits) bool {
+	return (a.methodUnits[m]|a.unitOf(m))&dirty != 0
+}
+
+// retract deletes from the adopted solution every fact an edit to the dirty
+// units can have invalidated, plus every fact mentioning a node that the
+// rebuild will re-create. It returns the surviving and retracted fact counts
+// and the set of nodes that lost a flow fact both of whose endpoints remain
+// live — the nodes repair must re-propagate into, because an alternative
+// clean derivation may still support the retracted value.
+func (a *analysis) retract(dirty unitBits) (retained, retracted int, damaged map[int]bool) {
+	g := a.g
+	nodes := g.Nodes()
+
+	// Per-method edit classification, computed once so the node and fact
+	// scans below avoid re-hashing file names: relow marks methods whose
+	// bodies were re-lowered, rebuild marks methods whose build pass re-runs.
+	relow := map[*ir.Method]bool{}
+	rebuild := map[*ir.Method]bool{}
+	for _, c := range a.prog.AppClasses() {
+		for _, m := range c.MethodsSorted() {
+			if a.relowered(m, dirty) {
+				relow[m] = true
+			}
+			if a.rebuilds(m, dirty) {
+				rebuild[m] = true
+			}
+		}
+	}
+
+	// Stale-node classification, over the graph's live indices only — the
+	// node array itself grows monotonically across chained edits and must not
+	// be scanned per edit. Variable nodes die with re-lowered bodies (except
+	// receivers and parameters, which PatchFile reuses); allocation and
+	// operation nodes die whenever their method's build pass re-runs, because
+	// the pass would otherwise duplicate them; inflation views and menu items
+	// follow their operation.
+	stale := make([]bool, len(nodes))
+	var staleNodes []graph.Node
+	mark := func(n graph.Node) {
+		if !stale[n.ID()] {
+			stale[n.ID()] = true
+			staleNodes = append(staleNodes, n)
+		}
+	}
+	for m := range relow {
+		for _, n := range g.MethodVarNodes(m) {
+			if n.Var == m.This {
+				continue
+			}
+			isParam := false
+			for _, p := range m.Params {
+				if n.Var == p {
+					isParam = true
+					break
+				}
+			}
+			if !isParam {
+				mark(n)
+			}
+		}
+		g.DropMethodVarNodes(m)
+	}
+	for _, n := range g.Allocs() {
+		if rebuild[n.Method] {
+			mark(n)
+		}
+	}
+	for _, op := range g.Ops() {
+		if rebuild[op.Method] {
+			mark(op)
+		}
+	}
+	for _, n := range g.Infls() {
+		if stale[n.Op.ID()] {
+			mark(n)
+		}
+	}
+	g.VisitMenuItemNodes(func(op *graph.OpNode, item *graph.MenuItemNode) {
+		if stale[op.ID()] {
+			mark(item)
+		}
+	})
+
+	// Stale nodes lose their entire points-to sets up front, so the fact scan
+	// below does not pay a per-fact ordered removal for them.
+	for _, n := range staleNodes {
+		if s, ok := a.pts[n]; ok {
+			for _, v := range s.Values() {
+				delete(a.provenance, provKey{n.ID(), v.ID()})
+			}
+			delete(a.pts, n)
+		}
+	}
+
+	// Fact scan, in derivation order: a fact survives when its recorded unit
+	// mask avoids every dirty unit and both operands stay live. Everything
+	// else is undone in the graph. Over-retraction is safe — the rules
+	// re-derive any fact that still holds — so a clean-mask fact on a stale
+	// node is simply dropped and re-derived against the node's replacement.
+	damaged = map[int]bool{}
+	order := a.dep.order
+	masks := a.dep.masks
+	kept := order[:0]
+	keptMasks := masks[:0]
+	for fi, f := range order {
+		if masks[fi]&dirty == 0 && !stale[f.A] && !stale[f.B] {
+			kept = append(kept, f)
+			keptMasks = append(keptMasks, masks[fi])
+			continue
+		}
+		retracted++
+		delete(a.dep.bits, f)
+		na, nb := nodes[f.A], nodes[f.B]
+		switch f.Kind {
+		case FactFlow:
+			if s, ok := a.pts[na]; ok {
+				s.Remove(nb.(graph.Value))
+			}
+			delete(a.provenance, provKey{f.A, f.B})
+			if !stale[f.A] && !stale[f.B] {
+				damaged[f.A] = true
+			}
+		case FactChild:
+			g.RemoveChild(na.(graph.Value), nb.(graph.Value))
+		case FactViewID:
+			g.RemoveViewID(na.(graph.Value), nb.(graph.Value))
+		case FactListener:
+			g.RemoveListener(na.(graph.Value), nb.(graph.Value))
+		case FactRoot:
+			g.RemoveRoot(na.(graph.Value), nb.(graph.Value))
+		case FactIntent:
+			g.RemoveIntentTarget(na.(graph.Value), nb.(graph.Value))
+		case FactMenuItem:
+			g.RemoveMenuItem(na.(graph.Value), nb.(graph.Value))
+		}
+	}
+	for i := len(kept); i < len(order); i++ {
+		order[i] = Fact{}
+	}
+	a.dep.order = kept
+	a.dep.masks = keptMasks
+	retained = len(kept)
+
+	// Flow edges built from dirty units — and any edge touching a stale
+	// node — disappear along with their per-edge filter state. Note a single
+	// flow edge is only ever added by rule sites within one method (edge
+	// endpoints include a method-local variable), so a dirty mask bit means
+	// every site that contributed the edge re-runs during rebuild.
+	g.FilterFlow(func(src, dst graph.Node) bool {
+		k := [2]int{src.ID(), dst.ID()}
+		if a.edgeUnits[k]&dirty != 0 || stale[src.ID()] || stale[dst.ID()] {
+			delete(a.edgeUnits, k)
+			delete(a.castFilter, k)
+			delete(a.dispatchFilter, k)
+			return false
+		}
+		return true
+	})
+
+	// Inflation memo kill: a materialized view tree survives only when its
+	// structural facts did — the operation is live, neither the inflating
+	// method's file nor the layout is dirty, and the layout id still reaches
+	// the operation's argument (the facts' premise). A killed tree's facts
+	// are already retracted above: every fact mentioning its nodes chains
+	// back to the structural facts and therefore shares their dirty mask.
+	// Re-derivation materializes a fresh tree; outputs are content-ordered,
+	// so the new node identities are invisible.
+	for key, inf := range a.inflations {
+		op := inf.root.Op
+		kill := stale[op.ID()]
+		if !kill {
+			ul := a.unitOf(op.Method) | a.layoutUnit(inf.root.LayoutName)
+			if ul&dirty != 0 {
+				kill = true
+			} else {
+				kill = true
+				if len(op.Args) > 0 {
+					if s, ok := a.pts[op.Args[0]]; ok {
+						if resID, found := a.prog.R.LayoutID(inf.root.LayoutName); found {
+							if s.Contains(a.g.LayoutIDNode(resID, inf.root.LayoutName)) {
+								kill = false
+							}
+						}
+					}
+				}
+			}
+		}
+		if !kill {
+			continue
+		}
+		delete(a.inflations, key)
+		delete(a.rootInflation, inf.root)
+		for _, n := range inf.all {
+			stale[n.ID()] = true
+		}
+	}
+
+	// Return-variable caches of re-lowered methods read replaced bodies.
+	for m := range a.returnVars {
+		if a.relowered(m, dirty) {
+			delete(a.returnVars, m)
+		}
+	}
+
+	g.Retire(func(n graph.Node) bool { return stale[n.ID()] })
+	return retained, retracted, damaged
+}
+
+// rebuild re-runs exactly the build passes whose recorded read sets intersect
+// the dirty units: per-class platform seeds and per-method body lowering.
+// The passes are idempotent against the retained graph — existing nodes,
+// edges, seeds, and fact records all deduplicate — so re-running one re-adds
+// only what retraction removed, with fresh nodes for re-lowered bodies.
+func (a *analysis) rebuild(dirty unitBits) {
+	for _, c := range a.prog.AppClasses() {
+		cu := a.units.bit(c.Pos.File)
+		if (a.classUnits[c]|cu)&dirty != 0 {
+			a.buildClassSeeds(c)
+		}
+	}
+	for _, c := range a.prog.AppClasses() {
+		for _, m := range c.MethodsSorted() {
+			if a.rebuilds(m, dirty) {
+				a.buildMethod(m)
+			}
+		}
+	}
+}
+
+// repair re-primes the worklist for the retraction's collateral damage: when
+// a flow fact between two live nodes is retracted, a derivation through
+// clean edges may still support it, but the previous fixpoint already
+// propagated those edges and the solver would never revisit them. Every live
+// predecessor of a damaged node re-pushes its values; propagation and the
+// rule rescan then restore exactly the still-derivable facts. Nodes are
+// visited in id order for determinism.
+func (a *analysis) repair(damaged map[int]bool) {
+	if len(damaged) == 0 {
+		return
+	}
+	var srcs []graph.Node
+	a.g.VisitFlow(func(src graph.Node, dsts []graph.Node) {
+		for _, d := range dsts {
+			if damaged[d.ID()] {
+				srcs = append(srcs, src)
+				return
+			}
+		}
+	})
+	sort.Slice(srcs, func(i, j int) bool { return srcs[i].ID() < srcs[j].ID() })
+	for _, n := range srcs {
+		if s, ok := a.pts[n]; ok {
+			for _, v := range s.Values() {
+				a.worklist = append(a.worklist, propItem{n, v})
+			}
+		}
+	}
+}

@@ -53,8 +53,9 @@ func (a *analysis) propagate() {
 					continue
 				}
 			}
-			if a.seedChecked(succ, it.val) && a.rec != nil {
-				a.rec.record(flowFact(succ, it.val), "Flow", flowFact(it.node, it.val))
+			if a.seedChecked(succ, it.val) && a.tracking {
+				a.record(flowFact(succ, it.val), "Flow", a.edgeUnits[ek],
+					flowFact(it.node, it.val))
 			}
 		}
 	}
@@ -207,6 +208,7 @@ func (a *analysis) applyOp(op *graph.OpNode) bool {
 // by the adapter's getView callback become children of the AdapterView.
 func (a *analysis) applySetAdapter(op *graph.OpNode) bool {
 	changed := false
+	u := a.unitOf(op.Method)
 	key := ir.MethodKey("getView", []alite.Type{{Prim: alite.TypeInt}})
 	for _, adapter := range a.ptsOf(op.Args[0]) {
 		var cls *ir.Class
@@ -227,8 +229,8 @@ func (a *analysis) applySetAdapter(op *graph.OpNode) bool {
 				for _, parent := range viewsOf(a.ptsOf(op.Recv)) {
 					if a.g.AddChild(parent, item) {
 						changed = true
-						if a.rec != nil {
-							a.rec.record(childFact(parent, item), op.Kind.String(),
+						if a.tracking {
+							a.record(childFact(parent, item), op.Kind.String(), u|a.unitOf(m),
 								flowFact(op.Recv, parent), flowFact(op.Args[0], adapter),
 								flowFact(a.g.VarNode(rv), item))
 						}
@@ -245,6 +247,7 @@ func (a *analysis) applySetAdapter(op *graph.OpNode) bool {
 // activities' onOptionsItemSelected callback.
 func (a *analysis) applyMenuAdd(op *graph.OpNode) bool {
 	changed := false
+	u := a.unitOf(op.Method)
 	for _, v := range a.ptsOf(op.Recv) {
 		menu, ok := v.(*graph.MenuNode)
 		if !ok {
@@ -253,31 +256,31 @@ func (a *analysis) applyMenuAdd(op *graph.OpNode) bool {
 		item := a.g.MenuItemNode(op)
 		if a.g.AddMenuItem(menu, item) {
 			changed = true
-			if a.rec != nil {
-				a.rec.record(menuItemFact(menu, item), op.Kind.String(), flowFact(op.Recv, menu))
+			if a.tracking {
+				a.record(menuItemFact(menu, item), op.Kind.String(), u, flowFact(op.Recv, menu))
 			}
 		}
 		for _, id := range viewIDsOf(a.ptsOf(op.Args[0])) {
 			if a.g.AddViewID(item, id) {
 				changed = true
-				if a.rec != nil {
-					a.rec.record(viewIDFact(item, id), op.Kind.String(),
+				if a.tracking {
+					a.record(viewIDFact(item, id), op.Kind.String(), u,
 						flowFact(op.Recv, menu), flowFact(op.Args[0], id))
 				}
 			}
 		}
 		if op.Out != nil && a.seedChecked(op.Out, item) {
 			changed = true
-			if a.rec != nil {
-				a.rec.record(flowFact(op.Out, item), op.Kind.String(), flowFact(op.Recv, menu))
+			if a.tracking {
+				a.record(flowFact(op.Out, item), op.Kind.String(), u, flowFact(op.Recv, menu))
 			}
 		}
 		if h := menu.Activity.Dispatch(platform.MenuSelectCallback + "(R)"); h != nil && h.Body != nil && len(h.Params) == 1 {
 			if a.seedChecked(a.g.VarNode(h.Params[0]), item) {
 				changed = true
-				if a.rec != nil {
-					a.rec.record(flowFact(a.g.VarNode(h.Params[0]), item), op.Kind.String(),
-						menuItemFact(menu, item))
+				if a.tracking {
+					a.record(flowFact(a.g.VarNode(h.Params[0]), item), op.Kind.String(),
+						u|a.unitOf(h), menuItemFact(menu, item))
 				}
 			}
 		}
@@ -292,12 +295,13 @@ func (a *analysis) applyFindParent(op *graph.OpNode) bool {
 		return false
 	}
 	changed := false
+	u := a.unitOf(op.Method)
 	for _, view := range viewsOf(a.ptsOf(op.Recv)) {
 		for _, p := range a.g.Parents(view) {
 			if a.seedChecked(op.Out, p) {
 				changed = true
-				if a.rec != nil {
-					a.rec.record(flowFact(op.Out, p), op.Kind.String(),
+				if a.tracking {
+					a.record(flowFact(op.Out, p), op.Kind.String(), u,
 						flowFact(op.Recv, view), childFact(p, view))
 				}
 			}
@@ -311,6 +315,7 @@ func (a *analysis) applyFindParent(op *graph.OpNode) bool {
 // literals reaching the argument.
 func (a *analysis) applySetIntentTarget(op *graph.OpNode) bool {
 	changed := false
+	u := a.unitOf(op.Method)
 	for _, intent := range a.ptsOf(op.Recv) {
 		if _, ok := intent.(*graph.AllocNode); !ok {
 			continue
@@ -322,8 +327,8 @@ func (a *analysis) applySetIntentTarget(op *graph.OpNode) bool {
 			}
 			if a.g.AddIntentTarget(intent, cls) {
 				changed = true
-				if a.rec != nil {
-					a.rec.record(intentFact(intent, cls), op.Kind.String(),
+				if a.tracking {
+					a.record(intentFact(intent, cls), op.Kind.String(), u,
 						flowFact(op.Recv, intent), flowFact(op.Args[0], cls))
 				}
 			}
@@ -331,8 +336,8 @@ func (a *analysis) applySetIntentTarget(op *graph.OpNode) bool {
 		// setClass returns the receiver for chaining.
 		if op.Out != nil && a.seedChecked(op.Out, intent) {
 			changed = true
-			if a.rec != nil {
-				a.rec.record(flowFact(op.Out, intent), op.Kind.String(), flowFact(op.Recv, intent))
+			if a.tracking {
+				a.record(flowFact(op.Out, intent), op.Kind.String(), u, flowFact(op.Recv, intent))
 			}
 		}
 	}
@@ -358,6 +363,9 @@ func (a *analysis) inflate(op *graph.OpNode, lid *graph.LayoutIDNode) (*inflatio
 		return nil, false
 	}
 	inf := &inflation{}
+	// Inflation-derived structure depends on the inflating call's file and on
+	// the layout's content.
+	ul := a.unitOf(op.Method) | a.layoutUnit(lid.Name)
 	path := 0
 	var build func(n *layout.Node, parent *graph.InflNode)
 	build = func(n *layout.Node, parent *graph.InflNode) {
@@ -373,8 +381,8 @@ func (a *analysis) inflate(op *graph.OpNode, lid *graph.LayoutIDNode) (*inflatio
 			inf.root = node
 		} else {
 			a.g.AddChild(parent, node)
-			if a.rec != nil {
-				a.rec.record(childFact(parent, node), op.Kind.String(), flowFact(op.Args[0], lid))
+			if a.tracking {
+				a.record(childFact(parent, node), op.Kind.String(), ul, flowFact(op.Args[0], lid))
 			}
 		}
 		inf.all = append(inf.all, node)
@@ -382,8 +390,8 @@ func (a *analysis) inflate(op *graph.OpNode, lid *graph.LayoutIDNode) (*inflatio
 			if resID, ok := a.prog.R.ViewID(n.ID); ok {
 				id := a.g.ViewIDNode(resID, n.ID)
 				a.g.AddViewID(node, id)
-				if a.rec != nil {
-					a.rec.record(viewIDFact(node, id), op.Kind.String(), flowFact(op.Args[0], lid))
+				if a.tracking {
+					a.record(viewIDFact(node, id), op.Kind.String(), ul, flowFact(op.Args[0], lid))
 				}
 			}
 		}
@@ -406,18 +414,19 @@ func (a *analysis) applyInflate1(op *graph.OpNode) bool {
 			continue
 		}
 		changed = changed || c
+		ul := a.unitOf(op.Method) | a.layoutUnit(lid.Name)
 		if op.Out != nil && a.seedChecked(op.Out, inf.root) {
 			changed = true
-			if a.rec != nil {
-				a.rec.record(flowFact(op.Out, inf.root), op.Kind.String(), flowFact(op.Args[0], lid))
+			if a.tracking {
+				a.record(flowFact(op.Out, inf.root), op.Kind.String(), ul, flowFact(op.Args[0], lid))
 			}
 		}
 		if op.AttachParent && op.ParentArg < len(op.Args) {
 			for _, parent := range viewsOf(a.ptsOf(op.Args[op.ParentArg])) {
 				if a.g.AddChild(parent, inf.root) {
 					changed = true
-					if a.rec != nil {
-						a.rec.record(childFact(parent, inf.root), op.Kind.String(),
+					if a.tracking {
+						a.record(childFact(parent, inf.root), op.Kind.String(), ul,
 							flowFact(op.Args[0], lid), flowFact(op.Args[op.ParentArg], parent))
 					}
 				}
@@ -435,11 +444,12 @@ func (a *analysis) applyInflate2(op *graph.OpNode) bool {
 			continue
 		}
 		changed = changed || c
+		ul := a.unitOf(op.Method) | a.layoutUnit(lid.Name)
 		for _, owner := range ownersOf(a.ptsOf(op.Recv)) {
 			if a.g.AddRoot(owner, inf.root) {
 				changed = true
-				if a.rec != nil {
-					a.rec.record(rootFact(owner, inf.root), op.Kind.String(),
+				if a.tracking {
+					a.record(rootFact(owner, inf.root), op.Kind.String(), ul,
 						flowFact(op.Recv, owner), flowFact(op.Args[0], lid))
 				}
 			}
@@ -453,12 +463,13 @@ func (a *analysis) applyInflate2(op *graph.OpNode) bool {
 
 func (a *analysis) applyAddView1(op *graph.OpNode) bool {
 	changed := false
+	u := a.unitOf(op.Method)
 	for _, owner := range ownersOf(a.ptsOf(op.Recv)) {
 		for _, view := range viewsOf(a.ptsOf(op.Args[0])) {
 			if a.g.AddRoot(owner, view) {
 				changed = true
-				if a.rec != nil {
-					a.rec.record(rootFact(owner, view), op.Kind.String(),
+				if a.tracking {
+					a.record(rootFact(owner, view), op.Kind.String(), u,
 						flowFact(op.Recv, owner), flowFact(op.Args[0], view))
 				}
 			}
@@ -474,12 +485,13 @@ func (a *analysis) applyAddView1(op *graph.OpNode) bool {
 
 func (a *analysis) applyAddView2(op *graph.OpNode) bool {
 	changed := false
+	u := a.unitOf(op.Method)
 	for _, parent := range viewsOf(a.ptsOf(op.Recv)) {
 		for _, child := range viewsOf(a.ptsOf(op.Args[0])) {
 			if a.g.AddChild(parent, child) {
 				changed = true
-				if a.rec != nil {
-					a.rec.record(childFact(parent, child), op.Kind.String(),
+				if a.tracking {
+					a.record(childFact(parent, child), op.Kind.String(), u,
 						flowFact(op.Recv, parent), flowFact(op.Args[0], child))
 				}
 			}
@@ -490,12 +502,13 @@ func (a *analysis) applyAddView2(op *graph.OpNode) bool {
 
 func (a *analysis) applySetID(op *graph.OpNode) bool {
 	changed := false
+	u := a.unitOf(op.Method)
 	for _, view := range viewsOf(a.ptsOf(op.Recv)) {
 		for _, id := range viewIDsOf(a.ptsOf(op.Args[0])) {
 			if a.g.AddViewID(view, id) {
 				changed = true
-				if a.rec != nil {
-					a.rec.record(viewIDFact(view, id), op.Kind.String(),
+				if a.tracking {
+					a.record(viewIDFact(view, id), op.Kind.String(), u,
 						flowFact(op.Recv, view), flowFact(op.Args[0], id))
 				}
 			}
@@ -506,6 +519,7 @@ func (a *analysis) applySetID(op *graph.OpNode) bool {
 
 func (a *analysis) applySetListener(op *graph.OpNode) bool {
 	changed := false
+	u := a.unitOf(op.Method)
 	for _, view := range viewsOf(a.ptsOf(op.Recv)) {
 		for _, lst := range a.ptsOf(op.Args[0]) {
 			if _, isID := lst.(*graph.ViewIDNode); isID {
@@ -516,8 +530,8 @@ func (a *analysis) applySetListener(op *graph.OpNode) bool {
 			}
 			if a.g.AddListener(view, lst) {
 				changed = true
-				if a.rec != nil {
-					a.rec.record(listenerFact(view, lst), op.Kind.String(),
+				if a.tracking {
+					a.record(listenerFact(view, lst), op.Kind.String(), u,
 						flowFact(op.Recv, view), flowFact(op.Args[0], lst))
 				}
 			}
@@ -531,16 +545,17 @@ func (a *analysis) applyFindView1(op *graph.OpNode) bool {
 		return false
 	}
 	changed := false
+	u := a.unitOf(op.Method)
 	for _, view := range viewsOf(a.ptsOf(op.Recv)) {
 		for _, id := range viewIDsOf(a.ptsOf(op.Args[0])) {
 			for _, w := range a.descendantsIncl(view) {
 				if a.hasViewID(w, id) && a.seedChecked(op.Out, w) {
 					changed = true
-					if a.rec != nil {
+					if a.tracking {
 						prem := []Fact{flowFact(op.Recv, view), flowFact(op.Args[0], id)}
 						prem = append(prem, a.childPath(view, w)...)
 						prem = append(prem, viewIDFact(w, id))
-						a.rec.record(flowFact(op.Out, w), op.Kind.String(), prem...)
+						a.record(flowFact(op.Out, w), op.Kind.String(), u, prem...)
 					}
 				}
 			}
@@ -554,18 +569,19 @@ func (a *analysis) applyFindView2(op *graph.OpNode) bool {
 		return false
 	}
 	changed := false
+	u := a.unitOf(op.Method)
 	for _, owner := range ownersOf(a.ptsOf(op.Recv)) {
 		for _, id := range viewIDsOf(a.ptsOf(op.Args[0])) {
 			for _, root := range a.g.Roots(owner) {
 				for _, w := range a.descendantsIncl(root) {
 					if a.hasViewID(w, id) && a.seedChecked(op.Out, w) {
 						changed = true
-						if a.rec != nil {
+						if a.tracking {
 							prem := []Fact{flowFact(op.Recv, owner), flowFact(op.Args[0], id),
 								rootFact(owner, root)}
 							prem = append(prem, a.childPath(root, w)...)
 							prem = append(prem, viewIDFact(w, id))
-							a.rec.record(flowFact(op.Out, w), op.Kind.String(), prem...)
+							a.record(flowFact(op.Out, w), op.Kind.String(), u, prem...)
 						}
 					}
 				}
@@ -580,6 +596,7 @@ func (a *analysis) applyFindView3(op *graph.OpNode) bool {
 		return false
 	}
 	changed := false
+	u := a.unitOf(op.Method)
 	childOnly := op.Scope == platform.ScopeChildren && !a.opts.NoFindView3Refinement
 	for _, view := range viewsOf(a.ptsOf(op.Recv)) {
 		var candidates []graph.Value
@@ -591,10 +608,10 @@ func (a *analysis) applyFindView3(op *graph.OpNode) bool {
 		for _, w := range candidates {
 			if a.seedChecked(op.Out, w) {
 				changed = true
-				if a.rec != nil {
+				if a.tracking {
 					prem := []Fact{flowFact(op.Recv, view)}
 					prem = append(prem, a.childPath(view, w)...)
-					a.rec.record(flowFact(op.Out, w), op.Kind.String(), prem...)
+					a.record(flowFact(op.Out, w), op.Kind.String(), u, prem...)
 				}
 			}
 		}
@@ -623,6 +640,9 @@ func (a *analysis) bindOnClick(owner graph.Value, inf *inflation) bool {
 		return false
 	}
 	changed := false
+	// The binding reads the handler's declaring file and the layout's
+	// onClick annotations; the owner/root association comes in as a premise.
+	lu := a.layoutUnit(inf.root.LayoutName)
 	for _, n := range inf.all {
 		if n.OnClick == "" {
 			continue
@@ -631,25 +651,26 @@ func (a *analysis) bindOnClick(owner graph.Value, inf *inflation) bool {
 		if m == nil || m.Body == nil || len(m.Params) != 1 {
 			continue
 		}
+		hu := lu | a.unitOf(m)
 		if a.seedChecked(a.g.VarNode(m.Params[0]), n) {
 			changed = true
-			if a.rec != nil {
-				a.rec.record(flowFact(a.g.VarNode(m.Params[0]), n), "OnClick",
+			if a.tracking {
+				a.record(flowFact(a.g.VarNode(m.Params[0]), n), "OnClick", hu,
 					rootFact(owner, inf.root))
 			}
 		}
 		// The handler runs on the owner: the callback is owner.m(view).
 		if a.seedChecked(a.g.VarNode(m.This), owner) {
 			changed = true
-			if a.rec != nil {
-				a.rec.record(flowFact(a.g.VarNode(m.This), owner), "OnClick",
+			if a.tracking {
+				a.record(flowFact(a.g.VarNode(m.This), owner), "OnClick", hu,
 					rootFact(owner, inf.root))
 			}
 		}
 		if a.g.AddListener(n, owner) {
 			changed = true
-			if a.rec != nil {
-				a.rec.record(listenerFact(n, owner), "OnClick", rootFact(owner, inf.root))
+			if a.tracking {
+				a.record(listenerFact(n, owner), "OnClick", hu, rootFact(owner, inf.root))
 			}
 		}
 	}

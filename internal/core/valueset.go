@@ -25,6 +25,25 @@ func (s *ValueSet) Add(v graph.Value) bool {
 	return true
 }
 
+// Remove deletes v, reporting whether it was present. Removal preserves the
+// insertion order of the remaining values, keeping iteration deterministic
+// after incremental retraction.
+func (s *ValueSet) Remove(v graph.Value) bool {
+	if !s.has[v.ID()] {
+		return false
+	}
+	delete(s.has, v.ID())
+	for i, x := range s.order {
+		if x.ID() == v.ID() {
+			copy(s.order[i:], s.order[i+1:])
+			s.order[len(s.order)-1] = nil
+			s.order = s.order[:len(s.order)-1]
+			break
+		}
+	}
+	return true
+}
+
 // Contains reports membership.
 func (s *ValueSet) Contains(v graph.Value) bool { return s.has[v.ID()] }
 

@@ -203,6 +203,7 @@ type Graph struct {
 	nodes []Node
 
 	vars       map[varKey]*VarNode
+	methodVars map[*ir.Method][]*VarNode
 	fields     map[*ir.Field]*FieldNode
 	activities map[*ir.Class]*ActivityNode
 	layoutIDs  map[int]*LayoutIDNode
@@ -214,6 +215,10 @@ type Graph struct {
 	allocs []*AllocNode
 	infls  []*InflNode
 	ops    []*OpNode
+
+	// allocSeq numbers allocation nodes ever created; unlike len(allocs) it
+	// never shrinks, so ordinals stay unique after Retire.
+	allocSeq int
 
 	// flow edges: ordered successor lists with a set for dedup.
 	flowSucc map[Node][]Node
@@ -246,6 +251,7 @@ type varKey struct {
 func New() *Graph {
 	return &Graph{
 		vars:       map[varKey]*VarNode{},
+		methodVars: map[*ir.Method][]*VarNode{},
 		fields:     map[*ir.Field]*FieldNode{},
 		activities: map[*ir.Class]*ActivityNode{},
 		layoutIDs:  map[int]*LayoutIDNode{},
@@ -287,8 +293,29 @@ func (g *Graph) VarNodeCtx(v *ir.Var, ctx int) *VarNode {
 	}
 	n := &VarNode{base: g.nextID(), Var: v, Ctx: ctx}
 	g.vars[k] = n
+	if v.Method != nil {
+		g.methodVars[v.Method] = append(g.methodVars[v.Method], n)
+	}
 	g.register(n)
 	return n
+}
+
+// MethodVarNodes returns the variable nodes created for m's variables since
+// the index was last dropped. Incremental retraction uses it to find the
+// nodes a re-lowered body orphans without scanning every node ever created.
+func (g *Graph) MethodVarNodes(m *ir.Method) []*VarNode { return g.methodVars[m] }
+
+// DropMethodVarNodes resets m's variable-node index. The still-live receiver
+// and parameter nodes simply leave the index — they are only ever looked up
+// through VarNode, never through it.
+func (g *Graph) DropMethodVarNodes(m *ir.Method) { delete(g.methodVars, m) }
+
+// VisitMenuItemNodes calls visit for every live menu-item node with its
+// creating operation, in unspecified order.
+func (g *Graph) VisitMenuItemNodes(visit func(op *OpNode, item *MenuItemNode)) {
+	for op, item := range g.menuItems {
+		visit(op, item)
+	}
 }
 
 // FieldNode returns (creating on demand) the node for f.
@@ -380,8 +407,9 @@ func (g *Graph) NewAllocNode(site *ir.New, m *ir.Method, isView, isListener, isD
 		IsView:     isView,
 		IsListener: isListener,
 		IsDialog:   isDialog,
-		Ordinal:    len(g.allocs),
+		Ordinal:    g.allocSeq,
 	}
+	g.allocSeq++
 	g.allocs = append(g.allocs, n)
 	g.register(n)
 	return n
@@ -468,6 +496,44 @@ func (g *Graph) AddFlow(src, dst Node) bool {
 // FlowSucc returns the flow successors of n in insertion order.
 func (g *Graph) FlowSucc(n Node) []Node { return g.flowSucc[n] }
 
+// VisitFlow calls visit once per flow source with its successor list, in
+// unspecified order. The slice is the graph's backing store; callers must
+// not modify it or the flow edges during the visit.
+func (g *Graph) VisitFlow(visit func(src Node, dsts []Node)) {
+	for src, dsts := range g.flowSucc {
+		visit(src, dsts)
+	}
+}
+
+// FilterFlow removes every value-flow edge for which keep reports false,
+// preserving the insertion order of the surviving successors. It returns the
+// number of edges removed. Used by incremental retraction to drop edges
+// whose construction read an edited compilation unit.
+func (g *Graph) FilterFlow(keep func(src, dst Node) bool) int {
+	removed := 0
+	for src, succs := range g.flowSucc {
+		kept := succs[:0]
+		for _, dst := range succs {
+			if keep(src, dst) {
+				kept = append(kept, dst)
+			} else {
+				delete(g.flowSet, edgeKey{src.ID(), dst.ID()})
+				removed++
+			}
+		}
+		if len(kept) == 0 {
+			delete(g.flowSucc, src)
+			continue
+		}
+		for i := len(kept); i < len(succs); i++ {
+			succs[i] = nil
+		}
+		g.flowSucc[src] = kept
+	}
+	g.numFlow -= removed
+	return removed
+}
+
 // NumFlowEdges returns the number of value-flow edges.
 func (g *Graph) NumFlowEdges() int { return g.numFlow }
 
@@ -483,6 +549,115 @@ func (g *Graph) AddChild(parent, child Value) bool {
 		return true
 	}
 	return false
+}
+
+// RemoveChild deletes a parent-child edge (both directions of the index);
+// reports whether it existed.
+func (g *Graph) RemoveChild(parent, child Value) bool {
+	if g.children.remove(parent, child) {
+		g.parents.remove(child, parent)
+		g.gen++
+		return true
+	}
+	return false
+}
+
+// RemoveViewID deletes a view ⇒ view-id association.
+func (g *Graph) RemoveViewID(view, id Value) bool {
+	if g.viewIDRel.remove(view, id) {
+		g.gen++
+		return true
+	}
+	return false
+}
+
+// RemoveListener deletes a view ⇒ listener association.
+func (g *Graph) RemoveListener(view, lst Value) bool {
+	if g.listeners.remove(view, lst) {
+		g.gen++
+		return true
+	}
+	return false
+}
+
+// RemoveRoot deletes an activity/dialog ⇒ content-root association.
+func (g *Graph) RemoveRoot(owner, view Value) bool {
+	if g.roots.remove(owner, view) {
+		g.gen++
+		return true
+	}
+	return false
+}
+
+// RemoveIntentTarget deletes an intent ⇒ target-class association.
+func (g *Graph) RemoveIntentTarget(intent, target Value) bool {
+	if g.targets.remove(intent, target) {
+		g.gen++
+		return true
+	}
+	return false
+}
+
+// RemoveMenuItem deletes a menu ⇒ item association.
+func (g *Graph) RemoveMenuItem(menu, item Value) bool {
+	if g.menuRel.remove(menu, item) {
+		g.gen++
+		return true
+	}
+	return false
+}
+
+// Retire removes dead nodes from the allocation, inflation, operation, and
+// menu-item indices and drops layout-provenance entries rooted at them. Node
+// ids stay allocated — facts recorded against retained nodes keep their ids —
+// but retired nodes no longer appear in any query iteration. Used by
+// incremental retraction for the nodes owned by re-lowered method bodies.
+func (g *Graph) Retire(dead func(Node) bool) {
+	keptAllocs := g.allocs[:0]
+	for _, n := range g.allocs {
+		if !dead(n) {
+			keptAllocs = append(keptAllocs, n)
+		}
+	}
+	for i := len(keptAllocs); i < len(g.allocs); i++ {
+		g.allocs[i] = nil
+	}
+	g.allocs = keptAllocs
+
+	keptInfls := g.infls[:0]
+	for _, n := range g.infls {
+		if !dead(n) {
+			keptInfls = append(keptInfls, n)
+		}
+	}
+	for i := len(keptInfls); i < len(g.infls); i++ {
+		g.infls[i] = nil
+	}
+	g.infls = keptInfls
+
+	keptOps := g.ops[:0]
+	for _, n := range g.ops {
+		if !dead(n) {
+			keptOps = append(keptOps, n)
+		}
+	}
+	for i := len(keptOps); i < len(g.ops); i++ {
+		g.ops[i] = nil
+	}
+	g.ops = keptOps
+
+	for op, item := range g.menuItems {
+		if dead(op) || dead(item) {
+			delete(g.menuItems, op)
+		}
+	}
+	for k, n := range g.vars {
+		if dead(n) {
+			delete(g.vars, k)
+		}
+	}
+	g.layoutOf.dropSrcIf(func(v Value) bool { return dead(v) })
+	g.gen++
 }
 
 // Parents returns the recorded parent views of child.
@@ -626,6 +801,47 @@ func (r *relation) add(src, dst Value) bool {
 	}
 	r.succ[src] = append(r.succ[src], dst)
 	return true
+}
+
+func (r *relation) remove(src, dst Value) bool {
+	k := edgeKey{src.ID(), dst.ID()}
+	if !r.set[k] {
+		return false
+	}
+	delete(r.set, k)
+	succs := r.succ[src]
+	for i, d := range succs {
+		if d.ID() == dst.ID() {
+			copy(succs[i:], succs[i+1:])
+			succs[len(succs)-1] = nil
+			r.succ[src] = succs[:len(succs)-1]
+			break
+		}
+	}
+	// The (now possibly empty) succ entry and srcs slot stay: add() treats a
+	// present succ key as "already listed in srcs", so deleting it here would
+	// duplicate src in the visit order on a later re-add.
+	return true
+}
+
+// dropSrcIf removes every pair whose source satisfies dead, including the
+// source's slot in the visit order (safe: a dead source can never be re-added).
+func (r *relation) dropSrcIf(dead func(Value) bool) {
+	kept := r.srcs[:0]
+	for _, s := range r.srcs {
+		if dead(s) {
+			for _, d := range r.succ[s] {
+				delete(r.set, edgeKey{s.ID(), d.ID()})
+			}
+			delete(r.succ, s)
+			continue
+		}
+		kept = append(kept, s)
+	}
+	for i := len(kept); i < len(r.srcs); i++ {
+		r.srcs[i] = nil
+	}
+	r.srcs = kept
 }
 
 func (r *relation) get(src Value) []Value { return r.succ[src] }

@@ -23,7 +23,11 @@ func Build(files []*alite.File, layouts map[string]*layout.Layout) (*Program, er
 			Layouts:        layouts,
 			R:              layout.NewRTable(layouts),
 			listenerIfaces: map[string]platform.ListenerSpec{},
+			opaqueByFile:   map[string][]*Invoke{},
 		},
+	}
+	for _, f := range files {
+		b.prog.fileOrder = append(b.prog.fileOrder, f.Name)
 	}
 	b.installPlatform()
 	b.declareAppClasses(files)
@@ -42,6 +46,7 @@ func Build(files []*alite.File, layouts map[string]*layout.Layout) (*Program, er
 	if err := b.errs.Err(); err != nil {
 		return nil, err
 	}
+	b.prog.rebuildOpaque()
 	b.validateLayouts()
 	if err := b.errs.Err(); err != nil {
 		return nil, err

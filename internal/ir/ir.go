@@ -37,21 +37,56 @@ type Program struct {
 	dialog         *Class
 	view           *Class
 	listenerIfaces map[string]platform.ListenerSpec
+
+	// fileOrder is the source-file order of the original Build; opaqueByFile
+	// holds each file's Opaque entries in lowering order. Together they let
+	// PatchFile rebuild Opaque after re-lowering a single file without
+	// disturbing the global order a full Build would produce.
+	fileOrder    []string
+	opaqueByFile map[string][]*Invoke
+
+	// appClasses memoizes AppClasses: the class set is fixed once Build
+	// returns (incremental re-lowering replaces method bodies only).
+	appClasses []*Class
 }
 
 // Object returns the root class.
 func (p *Program) Object() *Class { return p.object }
 
-// AppClasses returns the application (non-platform) classes, sorted by name.
-func (p *Program) AppClasses() []*Class {
-	var out []*Class
-	for _, c := range p.Classes {
-		if !c.IsPlatform {
-			out = append(out, c)
-		}
+// SourceFiles returns the source file names in original build order. The
+// returned slice is shared; callers must not modify it.
+func (p *Program) SourceFiles() []string { return p.fileOrder }
+
+// addOpaque records one unmodeled platform call, attributed to the source
+// file of the containing method so PatchFile can rebuild Program.Opaque.
+func (p *Program) addOpaque(m *Method, inv *Invoke) {
+	file := m.Pos.File
+	p.opaqueByFile[file] = append(p.opaqueByFile[file], inv)
+}
+
+// rebuildOpaque reassembles Program.Opaque from the per-file lists in the
+// original build's file order, matching what a from-scratch Build emits.
+func (p *Program) rebuildOpaque() {
+	p.Opaque = p.Opaque[:0]
+	for _, f := range p.fileOrder {
+		p.Opaque = append(p.Opaque, p.opaqueByFile[f]...)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
-	return out
+}
+
+// AppClasses returns the application (non-platform) classes, sorted by name.
+// The returned slice is shared; callers must not modify it.
+func (p *Program) AppClasses() []*Class {
+	if p.appClasses == nil {
+		out := make([]*Class, 0, len(p.Classes))
+		for _, c := range p.Classes {
+			if !c.IsPlatform {
+				out = append(out, c)
+			}
+		}
+		sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+		p.appClasses = out
+	}
+	return p.appClasses
 }
 
 // Class returns the class with the given name, or nil.
@@ -112,6 +147,12 @@ type Class struct {
 	// method declared directly in this class.
 	Methods map[string]*Method
 	Pos     alite.Pos
+
+	// ancestors memoizes the transitive supertype closure (including c
+	// itself). The hierarchy is fixed once Build returns — incremental
+	// re-lowering replaces method bodies only — so the closure is computed
+	// at most once per class.
+	ancestors map[*Class]bool
 }
 
 func (c *Class) String() string { return c.Name }
@@ -122,27 +163,23 @@ func (c *Class) SubtypeOf(t *Class) bool {
 	if t == nil {
 		return false
 	}
-	seen := map[*Class]bool{}
-	var walk func(x *Class) bool
-	walk = func(x *Class) bool {
-		if x == nil || seen[x] {
-			return false
-		}
-		if x == t {
-			return true
-		}
-		seen[x] = true
-		if walk(x.Super) {
-			return true
-		}
-		for _, i := range x.Interfaces {
-			if walk(i) {
-				return true
+	if c.ancestors == nil {
+		anc := map[*Class]bool{}
+		var walk func(x *Class)
+		walk = func(x *Class) {
+			if x == nil || anc[x] {
+				return
+			}
+			anc[x] = true
+			walk(x.Super)
+			for _, i := range x.Interfaces {
+				walk(i)
 			}
 		}
-		return false
+		walk(c)
+		c.ancestors = anc
 	}
-	return walk(c)
+	return c.ancestors[t]
 }
 
 // LookupField resolves a field name through the superclass chain.

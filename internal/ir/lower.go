@@ -531,7 +531,7 @@ func (lw *lowerer) call(out []Stmt, x *alite.CallExpr, dst *Var) ([]Stmt, *Invok
 		if dst != nil {
 			inv.Dst = dst
 		}
-		lw.b.prog.Opaque = append(lw.b.prog.Opaque, inv)
+		lw.b.prog.addOpaque(lw.m, inv)
 	}
 	return append(out, inv), inv
 }

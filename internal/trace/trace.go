@@ -50,6 +50,9 @@ const (
 	KindDataflow Kind = "dataflow"
 	// KindCounter is a free-form counter sample.
 	KindCounter Kind = "counter"
+	// KindCache reports one content-addressed cache probe; Name is the
+	// cache ("parse", "result"), N is 1 for a hit and 0 for a miss.
+	KindCache Kind = "cache"
 )
 
 // Event is one structured trace record.
@@ -225,6 +228,27 @@ func (s *Scope) Count(name string, n int64) {
 	s.t.Emit(Event{Kind: KindCounter, App: s.app, Worker: s.worker, Name: name, N: n})
 	if s.t.reg != nil {
 		s.t.reg.Add(name, n)
+	}
+}
+
+// CacheProbe reports one content-addressed cache lookup (incremental
+// re-analysis: parse cache, on-disk result store) and aggregates hit/miss
+// counters as "cache/<name>/hits" and "cache/<name>/misses".
+func (s *Scope) CacheProbe(name string, hit bool) {
+	if s == nil {
+		return
+	}
+	var n int64
+	if hit {
+		n = 1
+	}
+	s.t.Emit(Event{Kind: KindCache, App: s.app, Worker: s.worker, Name: name, N: n})
+	if s.t.reg != nil {
+		if hit {
+			s.t.reg.Add("cache/"+name+"/hits", 1)
+		} else {
+			s.t.reg.Add("cache/"+name+"/misses", 1)
+		}
 	}
 }
 

@@ -1,0 +1,30 @@
+#!/bin/sh
+# Benchmark regression gate (the nightly workflow's first job; also usable
+# locally). Regenerates the tracked benchmark records into OUTDIR (default:
+# a temp directory) and diffs them against the checked-in BENCH_*.json with
+# cmd/benchdiff, failing on >15% regression — or, for the incremental
+# record, on a warm/cold speedup below 5x.
+#
+# Usage: scripts/benchdiff.sh [OUTDIR]
+#   Pass an OUTDIR to keep the regenerated records around (CI uploads them
+#   as artifacts when the gate fails).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+OUT="${1:-}"
+if [ -z "$OUT" ]; then
+    OUT=$(mktemp -d)
+    trap 'rm -rf "$OUT"' EXIT
+else
+    mkdir -p "$OUT"
+fi
+
+echo "== regenerating benchmark records into $OUT"
+go run ./cmd/gatorbench -table 2 -benchjson "$OUT/BENCH_2.json" -incjson "$OUT/BENCH_4.json" > /dev/null
+
+echo "== diff vs checked-in records (threshold 15%)"
+go run ./cmd/benchdiff BENCH_2.json "$OUT/BENCH_2.json"
+go run ./cmd/benchdiff BENCH_4.json "$OUT/BENCH_4.json"
+
+echo "== benchdiff gate green"
