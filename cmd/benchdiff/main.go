@@ -10,7 +10,11 @@
 //     speedup may not drop by more than the threshold, and never below the
 //     5x floor the incremental re-solver is built to clear. The speedup is a
 //     same-machine ratio, so it is stable across runner hardware in a way
-//     absolute milliseconds are not.
+//     absolute milliseconds are not;
+//   - server records (BENCH_5.json, gatorbench -servejson): the warm-session
+//     vs stateless-resubmission speedup over HTTP, guarded the same way with
+//     a 3x floor (lower than the library floor: both sides carry transport
+//     overhead). The latency percentiles in the record are informational.
 //
 // Usage:
 //
@@ -29,20 +33,27 @@ import (
 // solving").
 const speedupFloor = 5.0
 
+// serveSpeedupFloor is the floor for server records: a warm session must
+// beat stateless resubmission by at least this much end to end (see
+// DESIGN.md, "Serving").
+const serveSpeedupFloor = 3.0
+
 type appRec struct {
 	App      string `json:"app"`
 	Findings int    `json:"findings"`
 	Warnings int    `json:"warnings"`
 }
 
-// record is the superset of both benchmark file shapes; shape is detected
+// record is the superset of the benchmark file shapes; shape is detected
 // by which fields are populated (corpus records carry apps, incremental
-// records carry warmMs).
+// records carry warmMs, server records carry coldP50Ms).
 type record struct {
 	TotalWorkMs float64  `json:"totalWorkMs"`
 	Speedup     float64  `json:"speedup"`
 	WarmMs      float64  `json:"warmMs"`
 	ColdMs      float64  `json:"coldMs"`
+	ColdP50Ms   float64  `json:"coldP50Ms"`
+	ColdP99Ms   float64  `json:"coldP99Ms"`
 	Apps        []appRec `json:"apps"`
 }
 
@@ -110,6 +121,22 @@ func main() {
 				fail("totalWorkMs %.1f exceeds baseline %.1f by more than %.0f%%",
 					cur.TotalWorkMs, old.TotalWorkMs, *threshold*100)
 			}
+		}
+
+	case old.ColdP50Ms > 0:
+		// Server record: same ratio discipline as the incremental record,
+		// with the transport-inclusive floor. Percentiles are printed for
+		// trend reading but never gate — they are absolute wall-clock.
+		limit := old.Speedup * (1 - *threshold)
+		fmt.Printf("%s: session speedup %.2fx vs baseline %.2fx (limit %.2fx, floor %.1fx); cold p50 %.1fms p99 %.1fms (baseline %.1f/%.1f)\n",
+			flag.Arg(1), cur.Speedup, old.Speedup, limit, serveSpeedupFloor,
+			cur.ColdP50Ms, cur.ColdP99Ms, old.ColdP50Ms, old.ColdP99Ms)
+		if cur.Speedup < limit {
+			fail("session speedup %.2fx regressed more than %.0f%% from baseline %.2fx",
+				cur.Speedup, *threshold*100, old.Speedup)
+		}
+		if cur.Speedup < serveSpeedupFloor {
+			fail("session speedup %.2fx below the %.1fx floor", cur.Speedup, serveSpeedupFloor)
 		}
 
 	case old.WarmMs > 0:

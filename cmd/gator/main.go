@@ -12,6 +12,11 @@
 // workers; one failing app is reported and the rest still complete. With
 // -figure1, the embedded running example of the paper is analyzed instead
 // of a directory.
+//
+// With -remote ADDR the CLI becomes a frontend to a running gatord daemon:
+// inputs are uploaded over HTTP, reports come back byte-identical to local
+// rendering, and -watch pushes coalesced edits into a warm server-side
+// session instead of re-analyzing locally.
 package main
 
 import (
@@ -19,22 +24,23 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"io"
 	"os"
 	"path/filepath"
 	"runtime"
 	"strings"
-	"time"
 
 	"gator"
 	"gator/internal/cache"
 	"gator/internal/corpus"
 	"gator/internal/metrics"
+	"gator/internal/report"
+	"gator/internal/server"
 	"gator/internal/trace"
+	"gator/internal/watch"
 )
 
 func main() {
-	report := flag.String("report", "summary", "what to print: summary, views, tuples, hierarchy, activities, transitions, menus, check, table1, table2, dot, ir, json, explore")
+	reportKind := flag.String("report", "summary", "what to print: summary, views, tuples, hierarchy, activities, transitions, menus, check, checks, sarif, table1, table2, dot, ir, json, explore")
 	figure1 := flag.Bool("figure1", false, "analyze the paper's embedded Figure 1 example")
 	seed := flag.Int64("seed", 1, "seed for -report explore")
 	explain := flag.String("explain", "", "print derivation trees for a variable's solution (Class.method.var) or a view id (id:name)")
@@ -49,8 +55,10 @@ func main() {
 	listChecks := flag.Bool("listchecks", false, "print the checker registry and exit")
 	traceOut := flag.String("trace", "", "write a Chrome trace_event JSON of the whole run to `file` (open in chrome://tracing or Perfetto)")
 	statsJSON := flag.String("stats-json", "", "write byte-stable machine-readable batch stats JSON to `file` (\"-\" for stdout)")
-	watch := flag.Bool("watch", false, "watch one app directory and re-analyze incrementally on change (polls modification times)")
+	watchMode := flag.Bool("watch", false, "watch one app directory and re-analyze incrementally on change (debounced: rapid edits coalesce)")
 	cacheDir := flag.String("cache-dir", "", "content-addressed result cache `directory`: reprint cached reports for unchanged inputs without re-analyzing")
+	cacheMax := flag.Int64("cache-max-bytes", 0, "bound the -cache-dir store; least-recently-used entries are evicted (0 = unbounded)")
+	remote := flag.String("remote", "", "send work to the gatord daemon at `addr` instead of analyzing locally")
 	flag.Parse()
 
 	if *listChecks {
@@ -69,25 +77,34 @@ func main() {
 		Provenance: *explain != "",
 	}
 
-	if *watch {
+	if *remote != "" {
+		os.Exit(runRemote(remoteConfig{
+			addr:    *remote,
+			report:  *reportKind,
+			explain: *explain,
+			seed:    *seed,
+			checks:  *checksMode,
+			only:    splitChecks(*only),
+			sarif:   *sarifOut,
+			watch:   *watchMode,
+			figure1: *figure1,
+			opts:    opts,
+			dirs:    flag.Args(),
+		}))
+	}
+
+	if *watchMode {
 		if *figure1 || flag.NArg() != 1 || *checksMode {
 			fmt.Fprintln(os.Stderr, "gator: -watch wants exactly one app directory (and no -checks/-sarif)")
 			os.Exit(2)
 		}
-		runWatch(flag.Arg(0), opts, *report, *explain, *seed)
+		runWatch(flag.Arg(0), opts, *reportKind, *explain, *seed)
 	}
 
 	var inputs []gator.BatchInput
 	switch {
 	case *figure1:
-		inputs = []gator.BatchInput{{
-			Name:    "Figure1",
-			Sources: map[string]string{"connectbot.alite": corpus.Figure1Source},
-			Layouts: map[string]string{
-				"act_console":   corpus.Figure1ActConsoleXML,
-				"item_terminal": corpus.Figure1ItemTerminalXML,
-			},
-		}}
+		inputs = []gator.BatchInput{figure1Input()}
 	case flag.NArg() >= 1:
 		for _, dir := range flag.Args() {
 			inputs = append(inputs, gator.BatchInput{Dir: dir})
@@ -106,20 +123,21 @@ func main() {
 
 	// With -cache-dir, apps whose fingerprint (options, report, sources,
 	// layouts) matches a stored entry skip analysis entirely and replay the
-	// stored report. Reports with unstable output (summary timing) or side
-	// outputs (-checks/-sarif aggregation, derivation trees) always run.
+	// stored report. Reports with unstable output (wall-clock timing) or
+	// side outputs (-checks/-sarif aggregation, derivation trees) always
+	// run.
 	var store *cache.DiskStore
 	total := len(inputs)
 	keys := make([]string, total)
 	replay := make([][]byte, total)
 	names := make([]string, total)
-	if *cacheDir != "" && !*checksMode && *explain == "" && *report != "summary" {
+	if *cacheDir != "" && !*checksMode && *explain == "" && report.Stable(*reportKind) {
 		var err error
-		if store, err = cache.OpenDiskStore(*cacheDir); err != nil {
+		if store, err = cache.OpenDiskStore(*cacheDir, *cacheMax); err != nil {
 			fmt.Fprintln(os.Stderr, "gator:", err)
 			os.Exit(1)
 		}
-		tag := fmt.Sprintf("%s|report=%s|seed=%d", opts.CacheTag(), *report, *seed)
+		tag := fmt.Sprintf("%s|report=%s|seed=%d", opts.CacheTag(), *reportKind, *seed)
 		var run []gator.BatchInput
 		for i, in := range inputs {
 			sources, layouts := in.Sources, in.Layouts
@@ -219,7 +237,8 @@ func main() {
 			continue
 		}
 		var buf bytes.Buffer
-		code := printReport(&buf, rep.Name, rep.Result, *report, *explain, *seed)
+		code := report.Render(&buf, os.Stderr, rep.Name, rep.Result,
+			report.Request{Report: *reportKind, Explain: *explain, Seed: *seed})
 		os.Stdout.Write(buf.Bytes())
 		if store != nil && keys[i] != "" && code <= 1 {
 			entry := append([]byte{byte('0' + code)}, buf.Bytes()...)
@@ -242,6 +261,18 @@ func main() {
 		}
 	}
 	os.Exit(exit)
+}
+
+// figure1Input is the paper's embedded running example as a batch input.
+func figure1Input() gator.BatchInput {
+	return gator.BatchInput{
+		Name:    "Figure1",
+		Sources: map[string]string{"connectbot.alite": corpus.Figure1Source},
+		Layouts: map[string]string{
+			"act_console":   corpus.Figure1ActConsoleXML,
+			"item_terminal": corpus.Figure1ItemTerminalXML,
+		},
+	}
 }
 
 // writeTrace writes the collected events in Chrome trace_event format.
@@ -280,28 +311,21 @@ func batchLabelOf(in gator.BatchInput, index int) string {
 	return fmt.Sprintf("app%d", index)
 }
 
-// runWatch polls one application directory and re-analyzes on change,
-// delta-resolving body-only edits against the previous solution. It never
+// runWatch watches one application directory and re-analyzes on change,
+// delta-resolving body-only edits against the previous solution. Rapid
+// successive edits (save bursts, multi-file refactors) coalesce into one
+// re-analysis via the settle-window debounce in internal/watch. It never
 // returns; interrupt the process to stop.
-func runWatch(dir string, opts gator.Options, report, explain string, seed int64) {
-	const pollInterval = 500 * time.Millisecond
+func runWatch(dir string, opts gator.Options, reportKind, explain string, seed int64) {
 	c := gator.NewCache()
 	var prev *gator.Result
-	lastSig := "\x00unread" // never matches a real signature
-	for {
-		sig, err := dirSignature(dir)
-		if err == nil && sig == lastSig {
-			time.Sleep(pollInterval)
-			continue
+	stop := make(chan struct{}) // never closed: ^C ends the process
+	watch.Watch(stop, dir, watch.Config{FireInitial: true}, gator.ReadAppDir, func(ev watch.Event) {
+		if ev.Err != nil {
+			fmt.Fprintln(os.Stderr, "gator:", ev.Err)
+			return
 		}
-		lastSig = sig
-		sources, layouts, err := gator.ReadAppDir(dir)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "gator:", err)
-			time.Sleep(pollInterval)
-			continue
-		}
-		res, err := gator.AnalyzeIncremental(prev, sources, layouts, opts, c)
+		res, err := gator.AnalyzeIncremental(prev, ev.Sources, ev.Layouts, opts, c)
 		if err != nil {
 			// Mid-edit parse errors leave prev usable; a consumed prev does
 			// not — drop it and recover with a full analysis next round.
@@ -309,13 +333,12 @@ func runWatch(dir string, opts gator.Options, report, explain string, seed int64
 				prev = nil
 			}
 			fmt.Fprintln(os.Stderr, "gator:", err)
-			time.Sleep(pollInterval)
-			continue
+			return
 		}
 		prev = res
 		st := res.Incremental()
 		if st.Mode == "unchanged" {
-			continue
+			return
 		}
 		fmt.Fprintf(os.Stderr, "gator: %s analyzed in %v (%s", dir, res.Elapsed(), st.Mode)
 		switch {
@@ -325,157 +348,164 @@ func runWatch(dir string, opts gator.Options, report, explain string, seed int64
 			fmt.Fprintf(os.Stderr, ": %s", st.Reason)
 		}
 		fmt.Fprintln(os.Stderr, ")")
-		printReport(os.Stdout, filepath.Base(dir), res, report, explain, seed)
+		report.Render(os.Stdout, os.Stderr, filepath.Base(dir), res,
+			report.Request{Report: reportKind, Explain: explain, Seed: seed})
+	})
+	select {} // unreachable: Watch only returns when stop closes
+}
+
+// remoteConfig is the -remote frontend's effective flag set.
+type remoteConfig struct {
+	addr    string
+	report  string
+	explain string
+	seed    int64
+	checks  bool
+	only    []string
+	sarif   string
+	watch   bool
+	figure1 bool
+	opts    gator.Options
+	dirs    []string
+}
+
+// spec maps the CLI flags onto the wire report selection: -checks becomes
+// the "checks" report (same text, same exit-1-on-warnings semantics).
+func (rc remoteConfig) spec() server.ReportSpec {
+	kind := rc.report
+	if rc.checks {
+		kind = "checks"
+	}
+	return server.ReportSpec{Report: kind, Explain: rc.explain, Seed: rc.seed, Checks: rc.only}
+}
+
+func (rc remoteConfig) options() server.OptionsJSON {
+	return server.OptionsJSON{
+		FilterCasts:           rc.opts.FilterCasts,
+		SharedInflation:       rc.opts.SharedInflation,
+		NoFindView3Refinement: rc.opts.NoFindView3Refinement,
+		DeclaredDispatchOnly:  rc.opts.DeclaredDispatchOnly,
+		Context1:              rc.opts.Context1,
+		Provenance:            rc.opts.Provenance,
 	}
 }
 
-// dirSignature fingerprints the watched directory by file names, sizes, and
-// modification times, so the poll loop only re-reads contents after a change.
-func dirSignature(dir string) (string, error) {
-	var b strings.Builder
-	for _, sub := range []string{dir, filepath.Join(dir, "layout")} {
-		entries, err := os.ReadDir(sub)
-		if err != nil {
-			if sub != dir {
-				continue // the layout/ subdirectory is optional
-			}
-			return "", err
+// runRemote drives a gatord daemon instead of the local pipeline and
+// returns the process exit code. Reports arrive byte-identical to local
+// rendering, so the frontend only moves bytes.
+func runRemote(rc remoteConfig) int {
+	c := server.NewClient(rc.addr)
+
+	if rc.watch {
+		if rc.figure1 || len(rc.dirs) != 1 {
+			fmt.Fprintln(os.Stderr, "gator: -remote -watch wants exactly one app directory")
+			return 2
 		}
-		for _, e := range entries {
-			if e.IsDir() {
-				continue
-			}
-			info, err := e.Info()
+		stop := make(chan struct{}) // never closed: ^C ends the process
+		err := c.WatchSession(stop, rc.dirs[0], watch.Config{}, server.AnalyzeRequest{
+			Name:       filepath.Base(rc.dirs[0]),
+			Options:    rc.options(),
+			ReportSpec: rc.spec(),
+		}, gator.ReadAppDir, func(resp *server.AnalyzeResponse, err error) {
 			if err != nil {
-				continue
+				fmt.Fprintln(os.Stderr, "gator:", err)
+				return
 			}
-			fmt.Fprintf(&b, "%s/%s:%d:%d\n", sub, e.Name(), info.Size(), info.ModTime().UnixNano())
-		}
-	}
-	return b.String(), nil
-}
-
-// printReport renders one app's solution to w and returns the exit code the
-// report asks for (reports with pass/fail semantics exit nonzero on fail).
-func printReport(w io.Writer, name string, res *gator.Result, report, explain string, seed int64) int {
-	if explain != "" {
-		var trees []string
-		var err error
-		if strings.HasPrefix(explain, "id:") {
-			trees, err = res.ExplainViewID(strings.TrimPrefix(explain, "id:"))
-		} else {
-			parts := strings.SplitN(explain, ".", 3)
-			if len(parts) != 3 {
-				fmt.Fprintln(os.Stderr, "gator: -explain wants Class.method.var or id:name")
-				return 2
+			if inc := resp.Incremental; inc != nil && inc.Mode == "unchanged" {
+				return
 			}
-			trees, err = res.ExplainDerivation(parts[0], parts[1], parts[2])
-		}
+			if inc := resp.Incremental; inc != nil {
+				fmt.Fprintf(os.Stderr, "gator: %s analyzed remotely in %.1fms (%s)\n",
+					rc.dirs[0], resp.ElapsedMs, inc.Mode)
+			}
+			os.Stdout.WriteString(resp.Output)
+			if resp.Stderr != "" {
+				fmt.Fprint(os.Stderr, resp.Stderr)
+			}
+		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "gator:", err)
 			return 1
-		}
-		for i, t := range trees {
-			if i > 0 {
-				fmt.Fprintln(w)
-			}
-			fmt.Fprint(w, t)
 		}
 		return 0
 	}
 
-	switch report {
-	case "summary":
-		t1 := res.Table1()
-		fmt.Fprintf(w, "%s: %d classes, %d methods\n", name, t1.Classes, t1.Methods)
-		fmt.Fprintf(w, "ids: %d layouts, %d view ids\n", t1.LayoutIDs, t1.ViewIDs)
-		fmt.Fprintf(w, "views: %d inflated, %d allocated; %d listeners\n",
-			t1.ViewsInflated, t1.ViewsAllocated, t1.Listeners)
-		fmt.Fprintf(w, "ops: %d inflate, %d find-view, %d add-view, %d set-listener, %d set-id\n",
-			t1.InflateOps, t1.FindViewOps, t1.AddViewOps, t1.SetListenerOps, t1.SetIdOps)
-		fmt.Fprintf(w, "analysis: %v, %d fixpoint rounds\n", res.Elapsed(), res.Iterations())
-	case "views":
-		for _, v := range res.Views() {
-			id := v.ID
-			if id == "" {
-				id = "-"
+	type input struct {
+		name             string
+		sources, layouts map[string]string
+	}
+	var inputs []input
+	switch {
+	case rc.figure1:
+		in := figure1Input()
+		inputs = []input{{name: in.Name, sources: in.Sources, layouts: in.Layouts}}
+	case len(rc.dirs) >= 1:
+		for _, dir := range rc.dirs {
+			sources, layouts, err := gator.ReadAppDir(dir)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "gator:", err)
+				return 1
 			}
-			fmt.Fprintf(w, "%-20s %-28s id=%s\n", v.Class, v.Origin, id)
-		}
-	case "tuples":
-		for _, t := range res.EventTuples() {
-			act := t.Activity
-			if act == "" {
-				act = "-"
-			}
-			fmt.Fprintf(w, "activity=%-20s view=%s(%s) event=%-12s handler=%s\n",
-				act, t.View.Class, t.View.Origin, t.Event, t.Handler)
-		}
-	case "hierarchy":
-		for _, e := range res.Hierarchy() {
-			fmt.Fprintf(w, "%s(%s) => %s(%s)\n", e.Parent.Class, e.Parent.Origin, e.Child.Class, e.Child.Origin)
-		}
-	case "activities":
-		for _, a := range res.Activities() {
-			fmt.Fprintf(w, "%s:\n", a.Activity)
-			for _, r := range a.Roots {
-				fmt.Fprintf(w, "\troot %s (%s)\n", r.Class, r.Origin)
-			}
-		}
-	case "table1":
-		fmt.Fprintf(w, "%+v\n", res.Table1())
-	case "table2":
-		r := res.Table2()
-		fmt.Fprintf(w, "time=%v receivers=%.2f results=%.2f listeners=%.2f\n",
-			r.Time, r.AvgReceivers, r.AvgResults, r.AvgListeners)
-	case "check":
-		fs := res.Check()
-		warnings := 0
-		for _, f := range fs {
-			where := f.Pos
-			if where == "" {
-				where = name
-			}
-			fmt.Fprintf(w, "%s: %s: [%s] %s\n", where, f.Severity, f.Check, f.Msg)
-			if f.Severity == "warning" {
-				warnings++
-			}
-		}
-		if warnings > 0 {
-			return 1
-		}
-	case "menus":
-		for _, e := range res.MenuEntries() {
-			fmt.Fprintf(w, "activity=%-20s item=%-16s handler=%s\n", e.Activity, e.ItemID, e.Handler)
-		}
-	case "transitions":
-		for _, tr := range res.Transitions() {
-			fmt.Fprintf(w, "%s -> %s  (via %s)\n", tr.Source, tr.Target, tr.Via)
-		}
-	case "json":
-		data, err := res.Model().JSON()
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "gator:", err)
-			return 1
-		}
-		fmt.Fprintln(w, string(data))
-	case "ir":
-		fmt.Fprint(w, res.DumpIR())
-	case "dot":
-		fmt.Fprint(w, res.Dot())
-	case "explore":
-		rep := res.Explore(seed)
-		fmt.Fprintf(w, "sound=%v sites=%d perfect=%d steps=%d\n",
-			rep.Sound, rep.ObservedSites, rep.PerfectSites, rep.Steps)
-		for _, v := range rep.Violations {
-			fmt.Fprintln(w, "violation:", v)
-		}
-		if !rep.Sound {
-			return 1
+			inputs = append(inputs, input{name: filepath.Base(dir), sources: sources, layouts: layouts})
 		}
 	default:
-		fmt.Fprintf(os.Stderr, "gator: unknown report %q\n", report)
+		fmt.Fprintln(os.Stderr, "usage: gator -remote ADDR [flags] <app-dir> [<app-dir>...]  (or -figure1)")
 		return 2
 	}
-	return 0
+	if rc.sarif != "" && len(inputs) != 1 {
+		fmt.Fprintln(os.Stderr, "gator: -remote -sarif wants exactly one application")
+		return 2
+	}
+
+	exit := 0
+	for i, in := range inputs {
+		resp, err := c.Analyze(server.AnalyzeRequest{
+			Name:       in.name,
+			Sources:    in.sources,
+			Layouts:    in.layouts,
+			Options:    rc.options(),
+			ReportSpec: rc.spec(),
+		})
+		if err != nil {
+			var se *server.StatusError
+			if errors.As(err, &se) && se.RetryAfter > 0 {
+				fmt.Fprintf(os.Stderr, "gator: %v (retry after %v)\n", err, se.RetryAfter)
+			} else {
+				fmt.Fprintln(os.Stderr, "gator:", err)
+			}
+			exit = 1
+			continue
+		}
+		if len(inputs) > 1 {
+			if i > 0 {
+				fmt.Println()
+			}
+			fmt.Printf("== %s ==\n", in.name)
+		}
+		os.Stdout.WriteString(resp.Output)
+		if resp.Stderr != "" {
+			fmt.Fprint(os.Stderr, resp.Stderr)
+		}
+		if resp.ExitCode > exit {
+			exit = resp.ExitCode
+		}
+
+		if rc.sarif != "" {
+			sr, err := c.Analyze(server.AnalyzeRequest{
+				Name:       in.name,
+				Sources:    in.sources,
+				Layouts:    in.layouts,
+				Options:    rc.options(),
+				ReportSpec: server.ReportSpec{Report: "sarif", Checks: rc.only},
+			})
+			if err == nil {
+				err = os.WriteFile(rc.sarif, []byte(sr.Output), 0o644)
+			}
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "gator:", err)
+				exit = 1
+			}
+		}
+	}
+	return exit
 }

@@ -44,6 +44,7 @@ func main() {
 	stats := flag.Bool("stats", false, "print per-stage batch statistics to stderr")
 	benchJSON := flag.String("benchjson", "", "write machine-readable benchmark results to `file`")
 	incJSON := flag.String("incjson", "", "write the incremental re-analysis benchmark (single-file edit, warm vs cold) to `file`")
+	serveJSON := flag.String("servejson", "", "write the server benchmark (request latency percentiles, warm session speedup) to `file`")
 	traceOut := flag.String("trace", "", "write a Chrome trace_event JSON of the corpus run to `file`")
 	metricsOut := flag.String("metrics", "", "write the aggregated counter/histogram registry as JSON to `file` (\"-\" for stderr; implies tracing)")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof and expvar on `addr` (e.g. localhost:6060) for the duration of the run")
@@ -176,6 +177,12 @@ func main() {
 	}
 	if *incJSON != "" {
 		if err := writeIncrementalJSON(*incJSON); err != nil {
+			fmt.Fprintln(os.Stderr, "gatorbench:", err)
+			os.Exit(1)
+		}
+	}
+	if *serveJSON != "" {
+		if err := writeServeJSON(*serveJSON, *jobs); err != nil {
 			fmt.Fprintln(os.Stderr, "gatorbench:", err)
 			os.Exit(1)
 		}

@@ -1,0 +1,175 @@
+package main
+
+// The -servejson benchmark (BENCH_5.json): the serving layer's cost, as a
+// client sees it over real loopback HTTP. Two quantities are recorded:
+//
+//   - cold request latency percentiles: every request carries a distinct
+//     application, so each one pays upload + parse + solve + render;
+//   - the session speedup: the same alternating single-file edit sequence
+//     the incremental benchmark (-incjson) uses, once as stateless
+//     /v1/analyze submissions (re-upload + scratch solve per edit) and once
+//     as PATCHes to a warm session. The ratio is what sessions exist to
+//     buy; the nightly benchdiff gate fails when it drops below 3x (lower
+//     than the library-level 5x floor because both sides carry HTTP and
+//     JSON overhead, which the warm path cannot amortize away).
+//
+// Ratios are same-process, same-machine, so they are stable across runner
+// hardware in a way absolute milliseconds are not; the percentiles are
+// recorded for trend reading, not gating.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"gator/internal/corpus"
+	"gator/internal/server"
+)
+
+// serveBenchOutput is the -servejson file shape. ColdP50Ms > 0 is what
+// cmd/benchdiff uses to detect this record shape.
+type serveBenchOutput struct {
+	GeneratedAt string  `json:"generatedAt"`
+	Workers     int     `json:"workers"`
+	Requests    int     `json:"requests"`
+	ColdP50Ms   float64 `json:"coldP50Ms"`
+	ColdP99Ms   float64 `json:"coldP99Ms"`
+	App         string  `json:"app"`
+	Edits       int     `json:"edits"`
+	StatelessMs float64 `json:"statelessMs"`
+	SessionMs   float64 `json:"sessionMs"`
+	Speedup     float64 `json:"speedup"`
+}
+
+func writeServeJSON(path string, workers int) error {
+	srv, err := server.New(server.Config{Workers: workers})
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	serveDone := make(chan struct{})
+	go func() { httpSrv.Serve(ln); close(serveDone) }()
+	defer func() {
+		srv.Drain()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		httpSrv.Shutdown(ctx)
+		<-serveDone
+	}()
+	c := server.NewClient(ln.Addr().String())
+
+	// Cold latency percentiles: distinct random apps so the content-
+	// addressed caches never short-circuit the measurement.
+	const coldReqs = 50
+	lats := make([]time.Duration, 0, coldReqs)
+	for i := 0; i < coldReqs; i++ {
+		sources, layouts := corpus.RandomApp(int64(1000 + i))
+		start := time.Now()
+		if _, err := c.Analyze(server.AnalyzeRequest{
+			Name:       fmt.Sprintf("cold%d", i),
+			Sources:    sources,
+			Layouts:    layouts,
+			ReportSpec: server.ReportSpec{Report: "views"},
+		}); err != nil {
+			return fmt.Errorf("servejson: cold request %d: %w", i, err)
+		}
+		lats = append(lats, time.Since(start))
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	p50 := lats[len(lats)/2]
+	p99 := lats[(len(lats)*99)/100]
+
+	// Warm-session speedup over the incremental benchmark's edit sequence.
+	// Both sides render the cheap "summary" report so the comparison
+	// isolates what sessions change — upload + solve — rather than report
+	// rendering, which is identical work on either path.
+	const nActs = 30 // keep in sync with writeIncrementalJSON
+	const edits = 20
+	sources, layouts := corpus.ModularApp(nActs)
+	base := sources["act1.alite"]
+	va := strings.Replace(base, "\t\tthis.stash = back;\n", "\t\tthis.stash = btn;\n", 1)
+	vb := strings.Replace(base, "\t\tthis.stash = back;\n", "\t\tthis.stash = p;\n", 1)
+	if va == base || vb == base {
+		return fmt.Errorf("servejson: edit variants did not apply to act1.alite")
+	}
+	variant := func(i int) string {
+		if i%2 == 0 {
+			return va
+		}
+		return vb
+	}
+
+	// Stateless baseline: each edit as a full /v1/analyze submission.
+	// NoCache keeps the result caches out of it — the point of comparison
+	// is "no session state on the server", not "no caching anywhere".
+	stateless := time.Duration(1<<63 - 1)
+	for i := 0; i < edits; i++ {
+		sources["act1.alite"] = variant(i)
+		start := time.Now()
+		if _, err := c.Analyze(server.AnalyzeRequest{
+			Name: "edited", Sources: sources, Layouts: layouts,
+			ReportSpec: server.ReportSpec{Report: "summary"},
+			NoCache:    true,
+		}); err != nil {
+			return fmt.Errorf("servejson: stateless edit %d: %w", i, err)
+		}
+		if d := time.Since(start); d < stateless {
+			stateless = d
+		}
+	}
+
+	// Warm path: one upload, then per-edit PATCHes against the session.
+	sources["act1.alite"] = base
+	open, err := c.OpenSession(server.AnalyzeRequest{
+		Name: "edited", Sources: sources, Layouts: layouts,
+		ReportSpec: server.ReportSpec{Report: "summary"},
+	})
+	if err != nil {
+		return fmt.Errorf("servejson: open session: %w", err)
+	}
+	warm := time.Duration(1<<63 - 1)
+	for i := 0; i < edits; i++ {
+		start := time.Now()
+		resp, err := c.PatchSession(open.SessionID, server.PatchRequest{
+			Sources:    map[string]string{"act1.alite": variant(i)},
+			ReportSpec: server.ReportSpec{Report: "summary"},
+		})
+		if err != nil {
+			return fmt.Errorf("servejson: session edit %d: %w", i, err)
+		}
+		if resp.Incremental == nil || resp.Incremental.Mode != "warm" {
+			return fmt.Errorf("servejson: edit %d fell off the warm path: %+v", i, resp.Incremental)
+		}
+		if d := time.Since(start); d < warm {
+			warm = d
+		}
+	}
+
+	out := serveBenchOutput{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		Workers:     workers,
+		Requests:    coldReqs,
+		ColdP50Ms:   ms(p50),
+		ColdP99Ms:   ms(p99),
+		App:         fmt.Sprintf("modular-%d", nActs),
+		Edits:       edits,
+		StatelessMs: ms(stateless),
+		SessionMs:   ms(warm),
+		Speedup:     float64(stateless) / float64(warm),
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

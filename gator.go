@@ -268,6 +268,12 @@ type Result struct {
 // Elapsed returns the analysis running time.
 func (r *Result) Elapsed() time.Duration { return r.elapsed }
 
+// SetAppName relabels the application in subsequently rendered reports
+// (Table rows, check reports, the JSON model). Server sessions use it to
+// carry the client-chosen name across incremental re-analyses, whose
+// in-memory loads would otherwise default to "app".
+func (r *Result) SetAppName(name string) { r.app.Name = name }
+
 // Iterations returns the number of fixpoint rounds.
 func (r *Result) Iterations() int { return r.res.Iterations }
 

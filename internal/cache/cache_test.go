@@ -114,7 +114,7 @@ func TestParseCacheConcurrent(t *testing.T) {
 }
 
 func TestDiskStoreRoundTrip(t *testing.T) {
-	s, err := OpenDiskStore(t.TempDir())
+	s, err := OpenDiskStore(t.TempDir(), 0)
 	if err != nil {
 		t.Fatal(err)
 	}

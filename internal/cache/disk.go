@@ -2,27 +2,48 @@ package cache
 
 import (
 	"fmt"
+	"io/fs"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
+	"sync"
+	"time"
 )
 
 // DiskStore persists rendered analysis outputs under a directory, one file
 // per key. Keys are application fingerprints (hex strings), so entries are
 // immutable: a Put never changes the meaning of an existing key, and
 // concurrent writers of the same key write identical bytes. Used by the
-// gator CLI's -cache-dir flag to skip re-analysis when neither the sources,
-// the layouts, nor the requested report changed.
+// gator CLI's -cache-dir flag and gatord's result cache to skip re-analysis
+// when neither the sources, the layouts, nor the requested report changed.
+//
+// A positive byte budget turns the store into an LRU: Get refreshes an
+// entry's modification time, and Put evicts the least-recently-used entries
+// once the total size exceeds the budget. Recency survives process
+// restarts because it lives in the filesystem's mtimes, not in memory.
 type DiskStore struct {
-	dir string
+	dir      string
+	maxBytes int64
+
+	mu   sync.Mutex
+	size int64 // total entry bytes; tracked only when maxBytes > 0
 }
 
 // OpenDiskStore opens (creating if needed) a disk store rooted at dir.
-func OpenDiskStore(dir string) (*DiskStore, error) {
+// maxBytes bounds the total size of stored entries; <= 0 means unbounded.
+// Opening a bounded store scans the directory once to learn its size.
+func OpenDiskStore(dir string, maxBytes int64) (*DiskStore, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("cache: opening store %s: %w", dir, err)
 	}
-	return &DiskStore{dir: dir}, nil
+	s := &DiskStore{dir: dir, maxBytes: maxBytes}
+	if maxBytes > 0 {
+		for _, e := range s.entries() {
+			s.size += e.size
+		}
+	}
+	return s, nil
 }
 
 // path maps a key to its entry file, sharding by the first two hex digits
@@ -35,6 +56,7 @@ func (s *DiskStore) path(key string) (string, error) {
 }
 
 // Get returns the stored bytes for key, reporting whether an entry exists.
+// On a bounded store a hit refreshes the entry's recency.
 func (s *DiskStore) Get(key string) ([]byte, bool) {
 	p, err := s.path(key)
 	if err != nil {
@@ -44,11 +66,17 @@ func (s *DiskStore) Get(key string) ([]byte, bool) {
 	if err != nil {
 		return nil, false
 	}
+	if s.maxBytes > 0 {
+		now := time.Now()
+		os.Chtimes(p, now, now) // best-effort; a failed bump only skews LRU order
+	}
 	return data, true
 }
 
 // Put stores data under key. The write goes through a temporary file and a
-// rename, so readers never observe a partial entry.
+// rename, so readers never observe a partial entry. On a bounded store the
+// least-recently-used entries are evicted until the total fits the budget;
+// the entry just written is never evicted by its own Put.
 func (s *DiskStore) Put(key string, data []byte) error {
 	p, err := s.path(key)
 	if err != nil {
@@ -56,6 +84,12 @@ func (s *DiskStore) Put(key string, data []byte) error {
 	}
 	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
 		return fmt.Errorf("cache: %w", err)
+	}
+	var prev int64 // size of an existing entry this Put replaces
+	if s.maxBytes > 0 {
+		if info, err := os.Stat(p); err == nil {
+			prev = info.Size()
+		}
 	}
 	tmp, err := os.CreateTemp(filepath.Dir(p), ".put-*")
 	if err != nil {
@@ -74,5 +108,75 @@ func (s *DiskStore) Put(key string, data []byte) error {
 		os.Remove(tmp.Name())
 		return fmt.Errorf("cache: %w", err)
 	}
+	if s.maxBytes > 0 {
+		s.mu.Lock()
+		s.size += int64(len(data)) - prev
+		if s.size > s.maxBytes {
+			s.evict(p)
+		}
+		s.mu.Unlock()
+	}
 	return nil
+}
+
+// Size returns the tracked total entry bytes (0 on an unbounded store,
+// which does not track size).
+func (s *DiskStore) Size() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.size
+}
+
+// diskEntry is one stored file during an eviction scan.
+type diskEntry struct {
+	path  string
+	size  int64
+	mtime time.Time
+}
+
+// entries lists every stored entry (skipping in-flight temporaries).
+func (s *DiskStore) entries() []diskEntry {
+	var out []diskEntry
+	filepath.WalkDir(s.dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() || strings.HasPrefix(d.Name(), ".put-") {
+			return nil
+		}
+		info, err := d.Info()
+		if err != nil {
+			return nil
+		}
+		out = append(out, diskEntry{path: path, size: info.Size(), mtime: info.ModTime()})
+		return nil
+	})
+	return out
+}
+
+// evict removes least-recently-used entries until the store fits its
+// budget, sparing keep (the entry that triggered the eviction). Called with
+// s.mu held. The scan re-derives the true size, self-correcting any drift
+// from entries other processes added or removed.
+func (s *DiskStore) evict(keep string) {
+	entries := s.entries()
+	var total int64
+	for _, e := range entries {
+		total += e.size
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		if !entries[i].mtime.Equal(entries[j].mtime) {
+			return entries[i].mtime.Before(entries[j].mtime)
+		}
+		return entries[i].path < entries[j].path // stable order for equal mtimes
+	})
+	for _, e := range entries {
+		if total <= s.maxBytes {
+			break
+		}
+		if e.path == keep {
+			continue
+		}
+		if os.Remove(e.path) == nil {
+			total -= e.size
+		}
+	}
+	s.size = total
 }

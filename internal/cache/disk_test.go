@@ -1,0 +1,194 @@
+package cache
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// keyN derives a distinct valid store key.
+func keyN(i int) string { return Hash("source", fmt.Sprintf("f%d", i), "x") }
+
+// age pushes an entry's mtime into the past so LRU order is unambiguous
+// even on filesystems with coarse timestamps.
+func age(t *testing.T, s *DiskStore, key string, d time.Duration) {
+	t.Helper()
+	p, err := s.path(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := time.Now().Add(-d)
+	if err := os.Chtimes(p, old, old); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDiskStoreEvictsLRUOverBudget(t *testing.T) {
+	// Budget fits two 100-byte entries; the third Put must evict the
+	// least-recently-used one.
+	s, err := OpenDiskStore(t.TempDir(), 250)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := []byte(strings.Repeat("r", 100))
+	for i := 0; i < 2; i++ {
+		if err := s.Put(keyN(i), data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	age(t, s, keyN(0), 2*time.Hour)
+	age(t, s, keyN(1), time.Hour)
+	// A Get refreshes recency: touch entry 0 so entry 1 becomes the victim.
+	if _, ok := s.Get(keyN(0)); !ok {
+		t.Fatal("entry 0 must exist")
+	}
+	if err := s.Put(keyN(2), data); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(keyN(1)); ok {
+		t.Fatal("entry 1 (LRU) must have been evicted")
+	}
+	for _, i := range []int{0, 2} {
+		if _, ok := s.Get(keyN(i)); !ok {
+			t.Fatalf("entry %d must have survived", i)
+		}
+	}
+	if got := s.Size(); got != 200 {
+		t.Fatalf("tracked size %d, want 200", got)
+	}
+}
+
+func TestDiskStoreUnboundedNeverEvicts(t *testing.T) {
+	s, err := OpenDiskStore(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := []byte(strings.Repeat("r", 1000))
+	for i := 0; i < 10; i++ {
+		if err := s.Put(keyN(i), data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 10; i++ {
+		if _, ok := s.Get(keyN(i)); !ok {
+			t.Fatalf("entry %d missing from unbounded store", i)
+		}
+	}
+}
+
+func TestDiskStoreBoundedReopenLearnsSize(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenDiskStore(dir, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(keyN(0), []byte(strings.Repeat("r", 300))); err != nil {
+		t.Fatal(err)
+	}
+	// Reopening scans the directory: the tracked size reflects the existing
+	// entry, so the budget applies across process restarts.
+	s2, err := OpenDiskStore(dir, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s2.Size(); got != 300 {
+		t.Fatalf("reopened size %d, want 300", got)
+	}
+	age(t, s2, keyN(0), time.Hour)
+	if err := s2.Put(keyN(1), []byte(strings.Repeat("r", 800))); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s2.Get(keyN(0)); ok {
+		t.Fatal("old entry must have been evicted to fit the budget")
+	}
+	if _, ok := s2.Get(keyN(1)); !ok {
+		t.Fatal("new entry must survive its own Put")
+	}
+}
+
+func TestDiskStoreReplaceSameKeyTracksSize(t *testing.T) {
+	s, err := OpenDiskStore(t.TempDir(), 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(keyN(0), []byte(strings.Repeat("a", 400))); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(keyN(0), []byte(strings.Repeat("a", 400))); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Size(); got != 400 {
+		t.Fatalf("size after same-key re-put %d, want 400", got)
+	}
+}
+
+func TestDiskStoreEvictionSkipsTempFiles(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenDiskStore(dir, 150)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A stale in-flight temporary must be invisible to the size scan.
+	shard := filepath.Join(dir, "ab")
+	if err := os.MkdirAll(shard, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(shard, ".put-stale"), []byte(strings.Repeat("x", 500)), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(keyN(0), []byte(strings.Repeat("r", 100))); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(keyN(0)); !ok {
+		t.Fatal("entry must survive: temp files do not count against the budget")
+	}
+}
+
+func TestResultCacheLRUByBytes(t *testing.T) {
+	c := NewResultCache(250)
+	data := []byte(strings.Repeat("r", 100))
+	c.Put(keyN(0), data)
+	c.Put(keyN(1), data)
+	if _, ok := c.Get(keyN(0)); !ok { // refresh 0 → 1 becomes LRU
+		t.Fatal("entry 0 must exist")
+	}
+	c.Put(keyN(2), data)
+	if _, ok := c.Get(keyN(1)); ok {
+		t.Fatal("entry 1 (LRU) must have been evicted")
+	}
+	if got, ok := c.Get(keyN(2)); !ok || string(got) != string(data) {
+		t.Fatal("entry 2 must round-trip")
+	}
+	if c.Len() != 2 || c.Size() != 200 {
+		t.Fatalf("len=%d size=%d, want 2/200", c.Len(), c.Size())
+	}
+	hits, misses := c.Stats()
+	if hits == 0 || misses == 0 {
+		t.Fatalf("stats hits=%d misses=%d, want both nonzero", hits, misses)
+	}
+}
+
+func TestResultCacheOversizeEntryDropped(t *testing.T) {
+	c := NewResultCache(50)
+	c.Put(keyN(0), []byte(strings.Repeat("r", 100)))
+	if _, ok := c.Get(keyN(0)); ok {
+		t.Fatal("entry larger than the whole budget must not be stored")
+	}
+	if c.Size() != 0 {
+		t.Fatalf("size %d, want 0", c.Size())
+	}
+}
+
+func TestResultCacheCopiesOnPut(t *testing.T) {
+	c := NewResultCache(0)
+	buf := []byte("original")
+	c.Put(keyN(0), buf)
+	buf[0] = 'X'
+	got, ok := c.Get(keyN(0))
+	if !ok || string(got) != "original" {
+		t.Fatalf("got %q, want insulated copy \"original\"", got)
+	}
+}

@@ -1,0 +1,167 @@
+package server
+
+// Deterministic unit tests of the job subsystem's concurrency contract:
+// blocking jobs are gated on channels, so admission, backpressure, drain,
+// timeout-abandonment, and panic isolation are exercised without sleeps or
+// timing assumptions. Run under -race (scripts/ci.sh does).
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"gator/internal/metrics"
+)
+
+// blockingJob submits a job that parks until gate closes and waits until a
+// worker has actually started it, so later assertions about "in-flight"
+// versus "queued" are deterministic.
+func blockingJob(t *testing.T, r *jobRunner, gate <-chan struct{}) *job {
+	t.Helper()
+	started := make(chan struct{})
+	j := &job{ctx: context.Background(), fn: func() { close(started); <-gate }, done: make(chan struct{})}
+	if err := r.submit(j); err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	select {
+	case <-started:
+	case <-time.After(10 * time.Second):
+		t.Fatal("worker never started the blocking job")
+	}
+	return j
+}
+
+func waitDone(t *testing.T, j *job) error {
+	t.Helper()
+	select {
+	case <-j.done:
+		return j.err
+	case <-time.After(10 * time.Second):
+		t.Fatal("job never completed")
+		return nil
+	}
+}
+
+func TestJobsBackpressureBusy(t *testing.T) {
+	r := newJobRunner(1, 1, 0, metrics.NewRegistry())
+	gate := make(chan struct{})
+	defer close(gate)
+
+	_ = blockingJob(t, r, gate) // occupies the only worker
+	filler := &job{ctx: context.Background(), fn: func() { <-gate }, done: make(chan struct{})}
+	if err := r.submit(filler); err != nil { // fills the single queue slot
+		t.Fatalf("submit filler: %v", err)
+	}
+
+	j := &job{ctx: context.Background(), fn: func() {}, done: make(chan struct{})}
+	if err := r.submit(j); !errors.Is(err, errBusy) {
+		t.Fatalf("submit with full queue: got %v, want errBusy", err)
+	}
+}
+
+func TestJobsDrainInFlightFinishesQueuedRejected(t *testing.T) {
+	r := newJobRunner(1, 4, 0, metrics.NewRegistry())
+	gate := make(chan struct{})
+
+	inflight := blockingJob(t, r, gate)
+	// queued sits behind inflight: the only worker is (or will be) parked on
+	// the gate, so it cannot start before drain flips.
+	queued := &job{ctx: context.Background(), fn: func() {}, done: make(chan struct{})}
+	if err := r.submit(queued); err != nil {
+		t.Fatalf("submit queued: %v", err)
+	}
+
+	drained := make(chan struct{})
+	go func() { r.drain(); close(drained) }()
+
+	// Drain must reject new submissions immediately, even while blocked on
+	// the in-flight job.
+	for {
+		err := r.submit(&job{ctx: context.Background(), fn: func() {}, done: make(chan struct{})})
+		if errors.Is(err, errDraining) {
+			break
+		}
+		time.Sleep(time.Millisecond) // drain goroutine not scheduled yet
+	}
+
+	select {
+	case <-drained:
+		t.Fatal("drain returned while a job was still in flight")
+	default:
+	}
+
+	close(gate) // let the in-flight job finish
+	if err := waitDone(t, inflight); err != nil {
+		t.Fatalf("in-flight job during drain: %v, want nil", err)
+	}
+	if err := waitDone(t, queued); !errors.Is(err, errDraining) {
+		t.Fatalf("queued job during drain: %v, want errDraining", err)
+	}
+	select {
+	case <-drained:
+	case <-time.After(10 * time.Second):
+		t.Fatal("drain never returned")
+	}
+
+	// drain is idempotent.
+	r.drain()
+}
+
+func TestJobsPanicIsolated(t *testing.T) {
+	r := newJobRunner(1, 4, 0, metrics.NewRegistry())
+	defer r.drain()
+
+	err := r.do(context.Background(), func() { panic("boom") })
+	var pe *panicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("panicking job: %v, want panicError", err)
+	}
+	if got := pe.Error(); !strings.Contains(got, "boom") {
+		t.Fatalf("panic error lacks the panic value: %q", got)
+	}
+	// The worker survived the panic and still runs jobs.
+	ran := false
+	if err := r.do(context.Background(), func() { ran = true }); err != nil || !ran {
+		t.Fatalf("job after panic: err=%v ran=%v", err, ran)
+	}
+}
+
+func TestJobsDeadlineAbandons(t *testing.T) {
+	r := newJobRunner(1, 4, 10*time.Millisecond, metrics.NewRegistry())
+	gate := make(chan struct{})
+
+	err := r.do(context.Background(), func() { <-gate })
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("blocked job past deadline: %v, want DeadlineExceeded", err)
+	}
+	close(gate) // the abandoned job still finishes; drain waits for it
+	r.drain()
+}
+
+func TestJobsExpiredInQueueSkipped(t *testing.T) {
+	r := newJobRunner(1, 4, 0, metrics.NewRegistry())
+	gate := make(chan struct{})
+	inflight := blockingJob(t, r, gate)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // expired before a worker ever sees it
+	ran := false
+	j := &job{ctx: ctx, fn: func() { ran = true }, done: make(chan struct{})}
+	if err := r.submit(j); err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+
+	close(gate)
+	if err := waitDone(t, inflight); err != nil {
+		t.Fatalf("inflight: %v", err)
+	}
+	if err := waitDone(t, j); !errors.Is(err, context.Canceled) {
+		t.Fatalf("expired job: %v, want context.Canceled", err)
+	}
+	if ran {
+		t.Fatal("expired job's fn ran anyway")
+	}
+	r.drain()
+}

@@ -1,0 +1,170 @@
+package server
+
+// Sessions: a client uploads an application once, then patches individual
+// files and gets warm re-analysis through gator.AnalyzeIncremental —
+// request/response access to the incremental solver's retract/repair path.
+// Session state is bounded two ways: an idle TTL (a session untouched for
+// that long is dropped) and an LRU count cap (creating one session past
+// the cap evicts the least recently used). Both are eviction, not
+// failure: a client whose session vanished gets 404 and re-creates it,
+// paying one cold analysis.
+
+import (
+	"container/list"
+	"crypto/rand"
+	"encoding/hex"
+	"sync"
+	"time"
+
+	"gator"
+	"gator/internal/metrics"
+)
+
+// session is one client's warm analysis state. The per-session mutex
+// serializes patches: gator.AnalyzeIncremental consumes the previous
+// result, so two concurrent patches on one session must not race — the
+// second would see ErrStaleResult.
+type session struct {
+	id   string
+	name string
+	opts gator.Options
+
+	mu      sync.Mutex
+	sources map[string]string
+	layouts map[string]string
+	prev    *gator.Result
+	patches int // completed patch count, for /v1/sessions/{id}
+}
+
+// snapshotInputs copies the session's current input maps (callers mutate
+// the copies while diffing an edit).
+func (s *session) snapshotInputs() (sources, layouts map[string]string) {
+	sources = make(map[string]string, len(s.sources))
+	for k, v := range s.sources {
+		sources[k] = v
+	}
+	layouts = make(map[string]string, len(s.layouts))
+	for k, v := range s.layouts {
+		layouts[k] = v
+	}
+	return sources, layouts
+}
+
+type sessionStore struct {
+	max int
+	ttl time.Duration
+	reg *metrics.Registry
+
+	mu   sync.Mutex
+	byID map[string]*list.Element
+	lru  *list.List // front = most recently used; value = *sessionEntry
+}
+
+type sessionEntry struct {
+	sess    *session
+	lastUse time.Time
+}
+
+func newSessionStore(max int, ttl time.Duration, reg *metrics.Registry) *sessionStore {
+	return &sessionStore{
+		max:  max,
+		ttl:  ttl,
+		reg:  reg,
+		byID: map[string]*list.Element{},
+		lru:  list.New(),
+	}
+}
+
+// newSessionID returns a 128-bit random hex id.
+func newSessionID() string {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic("server: session id entropy unavailable: " + err.Error())
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// add registers a new session, evicting over-cap LRU sessions first.
+func (st *sessionStore) add(sess *session) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.sweepLocked(time.Now())
+	for st.lru.Len() >= st.max && st.max > 0 {
+		st.evictLocked(st.lru.Back(), "server.sessions.evicted_lru")
+	}
+	st.byID[sess.id] = st.lru.PushFront(&sessionEntry{sess: sess, lastUse: time.Now()})
+	st.reg.Add("server.sessions.created", 1)
+}
+
+// get returns the live session for id, refreshing its recency. An
+// idle-expired session is evicted on access and reported as absent.
+func (st *sessionStore) get(id string) (*session, bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	el, ok := st.byID[id]
+	if !ok {
+		return nil, false
+	}
+	e := el.Value.(*sessionEntry)
+	if st.ttl > 0 && time.Since(e.lastUse) > st.ttl {
+		st.evictLocked(el, "server.sessions.evicted_idle")
+		return nil, false
+	}
+	e.lastUse = time.Now()
+	st.lru.MoveToFront(el)
+	return e.sess, true
+}
+
+// remove deletes a session by id (client DELETE), reporting whether it
+// existed.
+func (st *sessionStore) remove(id string) bool {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	el, ok := st.byID[id]
+	if !ok {
+		return false
+	}
+	st.evictLocked(el, "server.sessions.deleted")
+	return true
+}
+
+// sweep evicts every idle-expired session; the daemon runs it periodically
+// so memory for abandoned sessions is reclaimed without waiting for an
+// access.
+func (st *sessionStore) sweep(now time.Time) int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.sweepLocked(now)
+}
+
+func (st *sessionStore) sweepLocked(now time.Time) int {
+	if st.ttl <= 0 {
+		return 0
+	}
+	n := 0
+	for el := st.lru.Back(); el != nil; {
+		e := el.Value.(*sessionEntry)
+		if now.Sub(e.lastUse) <= st.ttl {
+			break // LRU order: everything further front is fresher
+		}
+		prev := el.Prev()
+		st.evictLocked(el, "server.sessions.evicted_idle")
+		el = prev
+		n++
+	}
+	return n
+}
+
+func (st *sessionStore) evictLocked(el *list.Element, counter string) {
+	e := el.Value.(*sessionEntry)
+	st.lru.Remove(el)
+	delete(st.byID, e.sess.id)
+	st.reg.Add(counter, 1)
+}
+
+// len returns the number of live sessions.
+func (st *sessionStore) len() int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.lru.Len()
+}

@@ -1,0 +1,153 @@
+// Package watch polls an application directory and reports coalesced
+// edits. It is the shared change-detection loop behind `gator -watch`
+// (local incremental re-analysis), `gator -remote -watch` (pushing edits
+// into a gatord session), and the server tests' session-refresh helper.
+//
+// Detection is polling-based (no OS watch dependency, same behavior on
+// every platform): the loop fingerprints the directory by file names,
+// sizes, and modification times each tick. A change does not fire the
+// callback immediately — rapid successive events (editor save bursts,
+// multi-file refactors, `git checkout`) are coalesced by waiting until the
+// fingerprint has been stable for a settle window, then firing once with
+// the final content. Without the debounce a 10-file save storm triggers up
+// to 10 re-analyses; with it, exactly one.
+package watch
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+)
+
+// Config tunes the poll loop; the zero value uses the defaults.
+type Config struct {
+	// Poll is the fingerprint interval (default 250ms).
+	Poll time.Duration
+	// Settle is how long the directory must stay unchanged after an edit
+	// before the callback fires (default 2*Poll). Edits closer together
+	// than Settle coalesce into one callback.
+	Settle time.Duration
+	// FireInitial fires the callback once with the starting content before
+	// watching for changes (what `gator -watch` wants: analyze, then
+	// re-analyze on change).
+	FireInitial bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Poll <= 0 {
+		c.Poll = 250 * time.Millisecond
+	}
+	if c.Settle <= 0 {
+		c.Settle = 2 * c.Poll
+	}
+	return c
+}
+
+// Event is one coalesced directory change.
+type Event struct {
+	// Sources and Layouts are the directory's full post-edit content, in
+	// the form gator.Load / gator.AnalyzeIncremental take.
+	Sources map[string]string
+	Layouts map[string]string
+	// Err is a read failure (mid-edit vanishing file, unreadable dir);
+	// Sources/Layouts are nil when set. The loop keeps watching either way.
+	Err error
+}
+
+// Dirs watched under the application root; layout/ is the optional layout
+// subdirectory (mirrors gator.ReadAppDir).
+func subdirs(dir string) []string {
+	return []string{dir, filepath.Join(dir, "layout")}
+}
+
+// Signature fingerprints the watched directory by file names, sizes, and
+// modification times, so the poll loop only re-reads contents after a
+// change.
+func Signature(dir string) (string, error) {
+	var b strings.Builder
+	for _, sub := range subdirs(dir) {
+		entries, err := os.ReadDir(sub)
+		if err != nil {
+			if sub != dir {
+				continue // the layout/ subdirectory is optional
+			}
+			return "", err
+		}
+		for _, e := range entries {
+			if e.IsDir() {
+				continue
+			}
+			info, err := e.Info()
+			if err != nil {
+				continue
+			}
+			fmt.Fprintf(&b, "%s/%s:%d:%d\n", sub, e.Name(), info.Size(), info.ModTime().UnixNano())
+		}
+	}
+	return b.String(), nil
+}
+
+// ReadFunc loads the directory content for one fired event (normally
+// gator.ReadAppDir; injected to keep this package free of a dependency on
+// the root package and testable in isolation).
+type ReadFunc func(dir string) (sources, layouts map[string]string, err error)
+
+// Watch polls dir until stop closes, invoking fn once per coalesced change
+// (and once initially under Config.FireInitial). read loads the directory
+// content — pass gator.ReadAppDir. fn runs on the watch goroutine's caller;
+// a slow fn simply delays the next poll, it never drops the edit (the next
+// tick re-fingerprints and still sees the change).
+func Watch(stop <-chan struct{}, dir string, cfg Config, read ReadFunc, fn func(Event)) {
+	cfg = cfg.withDefaults()
+	fire := func() {
+		s, l, err := read(dir)
+		if err != nil {
+			fn(Event{Err: err})
+			return
+		}
+		fn(Event{Sources: s, Layouts: l})
+	}
+
+	lastFired, err := Signature(dir)
+	if err != nil {
+		lastFired = "\x00unreadable"
+	}
+	if cfg.FireInitial {
+		fire()
+	}
+
+	// pending tracks an observed-but-not-yet-fired change: the candidate
+	// signature and the time it was last seen to *change*. The callback
+	// fires when the candidate has been stable for the settle window.
+	pending := false
+	var candidate string
+	var changedAt time.Time
+
+	ticker := time.NewTicker(cfg.Poll)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-ticker.C:
+		}
+		sig, err := Signature(dir)
+		if err != nil {
+			// An unreadable directory (mid-move, deleted) is itself a
+			// change; surface it once things settle.
+			sig = "\x00unreadable"
+		}
+		switch {
+		case !pending && sig != lastFired:
+			pending, candidate, changedAt = true, sig, time.Now()
+		case pending && sig != candidate:
+			candidate, changedAt = sig, time.Now() // still churning: restart settle window
+		case pending && time.Since(changedAt) >= cfg.Settle:
+			pending = false
+			lastFired = sig
+			fire()
+		}
+	}
+}

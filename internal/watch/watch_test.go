@@ -1,0 +1,168 @@
+package watch
+
+import (
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+// testRead is a ReadFunc over a flat directory of .alite files.
+func testRead(dir string) (map[string]string, map[string]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	sources := map[string]string{}
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return nil, nil, err
+		}
+		sources[e.Name()] = string(data)
+	}
+	return sources, map[string]string{}, nil
+}
+
+// collector gathers fired events.
+type collector struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+func (c *collector) add(e Event) {
+	c.mu.Lock()
+	c.events = append(c.events, e)
+	c.mu.Unlock()
+}
+
+func (c *collector) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.events)
+}
+
+func (c *collector) last() Event {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.events[len(c.events)-1]
+}
+
+// waitFor polls until cond holds or the deadline passes.
+func waitFor(t *testing.T, d time.Duration, cond func() bool) bool {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return true
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	return cond()
+}
+
+func TestWatchCoalescesRapidEdits(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, content string) {
+		t.Helper()
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("a.alite", "v0")
+
+	var c collector
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	cfg := Config{Poll: 10 * time.Millisecond, Settle: 60 * time.Millisecond}
+	go func() {
+		defer close(done)
+		Watch(stop, dir, cfg, testRead, c.add)
+	}()
+
+	// A burst of edits well inside the settle window must coalesce into a
+	// single callback carrying the final content.
+	for i, content := range []string{"v1", "v2", "v3"} {
+		write("a.alite", content)
+		if i == 1 {
+			write("b.alite", "new file mid-burst")
+		}
+		time.Sleep(15 * time.Millisecond)
+	}
+	if !waitFor(t, 3*time.Second, func() bool { return c.len() >= 1 }) {
+		t.Fatal("no event fired after the burst settled")
+	}
+	// Give the loop a little longer: no further events may arrive.
+	time.Sleep(150 * time.Millisecond)
+	if got := c.len(); got != 1 {
+		t.Fatalf("burst fired %d events, want exactly 1 (coalesced)", got)
+	}
+	ev := c.last()
+	if ev.Err != nil {
+		t.Fatal(ev.Err)
+	}
+	if ev.Sources["a.alite"] != "v3" || ev.Sources["b.alite"] == "" {
+		t.Fatalf("event carries %v, want final burst content", ev.Sources)
+	}
+
+	// A later isolated edit fires its own event.
+	write("a.alite", "v4")
+	if !waitFor(t, 3*time.Second, func() bool { return c.len() >= 2 }) {
+		t.Fatal("isolated edit did not fire")
+	}
+	if got := c.last().Sources["a.alite"]; got != "v4" {
+		t.Fatalf("second event content %q, want v4", got)
+	}
+
+	close(stop)
+	select {
+	case <-done:
+	case <-time.After(3 * time.Second):
+		t.Fatal("watch loop did not stop")
+	}
+}
+
+func TestWatchFireInitial(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "a.alite"), []byte("v0"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var c collector
+	stop := make(chan struct{})
+	go Watch(stop, dir, Config{Poll: 10 * time.Millisecond, FireInitial: true}, testRead, c.add)
+	defer close(stop)
+	if !waitFor(t, 3*time.Second, func() bool { return c.len() >= 1 }) {
+		t.Fatal("FireInitial did not fire")
+	}
+	if got := c.last().Sources["a.alite"]; got != "v0" {
+		t.Fatalf("initial event content %q, want v0", got)
+	}
+}
+
+func TestSignatureChangesOnEdit(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "a.alite")
+	if err := os.WriteFile(path, []byte("one"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s1, err := Signature(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Different size guarantees a different signature even on filesystems
+	// with coarse mtime granularity.
+	if err := os.WriteFile(path, []byte("three!"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Signature(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1 == s2 {
+		t.Fatal("signature unchanged after edit")
+	}
+}

@@ -3,7 +3,8 @@
 # locally). Regenerates the tracked benchmark records into OUTDIR (default:
 # a temp directory) and diffs them against the checked-in BENCH_*.json with
 # cmd/benchdiff, failing on >15% regression — or, for the incremental
-# record, on a warm/cold speedup below 5x.
+# record, on a warm/cold speedup below 5x, and for the server record, on a
+# warm-session speedup below 3x.
 #
 # Usage: scripts/benchdiff.sh [OUTDIR]
 #   Pass an OUTDIR to keep the regenerated records around (CI uploads them
@@ -21,10 +22,12 @@ else
 fi
 
 echo "== regenerating benchmark records into $OUT"
-go run ./cmd/gatorbench -table 2 -benchjson "$OUT/BENCH_2.json" -incjson "$OUT/BENCH_4.json" > /dev/null
+go run ./cmd/gatorbench -table 2 -benchjson "$OUT/BENCH_2.json" -incjson "$OUT/BENCH_4.json" \
+    -servejson "$OUT/BENCH_5.json" > /dev/null
 
 echo "== diff vs checked-in records (threshold 15%)"
 go run ./cmd/benchdiff BENCH_2.json "$OUT/BENCH_2.json"
 go run ./cmd/benchdiff BENCH_4.json "$OUT/BENCH_4.json"
+go run ./cmd/benchdiff BENCH_5.json "$OUT/BENCH_5.json"
 
 echo "== benchdiff gate green"

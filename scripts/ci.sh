@@ -12,8 +12,9 @@
 #                      verified property. The full run covers every package;
 #                      -short covers only the packages whose tests actually
 #                      exercise concurrency (the root package's batch engine
-#                      and watch loop, the content-addressed cache, and the
-#                      metrics/trace registries) — re-running the purely
+#                      and watch loop, the content-addressed cache, the
+#                      metrics/trace registries, the debounced watcher, and
+#                      the gatord serving layer) — re-running the purely
 #                      sequential packages under the race detector would
 #                      duplicate step 3 at ~10x the cost for no signal.
 #                      CI runs the full sweep as its own job (see
@@ -23,12 +24,16 @@
 #                      and byte-match the checked-in expected output
 #   7. trace smoke   — `gator -trace -explain` over examples/buggyapp must
 #                      exit 0: tracing and provenance stay wired end-to-end
-#   8. no-alloc      — BenchmarkSolveTracingDisabled asserts that disabled
+#   8. server smoke  — `gatord -smoke` boots the daemon on a loopback port,
+#                      runs one cold and one incremental session request
+#                      (both byte-compared against local analysis), then
+#                      drains and shuts down cleanly
+#   9. no-alloc      — BenchmarkSolveTracingDisabled asserts that disabled
 #                      tracing adds zero allocations to the solver
-#   9. gatorbench    — regenerate BENCH_2.json and BENCH_4.json (skipped
-#                      with -short); scripts/benchdiff.sh diffs regenerated
-#                      records against the checked-in ones without
-#                      overwriting them
+#  10. gatorbench    — regenerate BENCH_2.json, BENCH_4.json, and
+#                      BENCH_5.json (skipped with -short);
+#                      scripts/benchdiff.sh diffs regenerated records
+#                      against the checked-in ones without overwriting them
 #
 # Usage: scripts/ci.sh [-short]
 #   -short trims the corpus-wide tests for a quick local signal.
@@ -53,7 +58,7 @@ go test $SHORT ./...
 RACE_PKGS="./..."
 if [ -n "$SHORT" ]; then
     # The packages with concurrent tests; see the step 4 note above.
-    RACE_PKGS=". ./internal/cache ./internal/metrics ./internal/trace"
+    RACE_PKGS=". ./internal/cache ./internal/metrics ./internal/trace ./internal/watch ./internal/server"
 fi
 echo "== go test -race $SHORT $RACE_PKGS"
 go test -race $SHORT $RACE_PKGS
@@ -78,12 +83,15 @@ diff -u examples/buggyapp/expected_checks.txt "$CHECKS_OUT"
 echo "== trace + explain smoke (examples/buggyapp)"
 go run ./cmd/gator -trace /dev/null -explain Main.onCreate.btn examples/buggyapp > /dev/null
 
+echo "== gatord server smoke (examples/buggyapp)"
+go run ./cmd/gatord -smoke examples/buggyapp
+
 echo "== zero-allocation guard (tracing disabled)"
 go test -run TestTracingDisabledZeroAlloc -bench BenchmarkSolveTracingDisabled -benchtime 1x ./internal/core
 
 if [ -z "$SHORT" ]; then
-    echo "== gatorbench BENCH_2.json + BENCH_4.json"
-    go run ./cmd/gatorbench -benchjson BENCH_2.json -incjson BENCH_4.json > /dev/null
+    echo "== gatorbench BENCH_2.json + BENCH_4.json + BENCH_5.json"
+    go run ./cmd/gatorbench -benchjson BENCH_2.json -incjson BENCH_4.json -servejson BENCH_5.json > /dev/null
 fi
 
 echo "== CI gate green"
