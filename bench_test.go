@@ -179,6 +179,39 @@ func BenchmarkBatch(b *testing.B) {
 	}
 }
 
+// Solver-engine benchmarks on the 501-unit chain-shaped modular app, whose
+// ~26-iteration fixpoint is deep enough that the engine choice matters.
+// BenchmarkSolveReference is the original schedule; BenchmarkSolveOptimized
+// is the default CSR + delta-worklist engine; BenchmarkSolveSharded adds
+// parallel flow propagation. gatorbench -solvejson records the same
+// comparison (solve phase only) into BENCH_6.json.
+func benchSolveEngine(b *testing.B, opts core.Options) {
+	sources, layouts := corpus.ModularChainApp(250, 24)
+	app, err := Load(sources, layouts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var iters int
+	for i := 0; i < b.N; i++ {
+		iters = core.Analyze(app.prog, opts).Iterations
+	}
+	b.ReportMetric(float64(iters), "iters")
+}
+
+func BenchmarkSolveReference(b *testing.B) {
+	benchSolveEngine(b, core.Options{ReferenceSolver: true})
+}
+
+func BenchmarkSolveOptimized(b *testing.B) {
+	benchSolveEngine(b, core.Options{})
+}
+
+func BenchmarkSolveSharded(b *testing.B) {
+	benchSolveEngine(b, core.Options{SolverShards: 4})
+}
+
 // BenchmarkInterpreter measures the exploration oracle itself.
 func BenchmarkInterpreter(b *testing.B) {
 	prog := builtApps["ConnectBot"]

@@ -1,0 +1,111 @@
+package gator
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"gator/internal/corpus"
+)
+
+// TestIncrementalWarmPast64Units: the former incremental budget capped
+// unit-dependency tracking at 64 compilation units and silently fell back
+// to scratch re-analysis beyond it. With paged unit bitsets the warm path
+// must work — and stay byte-identical to scratch — on an application far
+// past that boundary.
+func TestIncrementalWarmPast64Units(t *testing.T) {
+	// 40 activities -> 41 sources + 41 layouts = 82 units.
+	sources, layouts := corpus.ModularApp(40)
+	prev, err := AnalyzeIncremental(nil, sources, layouts, Options{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	edited, editedLayouts := copyInput(sources, layouts)
+	// act30.alite sorts past bit 63 of the unit table.
+	edited["act30.alite"] = strings.Replace(edited["act30.alite"],
+		"\t\tthis.stash = back;\n", "\t\tthis.stash = btn;\n", 1)
+
+	warm, err := AnalyzeIncremental(prev, edited, editedLayouts, Options{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := warm.Incremental()
+	if st.Mode != "warm" {
+		t.Fatalf("mode = %q (reason %q), want warm", st.Mode, st.Reason)
+	}
+	if len(st.DirtyUnits) != 1 || st.DirtyUnits[0] != "act30.alite" {
+		t.Fatalf("dirty units = %v, want [act30.alite]", st.DirtyUnits)
+	}
+	fresh, err := Load(edited, editedLayouts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := snapshot(t, warm), snapshot(t, fresh.Analyze(Options{})); got != want {
+		t.Fatalf("warm solution differs from scratch past 64 units:\n--- warm ---\n%s\n--- scratch ---\n%s", got, want)
+	}
+}
+
+// fuzzEdits are the body-edit templates FuzzIncrementalEdit applies to one
+// ModularApp source unit. All are body-confined (same declaration shape),
+// so the incremental engine must take the warm path.
+var fuzzEdits = []func(src string) string{
+	func(src string) string {
+		return strings.Replace(src, "\t\tthis.stash = back;\n", "\t\tthis.stash = btn;\n", 1)
+	},
+	func(src string) string {
+		return strings.Replace(src, "\t\trp.keep(w);\n", "\t\trp.keep(btn);\n", 1)
+	},
+	func(src string) string {
+		return strings.Replace(src, "\t\tbtn.setOnLongClickListener(ll);\n", "", 1)
+	},
+	func(src string) string {
+		return strings.Replace(src, "\t\tthis.stash = back;\n",
+			"\t\tthis.stash = back;\n\t\tView fz = this.findViewById(R.id.shared_tag);\n\t\tthis.stash = fz;\n", 1)
+	},
+}
+
+// FuzzIncrementalEdit fuzzes the incremental engine's core contract: after
+// a body edit to one compilation unit of a multi-unit application, the warm
+// re-solve must produce a solution byte-identical to analyzing the edited
+// input from scratch. Seeds cover both the small case and applications past
+// the 64-unit bitset page boundary.
+func FuzzIncrementalEdit(f *testing.F) {
+	f.Add(uint8(4), uint16(1), uint8(0))
+	f.Add(uint8(10), uint16(7), uint8(1))
+	f.Add(uint8(40), uint16(30), uint8(2)) // 82 units: past the first bitset word
+	f.Add(uint8(70), uint16(66), uint8(3)) // 142 units: past the second word
+	f.Fuzz(func(t *testing.T, nActRaw uint8, unitRaw uint16, flavorRaw uint8) {
+		nAct := 1 + int(nActRaw)%80
+		sources, layouts := corpus.ModularApp(nAct)
+		target := fmt.Sprintf("act%d.alite", int(unitRaw)%nAct)
+		mutate := fuzzEdits[int(flavorRaw)%len(fuzzEdits)]
+
+		edited, editedLayouts := copyInput(sources, layouts)
+		edited[target] = mutate(edited[target])
+		if edited[target] == sources[target] {
+			t.Skip("mutation was a no-op")
+		}
+
+		prev, err := AnalyzeIncremental(nil, sources, layouts, Options{}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		warm, err := AnalyzeIncremental(prev, edited, editedLayouts, Options{}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st := warm.Incremental(); st.Mode != "warm" {
+			t.Fatalf("nAct=%d unit=%s flavor=%d: mode = %q (reason %q), want warm",
+				nAct, target, int(flavorRaw)%len(fuzzEdits), st.Mode, st.Reason)
+		}
+		fresh, err := Load(edited, editedLayouts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, want := snapshot(t, warm), snapshot(t, fresh.Analyze(Options{})); got != want {
+			t.Errorf("nAct=%d unit=%s flavor=%d: warm solution differs from scratch",
+				nAct, target, int(flavorRaw)%len(fuzzEdits))
+		}
+	})
+}

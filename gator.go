@@ -87,6 +87,18 @@ type Options struct {
 	// ExplainDerivation/ExplainViewID queries. Costs memory proportional to
 	// the number of derived facts; off by default.
 	Provenance bool
+	// SolverShards, when at least 2, runs flow propagation across that many
+	// parallel shards with deterministic boundary exchange. The solution is
+	// identical to the sequential solver's; runs that need the exact
+	// sequential schedule (Provenance, incremental dependency tracking)
+	// ignore the setting.
+	SolverShards int
+	// ReferenceSolver selects the original map-walking, apply-everything
+	// fixpoint schedule instead of the packed CSR engine with the delta
+	// operation worklist. It is the baseline the differential harness and
+	// the solver benchmarks compare the optimized engines against; the
+	// solution is identical either way.
+	ReferenceSolver bool
 	// Trace receives solver instrumentation events (phase boundaries,
 	// fixpoint iterations, rule firings, dataflow solves). nil disables
 	// tracing with no overhead.
@@ -101,6 +113,8 @@ func (o Options) internal() core.Options {
 		DeclaredDispatchOnly:  o.DeclaredDispatchOnly,
 		Context1:              o.Context1,
 		Provenance:            o.Provenance,
+		SolverShards:          o.SolverShards,
+		ReferenceSolver:       o.ReferenceSolver,
 		Trace:                 o.Trace,
 	}
 }

@@ -45,9 +45,8 @@ type Options struct {
 
 	// Incremental records per-fact unit-dependency bitmasks (which source
 	// files and layouts each derivation touched), enabling AnalyzeIncremental
-	// to retract and re-derive only the facts an edit can affect. Tracking is
-	// silently disabled for applications with more than 64 compilation units
-	// (AnalyzeIncremental then falls back to from-scratch solving).
+	// to retract and re-derive only the facts an edit can affect. Masks are
+	// paged bitsets, so applications of any unit count are tracked.
 	Incremental bool
 
 	// Provenance records the derivation DAG: every derived fact keeps its
@@ -55,6 +54,29 @@ type Options struct {
 	// RenderDerivation. Off by default — recording costs memory
 	// proportional to the number of derived facts.
 	Provenance bool
+
+	// ReferenceSolver forces the original solver schedule: map-walking flow
+	// propagation and an apply-every-operation round structure. It computes
+	// exactly what the default CSR engine computes — the differential
+	// harness (differential_test.go) holds every optimized configuration
+	// byte-identical to it — and exists as that baseline, not for use.
+	ReferenceSolver bool
+
+	// NoDelta disables the delta operation worklist, re-applying every
+	// operation every round like the reference schedule, while keeping CSR
+	// propagation. An ablation knob for benchmarks and the differential
+	// harness; results are identical either way.
+	NoDelta bool
+
+	// SolverShards, when at least 2, partitions flow propagation across
+	// that many parallel shards with deterministic boundary exchange (see
+	// shard.go). Points-to and relation sets are identical to the
+	// sequential engines; only schedule-sensitive introspection (points-to
+	// insertion order, Explain chains) may observe a different — still
+	// deterministic — arrival order. Runs needing the exact sequential
+	// schedule (Provenance, Incremental dependency tracking) ignore the
+	// setting and propagate sequentially.
+	SolverShards int
 
 	// Trace receives solver events: build/solve phase boundaries,
 	// per-iteration worklist sizes, and per-rule firing counts. A nil
@@ -68,9 +90,8 @@ type Result struct {
 	Graph *graph.Graph
 	Opts  Options
 
-	pts        map[graph.Node]*ValueSet
-	provenance map[provKey]graph.Node
-	rec        *recorder
+	pts *ptsTable
+	rec *recorder
 
 	// dep and units carry the unit-dependency state for incremental
 	// re-solving (Options.Incremental); warm carries the reusable solver
@@ -93,15 +114,19 @@ type Result struct {
 // value flowed through, from its origin (an initial seed or the operation
 // node that produced it) to n. Returns nil when v does not reach n.
 func (r *Result) Explain(n graph.Node, v graph.Value) []graph.Node {
-	if s, ok := r.pts[n]; !ok || !s.Contains(v) {
+	if s := r.pts.of(n); s == nil || !s.Contains(v) {
 		return nil
 	}
 	chain := []graph.Node{n}
 	seen := map[int]bool{n.ID(): true}
 	cur := n
 	for {
-		prev, ok := r.provenance[provKey{cur.ID(), v.ID()}]
-		if !ok || prev == nil {
+		s := r.pts.of(cur)
+		if s == nil {
+			break
+		}
+		prev := s.Origin(v)
+		if prev == nil {
 			break
 		}
 		if _, isOp := prev.(*graph.OpNode); isOp {
@@ -125,7 +150,7 @@ func (r *Result) Explain(n graph.Node, v graph.Value) []graph.Node {
 // PointsTo returns the abstract values that may flow to a graph node
 // (variable or field node). The slice is shared; do not modify.
 func (r *Result) PointsTo(n graph.Node) []graph.Value {
-	if s, ok := r.pts[n]; ok {
+	if s := r.pts.of(n); s != nil {
 		return s.Values()
 	}
 	return nil
@@ -228,7 +253,6 @@ func Analyze(p *ir.Program, opts Options) *Result {
 		Graph:      a.g,
 		Opts:       opts,
 		pts:        a.pts,
-		provenance: a.provenance,
 		rec:        a.rec,
 		dep:        a.dep,
 		units:      a.units,

@@ -15,8 +15,8 @@ type analysis struct {
 	opts Options
 	g    *graph.Graph
 
-	// pts maps variable/field nodes to their points-to sets.
-	pts map[graph.Node]*ValueSet
+	// pts holds the per-node points-to sets, indexed densely by node id.
+	pts *ptsTable
 
 	// worklist holds (node, value) propagation frontier entries.
 	worklist []propItem
@@ -59,12 +59,9 @@ type analysis struct {
 	// cloneableCache memoizes the Context1 cloneability decision.
 	cloneableCache map[*ir.Method]bool
 
-	// provenance records, for each (node, value) fact, where the value
-	// came from: the predecessor node for flow propagation, the operation
-	// node for op-produced facts, or nil for initial seeds.
-	provenance map[provKey]graph.Node
 	// provSource is set while an operation rule is running, so facts it
-	// seeds are attributed to it.
+	// seeds are attributed to it (recorded as per-value origins inside each
+	// ValueSet; the predecessor node is recorded during flow propagation).
 	provSource graph.Node
 
 	// rec, when non-nil, accumulates the derivation DAG (Options.Provenance).
@@ -92,12 +89,19 @@ type analysis struct {
 	classUnits  map[*ir.Class]unitBits
 	curUnits    *unitBits
 
-	iterations int
-}
+	// Per-solve engine state (see csr.go and shard.go). csr is the packed
+	// flow-graph snapshot; watchers/opDirty/opAlways/opLastGen drive the
+	// delta operation worklist; shards is the parallel propagation engine.
+	// All nil under Options.ReferenceSolver (and watchers under NoDelta),
+	// which falls back to the original schedule.
+	csr       *flowCSR
+	watchers  [][]int32
+	opDirty   []bool
+	opAlways  []bool
+	opLastGen []int
+	shards    *shardRun
 
-type provKey struct {
-	node int
-	val  int
+	iterations int
 }
 
 type cloneSub struct {
@@ -144,7 +148,7 @@ func newAnalysis(p *ir.Program, opts Options) *analysis {
 		prog:           p,
 		opts:           opts,
 		g:              graph.New(),
-		pts:            map[graph.Node]*ValueSet{},
+		pts:            &ptsTable{},
 		castFilter:     map[[2]int]*ir.Class{},
 		dispatchFilter: map[[2]int]dispatchReq{},
 		returnVars:     map[*ir.Method][]*ir.Var{},
@@ -154,19 +158,17 @@ func newAnalysis(p *ir.Program, opts Options) *analysis {
 		boundOnClick:   map[onClickKey]bool{},
 		descMemo:       map[graph.Value][]graph.Value{},
 		cloneableCache: map[*ir.Method]bool{},
-		provenance:     map[provKey]graph.Node{},
 		tr:             opts.Trace,
 	}
 	if opts.Provenance {
 		a.rec = newRecorder()
 	}
 	if opts.Incremental {
-		if a.units = newUnitTable(p); a.units != nil {
-			a.dep = newDepTracker()
-			a.edgeUnits = map[[2]int]unitBits{}
-			a.methodUnits = map[*ir.Method]unitBits{}
-			a.classUnits = map[*ir.Class]unitBits{}
-		}
+		a.units = newUnitTable(p)
+		a.dep = newDepTracker()
+		a.edgeUnits = map[[2]int]unitBits{}
+		a.methodUnits = map[*ir.Method]unitBits{}
+		a.classUnits = map[*ir.Class]unitBits{}
 	}
 	a.tracking = a.rec != nil || a.dep != nil
 	return a
@@ -180,7 +182,7 @@ func newAnalysis(p *ir.Program, opts Options) *analysis {
 func (a *analysis) mention(m *ir.Method) unitBits {
 	u := a.unitOf(m)
 	if a.curUnits != nil {
-		*a.curUnits |= u
+		*a.curUnits = a.curUnits.or(u)
 	}
 	return u
 }
@@ -197,12 +199,13 @@ func (a *analysis) seed(n graph.Node, v graph.Value, units unitBits) {
 // addFlow records a value-flow edge. units are the compilation units the
 // edge's existence depends on; facts propagated across it inherit them.
 func (a *analysis) addFlow(src, dst graph.Node, units unitBits) {
-	if a.edgeUnits != nil && units != 0 {
-		a.edgeUnits[[2]int{src.ID(), dst.ID()}] |= units
+	if a.edgeUnits != nil && !units.isZero() {
+		k := [2]int{src.ID(), dst.ID()}
+		a.edgeUnits[k] = a.edgeUnits[k].or(units)
 	}
 	if a.g.AddFlow(src, dst) {
 		// Replay already-known values across the new edge.
-		if s, ok := a.pts[src]; ok {
+		if s := a.pts.of(src); s != nil {
 			for _, v := range s.Values() {
 				a.worklist = append(a.worklist, propItem{src, v})
 			}
@@ -257,7 +260,7 @@ func (a *analysis) buildClassSeeds(c *ir.Class) {
 	// Lifecycle seeds depend on the activity's declaring file (the class
 	// exists and dispatches there) and on the callback's declaring file
 	// (the body may be inherited from another file).
-	cu := unitBits(0)
+	cu := unitBits{}
 	if a.units != nil {
 		cu = a.units.bit(c.Pos.File)
 	}
@@ -274,19 +277,19 @@ func (a *analysis) buildClassSeeds(c *ir.Class) {
 	for _, name := range platform.Lifecycle {
 		m := c.Dispatch(ir.MethodKey(name, nil))
 		if m != nil && m.Body != nil {
-			a.seed(a.varNode(m.This), act, cu|a.mention(m))
+			a.seed(a.varNode(m.This), act, cu.or(a.mention(m)))
 		}
 	}
 	// Options-menu callbacks: the platform passes the activity's menu
 	// to onCreateOptionsMenu; items reach onOptionsItemSelected when
 	// MenuAdd operations are processed.
 	if m := c.Dispatch(platform.MenuCreateCallback + "(R)"); m != nil && m.Body != nil && len(m.Params) == 1 {
-		mu := a.mention(m)
-		a.seed(a.varNode(m.This), act, cu|mu)
-		a.seed(a.varNode(m.Params[0]), a.g.MenuNode(c), cu|mu)
+		mu := cu.or(a.mention(m))
+		a.seed(a.varNode(m.This), act, mu)
+		a.seed(a.varNode(m.Params[0]), a.g.MenuNode(c), mu)
 	}
 	if m := c.Dispatch(platform.MenuSelectCallback + "(R)"); m != nil && m.Body != nil && len(m.Params) == 1 {
-		a.seed(a.varNode(m.This), act, cu|a.mention(m))
+		a.seed(a.varNode(m.This), act, cu.or(a.mention(m)))
 	}
 }
 
@@ -321,7 +324,7 @@ func (a *analysis) buildStmt(m *ir.Method, s ir.Stmt) {
 		a.seed(a.varNode(s.Dst), alloc, mu)
 		// Constructor call: arguments and receiver flow into the ctor.
 		if s.Ctor != nil && s.Ctor.Body != nil {
-			a.seed(a.varNode(s.Ctor.This), alloc, mu|a.mention(s.Ctor))
+			a.seed(a.varNode(s.Ctor.This), alloc, mu.or(a.mention(s.Ctor)))
 			for i, arg := range s.Args {
 				if i < len(s.Ctor.Params) {
 					a.addFlow(a.varNode(arg), a.varNode(s.Ctor.Params[i]), mu)
@@ -342,7 +345,7 @@ func (a *analysis) buildStmt(m *ir.Method, s ir.Stmt) {
 			for _, name := range platform.DialogLifecycle {
 				lm := s.Class.Dispatch(ir.MethodKey(name, nil))
 				if lm != nil && lm.Body != nil {
-					a.seed(a.varNode(lm.This), alloc, mu|a.mention(lm))
+					a.seed(a.varNode(lm.This), alloc, mu.or(a.mention(lm)))
 				}
 			}
 		}
@@ -390,7 +393,7 @@ func (a *analysis) buildInvoke(m *ir.Method, s *ir.Invoke) {
 	for _, callee := range a.callTargets(s.Recv.TypeClass, s.Key, s.Target) {
 		cu := a.mention(callee)
 		if a.opts.Context1 && a.curSub == nil && a.cloneable(callee) {
-			a.buildClonedCall(s, callee, mu|cu)
+			a.buildClonedCall(s, callee, mu.or(cu))
 			continue
 		}
 		a.addDispatchFlow(a.varNode(s.Recv), callee, s.Key, mu)
@@ -401,7 +404,7 @@ func (a *analysis) buildInvoke(m *ir.Method, s *ir.Invoke) {
 		}
 		if s.Dst != nil {
 			for _, rv := range a.methodReturnVars(callee) {
-				a.addFlow(a.varNode(rv), a.varNode(s.Dst), mu|cu)
+				a.addFlow(a.varNode(rv), a.varNode(s.Dst), mu.or(cu))
 			}
 		}
 	}

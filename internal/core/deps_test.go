@@ -1,0 +1,121 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"gator/internal/alite"
+	"gator/internal/corpus"
+	"gator/internal/ir"
+	"gator/internal/layout"
+)
+
+// trivialProgram builds a program of n source files and no layouts, so the
+// unit table assigns exactly n bit positions.
+func trivialProgram(t *testing.T, n int) *ir.Program {
+	t.Helper()
+	files := make([]*alite.File, 0, n)
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("u%03d.alite", i)
+		files = append(files, alite.MustParse(name, fmt.Sprintf("class U%03d {\n}\n", i)))
+	}
+	p, err := ir.Build(files, map[string]*layout.Layout{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestUnitBitsPaging pins the paged-bitset behavior at the word boundary
+// and far past it. Unit counts of 63 and 64 stay inline (no overflow
+// allocation); 65 and 512 spill into overflow words. At every size the
+// masks must be singletons: pairwise disjoint and jointly complete.
+// This is the regression test for the former 64-unit budget, which
+// silently disabled incremental tracking for larger applications.
+func TestUnitBitsPaging(t *testing.T) {
+	for _, n := range []int{63, 64, 65, 512} {
+		n := n
+		t.Run(fmt.Sprintf("units%d", n), func(t *testing.T) {
+			tab := newUnitTable(trivialProgram(t, n))
+			if len(tab.names) != n {
+				t.Fatalf("unit table has %d units, want %d", len(tab.names), n)
+			}
+			var all unitBits
+			for i, name := range tab.names {
+				m := tab.bit(name)
+				if m.isZero() {
+					t.Fatalf("unit %q has empty mask", name)
+				}
+				if !m.intersects(m) {
+					t.Fatalf("unit %q mask does not intersect itself", name)
+				}
+				wantOverflow := i >= 64
+				if gotOverflow := len(m.hi) > 0; gotOverflow != wantOverflow {
+					t.Fatalf("unit %d overflow = %v, want %v (mask %+v)", i, gotOverflow, wantOverflow, m)
+				}
+				for j := 0; j < i; j++ {
+					if m.intersects(tab.bit(tab.names[j])) {
+						t.Fatalf("units %d and %d share a bit", i, j)
+					}
+				}
+				if all.intersects(m) {
+					t.Fatalf("unit %d overlaps the union of earlier units", i)
+				}
+				all = all.or(m)
+			}
+			for _, name := range tab.names {
+				if !all.intersects(tab.bit(name)) {
+					t.Fatalf("union lost unit %q", name)
+				}
+			}
+			if !tab.bit("no-such-unit.alite").isZero() {
+				t.Fatal("unknown unit must map to the empty mask")
+			}
+		})
+	}
+}
+
+// TestUnitBitsOrSharing: or() may share overflow storage only when the
+// result equals the larger operand's words; a genuine merge must not alias
+// either input (masks are immutable once recorded).
+func TestUnitBitsOrSharing(t *testing.T) {
+	a := unitBits{lo: 1, hi: []uint64{0b01}}
+	b := unitBits{lo: 2, hi: []uint64{0b10}}
+	u := a.or(b)
+	if u.lo != 3 || len(u.hi) != 1 || u.hi[0] != 0b11 {
+		t.Fatalf("or = %+v, want lo=3 hi=[0b11]", u)
+	}
+	if a.hi[0] != 0b01 || b.hi[0] != 0b10 {
+		t.Fatalf("or mutated an operand: a=%+v b=%+v", a, b)
+	}
+	contained := unitBits{hi: []uint64{0b01}}
+	super := unitBits{hi: []uint64{0b11, 0b1}}
+	if got := contained.or(super); len(got.hi) != 2 || got.hi[0] != 0b11 || got.hi[1] != 0b1 {
+		t.Fatalf("containment or = %+v", got)
+	}
+}
+
+// TestDepTrackingPastPageBoundary runs a real >64-unit application with
+// tracking enabled and checks the recorded dependency masks actually use
+// overflow words — i.e. facts derived from high-numbered units are
+// attributed to them, not silently dropped.
+func TestDepTrackingPastPageBoundary(t *testing.T) {
+	// 40 activities -> 41 sources + 41 layouts = 82 units.
+	sources, layouts := corpus.ModularApp(40)
+	r := Analyze(buildMaps(t, sources, layouts), Options{Incremental: true})
+	if r.units == nil || r.dep == nil {
+		t.Fatal("incremental run did not record unit dependencies")
+	}
+	if got := len(r.units.names); got != 82 {
+		t.Fatalf("unit table has %d units, want 82", got)
+	}
+	overflow := 0
+	for _, m := range r.dep.masks {
+		if len(m.hi) > 0 {
+			overflow++
+		}
+	}
+	if overflow == 0 {
+		t.Fatal("no recorded fact depends on a unit past bit 63; paging is not exercised")
+	}
+}

@@ -1,0 +1,266 @@
+package core
+
+// The differential solver harness: the standing invariant of the optimized
+// engines is that every configuration — CSR propagation, the delta
+// operation worklist, and the sharded parallel fixpoint — computes exactly
+// the solution of the reference schedule (Options.ReferenceSolver). This
+// file checks that invariant on every registered corpus application, the
+// paper's Figure 1 app, a multi-unit modular app (past the 64-unit bitset
+// page boundary), and a swarm of seeded-random applications.
+//
+// Identity is checked at two strengths, matching the contract in shard.go:
+//
+//   - All variants, including shards: canonical (content-sorted) solution
+//     strings are byte-identical, and Iterations match.
+//   - Sequential variants (CSR, CSR+delta): additionally, points-to
+//     insertion order matches the reference engine, and with Provenance
+//     enabled the recorded derivation DAG — the source of Result.Why
+//     trees — is deeply equal. Sharded runs with Provenance fall back to
+//     the sequential schedule (tracking disables sharding), so their Why
+//     trees are held to the same exact-equality bar.
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+
+	"gator/internal/alite"
+	"gator/internal/corpus"
+	"gator/internal/graph"
+	"gator/internal/ir"
+	"gator/internal/layout"
+)
+
+// mapBuilder adapts a (sources, layouts) string-map pair to diffApp's
+// fresh-program contract. Each variant gets its own ir.Program: analysis
+// options like Context1 extend the program in place, so sharing one across
+// runs would let variants observe each other.
+func mapBuilder(t *testing.T, sources, layouts map[string]string) func() *ir.Program {
+	return func() *ir.Program { return buildMaps(t, sources, layouts) }
+}
+
+func buildMaps(t testing.TB, sources, layouts map[string]string) *ir.Program {
+	t.Helper()
+	names := make([]string, 0, len(sources))
+	for n := range sources {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	files := make([]*alite.File, 0, len(names))
+	for _, n := range names {
+		f, err := alite.Parse(n, sources[n])
+		if err != nil {
+			t.Fatalf("%s: %v", n, err)
+		}
+		files = append(files, f)
+	}
+	ls := map[string]*layout.Layout{}
+	for name, xml := range layouts {
+		ls[name] = layout.MustParse(name, xml)
+	}
+	p, err := ir.Build(files, ls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// solutionString renders the full solution — every non-empty points-to set
+// plus every derived relation — as one string. Relation pairs are always
+// sorted (the underlying relation maps iterate in map order); points-to
+// values keep insertion order when ordered is true, which only the
+// sequential engines promise to reproduce, and are sorted otherwise.
+func solutionString(r *Result, ordered bool) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "iterations %d\n", r.Iterations)
+	for _, n := range r.Graph.Nodes() {
+		vals := r.PointsTo(n)
+		if len(vals) == 0 {
+			continue
+		}
+		names := valueNamesTB(vals)
+		if !ordered {
+			sort.Strings(names)
+		}
+		fmt.Fprintf(&b, "pts %s = {%s}\n", n, strings.Join(names, ", "))
+	}
+	var rel []string
+	pair := func(kind string) func(a, b graph.Value) {
+		return func(a, b graph.Value) {
+			rel = append(rel, kind+" "+a.String()+" -> "+b.String())
+		}
+	}
+	r.Graph.ChildPairs(pair("child"))
+	r.Graph.ListenerPairs(pair("listener"))
+	r.Graph.RootPairs(pair("root"))
+	r.Graph.MenuPairs(pair("menuitem"))
+	for _, n := range r.Graph.Nodes() {
+		v, ok := n.(graph.Value)
+		if !ok {
+			continue
+		}
+		for _, id := range r.Graph.ViewIDsOf(v) {
+			rel = append(rel, "viewid "+v.String()+" -> "+id.String())
+		}
+		for _, tgt := range r.Graph.IntentTargets(v) {
+			rel = append(rel, "intent "+v.String()+" -> "+tgt.String())
+		}
+		for _, l := range r.Graph.LayoutOf(v) {
+			rel = append(rel, "layoutof "+v.String()+" -> "+l.String())
+		}
+	}
+	sort.Strings(rel)
+	for _, line := range rel {
+		b.WriteString(line)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func valueNamesTB(vals []graph.Value) []string {
+	out := make([]string, len(vals))
+	for i, v := range vals {
+		out[i] = v.String()
+	}
+	return out
+}
+
+// solverVariants enumerates the engine configurations under test. ordered
+// marks configurations whose schedule must match the reference engine
+// step-for-step, not just set-for-set.
+var solverVariants = []struct {
+	name    string
+	ordered bool
+	opts    func(Options) Options
+}{
+	{"csr-nodelta", true, func(o Options) Options { o.NoDelta = true; return o }},
+	{"csr-delta", true, func(o Options) Options { return o }},
+	{"shards1", true, func(o Options) Options { o.SolverShards = 1; return o }},
+	{"shards2", false, func(o Options) Options { o.SolverShards = 2; return o }},
+	{"shards8", false, func(o Options) Options { o.SolverShards = 8; return o }},
+}
+
+// diffApp runs every solver variant against the reference engine on one
+// application and fails on any divergence. build must return a fresh
+// program on every call.
+func diffApp(t *testing.T, label string, build func() *ir.Program, base Options) {
+	t.Helper()
+	refOpts := base
+	refOpts.ReferenceSolver = true
+	ref := Analyze(build(), refOpts)
+	refSorted := solutionString(ref, false)
+	refOrdered := solutionString(ref, true)
+
+	for _, v := range solverVariants {
+		r := Analyze(build(), v.opts(base))
+		if got := solutionString(r, false); got != refSorted {
+			t.Errorf("%s: %s solution diverges from reference:\n%s",
+				label, v.name, firstDiff(refSorted, got))
+			continue
+		}
+		if v.ordered {
+			if got := solutionString(r, true); got != refOrdered {
+				t.Errorf("%s: %s points-to insertion order diverges from reference:\n%s",
+					label, v.name, firstDiff(refOrdered, got))
+			}
+		}
+	}
+
+	// Provenance runs record first-derivation-wins Why trees keyed by
+	// stable node ids; any schedule drift shows up as a different DAG.
+	// Sharding is suppressed under tracking, so even the shard variants
+	// must reproduce the reference derivations exactly.
+	provBase := base
+	provBase.Provenance = true
+	provRefOpts := provBase
+	provRefOpts.ReferenceSolver = true
+	provRef := Analyze(build(), provRefOpts)
+	for _, v := range solverVariants {
+		r := Analyze(build(), v.opts(provBase))
+		if !reflect.DeepEqual(r.rec.deriv, provRef.rec.deriv) {
+			t.Errorf("%s: %s derivation DAG diverges from reference (%d vs %d facts)",
+				label, v.name, len(r.rec.deriv), len(provRef.rec.deriv))
+		}
+	}
+}
+
+// firstDiff locates the first line where two solution strings diverge.
+func firstDiff(want, got string) string {
+	w := strings.Split(want, "\n")
+	g := strings.Split(got, "\n")
+	for i := 0; i < len(w) && i < len(g); i++ {
+		if w[i] != g[i] {
+			return fmt.Sprintf("line %d:\n  reference: %s\n  variant:   %s", i+1, w[i], g[i])
+		}
+	}
+	return fmt.Sprintf("line counts differ: reference %d, variant %d", len(w), len(g))
+}
+
+// TestDifferentialCorpus holds every solver variant byte-identical to the
+// reference engine on the registered corpus applications and Figure 1,
+// under both the default options and the cast-filtering refinement (the
+// one option that changes propagation itself).
+func TestDifferentialCorpus(t *testing.T) {
+	apps := corpus.GenerateAll()
+	if testing.Short() {
+		apps = apps[:6]
+	}
+	for _, app := range apps {
+		app := app
+		t.Run(app.Spec.Name, func(t *testing.T) {
+			t.Parallel()
+			diffApp(t, app.Spec.Name, mapBuilder(t, app.BatchSources(), app.LayoutXML()), Options{})
+		})
+	}
+	t.Run("figure1", func(t *testing.T) {
+		t.Parallel()
+		build := func() *ir.Program {
+			p, err := ir.Build(corpus.Figure1Files(), corpus.Figure1Layouts())
+			if err != nil {
+				t.Fatal(err)
+			}
+			return p
+		}
+		diffApp(t, "figure1", build, Options{})
+		diffApp(t, "figure1-casts", build, Options{FilterCasts: true})
+		diffApp(t, "figure1-ctx1", build, Options{Context1: true})
+	})
+	t.Run("modular80", func(t *testing.T) {
+		t.Parallel()
+		// 40 activities -> 82 compilation units: exercises the paged
+		// unit bitsets past the first 64-bit word.
+		sources, layouts := corpus.ModularApp(40)
+		diffApp(t, "modular80", mapBuilder(t, sources, layouts), Options{})
+	})
+	t.Run("chain", func(t *testing.T) {
+		t.Parallel()
+		// The deep-fixpoint benchmark shape: roughly one outer iteration
+		// per findViewById chain stage, so the delta worklist actually
+		// skips work. Small instance here; the benchmarks run the 501-unit
+		// version.
+		sources, layouts := corpus.ModularChainApp(6, 5)
+		diffApp(t, "chain", mapBuilder(t, sources, layouts), Options{})
+	})
+}
+
+// TestDifferentialRandom sweeps seeded-random applications through every
+// solver variant. The generator is deterministic per seed, so failures
+// reproduce by seed number.
+func TestDifferentialRandom(t *testing.T) {
+	seeds := 200
+	if testing.Short() {
+		seeds = 40
+	}
+	for block := 0; block < 8; block++ {
+		block := block
+		t.Run(fmt.Sprintf("block%d", block), func(t *testing.T) {
+			t.Parallel()
+			for seed := block; seed < seeds; seed += 8 {
+				sources, layouts := corpus.RandomApp(int64(seed))
+				diffApp(t, fmt.Sprintf("seed%d", seed), mapBuilder(t, sources, layouts), Options{})
+			}
+		})
+	}
+}

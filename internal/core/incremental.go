@@ -84,29 +84,27 @@ func (a *analysis) warmState() *warmState {
 // When reuse is not possible — no previous tracking state, provenance or
 // Context1 requested (both are schedule-sensitive), shared inflation (one
 // view tree serves many sites, defeating per-site retraction), options
-// changed, the unit set changed, or the application exceeds 64 units — the
-// analysis runs from scratch (with tracking on, so the next edit can be
-// incremental) and Result.Incr.Reason says why.
+// changed, or the unit set changed — the analysis runs from scratch (with
+// tracking on, so the next edit can be incremental) and Result.Incr.Reason
+// says why. There is no limit on the number of compilation units: unit
+// masks page past 64 bits (see deps.go).
 func AnalyzeIncremental(prog *ir.Program, opts Options, prev *Result, dirty []string) *Result {
 	opts.Incremental = true
 	if reason := warmBlocker(opts, prev); reason != "" {
 		return analyzeScratch(prog, opts, dirty, reason)
 	}
 	units := newUnitTable(prog)
-	if units == nil {
-		return analyzeScratch(prog, opts, dirty, "more than 64 compilation units")
-	}
 	if !units.equal(prev.units) {
 		return analyzeScratch(prog, opts, dirty, "compilation unit set changed")
 	}
 	var dirtyBits unitBits
 	for _, name := range dirty {
 		b := units.bit(name)
-		if b == 0 {
+		if b.isZero() {
 			return analyzeScratch(prog, opts, dirty,
 				fmt.Sprintf("edited unit %q not tracked", name))
 		}
-		dirtyBits |= b
+		dirtyBits = dirtyBits.or(b)
 	}
 
 	a := adoptAnalysis(prog, opts, prev)
@@ -131,7 +129,6 @@ func AnalyzeIncremental(prog *ir.Program, opts Options, prev *Result, dirty []st
 		Graph:      a.g,
 		Opts:       opts,
 		pts:        a.pts,
-		provenance: a.provenance,
 		dep:        a.dep,
 		units:      a.units,
 		warm:       a.warmState(),
@@ -184,8 +181,8 @@ func sortedCopy(s []string) []string {
 }
 
 // adoptAnalysis resumes prev's solver state in place: the constraint graph,
-// points-to sets, dependency tracker, provenance links, edge filters, and
-// build caches all carry over. Memos whose validity an edit can silently
+// points-to sets (with their origin links), dependency tracker, edge
+// filters, and build caches all carry over. Memos whose validity an edit can silently
 // break — declarative-onClick binding, descendant sets, return-variable
 // caches of re-lowered methods — are reset instead.
 func adoptAnalysis(p *ir.Program, opts Options, prev *Result) *analysis {
@@ -205,7 +202,6 @@ func adoptAnalysis(p *ir.Program, opts Options, prev *Result) *analysis {
 		descMemo:       map[graph.Value][]graph.Value{},
 		descGen:        -1,
 		cloneableCache: map[*ir.Method]bool{},
-		provenance:     prev.provenance,
 		tr:             opts.Trace,
 		units:          prev.units,
 		dep:            prev.dep,
@@ -222,7 +218,7 @@ func adoptAnalysis(p *ir.Program, opts Options, prev *Result) *analysis {
 // objects and the previous run's nodes for them are stale. The receiver and
 // parameters are reused by ir.PatchFile and stay live.
 func (a *analysis) relowered(m *ir.Method, dirty unitBits) bool {
-	return m != nil && a.unitOf(m)&dirty != 0
+	return m != nil && a.unitOf(m).intersects(dirty)
 }
 
 // rebuilds reports whether m's build pass must re-run: its own file is dirty,
@@ -231,7 +227,7 @@ func (a *analysis) relowered(m *ir.Method, dirty unitBits) bool {
 // operation, and inflation nodes, so those nodes are stale even when the
 // body's own file is clean.
 func (a *analysis) rebuilds(m *ir.Method, dirty unitBits) bool {
-	return (a.methodUnits[m]|a.unitOf(m))&dirty != 0
+	return a.methodUnits[m].intersects(dirty) || a.unitOf(m).intersects(dirty)
 }
 
 // retract deletes from the adopted solution every fact an edit to the dirty
@@ -317,12 +313,7 @@ func (a *analysis) retract(dirty unitBits) (retained, retracted int, damaged map
 	// Stale nodes lose their entire points-to sets up front, so the fact scan
 	// below does not pay a per-fact ordered removal for them.
 	for _, n := range staleNodes {
-		if s, ok := a.pts[n]; ok {
-			for _, v := range s.Values() {
-				delete(a.provenance, provKey{n.ID(), v.ID()})
-			}
-			delete(a.pts, n)
-		}
+		a.pts.drop(n)
 	}
 
 	// Fact scan, in derivation order: a fact survives when its recorded unit
@@ -336,7 +327,7 @@ func (a *analysis) retract(dirty unitBits) (retained, retracted int, damaged map
 	kept := order[:0]
 	keptMasks := masks[:0]
 	for fi, f := range order {
-		if masks[fi]&dirty == 0 && !stale[f.A] && !stale[f.B] {
+		if !masks[fi].intersects(dirty) && !stale[f.A] && !stale[f.B] {
 			kept = append(kept, f)
 			keptMasks = append(keptMasks, masks[fi])
 			continue
@@ -346,10 +337,9 @@ func (a *analysis) retract(dirty unitBits) (retained, retracted int, damaged map
 		na, nb := nodes[f.A], nodes[f.B]
 		switch f.Kind {
 		case FactFlow:
-			if s, ok := a.pts[na]; ok {
+			if s := a.pts.of(na); s != nil {
 				s.Remove(nb.(graph.Value))
 			}
-			delete(a.provenance, provKey{f.A, f.B})
 			if !stale[f.A] && !stale[f.B] {
 				damaged[f.A] = true
 			}
@@ -381,7 +371,7 @@ func (a *analysis) retract(dirty unitBits) (retained, retracted int, damaged map
 	// every site that contributed the edge re-runs during rebuild.
 	g.FilterFlow(func(src, dst graph.Node) bool {
 		k := [2]int{src.ID(), dst.ID()}
-		if a.edgeUnits[k]&dirty != 0 || stale[src.ID()] || stale[dst.ID()] {
+		if a.edgeUnits[k].intersects(dirty) || stale[src.ID()] || stale[dst.ID()] {
 			delete(a.edgeUnits, k)
 			delete(a.castFilter, k)
 			delete(a.dispatchFilter, k)
@@ -402,13 +392,13 @@ func (a *analysis) retract(dirty unitBits) (retained, retracted int, damaged map
 		op := inf.root.Op
 		kill := stale[op.ID()]
 		if !kill {
-			ul := a.unitOf(op.Method) | a.layoutUnit(inf.root.LayoutName)
-			if ul&dirty != 0 {
+			ul := a.unitOf(op.Method).or(a.layoutUnit(inf.root.LayoutName))
+			if ul.intersects(dirty) {
 				kill = true
 			} else {
 				kill = true
 				if len(op.Args) > 0 {
-					if s, ok := a.pts[op.Args[0]]; ok {
+					if s := a.pts.of(op.Args[0]); s != nil {
 						if resID, found := a.prog.R.LayoutID(inf.root.LayoutName); found {
 							if s.Contains(a.g.LayoutIDNode(resID, inf.root.LayoutName)) {
 								kill = false
@@ -447,7 +437,7 @@ func (a *analysis) retract(dirty unitBits) (retained, retracted int, damaged map
 func (a *analysis) rebuild(dirty unitBits) {
 	for _, c := range a.prog.AppClasses() {
 		cu := a.units.bit(c.Pos.File)
-		if (a.classUnits[c]|cu)&dirty != 0 {
+		if a.classUnits[c].intersects(dirty) || cu.intersects(dirty) {
 			a.buildClassSeeds(c)
 		}
 	}
@@ -482,7 +472,7 @@ func (a *analysis) repair(damaged map[int]bool) {
 	})
 	sort.Slice(srcs, func(i, j int) bool { return srcs[i].ID() < srcs[j].ID() })
 	for _, n := range srcs {
-		if s, ok := a.pts[n]; ok {
+		if s := a.pts.of(n); s != nil {
 			for _, v := range s.Values() {
 				a.worklist = append(a.worklist, propItem{n, v})
 			}

@@ -249,8 +249,8 @@ func (r *Result) RenderDerivation(f Fact) string {
 // Why/RenderDerivation. The boolean reports whether the fact holds in the
 // solution.
 func (r *Result) FlowFactOf(n graph.Node, v graph.Value) (Fact, bool) {
-	s, ok := r.pts[n]
-	if !ok || !s.Contains(v) {
+	s := r.pts.of(n)
+	if s == nil || !s.Contains(v) {
 		return Fact{}, false
 	}
 	return flowFact(n, v), true

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"gator/internal/corpus"
+	"gator/internal/graph"
 	"gator/internal/ir"
 	"gator/internal/trace"
 )
@@ -129,13 +130,13 @@ func TestProvenanceWellFounded(t *testing.T) {
 // has a derivation — nothing enters the solution unexplained.
 func TestProvenanceCoversSolution(t *testing.T) {
 	r := analyzeFigure1(t, Options{Provenance: true})
-	for n, s := range r.pts {
+	r.pts.visit(r.Graph.Nodes(), func(n graph.Node, s *ValueSet) {
 		for _, v := range s.Values() {
 			if _, ok := r.rec.deriv[flowFact(n, v)]; !ok {
 				t.Errorf("flowsTo(%s, %s) has no recorded derivation", n, v)
 			}
 		}
-	}
+	})
 }
 
 // TestProvenanceDeterministic: fact ids and rendered trees are identical
@@ -194,18 +195,18 @@ func TestProvenanceDisabled(t *testing.T) {
 func TestProvenanceSameSolution(t *testing.T) {
 	plain := analyzeFigure1(t, Options{})
 	prov := analyzeFigure1(t, Options{Provenance: true})
-	if len(plain.pts) != len(prov.pts) {
-		t.Fatalf("pts sizes differ: %d vs %d", len(plain.pts), len(prov.pts))
+	if plain.pts.size() != prov.pts.size() {
+		t.Fatalf("pts sizes differ: %d vs %d", plain.pts.size(), prov.pts.size())
 	}
-	for n, s := range plain.pts {
+	plain.pts.visit(plain.Graph.Nodes(), func(n graph.Node, s *ValueSet) {
 		// Node identities differ across runs; compare by id through the
 		// other graph's node list.
 		other := prov.Graph.Nodes()[n.ID()]
-		ps := prov.pts[other]
+		ps := prov.pts.of(other)
 		if ps == nil || ps.Len() != s.Len() {
 			t.Errorf("pts(%s) differs with provenance enabled", n)
 		}
-	}
+	})
 	if plain.Iterations != prov.Iterations {
 		t.Errorf("iteration counts differ: %d vs %d", plain.Iterations, prov.Iterations)
 	}

@@ -1,0 +1,213 @@
+package core
+
+// Parallel intra-app flow propagation (Options.SolverShards). The flow
+// nodes are partitioned into contiguous id ranges, one shard per range;
+// each shard owns the points-to sets of its nodes exclusively. A propagate
+// call runs bulk-synchronous supersteps: every shard drains its local
+// worklist to a local fixpoint in parallel, buffering values bound for
+// foreign nodes in per-(sender, receiver) outboxes; at the barrier the
+// coordinator concatenates outboxes into inboxes in fixed sender order;
+// the next superstep applies them. The phase ends when every worklist,
+// inbox, and outbox is empty — global quiescence.
+//
+// Determinism: each shard's work at superstep k is a pure function of the
+// deterministic superstep k-1 state (local draining is sequential, inbox
+// merge order is fixed), so two runs produce identical points-to sets in
+// identical insertion order. Equality with the sequential engines is
+// set-level, not order-level: flow propagation computes the monotone
+// closure of the seed facts over the edges, which is schedule-independent,
+// so after each propagation phase the sharded solution contains exactly
+// the sequential values — only their per-node arrival order can differ.
+// The operation phase stays sequential and therefore sees identical value
+// sets each round, keeping derived relations, changed flags, and iteration
+// counts equal to the sequential engines; every content-ordered query is
+// byte-identical. Schedules that must match the sequential engine
+// step-for-step — provenance recording and incremental dependency
+// tracking, whose first-derivation-wins records encode the schedule —
+// disable sharding (solve.go checks a.tracking), mirroring how the warm
+// incremental path already refuses schedule-sensitive options.
+//
+// The per-value origin links behind Result.Explain are recorded directly
+// in each node's ValueSet by the owning shard (exclusive ownership makes
+// this race-free); under sharding a link may name a different — still
+// valid, still deterministic — flow predecessor than the sequential
+// schedule records.
+
+import (
+	"sync"
+
+	"gator/internal/graph"
+)
+
+// shardMsg is one boundary fact in flight: val reached node (owned by the
+// receiving shard) across an edge from src (owned by the sender).
+type shardMsg struct {
+	node graph.Node
+	val  graph.Value
+	src  graph.Node
+}
+
+// shardRun is the reusable state of the sharded propagation engine.
+type shardRun struct {
+	a *analysis
+	n int
+	// owner maps node id -> owning shard (contiguous ranges).
+	owner []int32
+	// work is each shard's local worklist; inbox holds boundary facts
+	// merged at the previous barrier; outbox[s][t] buffers facts shard s
+	// derived for nodes shard t owns.
+	work   [][]propItem
+	inbox  [][]shardMsg
+	outbox [][][]shardMsg
+	// touched collects, per shard, the ids of nodes that gained values,
+	// for delta-worklist marking after the parallel phase.
+	touched [][]int32
+}
+
+// newShardRun partitions the CSR snapshot's nodes across n shards.
+func (a *analysis) newShardRun(n int) *shardRun {
+	num := a.csr.numNodes
+	if n > num && num > 0 {
+		n = num
+	}
+	if n < 2 {
+		n = 2
+	}
+	sr := &shardRun{
+		a:       a,
+		n:       n,
+		owner:   make([]int32, num),
+		work:    make([][]propItem, n),
+		inbox:   make([][]shardMsg, n),
+		outbox:  make([][][]shardMsg, n),
+		touched: make([][]int32, n),
+	}
+	for id := 0; id < num; id++ {
+		sr.owner[id] = int32(id * n / num)
+	}
+	for s := 0; s < n; s++ {
+		sr.outbox[s] = make([][]shardMsg, n)
+	}
+	// Pre-warm the lazily memoized subtype caches: castAdmits calls
+	// Class.SubtypeOf from concurrent shards, and its first call per class
+	// populates the ancestor memo.
+	for _, cls := range a.prog.Classes {
+		cls.SubtypeOf(cls)
+	}
+	return sr
+}
+
+func (sr *shardRun) shardOf(id int) int {
+	if id >= len(sr.owner) {
+		return 0
+	}
+	return int(sr.owner[id])
+}
+
+// propagate drains the analysis worklist to global quiescence across the
+// shards, then marks delta watchers for every node that gained values.
+func (sr *shardRun) propagate() {
+	a := sr.a
+	// No slot allocation happens inside the parallel phase: every flow
+	// target id is below numNodes, so growing once here keeps concurrent
+	// ensure calls from reallocating the shared backing array.
+	a.pts.grow(a.csr.numNodes)
+	for _, it := range a.worklist {
+		s := sr.shardOf(it.node.ID())
+		sr.work[s] = append(sr.work[s], it)
+	}
+	a.worklist = a.worklist[:0]
+
+	var wg sync.WaitGroup
+	for {
+		busy := false
+		for s := 0; s < sr.n; s++ {
+			if len(sr.work[s])+len(sr.inbox[s]) > 0 {
+				busy = true
+				break
+			}
+		}
+		if !busy {
+			break
+		}
+		for s := 0; s < sr.n; s++ {
+			if len(sr.work[s])+len(sr.inbox[s]) == 0 {
+				continue
+			}
+			wg.Add(1)
+			go func(s int) {
+				defer wg.Done()
+				sr.drain(s)
+			}(s)
+		}
+		wg.Wait()
+		// Barrier exchange: receiver t collects from senders 0..n-1 in
+		// order, so inbox contents — and therefore the next superstep —
+		// are schedule-independent.
+		for t := 0; t < sr.n; t++ {
+			for s := 0; s < sr.n; s++ {
+				sr.inbox[t] = append(sr.inbox[t], sr.outbox[s][t]...)
+				sr.outbox[s][t] = sr.outbox[s][t][:0]
+			}
+		}
+	}
+
+	for s := 0; s < sr.n; s++ {
+		for _, id := range sr.touched[s] {
+			a.markWatchers(int(id))
+		}
+		sr.touched[s] = sr.touched[s][:0]
+	}
+}
+
+// drain runs one shard's superstep: apply the inbox in merged order, then
+// propagate the local worklist to a local fixpoint over the CSR arrays,
+// routing foreign-node facts to outboxes.
+func (sr *shardRun) drain(s int) {
+	a := sr.a
+	c := a.csr
+	for _, m := range sr.inbox[s] {
+		if sr.seedLocal(s, m.node, m.val, m.src) {
+			sr.work[s] = append(sr.work[s], propItem{m.node, m.val})
+		}
+	}
+	sr.inbox[s] = sr.inbox[s][:0]
+	w := sr.work[s]
+	for head := 0; head < len(w); head++ {
+		it := w[head]
+		src := it.node.ID()
+		if src >= c.numNodes {
+			continue
+		}
+		for e := c.row[src]; e < c.row[src+1]; e++ {
+			if di := c.dispatch[e]; di >= 0 && !dispatchAdmits(it.val, c.dispReqs[di]) {
+				continue
+			}
+			if c.cast != nil {
+				if cls := c.cast[e]; cls != nil && !castAdmits(it.val, cls) {
+					continue
+				}
+			}
+			did := int(c.dst[e])
+			succ := c.nodes[did]
+			if t := int(sr.owner[did]); t == s {
+				if sr.seedLocal(s, succ, it.val, it.node) {
+					w = append(w, propItem{succ, it.val})
+				}
+			} else {
+				sr.outbox[s][t] = append(sr.outbox[s][t], shardMsg{succ, it.val, it.node})
+			}
+		}
+	}
+	sr.work[s] = w[:0]
+}
+
+// seedLocal adds v to n's set (n owned by shard s), recording the origin
+// link and the touched node. Reports whether the value was new.
+func (sr *shardRun) seedLocal(s int, n graph.Node, v graph.Value, from graph.Node) bool {
+	if !sr.a.pts.ensure(n).AddFrom(v, from) {
+		return false
+	}
+	sr.touched[s] = append(sr.touched[s], int32(n.ID()))
+	return true
+}

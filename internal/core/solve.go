@@ -11,20 +11,40 @@ import (
 )
 
 // solve runs the outer fixpoint: flow propagation to quiescence, then one
-// pass over all operation nodes applying the inference rules of Section 4.2.
+// pass over the operation nodes applying the inference rules of Section 4.2.
 // Operation processing can seed new values (FindView/Inflate outputs) and
 // add relationship edges (parent-child, ids, listeners, roots), both of
 // which require further rounds; the loop ends when a full round changes
 // nothing. Termination: the value universe is finite (allocation sites,
 // activities, resource ids, and per-site inflation nodes) and all sets and
 // relations grow monotonically.
+//
+// The default engine packs the flow edges into CSR arrays and schedules
+// operations through a delta worklist; Options.SolverShards adds parallel
+// flow propagation. Options.ReferenceSolver keeps the original map-walking,
+// apply-everything schedule — the baseline the differential harness holds
+// every optimized configuration to. All engines derive the same facts in
+// the same order (see csr.go for the argument), so the choice is invisible
+// in results, provenance, and iteration counts.
 func (a *analysis) solve() {
+	if !a.opts.ReferenceSolver {
+		a.csr = a.buildCSR()
+		if !a.opts.NoDelta {
+			a.initDelta()
+		}
+		if a.opts.SolverShards > 1 && !a.tracking {
+			a.shards = a.newShardRun(a.opts.SolverShards)
+		}
+	}
 	for {
 		a.iterations++
 		a.tr.Iteration(a.iterations, len(a.worklist))
 		a.propagate()
 		changed := false
-		for _, op := range a.g.Ops() {
+		for i, op := range a.g.Ops() {
+			if a.opDirty != nil && !a.opTake(i) {
+				continue
+			}
 			a.provSource = op
 			if a.applyOp(op) {
 				changed = true
@@ -38,8 +58,24 @@ func (a *analysis) solve() {
 	}
 }
 
-// propagate drains the worklist, pushing values across flow edges.
+// propagate drains the worklist, pushing values across flow edges through
+// whichever propagation engine the options selected.
 func (a *analysis) propagate() {
+	switch {
+	case a.shards != nil:
+		a.shards.propagate()
+	case a.csr != nil:
+		a.propagateCSR()
+	default:
+		a.propagateReference()
+	}
+}
+
+// propagateReference is the original propagation loop: per-node successor
+// lookups through the graph's flow map and per-edge filter lookups through
+// the (src, dst)-keyed maps. It is preserved verbatim as the reference
+// schedule the CSR and sharded engines are differentially tested against.
+func (a *analysis) propagateReference() {
 	for head := 0; head < len(a.worklist); head++ {
 		it := a.worklist[head]
 		a.provSource = it.node
@@ -100,24 +136,16 @@ func castAdmits(v graph.Value, cls *ir.Class) bool {
 
 // seedChecked is seed that reports whether the value was new.
 func (a *analysis) seedChecked(n graph.Node, v graph.Value) bool {
-	s, ok := a.pts[n]
-	if !ok {
-		s = NewValueSet()
-		a.pts[n] = s
-	}
-	if s.Add(v) {
-		a.provenance[provKey{n.ID(), v.ID()}] = a.provSource
+	if a.pts.ensure(n).AddFrom(v, a.provSource) {
 		a.worklist = append(a.worklist, propItem{n, v})
+		a.markWatchers(n.ID())
 		return true
 	}
 	return false
 }
 
 func (a *analysis) ptsOf(n graph.Node) []graph.Value {
-	if n == nil {
-		return nil
-	}
-	if s, ok := a.pts[n]; ok {
+	if s := a.pts.of(n); s != nil {
 		return s.Values()
 	}
 	return nil
@@ -230,7 +258,7 @@ func (a *analysis) applySetAdapter(op *graph.OpNode) bool {
 					if a.g.AddChild(parent, item) {
 						changed = true
 						if a.tracking {
-							a.record(childFact(parent, item), op.Kind.String(), u|a.unitOf(m),
+							a.record(childFact(parent, item), op.Kind.String(), u.or(a.unitOf(m)),
 								flowFact(op.Recv, parent), flowFact(op.Args[0], adapter),
 								flowFact(a.g.VarNode(rv), item))
 						}
@@ -280,7 +308,7 @@ func (a *analysis) applyMenuAdd(op *graph.OpNode) bool {
 				changed = true
 				if a.tracking {
 					a.record(flowFact(a.g.VarNode(h.Params[0]), item), op.Kind.String(),
-						u|a.unitOf(h), menuItemFact(menu, item))
+						u.or(a.unitOf(h)), menuItemFact(menu, item))
 				}
 			}
 		}
@@ -365,7 +393,7 @@ func (a *analysis) inflate(op *graph.OpNode, lid *graph.LayoutIDNode) (*inflatio
 	inf := &inflation{}
 	// Inflation-derived structure depends on the inflating call's file and on
 	// the layout's content.
-	ul := a.unitOf(op.Method) | a.layoutUnit(lid.Name)
+	ul := a.unitOf(op.Method).or(a.layoutUnit(lid.Name))
 	path := 0
 	var build func(n *layout.Node, parent *graph.InflNode)
 	build = func(n *layout.Node, parent *graph.InflNode) {
@@ -414,7 +442,7 @@ func (a *analysis) applyInflate1(op *graph.OpNode) bool {
 			continue
 		}
 		changed = changed || c
-		ul := a.unitOf(op.Method) | a.layoutUnit(lid.Name)
+		ul := a.unitOf(op.Method).or(a.layoutUnit(lid.Name))
 		if op.Out != nil && a.seedChecked(op.Out, inf.root) {
 			changed = true
 			if a.tracking {
@@ -444,7 +472,7 @@ func (a *analysis) applyInflate2(op *graph.OpNode) bool {
 			continue
 		}
 		changed = changed || c
-		ul := a.unitOf(op.Method) | a.layoutUnit(lid.Name)
+		ul := a.unitOf(op.Method).or(a.layoutUnit(lid.Name))
 		for _, owner := range ownersOf(a.ptsOf(op.Recv)) {
 			if a.g.AddRoot(owner, inf.root) {
 				changed = true
@@ -651,7 +679,7 @@ func (a *analysis) bindOnClick(owner graph.Value, inf *inflation) bool {
 		if m == nil || m.Body == nil || len(m.Params) != 1 {
 			continue
 		}
-		hu := lu | a.unitOf(m)
+		hu := lu.or(a.unitOf(m))
 		if a.seedChecked(a.g.VarNode(m.Params[0]), n) {
 			changed = true
 			if a.tracking {

@@ -70,7 +70,9 @@ func TestPropertySoundness(t *testing.T) {
 }
 
 // TestPropertySoundnessWithRefinements re-checks soundness under every
-// sound analysis variant.
+// sound analysis variant, including the alternate solver engines — the
+// reference schedule, the no-delta ablation, and the sharded parallel
+// fixpoint — whose solutions must all cover every concrete execution.
 func TestPropertySoundnessWithRefinements(t *testing.T) {
 	variants := []core.Options{
 		{FilterCasts: true},
@@ -79,6 +81,11 @@ func TestPropertySoundnessWithRefinements(t *testing.T) {
 		{Context1: true},
 		{FilterCasts: true, SharedInflation: true},
 		{Context1: true, FilterCasts: true},
+		{ReferenceSolver: true},
+		{NoDelta: true},
+		{SolverShards: 2},
+		{SolverShards: 8},
+		{SolverShards: 8, FilterCasts: true},
 	}
 	prop := func(seed int64) bool {
 		p := buildRandom(t, seed)

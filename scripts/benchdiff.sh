@@ -3,8 +3,10 @@
 # locally). Regenerates the tracked benchmark records into OUTDIR (default:
 # a temp directory) and diffs them against the checked-in BENCH_*.json with
 # cmd/benchdiff, failing on >15% regression — or, for the incremental
-# record, on a warm/cold speedup below 5x, and for the server record, on a
-# warm-session speedup below 3x.
+# record, on a warm/cold speedup below 5x, for the server record, on a
+# warm-session speedup below 3x, and for the solver record, on an
+# optimized-vs-reference speedup below 2x, a sharded engine slower than the
+# reference schedule, or a >64-unit incremental speedup below 5x.
 #
 # Usage: scripts/benchdiff.sh [OUTDIR]
 #   Pass an OUTDIR to keep the regenerated records around (CI uploads them
@@ -23,11 +25,12 @@ fi
 
 echo "== regenerating benchmark records into $OUT"
 go run ./cmd/gatorbench -table 2 -benchjson "$OUT/BENCH_2.json" -incjson "$OUT/BENCH_4.json" \
-    -servejson "$OUT/BENCH_5.json" > /dev/null
+    -servejson "$OUT/BENCH_5.json" -solvejson "$OUT/BENCH_6.json" > /dev/null
 
 echo "== diff vs checked-in records (threshold 15%)"
 go run ./cmd/benchdiff BENCH_2.json "$OUT/BENCH_2.json"
 go run ./cmd/benchdiff BENCH_4.json "$OUT/BENCH_4.json"
 go run ./cmd/benchdiff BENCH_5.json "$OUT/BENCH_5.json"
+go run ./cmd/benchdiff BENCH_6.json "$OUT/BENCH_6.json"
 
 echo "== benchdiff gate green"

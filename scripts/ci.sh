@@ -4,21 +4,24 @@
 #
 #   1. go vet        — static checks
 #   2. go build      — everything compiles
-#   3. go test       — the full suite, including the differential
-#                      batch-determinism tests, example smoke tests, and
-#                      checked-in fuzz regression seeds
+#   3. go test       — the full suite, including the differential solver
+#                      harness (every optimized engine byte-identical to the
+#                      reference schedule; internal/core/differential_test.go),
+#                      the differential batch-determinism tests, example smoke
+#                      tests, and checked-in fuzz regression seeds
 #   4. go test -race — the race detector, which is what makes the parallel
-#                      batch engine's "identical to sequential" guarantee a
-#                      verified property. The full run covers every package;
-#                      -short covers only the packages whose tests actually
-#                      exercise concurrency (the root package's batch engine
-#                      and watch loop, the content-addressed cache, the
-#                      metrics/trace registries, the debounced watcher, and
-#                      the gatord serving layer) — re-running the purely
-#                      sequential packages under the race detector would
-#                      duplicate step 3 at ~10x the cost for no signal.
-#                      CI runs the full sweep as its own job (see
-#                      .github/workflows/ci.yml).
+#                      batch engine's and the sharded solver's "identical to
+#                      sequential" guarantees verified properties. The full
+#                      run covers every package; -short covers only the
+#                      packages whose tests actually exercise concurrency
+#                      (the root package's batch engine and watch loop,
+#                      internal/core's sharded fixpoint, the
+#                      content-addressed cache, the metrics/trace registries,
+#                      the debounced watcher, and the gatord serving layer) —
+#                      re-running the purely sequential packages under the
+#                      race detector would duplicate step 3 at ~10x the cost
+#                      for no signal. CI runs the full sweep as its own job
+#                      (see .github/workflows/ci.yml).
 #   5. gofmt -l      — all sources formatted
 #   6. self-check    — `gator -checks` over examples/buggyapp must exit 1
 #                      and byte-match the checked-in expected output
@@ -30,8 +33,8 @@
 #                      drains and shuts down cleanly
 #   9. no-alloc      — BenchmarkSolveTracingDisabled asserts that disabled
 #                      tracing adds zero allocations to the solver
-#  10. gatorbench    — regenerate BENCH_2.json, BENCH_4.json, and
-#                      BENCH_5.json (skipped with -short);
+#  10. gatorbench    — regenerate BENCH_2.json, BENCH_4.json, BENCH_5.json,
+#                      and BENCH_6.json (skipped with -short);
 #                      scripts/benchdiff.sh diffs regenerated records
 #                      against the checked-in ones without overwriting them
 #
@@ -58,7 +61,7 @@ go test $SHORT ./...
 RACE_PKGS="./..."
 if [ -n "$SHORT" ]; then
     # The packages with concurrent tests; see the step 4 note above.
-    RACE_PKGS=". ./internal/cache ./internal/metrics ./internal/trace ./internal/watch ./internal/server"
+    RACE_PKGS=". ./internal/core ./internal/cache ./internal/metrics ./internal/trace ./internal/watch ./internal/server"
 fi
 echo "== go test -race $SHORT $RACE_PKGS"
 go test -race $SHORT $RACE_PKGS
@@ -90,8 +93,9 @@ echo "== zero-allocation guard (tracing disabled)"
 go test -run TestTracingDisabledZeroAlloc -bench BenchmarkSolveTracingDisabled -benchtime 1x ./internal/core
 
 if [ -z "$SHORT" ]; then
-    echo "== gatorbench BENCH_2.json + BENCH_4.json + BENCH_5.json"
-    go run ./cmd/gatorbench -benchjson BENCH_2.json -incjson BENCH_4.json -servejson BENCH_5.json > /dev/null
+    echo "== gatorbench BENCH_2.json + BENCH_4.json + BENCH_5.json + BENCH_6.json"
+    go run ./cmd/gatorbench -benchjson BENCH_2.json -incjson BENCH_4.json -servejson BENCH_5.json \
+        -solvejson BENCH_6.json > /dev/null
 fi
 
 echo "== CI gate green"
