@@ -119,8 +119,9 @@ func TestNightlyWorkflow(t *testing.T) {
 	}
 	requireAll(t, "nightly.yml", text, []string{
 		"schedule:", "cron:", "workflow_dispatch",
-		// Benchmark regression gate over the checked-in records.
-		"scripts/benchdiff.sh",
+		// Benchmark regression gate over the checked-in records, including
+		// the precision record added with context sensitivity.
+		"scripts/benchdiff.sh", "BENCH_7.json",
 		"BenchmarkIncrementalEdit",
 		// Fuzz budget: 30 seconds per target, both targets present.
 		"-fuzztime 30s", "FuzzParse", "FuzzLayout",
@@ -143,5 +144,22 @@ func TestCIScriptsExist(t *testing.T) {
 		if info.Mode()&0o111 == 0 {
 			t.Errorf("%s: not executable", s)
 		}
+	}
+}
+
+// TestCIScriptsCoverPrecision pins the precision gate into both scripts:
+// ci.sh must run the context-sensitivity smoke step and regenerate
+// BENCH_7.json, and benchdiff.sh must regenerate and diff it nightly.
+func TestCIScriptsCoverPrecision(t *testing.T) {
+	for path, markers := range map[string][]string{
+		"scripts/ci.sh":        {"-ctx 1cfa", "-table precision", "-precjson BENCH_7.json"},
+		"scripts/benchdiff.sh": {"-precjson", "BENCH_7.json"},
+	} {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Errorf("%s: %v", path, err)
+			continue
+		}
+		requireAll(t, path, string(data), markers)
 	}
 }

@@ -26,6 +26,13 @@
 //     Solver ratios are floor-gated only — each divides two independently
 //     measured solve times, so the relative threshold would trip on runner
 //     noise alone; the baseline is printed for trend reading.
+//   - precision records (BENCH_7.json, gatorbench -precjson): per
+//     context-sensitivity mode, the solution/oracle ratio may not grow by
+//     more than 5% over the baseline (a deterministic count-of-facts ratio,
+//     so the tight bound holds on any runner), any soundness violation is a
+//     hard failure, and the polymorphic-helper stressor must stay strict
+//     (context-sensitive solutions strictly smaller than the insensitive
+//     one).
 //
 // Usage:
 //
@@ -58,26 +65,49 @@ const optSpeedupFloor = 2.0
 // reference schedule, whatever the core count.
 const shardSpeedupFloor = 1.0
 
+// ratioSlack is the maximum tolerated growth of a precision record's
+// solution/oracle ratio over the baseline. The ratio counts canonical facts,
+// not time, so it is exactly reproducible and gets a bound far tighter than
+// the timing threshold.
+const ratioSlack = 0.05
+
 type appRec struct {
 	App      string `json:"app"`
 	Findings int    `json:"findings"`
 	Warnings int    `json:"warnings"`
 }
 
+type modeRec struct {
+	Mode       string  `json:"mode"`
+	Ratio      float64 `json:"ratio"`
+	Violations int     `json:"violations"`
+}
+
+type stressorRec struct {
+	App              string `json:"app"`
+	InsensitiveFacts int    `json:"insensitiveFacts"`
+	CfaFacts         int    `json:"cfaFacts"`
+	ObjFacts         int    `json:"objFacts"`
+	Strict           bool   `json:"strict"`
+}
+
 // record is the superset of the benchmark file shapes; shape is detected
-// by which fields are populated (corpus records carry apps, incremental
-// records carry warmMs, server records carry coldP50Ms).
+// by which fields are populated (precision records carry modes, corpus
+// records carry apps, incremental records carry warmMs, server records
+// carry coldP50Ms).
 type record struct {
-	TotalWorkMs  float64  `json:"totalWorkMs"`
-	Speedup      float64  `json:"speedup"`
-	WarmMs       float64  `json:"warmMs"`
-	ColdMs       float64  `json:"coldMs"`
-	ColdP50Ms    float64  `json:"coldP50Ms"`
-	ColdP99Ms    float64  `json:"coldP99Ms"`
-	OptSpeedup   float64  `json:"optSpeedup"`
-	ShardSpeedup float64  `json:"shardSpeedup"`
-	IncSpeedup   float64  `json:"incSpeedup"`
-	Apps         []appRec `json:"apps"`
+	TotalWorkMs  float64     `json:"totalWorkMs"`
+	Speedup      float64     `json:"speedup"`
+	WarmMs       float64     `json:"warmMs"`
+	ColdMs       float64     `json:"coldMs"`
+	ColdP50Ms    float64     `json:"coldP50Ms"`
+	ColdP99Ms    float64     `json:"coldP99Ms"`
+	OptSpeedup   float64     `json:"optSpeedup"`
+	ShardSpeedup float64     `json:"shardSpeedup"`
+	IncSpeedup   float64     `json:"incSpeedup"`
+	Apps         []appRec    `json:"apps"`
+	Modes        []modeRec   `json:"modes"`
+	Stressor     stressorRec `json:"stressor"`
 }
 
 func load(path string) (record, error) {
@@ -116,6 +146,36 @@ func main() {
 	}
 
 	switch {
+	case len(old.Modes) > 0:
+		// Precision record: deterministic fact-count ratios per
+		// context-sensitivity mode. Soundness violations and a non-strict
+		// stressor are hard failures; the ratio gets the tight 5% bound.
+		byMode := map[string]modeRec{}
+		for _, m := range cur.Modes {
+			byMode[m.Mode] = m
+		}
+		for _, want := range old.Modes {
+			got, ok := byMode[want.Mode]
+			if !ok {
+				fail("mode %q: missing from regenerated record", want.Mode)
+				continue
+			}
+			limit := want.Ratio * (1 + ratioSlack)
+			fmt.Printf("%s: mode %s ratio %.3f vs baseline %.3f (limit %.3f), violations %d\n",
+				flag.Arg(1), want.Mode, got.Ratio, want.Ratio, limit, got.Violations)
+			if got.Violations > 0 {
+				fail("mode %s: %d soundness violation(s) against the oracle", want.Mode, got.Violations)
+			}
+			if got.Ratio > limit {
+				fail("mode %s: precision ratio %.3f regressed more than %.0f%% from baseline %.3f",
+					want.Mode, got.Ratio, ratioSlack*100, want.Ratio)
+			}
+		}
+		if cur.Stressor.App != "" && !cur.Stressor.Strict {
+			fail("stressor %s: context-sensitive solution no longer strictly smaller (off=%d 1cfa=%d 1obj=%d)",
+				cur.Stressor.App, cur.Stressor.InsensitiveFacts, cur.Stressor.CfaFacts, cur.Stressor.ObjFacts)
+		}
+
 	case len(old.Apps) > 0:
 		// Corpus record: behavior exactly, cost within threshold.
 		byName := map[string]appRec{}

@@ -47,6 +47,7 @@ func main() {
 	filterCasts := flag.Bool("filter-casts", false, "enable cast filtering")
 	sharedInfl := flag.Bool("shared-inflation", false, "share inflation nodes per layout")
 	noFV3 := flag.Bool("no-findview3", false, "disable the FindView3 child-only refinement")
+	ctxMode := flag.String("ctx", "off", "context sensitivity: off, 1cfa (call-site cloning), or 1obj (receiver-object cloning)")
 	jobs := flag.Int("j", runtime.GOMAXPROCS(0), "parallel analysis workers for multi-directory batches")
 	stats := flag.Bool("stats", false, "print per-stage batch statistics to stderr")
 	checksMode := flag.Bool("checks", false, "run the diagnostics engine and print its findings (exit 1 on warnings)")
@@ -69,10 +70,17 @@ func main() {
 		*checksMode = true
 	}
 
+	ctx, ok := gator.ParseCtxMode(*ctxMode)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "gator: -ctx %q: want off, 1cfa, or 1obj\n", *ctxMode)
+		os.Exit(2)
+	}
+
 	opts := gator.Options{
 		FilterCasts:           *filterCasts,
 		SharedInflation:       *sharedInfl,
 		NoFindView3Refinement: *noFV3,
+		ContextSensitivity:    ctx,
 		// -explain renders derivation trees, which need the recorded DAG.
 		Provenance: *explain != "",
 	}
@@ -380,12 +388,17 @@ func (rc remoteConfig) spec() server.ReportSpec {
 }
 
 func (rc remoteConfig) options() server.OptionsJSON {
+	ctx := ""
+	if rc.opts.ContextSensitivity != gator.CtxOff {
+		ctx = rc.opts.ContextSensitivity.String()
+	}
 	return server.OptionsJSON{
 		FilterCasts:           rc.opts.FilterCasts,
 		SharedInflation:       rc.opts.SharedInflation,
 		NoFindView3Refinement: rc.opts.NoFindView3Refinement,
 		DeclaredDispatchOnly:  rc.opts.DeclaredDispatchOnly,
 		Context1:              rc.opts.Context1,
+		ContextSensitivity:    ctx,
 		Provenance:            rc.opts.Provenance,
 	}
 }

@@ -9,8 +9,8 @@
 //
 //	gatorbench [-table 1|2|precision|all] [-app NAME] [-seed N] [-j N] [-stats]
 //	           [-filter-casts] [-shared-inflation] [-no-findview3] [-declared-dispatch]
-//	           [-trace FILE] [-metrics FILE] [-pprof ADDR] [-benchjson FILE]
-//	           [-incjson FILE] [-solvejson FILE]
+//	           [-ctx off|1cfa|1obj] [-trace FILE] [-metrics FILE] [-pprof ADDR]
+//	           [-benchjson FILE] [-incjson FILE] [-solvejson FILE] [-precjson FILE]
 package main
 
 import (
@@ -40,11 +40,13 @@ func main() {
 	noFV3 := flag.Bool("no-findview3", false, "ablation: disable child-only FindView3 refinement")
 	declared := flag.Bool("declared-dispatch", false, "ablation: declared-type-only dispatch")
 	ctx1 := flag.Bool("context1", false, "refinement: bounded call-site context sensitivity")
+	ctxMode := flag.String("ctx", "off", "context sensitivity: off, 1cfa (call-site cloning), or 1obj (receiver-object cloning)")
 	jobs := flag.Int("j", runtime.GOMAXPROCS(0), "parallel analysis workers")
 	stats := flag.Bool("stats", false, "print per-stage batch statistics to stderr")
 	benchJSON := flag.String("benchjson", "", "write machine-readable benchmark results to `file`")
 	incJSON := flag.String("incjson", "", "write the incremental re-analysis benchmark (single-file edit, warm vs cold) to `file`")
 	solveJSON := flag.String("solvejson", "", "write the solver engine benchmark (reference vs CSR+delta vs sharded, plus >64-unit incremental) to `file`")
+	precJSON := flag.String("precjson", "", "write the precision benchmark (solution/oracle ratio per context-sensitivity mode, plus the polymorphic-helper stressor) to `file`")
 	serveJSON := flag.String("servejson", "", "write the server benchmark (request latency percentiles, warm session speedup) to `file`")
 	traceOut := flag.String("trace", "", "write a Chrome trace_event JSON of the corpus run to `file`")
 	metricsOut := flag.String("metrics", "", "write the aggregated counter/histogram registry as JSON to `file` (\"-\" for stderr; implies tracing)")
@@ -61,12 +63,19 @@ func main() {
 		}()
 	}
 
+	ctx, ok := gator.ParseCtxMode(*ctxMode)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "gatorbench: -ctx %q: want off, 1cfa, or 1obj\n", *ctxMode)
+		os.Exit(2)
+	}
+
 	opts := gator.Options{
 		FilterCasts:           *filterCasts,
 		SharedInflation:       *sharedInfl,
 		NoFindView3Refinement: *noFV3,
 		DeclaredDispatchOnly:  *declared,
 		Context1:              *ctx1,
+		ContextSensitivity:    ctx,
 	}
 
 	var inputs []gator.BatchInput
@@ -120,6 +129,7 @@ func main() {
 	var rows1 []metrics.Table1Row
 	var rows2 []metrics.Table2Row
 	var rowsP []metrics.PrecisionRow
+	violations := 0
 	for _, rep := range batch.Apps {
 		if rep.Err != nil {
 			fmt.Fprintf(os.Stderr, "gatorbench: %s: %v\n", rep.Name, rep.Err)
@@ -137,7 +147,9 @@ func main() {
 				PerfectSites:  er.PerfectSites,
 				Violations:    len(er.Violations),
 				Steps:         er.Steps,
+				Ratio:         er.PrecisionRatio,
 			})
+			violations += len(er.Violations)
 			for _, v := range er.Violations {
 				fmt.Fprintf(os.Stderr, "gatorbench: %s: SOUNDNESS VIOLATION: %s\n", rep.Name, v)
 			}
@@ -193,6 +205,16 @@ func main() {
 			fmt.Fprintln(os.Stderr, "gatorbench:", err)
 			os.Exit(1)
 		}
+	}
+	if *precJSON != "" {
+		if err := writePrecisionJSON(*precJSON, *seed, *jobs); err != nil {
+			fmt.Fprintln(os.Stderr, "gatorbench:", err)
+			os.Exit(1)
+		}
+	}
+	if violations > 0 {
+		fmt.Fprintf(os.Stderr, "gatorbench: %d soundness violation(s) against the oracle\n", violations)
+		os.Exit(1)
 	}
 }
 

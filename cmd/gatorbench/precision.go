@@ -1,0 +1,128 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"gator"
+	"gator/internal/corpus"
+)
+
+// precApp is one application's record inside a -precjson mode entry.
+type precApp struct {
+	App           string  `json:"app"`
+	StaticFacts   int     `json:"staticFacts"`
+	ObservedFacts int     `json:"observedFacts"`
+	Ratio         float64 `json:"ratio"`
+	Violations    int     `json:"violations"`
+}
+
+// precMode is one context-sensitivity mode's corpus-wide precision record.
+type precMode struct {
+	Mode       string    `json:"mode"`
+	Ratio      float64   `json:"ratio"`
+	Violations int       `json:"violations"`
+	AnalysisMs float64   `json:"analysisMs"`
+	Apps       []precApp `json:"apps"`
+}
+
+// precStressor is the polymorphic-helper acceptance measurement: on the
+// n-activity shared-helper app the context-sensitive solutions must be
+// strictly smaller than the insensitive one (Strict), fact counts recorded
+// for trend reading.
+type precStressor struct {
+	App              string `json:"app"`
+	InsensitiveFacts int    `json:"insensitiveFacts"`
+	CfaFacts         int    `json:"cfaFacts"`
+	ObjFacts         int    `json:"objFacts"`
+	Strict           bool   `json:"strict"`
+}
+
+// precOutput is the -precjson file shape (BENCH_7.json): the measured
+// precision frontier. Ratio is total static solution size over total
+// oracle-observed facts (1.0 would be an exact analysis); the nightly
+// benchdiff gate fails when a mode's ratio regresses by more than 5%, when
+// any soundness violation appears, or when the stressor stops being strict.
+type precOutput struct {
+	GeneratedAt string       `json:"generatedAt"`
+	Seed        int64        `json:"seed"`
+	Modes       []precMode   `json:"modes"`
+	Stressor    precStressor `json:"stressor"`
+}
+
+// writePrecisionJSON runs the full corpus under each context-sensitivity
+// mode, scores every solution against the interpreter oracle, and adds the
+// polymorphic-helper stressor comparison.
+func writePrecisionJSON(path string, seed int64, jobs int) error {
+	var inputs []gator.BatchInput
+	for _, app := range corpus.GenerateAll() {
+		inputs = append(inputs, gator.BatchInput{
+			Name:    app.Name,
+			Sources: app.BatchSources(),
+			Layouts: app.LayoutXML(),
+		})
+	}
+
+	out := precOutput{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		Seed:        seed,
+	}
+	for _, mode := range []gator.CtxMode{gator.CtxOff, gator.Ctx1CFA, gator.Ctx1Obj} {
+		batch := gator.AnalyzeBatch(inputs, gator.BatchOptions{
+			Workers: jobs,
+			Options: gator.Options{ContextSensitivity: mode},
+		})
+		rec := precMode{Mode: mode.String(), AnalysisMs: ms(batch.Stats.TotalWork())}
+		staticSum, observedSum := 0, 0
+		for _, rep := range batch.Apps {
+			if rep.Err != nil {
+				return fmt.Errorf("precjson: %s under %s: %v", rep.Name, mode, rep.Err)
+			}
+			er := rep.Result.Explore(seed)
+			rec.Apps = append(rec.Apps, precApp{
+				App:           rep.Name,
+				StaticFacts:   er.StaticFacts,
+				ObservedFacts: er.ObservedFacts,
+				Ratio:         er.PrecisionRatio,
+				Violations:    len(er.Violations),
+			})
+			rec.Violations += len(er.Violations)
+			staticSum += er.StaticFacts
+			observedSum += er.ObservedFacts
+		}
+		if observedSum > 0 {
+			rec.Ratio = float64(staticSum) / float64(observedSum)
+		}
+		out.Modes = append(out.Modes, rec)
+	}
+
+	// Stressor: the acceptance shape from DESIGN.md — every context-sensitive
+	// mode must collapse the shared helper's merged solution.
+	const stressN = 8
+	sources, layouts := corpus.PolymorphicHelperApp(stressN)
+	facts := map[gator.CtxMode]int{}
+	for _, mode := range []gator.CtxMode{gator.CtxOff, gator.Ctx1CFA, gator.Ctx1Obj} {
+		app, err := gator.Load(sources, layouts)
+		if err != nil {
+			return fmt.Errorf("precjson: stressor: %v", err)
+		}
+		res := app.Analyze(gator.Options{ContextSensitivity: mode})
+		facts[mode] = len(res.ProjectedFacts())
+	}
+	out.Stressor = precStressor{
+		App:              fmt.Sprintf("polyhelper-%d", stressN),
+		InsensitiveFacts: facts[gator.CtxOff],
+		CfaFacts:         facts[gator.Ctx1CFA],
+		ObjFacts:         facts[gator.Ctx1Obj],
+		Strict: facts[gator.Ctx1CFA] < facts[gator.CtxOff] &&
+			facts[gator.Ctx1Obj] < facts[gator.CtxOff],
+	}
+
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

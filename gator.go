@@ -64,6 +64,20 @@ type App struct {
 	shapes map[string]string
 }
 
+// CtxMode selects the context-sensitive solving mode (see DESIGN.md,
+// "Context sensitivity").
+type CtxMode = core.CtxMode
+
+// Context-sensitivity modes, re-exported for Options.ContextSensitivity.
+const (
+	CtxOff  = core.CtxOff
+	Ctx1CFA = core.Ctx1CFA
+	Ctx1Obj = core.Ctx1Obj
+)
+
+// ParseCtxMode parses a -ctx flag value ("", "off", "1cfa", "1obj").
+func ParseCtxMode(s string) (CtxMode, bool) { return core.ParseCtxMode(s) }
+
 // Options configure analysis variants; the zero value is the configuration
 // evaluated in the paper.
 type Options struct {
@@ -83,6 +97,14 @@ type Options struct {
 	// helper methods — the refinement the paper's case study identifies
 	// for the XBMC receiver imprecision.
 	Context1 bool
+	// ContextSensitivity selects the labeled context-sensitive solving
+	// mode: CtxOff (the paper's insensitive analysis), Ctx1CFA (one
+	// context per call site), or Ctx1Obj (one context per receiver
+	// class). Contexts carry human-readable labels that Explain queries
+	// and derivation trees render; solutions are projected back to
+	// source identities, so every query keeps working. Supersedes
+	// Context1 when set.
+	ContextSensitivity CtxMode
 	// Provenance records the solver's derivation DAG, enabling the
 	// ExplainDerivation/ExplainViewID queries. Costs memory proportional to
 	// the number of derived facts; off by default.
@@ -112,6 +134,7 @@ func (o Options) internal() core.Options {
 		NoFindView3Refinement: o.NoFindView3Refinement,
 		DeclaredDispatchOnly:  o.DeclaredDispatchOnly,
 		Context1:              o.Context1,
+		ContextSensitivity:    o.ContextSensitivity,
 		Provenance:            o.Provenance,
 		SolverShards:          o.SolverShards,
 		ReferenceSolver:       o.ReferenceSolver,
@@ -705,15 +728,19 @@ func (r *Result) ExplainVar(class, method, varName string) ([]string, error) {
 			if v.Name != varName {
 				continue
 			}
-			node := r.res.Graph.VarNode(v)
+			// One chain per (context variant, value): cloned variable
+			// nodes render their context label, so context-sensitive
+			// runs show which caller or receiver class a view belongs to.
 			var out []string
-			for _, val := range r.res.PointsTo(node) {
-				chain := r.res.Explain(node, val)
-				parts := make([]string, len(chain))
-				for i, n := range chain {
-					parts[i] = n.String()
+			for _, node := range r.res.VarNodesOf(v) {
+				for _, val := range r.res.PointsTo(node) {
+					chain := r.res.Explain(node, val)
+					parts := make([]string, len(chain))
+					for i, n := range chain {
+						parts[i] = n.String()
+					}
+					out = append(out, val.String()+": "+strings.Join(parts, " -> "))
 				}
-				out = append(out, val.String()+": "+strings.Join(parts, " -> "))
 			}
 			return out, nil
 		}
@@ -743,11 +770,14 @@ func (r *Result) ExplainDerivation(class, method, varName string) ([]string, err
 			if v.Name != varName {
 				continue
 			}
-			node := r.res.Graph.VarNode(v)
+			// One tree per (context variant, value): the rendered facts
+			// carry the context component on cloned nodes.
 			var out []string
-			for _, val := range r.res.PointsTo(node) {
-				if f, ok := r.res.FlowFactOf(node, val); ok {
-					out = append(out, r.res.RenderDerivation(f))
+			for _, node := range r.res.VarNodesOf(v) {
+				for _, val := range r.res.PointsTo(node) {
+					if f, ok := r.res.FlowFactOf(node, val); ok {
+						out = append(out, r.res.RenderDerivation(f))
+					}
 				}
 			}
 			return out, nil
@@ -855,6 +885,12 @@ func (r *Result) Dot() string {
 	return dot.Export(r.res, dot.Options{Flow: true, Relations: true})
 }
 
+// ProjectedFacts renders the solution as sorted per-fact lines with cloning
+// contexts projected back to source identities — the representation under
+// which a context-sensitive solution is provably a subset of the
+// insensitive one (see DESIGN.md, "Context sensitivity").
+func (r *Result) ProjectedFacts() []string { return r.res.ProjectedSolution() }
+
 // ExploreReport is the outcome of a dynamic-exploration soundness check.
 type ExploreReport struct {
 	// Sound is true when every concrete observation is covered.
@@ -865,6 +901,13 @@ type ExploreReport struct {
 	ObservedSites int
 	PerfectSites  int
 	Steps         int
+	// StaticFacts / ObservedFacts size the static solution against the
+	// observed values at executed sites, by source identity (context
+	// clones collapse). PrecisionRatio is their quotient — the
+	// solution-size / oracle-size metric BENCH_7.json records.
+	StaticFacts    int
+	ObservedFacts  int
+	PrecisionRatio float64
 }
 
 // Explore runs the seeded concrete interpreter and checks the solution
@@ -873,10 +916,13 @@ func (r *Result) Explore(seed int64) ExploreReport {
 	obs := interp.New(r.app.prog, interp.Config{Seed: seed}).Run()
 	rep := oracle.Compare(r.res, obs)
 	out := ExploreReport{
-		Sound:         rep.Sound(),
-		ObservedSites: rep.ObservedSites,
-		PerfectSites:  rep.PerfectSites,
-		Steps:         obs.Steps,
+		Sound:          rep.Sound(),
+		ObservedSites:  rep.ObservedSites,
+		PerfectSites:   rep.PerfectSites,
+		Steps:          obs.Steps,
+		StaticFacts:    rep.StaticFacts,
+		ObservedFacts:  rep.ObservedFacts,
+		PrecisionRatio: rep.Ratio(),
 	}
 	for _, v := range rep.Violations {
 		out.Violations = append(out.Violations, v.String())

@@ -31,6 +31,15 @@ type Context struct {
 	methOps  map[*ir.Method][]*graph.OpNode
 	nullSeed map[*ir.Invoke]dataflow.NullVal
 	indexed  bool
+
+	// Program-point flowsTo machinery (flowsto.go).
+	reach         map[*ir.Method]*dataflow.ReachingDefs
+	allocsAt      map[*ir.New][]graph.Value
+	fieldNodes    map[*ir.Field]*graph.FieldNode
+	viewIDByRes   map[int]graph.Value
+	layoutIDByRes map[int]graph.Value
+	classNodes    map[*ir.Class]graph.Value
+	valIndexed    bool
 }
 
 // NewContext prepares a pass context over one solved analysis.
@@ -96,6 +105,67 @@ func (c *Context) buildIndexes() {
 			c.nullSeed[site] = val
 		}
 	}
+
+	// Empty-helper-call seeds: a call to an application helper whose solved
+	// result is empty, while the callee demonstrably produces views (it
+	// contains find-view operations), returns null at this site. The merged
+	// insensitive solution rarely proves such a result empty — some other
+	// caller usually keeps it alive; under Options.ContextSensitivity the
+	// per-caller clone split can empty exactly one caller's result, and
+	// these seeds are where that sharper precision frontier reaches the
+	// nullness checker.
+	for _, m := range c.AppMethods() {
+		ir.WalkStmts(m.Body, func(s ir.Stmt) {
+			inv, ok := s.(*ir.Invoke)
+			if !ok || inv.Dst == nil || inv.Recv == nil || len(c.siteOps[inv]) > 0 {
+				return
+			}
+			if len(c.Res.VarPointsTo(inv.Dst)) != 0 || len(c.Res.VarPointsTo(inv.Recv)) == 0 {
+				return
+			}
+			if !c.viewHelperCall(inv) {
+				return
+			}
+			c.nullSeed[inv] = dataflow.NullVal{
+				K:   dataflow.Null,
+				Why: fmt.Sprintf("%s at %s can never return a view", callName(inv), inv.At),
+			}
+		})
+	}
+}
+
+// viewHelperCall reports whether every dispatch target of a call is a
+// modeled application method and at least one of them performs find-view
+// operations — the shape of a "find and return a view" helper. Only such
+// calls are safe to seed null on an empty result: a modeled view helper
+// with an empty solution genuinely returns nothing, whereas an unmodeled
+// callee's result is merely untracked.
+func (c *Context) viewHelperCall(s *ir.Invoke) bool {
+	decl := s.Recv.TypeClass
+	if decl == nil {
+		return false
+	}
+	anyCallee, anyFind := false, false
+	for _, cls := range c.Res.Prog.AppClasses() {
+		if cls.IsInterface || !cls.SubtypeOf(decl) {
+			continue
+		}
+		callee := cls.Dispatch(s.Key)
+		if callee == nil {
+			continue
+		}
+		if callee.Body == nil {
+			return false // dispatches into unmodeled code
+		}
+		anyCallee = true
+		for _, op := range c.methOps[callee] {
+			switch op.Kind {
+			case platform.OpFindView1, platform.OpFindView2, platform.OpFindView3:
+				anyFind = true
+			}
+		}
+	}
+	return anyCallee && anyFind
 }
 
 func (c *Context) seedForSite(site *ir.Invoke, ops []*graph.OpNode) (dataflow.NullVal, bool) {

@@ -276,7 +276,9 @@ func checkListenerReset(ctx *Context) []Finding {
 			if op.Kind != platform.OpSetListener || op.Site == nil || op.Event == "" {
 				continue
 			}
-			recvs := ctx.receiverIDs(op)
+			// Program-point receivers: flowsTo at the registration site, not
+			// the whole-method merge (see flowsto.go).
+			recvs := ctx.pointRecvIDs(m, op)
 			if len(recvs) == 0 {
 				continue // dead op
 			}

@@ -1,0 +1,241 @@
+package checks
+
+// Program-point flowsTo: a flow-sensitive refinement of the solved
+// reference analysis. The fixpoint answers "which views may v EVER hold";
+// FlowsToAt answers "which views may v hold HERE", by intersecting the
+// solution with what the reaching definitions of v at one statement can
+// produce. This matters exactly where the (even context-sensitive)
+// solution still merges: a variable reassigned along the method drags
+// every assignment's values to every use flow-insensitively, while each
+// program point only sees the assignments that reach it.
+
+import (
+	"gator/internal/dataflow"
+	"gator/internal/graph"
+	"gator/internal/ir"
+	"gator/internal/platform"
+)
+
+// Reaching returns the memoized reaching-definitions solution of a method.
+func (c *Context) Reaching(m *ir.Method) *dataflow.ReachingDefs {
+	if c.reach == nil {
+		c.reach = map[*ir.Method]*dataflow.ReachingDefs{}
+	}
+	if rd, ok := c.reach[m]; ok {
+		return rd
+	}
+	rd := dataflow.NewReachingDefs(c.CFG(m))
+	c.reach[m] = rd
+	return rd
+}
+
+// valueIndex builds the statement → graph-value maps FlowsToAt resolves
+// definitions through, once.
+func (c *Context) valueIndex() {
+	if c.valIndexed {
+		return
+	}
+	c.valIndexed = true
+	c.allocsAt = map[*ir.New][]graph.Value{}
+	c.fieldNodes = map[*ir.Field]*graph.FieldNode{}
+	c.viewIDByRes = map[int]graph.Value{}
+	c.layoutIDByRes = map[int]graph.Value{}
+	c.classNodes = map[*ir.Class]graph.Value{}
+	for _, n := range c.Res.Graph.Nodes() {
+		switch n := n.(type) {
+		case *graph.AllocNode:
+			if n.Site != nil {
+				c.allocsAt[n.Site] = append(c.allocsAt[n.Site], n)
+			}
+		case *graph.FieldNode:
+			c.fieldNodes[n.Field] = n
+		case *graph.ViewIDNode:
+			c.viewIDByRes[n.ResID] = n
+		case *graph.LayoutIDNode:
+			c.layoutIDByRes[n.ResID] = n
+		case *graph.ClassNode:
+			c.classNodes[n.Class] = n
+		}
+	}
+}
+
+// defValues returns the values one definition can write into its variable,
+// or ok=false when the constraint graph does not model the definition
+// one-to-one (an unmodeled call, an allocation of an untracked class):
+// callers must then fall back to the flow-insensitive solution to stay
+// sound.
+func (c *Context) defValues(d ir.Stmt) (vals []graph.Value, ok bool) {
+	c.valueIndex()
+	switch d := d.(type) {
+	case *ir.ConstNull, *ir.ConstInt:
+		return nil, true // no object flows
+	case *ir.New:
+		vals := c.allocsAt[d]
+		return vals, len(vals) > 0
+	case *ir.ConstRes:
+		byRes := c.viewIDByRes
+		if d.Layout {
+			byRes = c.layoutIDByRes
+		}
+		if n, found := byRes[d.ID]; found {
+			return []graph.Value{n}, true
+		}
+		return nil, true // id constant never interned: no op consumed it
+	case *ir.ConstClass:
+		if n, found := c.classNodes[d.Class]; found {
+			return []graph.Value{n}, true
+		}
+		return nil, true
+	case *ir.Copy:
+		return c.Res.VarPointsTo(d.Src), true
+	case *ir.Load:
+		fn := c.fieldNodes[d.Field]
+		if fn == nil {
+			return nil, false // untracked field
+		}
+		return c.Res.PointsTo(fn), true
+	case *ir.Invoke:
+		ops := c.OpsAt(d)
+		if len(ops) == 0 {
+			return nil, false // unmodeled call result
+		}
+		var out []graph.Value
+		seen := map[graph.Value]bool{}
+		for _, op := range ops {
+			for _, v := range c.opProduces(op) {
+				if !seen[v] {
+					seen[v] = true
+					out = append(out, v)
+				}
+			}
+		}
+		return out, true
+	}
+	return nil, false
+}
+
+// opProduces over-approximates the values one operation writes to its
+// result. For find-view operations it replays the solver's rule against the
+// solved receiver and id-argument sets — the rule is site-local, unlike
+// pts(op.Out), which merges every assignment of the destination variable.
+// Every replayed candidate is intersected with pts(op.Out), so the answer
+// can only shrink the solution, never leave it. Other operation kinds fall
+// back to pts(op.Out).
+func (c *Context) opProduces(op *graph.OpNode) []graph.Value {
+	if op.Out == nil {
+		return nil
+	}
+	merged := c.Res.PointsTo(op.Out)
+	switch op.Kind {
+	case platform.OpFindView1, platform.OpFindView2, platform.OpFindView3:
+	default:
+		return merged
+	}
+	inMerged := map[graph.Value]bool{}
+	for _, v := range merged {
+		inMerged[v] = true
+	}
+	// FindView1/2 take the queried id as the first argument; FindView3
+	// variants (getListView etc.) have no id filter.
+	var ids map[int]bool
+	if op.Kind != platform.OpFindView3 && len(op.Args) > 0 {
+		ids = map[int]bool{}
+		for _, v := range c.Res.OpArg(op, 0) {
+			if id, ok := v.(*graph.ViewIDNode); ok {
+				ids[id.ID()] = true
+			}
+		}
+	}
+	g := c.Res.Graph
+	var out []graph.Value
+	seen := map[graph.Value]bool{}
+	consider := func(w graph.Value) {
+		if seen[w] || !inMerged[w] {
+			return
+		}
+		if ids != nil {
+			match := false
+			for _, id := range g.ViewIDsOf(w) {
+				if ids[id.ID()] {
+					match = true
+				}
+			}
+			if !match {
+				return
+			}
+		}
+		seen[w] = true
+		out = append(out, w)
+	}
+	// The search space unions the receiver's own hierarchy (view-rooted
+	// lookups) with the hierarchies rooted at the receiver's content views
+	// (activity/dialog lookups) — a superset of what either solver rule
+	// searches for this op.
+	for _, r := range c.Res.OpReceivers(op) {
+		for _, w := range descendants(g, r) {
+			consider(w)
+		}
+		for _, root := range g.Roots(r) {
+			for _, w := range descendants(g, root) {
+				consider(w)
+			}
+		}
+	}
+	return out
+}
+
+// pointRecvIDs narrows an operation's receiver solution to the values that
+// can actually reach the op's call site, per FlowsToAt: a view variable
+// reassigned between two registrations no longer makes the two sites look
+// like they target one view. Falls back to the unrefined receiver set when
+// the site has no resolvable program point.
+func (c *Context) pointRecvIDs(m *ir.Method, op *graph.OpNode) []int {
+	ids := c.receiverIDs(op)
+	if op.Site == nil || op.Site.Recv == nil || len(ids) == 0 {
+		return ids
+	}
+	at := map[int]bool{}
+	for _, v := range c.FlowsToAt(m, op.Site, op.Site.Recv) {
+		at[v.ID()] = true
+	}
+	out := ids[:0:0]
+	for _, id := range ids {
+		if at[id] {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// FlowsToAt answers flowsTo at one program point: the values v may hold
+// immediately before statement at in method m. The answer is always a
+// subset of the flow-insensitive VarPointsTo(v) (every contribution is an
+// edge source of v in the constraint graph), and falls back to exactly
+// VarPointsTo(v) — never less — when a reaching definition is one the
+// graph does not model one-to-one, or when v reaches the point still
+// holding its entry (parameter) value.
+func (c *Context) FlowsToAt(m *ir.Method, at ir.Stmt, v *ir.Var) []graph.Value {
+	insens := c.Res.VarPointsTo(v)
+	if v == nil || v.Method != m || len(insens) == 0 {
+		return insens
+	}
+	defs, found := c.Reaching(m).DefsAt(at, v)
+	if !found || len(defs) == 0 {
+		return insens
+	}
+	var out []graph.Value
+	seen := map[graph.Value]bool{}
+	for _, d := range defs {
+		vals, ok := c.defValues(d)
+		if !ok {
+			return insens
+		}
+		for _, val := range vals {
+			if !seen[val] {
+				seen[val] = true
+				out = append(out, val)
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,187 @@
+package checks
+
+import (
+	"sort"
+	"strings"
+	"testing"
+
+	"gator/internal/alite"
+	"gator/internal/core"
+	"gator/internal/graph"
+	"gator/internal/ir"
+	"gator/internal/layout"
+)
+
+func analyzeOpts(t *testing.T, src string, layouts map[string]string, opts core.Options) *core.Result {
+	t.Helper()
+	f, err := alite.Parse("test.alite", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ls := map[string]*layout.Layout{}
+	for name, xml := range layouts {
+		ls[name] = layout.MustParse(name, xml)
+	}
+	p, err := ir.Build([]*alite.File{f}, ls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return core.Analyze(p, opts)
+}
+
+func methodOf(t *testing.T, res *core.Result, qualified string) *ir.Method {
+	t.Helper()
+	for _, cl := range res.Prog.AppClasses() {
+		for _, m := range cl.MethodsSorted() {
+			if m.QualifiedName() == qualified {
+				return m
+			}
+		}
+	}
+	t.Fatalf("method %s not found", qualified)
+	return nil
+}
+
+func viewIDsOf(res *core.Result, vals []graph.Value) []string {
+	var out []string
+	for _, v := range vals {
+		for _, id := range res.Graph.ViewIDsOf(v) {
+			out = append(out, id.Name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TestFlowsToAtReassigned: a reassigned view variable merges both lookups
+// flow-insensitively; FlowsToAt splits them per program point.
+func TestFlowsToAtReassigned(t *testing.T) {
+	src := `
+class H implements OnClickListener {
+	void onClick(View v) { }
+}
+class A extends Activity {
+	void onCreate() {
+		this.setContentView(R.layout.main);
+		View b = this.findViewById(R.id.one);
+		H h1 = new H();
+		b.setOnClickListener(h1);
+		b = this.findViewById(R.id.two);
+		H h2 = new H();
+		b.setOnClickListener(h2);
+	}
+}`
+	layouts := map[string]string{
+		"main": `<LinearLayout><Button android:id="@+id/one"/><Button android:id="@+id/two"/></LinearLayout>`,
+	}
+	res := analyzeOpts(t, src, layouts, core.Options{})
+	ctx := NewContext(res)
+	m := methodOf(t, res, "A.onCreate")
+
+	var regs []*ir.Invoke
+	var b *ir.Var
+	ir.WalkStmts(m.Body, func(s ir.Stmt) {
+		if inv, ok := s.(*ir.Invoke); ok && strings.HasPrefix(inv.Key, "setOnClickListener") {
+			regs = append(regs, inv)
+			b = inv.Recv
+		}
+	})
+	if len(regs) != 2 || b == nil {
+		t.Fatalf("found %d registration sites", len(regs))
+	}
+
+	merged := viewIDsOf(res, res.VarPointsTo(b))
+	if got := strings.Join(merged, ","); got != "one,two" {
+		t.Fatalf("flow-insensitive solution = %v, want both views", merged)
+	}
+	at1 := viewIDsOf(res, ctx.FlowsToAt(m, regs[0], b))
+	at2 := viewIDsOf(res, ctx.FlowsToAt(m, regs[1], b))
+	if strings.Join(at1, ",") != "one" || strings.Join(at2, ",") != "two" {
+		t.Errorf("point-specific flowsTo = %v / %v, want [one] / [two]", at1, at2)
+	}
+}
+
+// TestListenerResetReassignedNotFlagged: the two registrations target
+// different views through one reused variable. The whole-method receiver
+// solutions overlap, but the program-point sets do not — no finding.
+func TestListenerResetReassignedNotFlagged(t *testing.T) {
+	src := `
+class H1 implements OnClickListener {
+	void onClick(View v) { }
+}
+class H2 implements OnClickListener {
+	void onClick(View v) { }
+}
+class A extends Activity {
+	void onCreate() {
+		this.setContentView(R.layout.main);
+		View b = this.findViewById(R.id.one);
+		H1 h1 = new H1();
+		b.setOnClickListener(h1);
+		b = this.findViewById(R.id.two);
+		H2 h2 = new H2();
+		b.setOnClickListener(h2);
+	}
+}`
+	layouts := map[string]string{
+		"main": `<LinearLayout><Button android:id="@+id/one"/><Button android:id="@+id/two"/></LinearLayout>`,
+	}
+	if fs := findingsOf(Run(analyzeOpts(t, src, layouts, core.Options{})), "listener-reset"); len(fs) != 0 {
+		t.Errorf("reassigned variable flagged: %v", fs)
+	}
+}
+
+// helperSrc: A1 asks its shared find-view helper for an id that exists only
+// in A2's layout. The merged insensitive solution keeps A1's result alive
+// through A2's hierarchy; the context-sensitive split proves it empty, and
+// the empty-helper-call seed turns that into a null-view-deref at the use.
+const helperSrc = `
+class BaseAct extends Activity {
+	View find(int id) {
+		View v = this.findViewById(id);
+		return v;
+	}
+}
+class A1 extends BaseAct {
+	void onCreate() {
+		this.setContentView(R.layout.l1);
+		View w = this.find(R.id.two);
+		w.setId(R.id.one);
+	}
+}
+class A2 extends BaseAct {
+	void onCreate() {
+		this.setContentView(R.layout.l2);
+		View w = this.find(R.id.two);
+		w.setId(R.id.two);
+	}
+}`
+
+var helperLayouts = map[string]string{
+	"l1": `<LinearLayout><Button android:id="@+id/one"/></LinearLayout>`,
+	"l2": `<LinearLayout><Button android:id="@+id/two"/></LinearLayout>`,
+}
+
+// TestNullViewDerefHelperNeedsCtx is the precision-frontier regression:
+// the same defect is invisible to the insensitive analysis and reported
+// under both context-sensitive modes, at the dereference.
+func TestNullViewDerefHelperNeedsCtx(t *testing.T) {
+	if fs := findingsOf(Run(analyzeOpts(t, helperSrc, helperLayouts, core.Options{})), "null-view-deref"); len(fs) != 0 {
+		t.Fatalf("insensitive analysis flagged the helper call: %v", fs)
+	}
+	for _, mode := range []core.CtxMode{core.Ctx1CFA, core.Ctx1Obj} {
+		res := analyzeOpts(t, helperSrc, helperLayouts, core.Options{ContextSensitivity: mode})
+		fs := findingsOf(Run(res), "null-view-deref")
+		if len(fs) != 1 {
+			t.Fatalf("%s: findings = %v", mode, fs)
+		}
+		f := fs[0]
+		if !strings.Contains(f.Msg, "find at") || !strings.Contains(f.Msg, "can never return a view") {
+			t.Errorf("%s: msg = %q", mode, f.Msg)
+		}
+		// At A1's dereference (w.setId), not the call or the helper body.
+		if f.Pos.Line != 12 {
+			t.Errorf("%s: pos = %v, want A1's dereference line", mode, f.Pos)
+		}
+	}
+}

@@ -52,12 +52,16 @@ type analysis struct {
 	descGen  int
 
 	// curSub, when non-nil, redirects variable-node lookups for the method
-	// currently being cloned under Context1.
+	// currently being cloned (Context1 or ContextSensitivity). Context ids
+	// are allocated by the graph (NewContext/InternContext), so labeled and
+	// anonymous contexts share one numbering.
 	curSub *cloneSub
-	// nextCtx numbers cloning contexts (0 = context-insensitive).
-	nextCtx int
-	// cloneableCache memoizes the Context1 cloneability decision.
+	// cloneableCache memoizes the cloneability decision.
 	cloneableCache map[*ir.Method]bool
+	// builtClones marks (callee, ctx) bodies already materialized, so
+	// interned contexts (1-object clones shared across call sites) walk
+	// each body exactly once.
+	builtClones map[cloneKey]bool
 
 	// provSource is set while an operation rule is running, so facts it
 	// seeds are attributed to it (recorded as per-value origins inside each
@@ -109,6 +113,11 @@ type cloneSub struct {
 	ctx    int
 }
 
+type cloneKey struct {
+	method *ir.Method
+	ctx    int
+}
+
 // varNode resolves a variable to its graph node, honoring the active
 // cloning substitution.
 func (a *analysis) varNode(v *ir.Var) *graph.VarNode {
@@ -131,6 +140,10 @@ type chaKey struct {
 type dispatchReq struct {
 	key    string
 	callee *ir.Method
+	// class, when non-nil, restricts the edge to receivers of exactly this
+	// dynamic class — the guard that keeps each 1-object clone populated by
+	// one class's objects only.
+	class *ir.Class
 }
 
 type inflation struct {
@@ -158,6 +171,7 @@ func newAnalysis(p *ir.Program, opts Options) *analysis {
 		boundOnClick:   map[onClickKey]bool{},
 		descMemo:       map[graph.Value][]graph.Value{},
 		cloneableCache: map[*ir.Method]bool{},
+		builtClones:    map[cloneKey]bool{},
 		tr:             opts.Trace,
 	}
 	if opts.Provenance {
@@ -390,11 +404,13 @@ func (a *analysis) buildInvoke(m *ir.Method, s *ir.Invoke) {
 	// return edges also depend on the callee's file — methodReturnVars reads
 	// its body.
 	mu := a.unitOf(m)
+	cloning := a.opts.Context1 || a.opts.ContextSensitivity != CtxOff
 	for _, callee := range a.callTargets(s.Recv.TypeClass, s.Key, s.Target) {
 		cu := a.mention(callee)
-		if a.opts.Context1 && a.curSub == nil && a.cloneable(callee) {
-			a.buildClonedCall(s, callee, mu.or(cu))
-			continue
+		if cloning && a.curSub == nil && a.cloneable(callee) {
+			if a.cloneCall(s, callee, mu.or(cu)) {
+				continue
+			}
 		}
 		a.addDispatchFlow(a.varNode(s.Recv), callee, s.Key, mu)
 		for i, arg := range s.Args {
@@ -410,7 +426,57 @@ func (a *analysis) buildInvoke(m *ir.Method, s *ir.Invoke) {
 	}
 }
 
-// cloneable reports whether Context1 clones the callee per call site: a
+// cloneCall dispatches one call site to the active cloning mode and
+// reports whether the call was handled context-sensitively (false sends
+// the site down the shared, context-insensitive path).
+func (a *analysis) cloneCall(s *ir.Invoke, callee *ir.Method, units unitBits) bool {
+	switch a.opts.ContextSensitivity {
+	case Ctx1CFA:
+		// 1-CFA: one context per call-site position, interned so the
+		// label renders in derivation trees. Multiple CHA callees at one
+		// site share the context id; their variable nodes stay distinct.
+		if !s.Pos().IsValid() {
+			return false
+		}
+		a.buildClonedCall(s, callee, units, a.g.InternContext("cs:"+s.Pos().String()), nil)
+		return true
+	case Ctx1Obj:
+		// 1-object: one context per possible receiver class, shared
+		// across every call site dispatching to the callee on that class.
+		classes := a.receiverClasses(s.Recv.TypeClass, s.Key, callee)
+		if len(classes) == 0 {
+			return false
+		}
+		for _, cls := range classes {
+			a.buildClonedCall(s, callee, units, a.g.InternContext("obj:"+cls.Name), cls)
+		}
+		return true
+	default: // legacy Context1: anonymous per-call-site contexts
+		a.buildClonedCall(s, callee, units, a.g.NewContext(""), nil)
+		return true
+	}
+}
+
+// receiverClasses enumerates the concrete application classes whose objects
+// could be the receiver of this call and dispatch it to callee — the
+// context population of a 1-object clone.
+func (a *analysis) receiverClasses(decl *ir.Class, key string, callee *ir.Method) []*ir.Class {
+	if decl == nil {
+		return nil
+	}
+	var out []*ir.Class
+	for _, c := range a.prog.AppClasses() {
+		if c.IsInterface || !c.SubtypeOf(decl) {
+			continue
+		}
+		if c.Dispatch(key) == callee {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// cloneable reports whether the active cloning mode clones the callee: a
 // small, non-self-recursive application method. Larger or recursive callees
 // keep the shared (context-insensitive) treatment.
 func (a *analysis) cloneable(callee *ir.Method) bool {
@@ -431,11 +497,14 @@ func (a *analysis) cloneable(callee *ir.Method) bool {
 }
 
 // buildClonedCall gives the callee a fresh set of variable, operation, and
-// allocation nodes for this call site — bounded (depth-1) call-site context
-// sensitivity. This is the refinement the paper's case study points to for
-// the XBMC outlier ("applying existing techniques for context sensitivity
-// would lead to an even more precise solution").
-func (a *analysis) buildClonedCall(s *ir.Invoke, callee *ir.Method, units unitBits) {
+// allocation nodes under the given cloning context — bounded (depth-1)
+// context sensitivity. This is the refinement the paper's case study points
+// to for the XBMC outlier ("applying existing techniques for context
+// sensitivity would lead to an even more precise solution"). cls, when
+// non-nil, class-guards the receiver edge (1-object clones). The callee
+// body is materialized once per context; interned contexts reached from
+// several call sites only re-wire the call edges.
+func (a *analysis) buildClonedCall(s *ir.Invoke, callee *ir.Method, units unitBits, ctx int, cls *ir.Class) {
 	// Caller-side nodes resolve under the caller's (nil) substitution.
 	recv := a.varNode(s.Recv)
 	args := make([]*graph.VarNode, len(s.Args))
@@ -447,19 +516,23 @@ func (a *analysis) buildClonedCall(s *ir.Invoke, callee *ir.Method, units unitBi
 		dst = a.varNode(s.Dst)
 	}
 
-	a.nextCtx++
-	sub := &cloneSub{method: callee, ctx: a.nextCtx}
+	sub := &cloneSub{method: callee, ctx: ctx}
 	prev := a.curSub
 	a.curSub = sub
 	defer func() { a.curSub = prev }()
 
 	// Materialize the callee body under the substitution: nested calls
-	// inside the clone take the shared path (depth 1).
-	ir.WalkStmts(callee.Body, func(st ir.Stmt) { a.buildStmt(callee, st) })
+	// inside the clone take the shared path (depth 1). Allocation and
+	// operation nodes are not interned, so a body must never be walked
+	// twice under one context.
+	if ck := (cloneKey{callee, ctx}); !a.builtClones[ck] {
+		a.builtClones[ck] = true
+		ir.WalkStmts(callee.Body, func(st ir.Stmt) { a.buildStmt(callee, st) })
+	}
 
 	// Parameter, receiver, and return plumbing into the cloned nodes.
 	this := a.varNode(callee.This)
-	a.dispatchFilter[[2]int{recv.ID(), this.ID()}] = dispatchReq{key: s.Key, callee: callee}
+	a.dispatchFilter[[2]int{recv.ID(), this.ID()}] = dispatchReq{key: s.Key, callee: callee, class: cls}
 	a.addFlow(recv, this, units)
 	for i := range args {
 		if i < len(callee.Params) {

@@ -145,6 +145,12 @@ func AnalyzeIncremental(prog *ir.Program, opts Options, prev *Result, dirty []st
 // warmBlocker returns the reason warm re-solving is unavailable, or "".
 func warmBlocker(opts Options, prev *Result) string {
 	switch {
+	case opts.ContextSensitivity != CtxOff || (prev != nil && prev.Opts.ContextSensitivity != CtxOff):
+		// Cloned subgraphs share interned contexts across call sites, so a
+		// unit edit cannot be retracted clone-locally; fall back to scratch
+		// rather than ever serving stale merged facts. Checked first so the
+		// reason is deterministic whatever tracking state prev carries.
+		return "context-sensitive"
 	case prev == nil:
 		return "no previous result"
 	case prev.dep == nil || prev.units == nil:

@@ -1,0 +1,130 @@
+package core
+
+// Context projection: rendering the solution with cloning contexts and
+// clone identities erased. Context-sensitive runs give one allocation or
+// inflation site several graph nodes (one per context), each with its own
+// ordinal or op id, so the raw node names of two modes are incomparable.
+// ProjectedSolution names every abstract value by its *source identity* —
+// class plus source position — so clones of one site collapse to one name
+// and "mode A refines mode B" becomes plain set inclusion over rendered
+// fact lines. The precision-monotonicity harness (ctx_test.go) and the
+// BENCH_7 strictness probe are built on this rendering.
+
+import (
+	"fmt"
+	"sort"
+
+	"gator/internal/graph"
+)
+
+// CanonValue names an abstract value by source identity, independent of
+// which cloning context materialized its node. The oracle's precision
+// counters use it so solution sizes are comparable across context modes.
+func CanonValue(v graph.Value) string { return canonValue(v) }
+
+// canonValue names an abstract value by source identity, independent of
+// which cloning context materialized its node.
+func canonValue(v graph.Value) string {
+	switch v := v.(type) {
+	case *graph.AllocNode:
+		return "new " + v.Class.Name + "@" + allocSite(v)
+	case *graph.ActivityNode:
+		return "activity " + v.Class.Name
+	case *graph.InflNode:
+		return fmt.Sprintf("infl %s@%s:%d^%s", v.Class.Name, v.LayoutName, v.Path, opSite(v.Op))
+	case *graph.LayoutIDNode:
+		return "layout " + v.Name
+	case *graph.ViewIDNode:
+		return "id " + v.Name
+	case *graph.ClassNode:
+		return "class " + v.Class.Name
+	case *graph.MenuNode:
+		return "menu " + v.Activity.Name
+	case *graph.MenuItemNode:
+		return "menuitem@" + opSite(v.Op)
+	default:
+		return v.String()
+	}
+}
+
+func allocSite(n *graph.AllocNode) string {
+	if n.Site != nil && n.Site.Pos().IsValid() {
+		return n.Site.Pos().String()
+	}
+	if n.Method != nil {
+		return n.Method.QualifiedName()
+	}
+	return "?"
+}
+
+func opSite(op *graph.OpNode) string {
+	if op == nil {
+		return "?"
+	}
+	if op.Site != nil && op.Site.Pos().IsValid() {
+		return fmt.Sprintf("%s@%s", op.Kind, op.Site.Pos())
+	}
+	if op.Method != nil {
+		return fmt.Sprintf("%s@%s", op.Kind, op.Method.QualifiedName())
+	}
+	return op.Kind.String()
+}
+
+// ProjectedSolution renders the full solution as sorted, deduplicated
+// per-fact lines with contexts projected away: one "pts" line per
+// (variable-or-field, canonical value) pair — context variants of one
+// variable union into one entity — plus one line per derived relation
+// pair. Because every line is a single fact, refinement between two modes
+// is set inclusion over the returned slices, and the slice length is the
+// solution size the precision benchmarks report.
+func (r *Result) ProjectedSolution() []string {
+	set := map[string]bool{}
+	for _, n := range r.Graph.Nodes() {
+		vals := r.PointsTo(n)
+		if len(vals) == 0 {
+			continue
+		}
+		var ent string
+		switch n := n.(type) {
+		case *graph.VarNode:
+			ent = "var " + n.Var.String()
+		case *graph.FieldNode:
+			ent = "field " + n.Field.Sig()
+		default:
+			continue
+		}
+		for _, v := range vals {
+			set["pts "+ent+" = "+canonValue(v)] = true
+		}
+	}
+	pair := func(kind string) func(a, b graph.Value) {
+		return func(a, b graph.Value) {
+			set[kind+" "+canonValue(a)+" -> "+canonValue(b)] = true
+		}
+	}
+	r.Graph.ChildPairs(pair("child"))
+	r.Graph.ListenerPairs(pair("listener"))
+	r.Graph.RootPairs(pair("root"))
+	r.Graph.MenuPairs(pair("menuitem"))
+	for _, n := range r.Graph.Nodes() {
+		v, ok := n.(graph.Value)
+		if !ok {
+			continue
+		}
+		for _, id := range r.Graph.ViewIDsOf(v) {
+			set["viewid "+canonValue(v)+" -> "+canonValue(id)] = true
+		}
+		for _, tgt := range r.Graph.IntentTargets(v) {
+			set["intent "+canonValue(v)+" -> "+canonValue(tgt)] = true
+		}
+		for _, l := range r.Graph.LayoutOf(v) {
+			set["layoutof "+canonValue(v)+" -> "+canonValue(l)] = true
+		}
+	}
+	out := make([]string, 0, len(set))
+	for line := range set {
+		out = append(out, line)
+	}
+	sort.Strings(out)
+	return out
+}

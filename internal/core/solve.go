@@ -114,6 +114,10 @@ func dispatchAdmits(v graph.Value, req dispatchReq) bool {
 	default:
 		return false
 	}
+	if req.class != nil && vc != req.class {
+		// 1-object clone: the edge belongs to exactly one receiver class.
+		return false
+	}
 	return vc.Dispatch(req.key) == req.callee
 }
 

@@ -128,6 +128,26 @@ func (r *Result[F]) VisitStmts(f func(b *cfg.Block, s ir.Stmt, before F)) {
 	}
 }
 
+// At replays the transfer function through the containing block and returns
+// the fact holding immediately *before* one statement — the per-program-point
+// reading of a block-boundary solution. The second result is false when the
+// statement is not part of the solved graph. Cost is one scan of the blocks
+// plus one replay of the containing block's prefix; clients querying many
+// points of one method should prefer VisitStmts.
+func (r *Result[F]) At(target ir.Stmt) (F, bool) {
+	for _, b := range r.Graph.Blocks {
+		fact := r.In[b.Index]
+		for _, s := range b.Stmts {
+			if s == target {
+				return fact, true
+			}
+			fact = r.An.Transfer(s, fact)
+		}
+	}
+	var zero F
+	return zero, false
+}
+
 // DefinedVar returns the variable a statement assigns, or nil: the def in
 // "reaching definitions". It is ir.Def under the name dataflow clients use.
 func DefinedVar(s ir.Stmt) *ir.Var { return ir.Def(s) }

@@ -32,16 +32,23 @@ type base struct{ id int }
 func (b base) ID() int { return b.id }
 
 // VarNode represents one local variable, parameter, or receiver. Under
-// context-sensitive cloning (core.Options.Context1), one variable may have
-// several nodes distinguished by Ctx; the context-insensitive node has
-// Ctx 0.
+// context-sensitive cloning (core.Options.Context1 or ContextSensitivity),
+// one variable may have several nodes distinguished by Ctx; the
+// context-insensitive node has Ctx 0. CtxLabel is the interned label of
+// the context when one was registered (call-site position for 1-CFA,
+// receiver class for 1-object); anonymous Context1 contexts leave it
+// empty and render as #N.
 type VarNode struct {
 	base
-	Var *ir.Var
-	Ctx int
+	Var      *ir.Var
+	Ctx      int
+	CtxLabel string
 }
 
 func (n *VarNode) String() string {
+	if n.CtxLabel != "" {
+		return fmt.Sprintf("Var[%s @ %s]", n.Var, n.CtxLabel)
+	}
 	if n.Ctx != 0 {
 		return fmt.Sprintf("Var[%s#%d]", n.Var, n.Ctx)
 	}
@@ -216,6 +223,15 @@ type Graph struct {
 	infls  []*InflNode
 	ops    []*OpNode
 
+	// Cloning contexts: ctxSeq numbers them densely (0 = insensitive),
+	// ctxLabels/ctxIDs intern the optional human-readable labels, and
+	// ctxVars indexes each variable's non-zero-context clones so queries
+	// can project contexts away without scanning every node.
+	ctxSeq    int
+	ctxLabels map[int]string
+	ctxIDs    map[string]int
+	ctxVars   map[*ir.Var][]*VarNode
+
 	// allocSeq numbers allocation nodes ever created; unlike len(allocs) it
 	// never shrinks, so ordinals stay unique after Retire.
 	allocSeq int
@@ -259,6 +275,9 @@ func New() *Graph {
 		classes:    map[*ir.Class]*ClassNode{},
 		menus:      map[*ir.Class]*MenuNode{},
 		menuItems:  map[*OpNode]*MenuItemNode{},
+		ctxLabels:  map[int]string{},
+		ctxIDs:     map[string]int{},
+		ctxVars:    map[*ir.Var][]*VarNode{},
 		flowSucc:   map[Node][]Node{},
 		flowSet:    map[edgeKey]bool{},
 		children:   newRelation(),
@@ -291,13 +310,57 @@ func (g *Graph) VarNodeCtx(v *ir.Var, ctx int) *VarNode {
 	if n, ok := g.vars[k]; ok {
 		return n
 	}
-	n := &VarNode{base: g.nextID(), Var: v, Ctx: ctx}
+	n := &VarNode{base: g.nextID(), Var: v, Ctx: ctx, CtxLabel: g.ctxLabels[ctx]}
 	g.vars[k] = n
 	if v.Method != nil {
 		g.methodVars[v.Method] = append(g.methodVars[v.Method], n)
 	}
+	if ctx != 0 {
+		g.ctxVars[v] = append(g.ctxVars[v], n)
+	}
 	g.register(n)
 	return n
+}
+
+// NewContext allocates a fresh cloning context id. A non-empty label is
+// interned (future VarNodeCtx nodes under this context render it) and can
+// be looked up again with InternContext.
+func (g *Graph) NewContext(label string) int {
+	g.ctxSeq++
+	if label != "" {
+		g.ctxLabels[g.ctxSeq] = label
+		g.ctxIDs[label] = g.ctxSeq
+	}
+	return g.ctxSeq
+}
+
+// InternContext returns the context id for a label, allocating one on
+// first use. The same label always maps to the same id, so cloning keyed
+// by label (per receiver class, say) reuses one context across call sites.
+func (g *Graph) InternContext(label string) int {
+	if id, ok := g.ctxIDs[label]; ok {
+		return id
+	}
+	return g.NewContext(label)
+}
+
+// ContextLabel returns the interned label of a context ("" when the
+// context is anonymous or unknown).
+func (g *Graph) ContextLabel(ctx int) string { return g.ctxLabels[ctx] }
+
+// NumContexts returns how many cloning contexts have been allocated.
+func (g *Graph) NumContexts() int { return g.ctxSeq }
+
+// ContextVarNodes returns every node of v across cloning contexts: the
+// context-insensitive node (created on demand, first) followed by any
+// per-context clones in creation order. Renderers use it to project
+// contexts away from the solution.
+func (g *Graph) ContextVarNodes(v *ir.Var) []*VarNode {
+	base := g.VarNodeCtx(v, 0)
+	clones := g.ctxVars[v]
+	out := make([]*VarNode, 0, 1+len(clones))
+	out = append(out, base)
+	return append(out, clones...)
 }
 
 // MethodVarNodes returns the variable nodes created for m's variables since

@@ -207,15 +207,19 @@ type PrecisionRow struct {
 	PerfectSites  int
 	Violations    int
 	Steps         int
+	// Ratio is the canonical static-solution size over the oracle's
+	// observed-fact count: 1.00 is an exact solution, larger is a looser
+	// over-approximation. Zero when the oracle observed nothing.
+	Ratio float64
 }
 
 // FormatPrecision renders case-study rows.
 func FormatPrecision(rows []PrecisionRow) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%-16s %9s %9s %11s %10s\n", "App", "sites", "perfect", "violations", "steps")
+	fmt.Fprintf(&b, "%-16s %9s %9s %11s %10s %7s\n", "App", "sites", "perfect", "violations", "steps", "ratio")
 	for _, r := range rows {
-		fmt.Fprintf(&b, "%-16s %9d %9d %11d %10d\n",
-			r.App, r.ObservedSites, r.PerfectSites, r.Violations, r.Steps)
+		fmt.Fprintf(&b, "%-16s %9d %9d %11d %10d %7.2f\n",
+			r.App, r.ObservedSites, r.PerfectSites, r.Violations, r.Steps, r.Ratio)
 	}
 	return b.String()
 }

@@ -39,6 +39,23 @@ type Report struct {
 	// PerfectSites counts executed sites whose static solution matches the
 	// observation exactly (receivers, args, and results).
 	PerfectSites int
+	// StaticFacts and ObservedFacts measure precision at the executed
+	// operation sites: the static solution's distinct source-identity
+	// values (clones of one site collapse to one — see core.CanonValue)
+	// versus the distinct in-scope observed values, summed per site over
+	// receivers, arguments, and results. Their ratio is the paper-style
+	// precision metric BENCH_7.json records.
+	StaticFacts   int
+	ObservedFacts int
+}
+
+// Ratio is the precision ratio: static solution size over observed size at
+// the executed sites (1.0 = perfectly tight; 0 when nothing was observed).
+func (r *Report) Ratio() float64 {
+	if r.ObservedFacts == 0 {
+		return 0
+	}
+	return float64(r.StaticFacts) / float64(r.ObservedFacts)
 }
 
 // Sound reports whether no violations were found.
@@ -79,6 +96,8 @@ func Compare(res *core.Result, obs *interp.Observations) *Report {
 			argU = unionVals(argU, res.OpArg(op, 0))
 			resU = unionVals(resU, res.OpResults(op))
 		}
+		rep.StaticFacts += canonCount(recvU) + canonCount(argU) + canonCount(resU)
+		rep.ObservedFacts += m.scopedCount(e.so.Receivers) + m.scopedCount(e.so.Args) + m.scopedCount(e.so.Results)
 		where := ops[0].String()
 		perfect := true
 		perfect = m.checkSet(rep, where+" receivers", e.so.Receivers, recvU) && perfect
@@ -259,6 +278,28 @@ func (m *mapper) checkSet(rep *Report, where string, observed map[interp.Tag]boo
 		}
 	}
 	return ok
+}
+
+// canonCount counts the distinct source identities in a static value set:
+// context clones of one allocation/inflation site count once.
+func canonCount(vals []graph.Value) int {
+	seen := map[string]bool{}
+	for _, v := range vals {
+		seen[core.CanonValue(v)] = true
+	}
+	return len(seen)
+}
+
+// scopedCount counts the in-scope observed tags (opaque platform objects
+// are outside the analysis's domain and are skipped by checkSet too).
+func (m *mapper) scopedCount(observed map[interp.Tag]bool) int {
+	n := 0
+	for t := range observed {
+		if _, skip := m.valuesFor(t); !skip {
+			n++
+		}
+	}
+	return n
 }
 
 // unionVals merges value slices without duplicates.

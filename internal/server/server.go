@@ -170,16 +170,21 @@ type OptionsJSON struct {
 	NoFindView3Refinement bool `json:"noFindView3,omitempty"`
 	DeclaredDispatchOnly  bool `json:"declaredDispatchOnly,omitempty"`
 	Context1              bool `json:"context1,omitempty"`
-	Provenance            bool `json:"provenance,omitempty"`
+	// ContextSensitivity selects the cloning-based context mode:
+	// "off" (or empty), "1cfa", or "1obj".
+	ContextSensitivity string `json:"contextSensitivity,omitempty"`
+	Provenance         bool   `json:"provenance,omitempty"`
 }
 
 func (o OptionsJSON) toOptions() gator.Options {
+	ctx, _ := gator.ParseCtxMode(o.ContextSensitivity)
 	return gator.Options{
 		FilterCasts:           o.FilterCasts,
 		SharedInflation:       o.SharedInflation,
 		NoFindView3Refinement: o.NoFindView3Refinement,
 		DeclaredDispatchOnly:  o.DeclaredDispatchOnly,
 		Context1:              o.Context1,
+		ContextSensitivity:    ctx,
 		Provenance:            o.Provenance,
 	}
 }
@@ -344,6 +349,17 @@ func validateSpec(w http.ResponseWriter, spec ReportSpec) bool {
 	return true
 }
 
+// validateOptions rejects unknown option enum values up front — a typo'd
+// context mode must fail the request, not silently analyze insensitively.
+func validateOptions(w http.ResponseWriter, o OptionsJSON) bool {
+	if _, ok := gator.ParseCtxMode(o.ContextSensitivity); !ok {
+		writeError(w, http.StatusBadRequest, "unknown contextSensitivity %q (known: off, 1cfa, 1obj)",
+			o.ContextSensitivity)
+		return false
+	}
+	return true
+}
+
 // rendered is one analysis outcome: the rendered report plus metadata.
 type rendered struct {
 	code    int
@@ -458,6 +474,9 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	if !validateSpec(w, req.ReportSpec) {
 		return
 	}
+	if !validateOptions(w, req.Options) {
+		return
+	}
 	name := req.Name
 	if name == "" {
 		name = "app"
@@ -514,6 +533,9 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if !validateSpec(w, req.ReportSpec) {
+		return
+	}
+	if !validateOptions(w, req.Options) {
 		return
 	}
 	name := req.Name
@@ -723,6 +745,9 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	if !validateSpec(w, req.ReportSpec) {
 		return
 	}
+	if !validateOptions(w, req.Options) {
+		return
+	}
 	flusher, ok := w.(http.Flusher)
 	if !ok {
 		writeError(w, http.StatusInternalServerError, "response writer cannot stream")
@@ -809,12 +834,17 @@ func incrInfo(st gator.IncrementalStats) *IncrementalInfo {
 }
 
 func optionsJSON(o gator.Options) OptionsJSON {
+	ctx := ""
+	if o.ContextSensitivity != gator.CtxOff {
+		ctx = o.ContextSensitivity.String()
+	}
 	return OptionsJSON{
 		FilterCasts:           o.FilterCasts,
 		SharedInflation:       o.SharedInflation,
 		NoFindView3Refinement: o.NoFindView3Refinement,
 		DeclaredDispatchOnly:  o.DeclaredDispatchOnly,
 		Context1:              o.Context1,
+		ContextSensitivity:    ctx,
 		Provenance:            o.Provenance,
 	}
 }

@@ -504,6 +504,13 @@ func TestRequestLimitsAndErrors(t *testing.T) {
 		t.Fatalf("unknown report: %v, want 400", err)
 	}
 
+	// Unknown context-sensitivity mode → 400 (never silently insensitive).
+	_, err = c.Analyze(AnalyzeRequest{Sources: map[string]string{"a.alite": ""},
+		Options: OptionsJSON{ContextSensitivity: "2cfa"}})
+	if !errors.As(err, &se) || se.Code != http.StatusBadRequest {
+		t.Fatalf("unknown context mode: %v, want 400", err)
+	}
+
 	// Empty request → 400.
 	_, err = c.Analyze(AnalyzeRequest{})
 	if !errors.As(err, &se) || se.Code != http.StatusBadRequest {

@@ -6,7 +6,11 @@
 # record, on a warm/cold speedup below 5x, for the server record, on a
 # warm-session speedup below 3x, and for the solver record, on an
 # optimized-vs-reference speedup below 2x, a sharded engine slower than the
-# reference schedule, or a >64-unit incremental speedup below 5x.
+# reference schedule, or a >64-unit incremental speedup below 5x. The
+# precision record (BENCH_7.json, gatorbench -precjson) is gated tighter:
+# any soundness violation fails, a per-mode solution/oracle ratio may not
+# grow more than 5%, and the polymorphic-helper stressor must stay strictly
+# smaller under context sensitivity.
 #
 # Usage: scripts/benchdiff.sh [OUTDIR]
 #   Pass an OUTDIR to keep the regenerated records around (CI uploads them
@@ -25,12 +29,14 @@ fi
 
 echo "== regenerating benchmark records into $OUT"
 go run ./cmd/gatorbench -table 2 -benchjson "$OUT/BENCH_2.json" -incjson "$OUT/BENCH_4.json" \
-    -servejson "$OUT/BENCH_5.json" -solvejson "$OUT/BENCH_6.json" > /dev/null
+    -servejson "$OUT/BENCH_5.json" -solvejson "$OUT/BENCH_6.json" \
+    -precjson "$OUT/BENCH_7.json" > /dev/null
 
-echo "== diff vs checked-in records (threshold 15%)"
+echo "== diff vs checked-in records (threshold 15%; precision ratio 5%)"
 go run ./cmd/benchdiff BENCH_2.json "$OUT/BENCH_2.json"
 go run ./cmd/benchdiff BENCH_4.json "$OUT/BENCH_4.json"
 go run ./cmd/benchdiff BENCH_5.json "$OUT/BENCH_5.json"
 go run ./cmd/benchdiff BENCH_6.json "$OUT/BENCH_6.json"
+go run ./cmd/benchdiff BENCH_7.json "$OUT/BENCH_7.json"
 
 echo "== benchdiff gate green"

@@ -33,8 +33,12 @@
 #                      drains and shuts down cleanly
 #   9. no-alloc      — BenchmarkSolveTracingDisabled asserts that disabled
 #                      tracing adds zero allocations to the solver
-#  10. gatorbench    — regenerate BENCH_2.json, BENCH_4.json, BENCH_5.json,
-#                      and BENCH_6.json (skipped with -short);
+#  10. ctx smoke     — `gatorbench -table precision -ctx 1cfa` over one small
+#                      corpus app: the context-sensitive solver stays sound
+#                      against the oracle (the command exits nonzero on any
+#                      soundness violation) and stays wired into the CLI
+#  11. gatorbench    — regenerate BENCH_2.json, BENCH_4.json, BENCH_5.json,
+#                      BENCH_6.json, and BENCH_7.json (skipped with -short);
 #                      scripts/benchdiff.sh diffs regenerated records
 #                      against the checked-in ones without overwriting them
 #
@@ -92,10 +96,13 @@ go run ./cmd/gatord -smoke examples/buggyapp
 echo "== zero-allocation guard (tracing disabled)"
 go test -run TestTracingDisabledZeroAlloc -bench BenchmarkSolveTracingDisabled -benchtime 1x ./internal/core
 
+echo "== context-sensitivity precision smoke (TippyTipper, 1cfa)"
+go run ./cmd/gatorbench -table precision -app TippyTipper -ctx 1cfa > /dev/null
+
 if [ -z "$SHORT" ]; then
-    echo "== gatorbench BENCH_2.json + BENCH_4.json + BENCH_5.json + BENCH_6.json"
+    echo "== gatorbench BENCH_2.json + BENCH_4.json + BENCH_5.json + BENCH_6.json + BENCH_7.json"
     go run ./cmd/gatorbench -benchjson BENCH_2.json -incjson BENCH_4.json -servejson BENCH_5.json \
-        -solvejson BENCH_6.json > /dev/null
+        -solvejson BENCH_6.json -precjson BENCH_7.json > /dev/null
 fi
 
 echo "== CI gate green"
