@@ -171,6 +171,9 @@ func main() {
 					want.Mode, got.Ratio, ratioSlack*100, want.Ratio)
 			}
 		}
+		if old.Stressor.App != "" && cur.Stressor.App == "" {
+			fail("stressor %s: missing from regenerated record", old.Stressor.App)
+		}
 		if cur.Stressor.App != "" && !cur.Stressor.Strict {
 			fail("stressor %s: context-sensitive solution no longer strictly smaller (off=%d 1cfa=%d 1obj=%d)",
 				cur.Stressor.App, cur.Stressor.InsensitiveFacts, cur.Stressor.CfaFacts, cur.Stressor.ObjFacts)

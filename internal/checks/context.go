@@ -135,11 +135,14 @@ func (c *Context) buildIndexes() {
 }
 
 // viewHelperCall reports whether every dispatch target of a call is a
-// modeled application method and at least one of them performs find-view
-// operations — the shape of a "find and return a view" helper. Only such
-// calls are safe to seed null on an empty result: a modeled view helper
-// with an empty solution genuinely returns nothing, whereas an unmodeled
-// callee's result is merely untracked.
+// modeled application method whose returned values are all modeled
+// one-to-one by the constraint graph, and at least one target performs
+// find-view operations — the shape of a "find and return a view" helper.
+// Only such calls are safe to seed null on an empty result: there an
+// empty solution genuinely proves the helper returns nothing, whereas a
+// return fed through an unmodeled construct (an opaque platform call, an
+// untracked field) leaves the solution empty while the runtime value is
+// real.
 func (c *Context) viewHelperCall(s *ir.Invoke) bool {
 	decl := s.Recv.TypeClass
 	if decl == nil {
@@ -157,6 +160,9 @@ func (c *Context) viewHelperCall(s *ir.Invoke) bool {
 		if callee.Body == nil {
 			return false // dispatches into unmodeled code
 		}
+		if !c.returnsModeled(callee) {
+			return false // result flows through an unmodeled construct
+		}
 		anyCallee = true
 		for _, op := range c.methOps[callee] {
 			switch op.Kind {
@@ -166,6 +172,54 @@ func (c *Context) viewHelperCall(s *ir.Invoke) bool {
 		}
 	}
 	return anyCallee && anyFind
+}
+
+// returnsModeled reports whether every value a method can return is modeled
+// one-to-one by the constraint graph, following copy chains back through
+// the body (see varModeled). Emptiness of the method's solved result is
+// provable only then.
+func (c *Context) returnsModeled(m *ir.Method) bool {
+	ok := true
+	visited := map[*ir.Var]bool{}
+	ir.WalkStmts(m.Body, func(s ir.Stmt) {
+		ret, isRet := s.(*ir.Return)
+		if !isRet || ret.Src == nil {
+			return
+		}
+		if !c.varModeled(m, ret.Src, visited) {
+			ok = false
+		}
+	})
+	return ok
+}
+
+// varModeled reports whether every definition of v inside m is one the
+// graph models one-to-one (per defValues). Copies recurse into their
+// source: defValues answers ok for a copy regardless of how the source
+// was produced, which is sound for FlowsToAt's shrink-only use but not
+// for proving emptiness. A variable with no definitions holds its entry
+// value — a parameter or receiver binding, which call edges model.
+func (c *Context) varModeled(m *ir.Method, v *ir.Var, visited map[*ir.Var]bool) bool {
+	if visited[v] {
+		return true
+	}
+	visited[v] = true
+	modeled := true
+	ir.WalkStmts(m.Body, func(s ir.Stmt) {
+		if !modeled || ir.Def(s) != v {
+			return
+		}
+		if cp, isCopy := s.(*ir.Copy); isCopy {
+			if !c.varModeled(m, cp.Src, visited) {
+				modeled = false
+			}
+			return
+		}
+		if _, ok := c.defValues(s); !ok {
+			modeled = false
+		}
+	})
+	return modeled
 }
 
 func (c *Context) seedForSite(site *ir.Invoke, ops []*graph.OpNode) (dataflow.NullVal, bool) {

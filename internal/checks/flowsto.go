@@ -219,8 +219,17 @@ func (c *Context) FlowsToAt(m *ir.Method, at ir.Stmt, v *ir.Var) []graph.Value {
 	if v == nil || v.Method != m || len(insens) == 0 {
 		return insens
 	}
-	defs, found := c.Reaching(m).DefsAt(at, v)
-	if !found || len(defs) == 0 {
+	rd := c.Reaching(m)
+	fact, found := rd.Result().At(at)
+	// The entry check is what keeps partial redefinition sound: a
+	// parameter redefined on only some paths reaches a merge both through
+	// its explicit definitions and still holding the caller-supplied
+	// value, which no definition accounts for.
+	if !found || rd.EntryReaches(fact, v) {
+		return insens
+	}
+	defs := rd.Defs(fact, v)
+	if len(defs) == 0 {
 		return insens
 	}
 	var out []graph.Value

@@ -131,6 +131,92 @@ class A extends Activity {
 	}
 }
 
+// TestFlowsToAtParamEntryValue: a parameter redefined on only one path may
+// still hold its caller-supplied value at the merge. FlowsToAt must keep
+// the entry contribution — falling back to the flow-insensitive solution —
+// rather than narrow to the explicit definitions.
+func TestFlowsToAtParamEntryValue(t *testing.T) {
+	src := `
+class H implements OnClickListener {
+	void onClick(View v) { }
+}
+class A extends Activity {
+	void onCreate() {
+		this.setContentView(R.layout.main);
+		View a = this.findViewById(R.id.one);
+		this.reg(a);
+	}
+	void reg(View p) {
+		if (*) {
+			p = this.findViewById(R.id.two);
+		}
+		H h = new H();
+		p.setOnClickListener(h);
+	}
+}`
+	layouts := map[string]string{
+		"main": `<LinearLayout><Button android:id="@+id/one"/><Button android:id="@+id/two"/></LinearLayout>`,
+	}
+	res := analyzeOpts(t, src, layouts, core.Options{})
+	ctx := NewContext(res)
+	m := methodOf(t, res, "A.reg")
+	var reg *ir.Invoke
+	ir.WalkStmts(m.Body, func(s ir.Stmt) {
+		if inv, ok := s.(*ir.Invoke); ok && strings.HasPrefix(inv.Key, "setOnClickListener") {
+			reg = inv
+		}
+	})
+	if reg == nil {
+		t.Fatal("registration site not found")
+	}
+	merged := viewIDsOf(res, res.VarPointsTo(reg.Recv))
+	if got := strings.Join(merged, ","); got != "one,two" {
+		t.Fatalf("flow-insensitive solution = %v, want both views", merged)
+	}
+	at := viewIDsOf(res, ctx.FlowsToAt(m, reg, reg.Recv))
+	if got := strings.Join(at, ","); got != "one,two" {
+		t.Errorf("point-specific flowsTo = %v, want both views (the entry value may reach)", at)
+	}
+}
+
+// TestListenerResetParamEntryValueFlagged: on the path where the parameter
+// keeps its caller-supplied view, the second registration replaces the
+// first one's handler on that same view. Narrowing the registration-site
+// receiver to the parameter's explicit definition alone would hide the
+// defect.
+func TestListenerResetParamEntryValueFlagged(t *testing.T) {
+	src := `
+class H1 implements OnClickListener {
+	void onClick(View v) { }
+}
+class H2 implements OnClickListener {
+	void onClick(View v) { }
+}
+class A extends Activity {
+	void onCreate() {
+		this.setContentView(R.layout.main);
+		View a = this.findViewById(R.id.one);
+		this.reg(a);
+	}
+	void reg(View p) {
+		View q = this.findViewById(R.id.one);
+		H1 h1 = new H1();
+		q.setOnClickListener(h1);
+		if (*) {
+			p = this.findViewById(R.id.two);
+		}
+		H2 h2 = new H2();
+		p.setOnClickListener(h2);
+	}
+}`
+	layouts := map[string]string{
+		"main": `<LinearLayout><Button android:id="@+id/one"/><Button android:id="@+id/two"/></LinearLayout>`,
+	}
+	if fs := findingsOf(Run(analyzeOpts(t, src, layouts, core.Options{})), "listener-reset"); len(fs) != 1 {
+		t.Errorf("parameter-entry replacement findings = %v, want exactly one", fs)
+	}
+}
+
 // helperSrc: A1 asks its shared find-view helper for an id that exists only
 // in A2's layout. The merged insensitive solution keeps A1's result alive
 // through A2's hierarchy; the context-sensitive split proves it empty, and
@@ -182,6 +268,38 @@ func TestNullViewDerefHelperNeedsCtx(t *testing.T) {
 		// At A1's dereference (w.setId), not the call or the helper body.
 		if f.Pos.Line != 12 {
 			t.Errorf("%s: pos = %v, want A1's dereference line", mode, f.Pos)
+		}
+	}
+}
+
+// helperOpaqueSrc: the shared helper performs a find-view operation, but
+// what it returns flows through an unmodeled platform call. Its empty
+// solved result proves nothing — at runtime the call may hand back a real
+// view — so no mode may seed null on it.
+const helperOpaqueSrc = `
+class BaseAct extends Activity {
+	View find(int id) {
+		View v = this.findViewById(id);
+		View w = this.decorate(v);
+		return w;
+	}
+}
+class A1 extends BaseAct {
+	void onCreate() {
+		this.setContentView(R.layout.l1);
+		View w = this.find(R.id.one);
+		w.setId(R.id.two);
+	}
+}`
+
+func TestNullViewDerefHelperOpaqueReturnNotFlagged(t *testing.T) {
+	layouts := map[string]string{
+		"l1": `<LinearLayout><Button android:id="@+id/one"/></LinearLayout>`,
+	}
+	for _, mode := range []core.CtxMode{core.CtxOff, core.Ctx1CFA, core.Ctx1Obj} {
+		res := analyzeOpts(t, helperOpaqueSrc, layouts, core.Options{ContextSensitivity: mode})
+		if fs := findingsOf(Run(res), "null-view-deref"); len(fs) != 0 {
+			t.Errorf("%s: opaque-return helper flagged: %v", mode, fs)
 		}
 	}
 }

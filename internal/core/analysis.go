@@ -212,13 +212,14 @@ func (r *Result) PointsTo(n graph.Node) []graph.Value {
 // context variant of the variable's node. Context-insensitive runs have a
 // single variant, so this is the plain lookup.
 func (r *Result) VarPointsTo(v *ir.Var) []graph.Value {
-	variants := r.Graph.ContextVarNodes(v)
-	if len(variants) == 1 {
-		return r.PointsTo(variants[0])
+	if len(r.Graph.VarContextClones(v)) == 0 {
+		// Never cloned (always, context-insensitively): plain lookup, no
+		// projection slice to build.
+		return r.PointsTo(r.Graph.VarNode(v))
 	}
 	var out []graph.Value
 	seen := map[graph.Value]bool{}
-	for _, n := range variants {
+	for _, n := range r.Graph.ContextVarNodes(v) {
 		for _, val := range r.PointsTo(n) {
 			if !seen[val] {
 				seen[val] = true

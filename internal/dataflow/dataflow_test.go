@@ -159,6 +159,57 @@ class A extends Activity {
 	}
 }
 
+func TestReachingDefsEntryValue(t *testing.T) {
+	g := buildCFG(t, `
+class A extends Activity {
+	void reg(Button p) {
+		if (*) {
+			p = new Button();
+		}
+		Button c = p;
+	}
+}`, "A", "reg")
+	rd := NewReachingDefs(g)
+	p := localVar(g, "p")
+	fact, ok := factAt(rd.Result(), func(s ir.Stmt) bool {
+		cp, isCopy := s.(*ir.Copy)
+		return isCopy && cp.Src == p
+	})
+	if !ok {
+		t.Fatal("no copy of p found")
+	}
+	// One explicit def reaches the merge, and the parameter may still hold
+	// its caller-supplied entry value along the untaken branch.
+	if defs := rd.Defs(fact, p); len(defs) != 1 {
+		t.Fatalf("reaching defs of p = %d, want 1", len(defs))
+	}
+	if !rd.EntryReaches(fact, p) {
+		t.Error("entry value does not reach the merge")
+	}
+}
+
+func TestReachingDefsEntryValueKilled(t *testing.T) {
+	g := buildCFG(t, `
+class A extends Activity {
+	void reg(Button p) {
+		p = new Button();
+		Button c = p;
+	}
+}`, "A", "reg")
+	rd := NewReachingDefs(g)
+	p := localVar(g, "p")
+	fact, ok := factAt(rd.Result(), func(s ir.Stmt) bool {
+		cp, isCopy := s.(*ir.Copy)
+		return isCopy && cp.Src == p
+	})
+	if !ok {
+		t.Fatal("no copy of p found")
+	}
+	if rd.EntryReaches(fact, p) {
+		t.Error("entry value survives an unconditional redefinition")
+	}
+}
+
 func TestNullnessStraightLine(t *testing.T) {
 	g := buildCFG(t, `
 class A extends Activity {

@@ -351,6 +351,11 @@ func (g *Graph) ContextLabel(ctx int) string { return g.ctxLabels[ctx] }
 // NumContexts returns how many cloning contexts have been allocated.
 func (g *Graph) NumContexts() int { return g.ctxSeq }
 
+// VarContextClones returns v's non-zero-context clone nodes, nil when v was
+// never cloned (always, under context-insensitive solving). Unlike
+// ContextVarNodes it allocates nothing and creates no node on demand.
+func (g *Graph) VarContextClones(v *ir.Var) []*VarNode { return g.ctxVars[v] }
+
 // ContextVarNodes returns every node of v across cloning contexts: the
 // context-insensitive node (created on demand, first) followed by any
 // per-context clones in creation order. Renderers use it to project
