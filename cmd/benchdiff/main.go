@@ -32,7 +32,12 @@
 //     so the tight bound holds on any runner), any soundness violation is a
 //     hard failure, and the polymorphic-helper stressor must stay strict
 //     (context-sensitive solutions strictly smaller than the insensitive
-//     one).
+//     one);
+//   - observability records (BENCH_8.json, gatorbench -obsjson): the
+//     telemetry layer's request-latency overhead may not exceed the 5%
+//     ceiling. The overhead is a same-machine on/off ratio of min-of-N
+//     latencies, so like the solver ratios it gates on the absolute
+//     ceiling only; the baseline is printed for trend reading.
 //
 // Usage:
 //
@@ -65,6 +70,13 @@ const optSpeedupFloor = 2.0
 // reference schedule, whatever the core count.
 const shardSpeedupFloor = 1.0
 
+// obsOverheadCeiling is the maximum acceptable telemetry overhead, in
+// percent, for observability records — the cost of the full request
+// telemetry layer (trace propagation, per-request metrics and logs,
+// head-sampled trace capture) relative to a telemetry-off daemon (see
+// DESIGN.md, "Observability").
+const obsOverheadCeiling = 5.0
+
 // ratioSlack is the maximum tolerated growth of a precision record's
 // solution/oracle ratio over the baseline. The ratio counts canonical facts,
 // not time, so it is exactly reproducible and gets a bound far tighter than
@@ -94,20 +106,23 @@ type stressorRec struct {
 // record is the superset of the benchmark file shapes; shape is detected
 // by which fields are populated (precision records carry modes, corpus
 // records carry apps, incremental records carry warmMs, server records
-// carry coldP50Ms).
+// carry coldP50Ms, observability records carry telemetryOnMs).
 type record struct {
-	TotalWorkMs  float64     `json:"totalWorkMs"`
-	Speedup      float64     `json:"speedup"`
-	WarmMs       float64     `json:"warmMs"`
-	ColdMs       float64     `json:"coldMs"`
-	ColdP50Ms    float64     `json:"coldP50Ms"`
-	ColdP99Ms    float64     `json:"coldP99Ms"`
-	OptSpeedup   float64     `json:"optSpeedup"`
-	ShardSpeedup float64     `json:"shardSpeedup"`
-	IncSpeedup   float64     `json:"incSpeedup"`
-	Apps         []appRec    `json:"apps"`
-	Modes        []modeRec   `json:"modes"`
-	Stressor     stressorRec `json:"stressor"`
+	TotalWorkMs    float64     `json:"totalWorkMs"`
+	Speedup        float64     `json:"speedup"`
+	WarmMs         float64     `json:"warmMs"`
+	ColdMs         float64     `json:"coldMs"`
+	ColdP50Ms      float64     `json:"coldP50Ms"`
+	ColdP99Ms      float64     `json:"coldP99Ms"`
+	OptSpeedup     float64     `json:"optSpeedup"`
+	ShardSpeedup   float64     `json:"shardSpeedup"`
+	IncSpeedup     float64     `json:"incSpeedup"`
+	TelemetryOffMs float64     `json:"telemetryOffMs"`
+	TelemetryOnMs  float64     `json:"telemetryOnMs"`
+	OverheadPct    float64     `json:"overheadPct"`
+	Apps           []appRec    `json:"apps"`
+	Modes          []modeRec   `json:"modes"`
+	Stressor       stressorRec `json:"stressor"`
 }
 
 func load(path string) (record, error) {
@@ -227,6 +242,23 @@ func main() {
 		}
 		if cur.IncSpeedup < speedupFloor {
 			fail("large-app incremental speedup %.2fx below the %.1fx floor", cur.IncSpeedup, speedupFloor)
+		}
+
+	case old.TelemetryOnMs > 0:
+		// Observability record: the telemetry layer's request-latency
+		// overhead, gated by the absolute ceiling. Like the solver ratios,
+		// no relative-to-baseline threshold applies — the percentage divides
+		// two independently measured latency sums, so run-to-run noise would
+		// trip a relative gate without any code change. The baseline figure
+		// is printed for trend reading; the ceiling is the contract.
+		fmt.Printf("%s: telemetry overhead %.2f%% vs baseline %.2f%% (ceiling %.1f%%); on %.1fms off %.1fms\n",
+			flag.Arg(1), cur.OverheadPct, old.OverheadPct, obsOverheadCeiling,
+			cur.TelemetryOnMs, cur.TelemetryOffMs)
+		if cur.TelemetryOnMs == 0 || cur.TelemetryOffMs == 0 {
+			fail("regenerated record is not an observability record (on %.1fms, off %.1fms)",
+				cur.TelemetryOnMs, cur.TelemetryOffMs)
+		} else if cur.OverheadPct > obsOverheadCeiling {
+			fail("telemetry overhead %.2f%% exceeds the %.1f%% ceiling", cur.OverheadPct, obsOverheadCeiling)
 		}
 
 	case old.ColdP50Ms > 0:

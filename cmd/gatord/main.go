@@ -9,6 +9,8 @@
 //	gatord [-addr :7465] [-workers N] [-queue N] [-job-timeout 60s]
 //	       [-session-ttl 30m] [-max-sessions N] [-max-request-bytes N]
 //	       [-cache-dir DIR] [-cache-max-bytes N]
+//	       [-log-level info] [-log-format json] [-trace-sample N]
+//	       [-trace-ring N]
 //
 // Endpoints (see README.md, "Server mode"):
 //
@@ -18,7 +20,15 @@
 //	PATCH  /v1/sessions/{id}  … patch files, warm incremental re-analysis
 //	GET    /v1/sessions/{id}  session metadata
 //	DELETE /v1/sessions/{id}  drop a session
-//	GET    /healthz /readyz /metrics /debug/pprof/
+//	GET    /healthz /readyz /metrics /metrics.json /debug/pprof/
+//	GET    /v1/debug/traces/{id}  captured solver trace (NDJSON)
+//
+// Telemetry: every request carries a W3C trace context (incoming
+// traceparent headers are continued, others started fresh), /metrics
+// serves Prometheus text exposition (JSON at /metrics.json), request
+// logs are structured (-log-format json|text, -log-level), and solver
+// traces are captured for every Nth request (-trace-sample) or on demand
+// (?trace=1), retrievable at /v1/debug/traces/{traceId}.
 //
 // SIGINT/SIGTERM starts a graceful drain: /readyz flips to 503, queued
 // jobs are rejected, in-flight jobs finish, then the listener closes.
@@ -42,6 +52,7 @@ import (
 	"time"
 
 	"gator/internal/server"
+	"gator/internal/telemetry"
 )
 
 func main() {
@@ -55,18 +66,31 @@ func main() {
 	cacheDir := flag.String("cache-dir", "", "persist rendered reports in this `directory` (content-addressed, survives restarts)")
 	cacheMax := flag.Int64("cache-max-bytes", 0, "bound the -cache-dir store; least-recently-used entries are evicted (0 = unbounded)")
 	drainGrace := flag.Duration("drain-grace", 30*time.Second, "max time to wait for in-flight work on shutdown")
+	logLevel := flag.String("log-level", "info", "request log level: debug, info, warn, error")
+	logFormat := flag.String("log-format", "json", "request log format: json or text")
+	traceSample := flag.Int("trace-sample", 0, "capture the solver trace of every Nth analysis request (0 = only ?trace=1 requests)")
+	traceRing := flag.Int("trace-ring", 64, "max captured solver traces kept in memory")
 	smoke := flag.Bool("smoke", false, "self-test: serve on a free port, run one cold and one incremental request against the app directory argument, drain, exit")
 	flag.Parse()
 
+	logger, err := telemetry.NewLogger(os.Stderr, *logLevel, *logFormat)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gatord:", err)
+		os.Exit(2)
+	}
+
 	cfg := server.Config{
-		Workers:         *workers,
-		QueueDepth:      *queue,
-		JobTimeout:      *jobTimeout,
-		SessionTTL:      *sessionTTL,
-		MaxSessions:     *maxSessions,
-		MaxRequestBytes: *maxBytes,
-		CacheDir:        *cacheDir,
-		CacheMaxBytes:   *cacheMax,
+		Workers:          *workers,
+		QueueDepth:       *queue,
+		JobTimeout:       *jobTimeout,
+		SessionTTL:       *sessionTTL,
+		MaxSessions:      *maxSessions,
+		MaxRequestBytes:  *maxBytes,
+		CacheDir:         *cacheDir,
+		CacheMaxBytes:    *cacheMax,
+		Logger:           logger,
+		TraceSample:      *traceSample,
+		TraceRingEntries: *traceRing,
 	}
 
 	if *smoke {

@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"gator"
+	"gator/internal/metrics"
 	"gator/internal/report"
 	"gator/internal/server"
 )
@@ -131,6 +132,42 @@ func runSmoke(cfg server.Config, dir string) error {
 	if err := c.CloseSession(open.SessionID); err != nil {
 		return fmt.Errorf("close session: %w", err)
 	}
+
+	// Telemetry: the Prometheus exposition must parse and carry the
+	// request counters, and an on-demand traced request must yield a
+	// retrievable solver trace whose events carry the trace id.
+	prom, err := c.MetricsProm()
+	if err != nil {
+		return fmt.Errorf("scrape /metrics: %w", err)
+	}
+	fams, err := metrics.ParsePrometheus(prom)
+	if err != nil {
+		return fmt.Errorf("/metrics is not valid Prometheus text: %w", err)
+	}
+	if _, ok := fams["gatord_http_requests_total"]; !ok {
+		return errors.New("/metrics lacks gatord_http_requests_total")
+	}
+	traced, err := c.AnalyzeTraced(server.AnalyzeRequest{
+		Name:       "smoke",
+		Sources:    sources,
+		Layouts:    layouts,
+		ReportSpec: server.ReportSpec{Report: kind},
+	})
+	if err != nil {
+		return fmt.Errorf("traced analyze: %w", err)
+	}
+	if traced.TraceID == "" {
+		return errors.New("traced analyze returned no traceId")
+	}
+	events, err := c.DebugTrace(traced.TraceID)
+	if err != nil {
+		return fmt.Errorf("fetch debug trace: %w", err)
+	}
+	if !bytes.Contains(events, []byte(traced.TraceID)) {
+		return errors.New("captured solver trace events lack the trace id")
+	}
+	fmt.Printf("gatord: smoke: telemetry ok (%d metric families, trace %s, %d trace bytes)\n",
+		len(fams), traced.TraceID, len(events))
 
 	// Drain: readiness must flip, new work must be rejected, and the
 	// listener must close cleanly.

@@ -1,0 +1,181 @@
+package metrics
+
+// Prometheus text exposition (format 0.0.4) for a RegistrySnapshot — what
+// gatord serves at /metrics so any standard scraper can consume the
+// daemon's counters, gauges, and histograms (the bespoke JSON stays at
+// /metrics.json). The rendering is deterministic: families sort by
+// exposed name, series within a family sort by label string, and the
+// power-of-two histograms export as the cumulative `le` buckets Prometheus
+// expects, so two scrapes of an idle daemon are byte-identical (a property
+// the renderer tests and the CI telemetry smoke both check via
+// ParsePrometheus).
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// LabelName builds the registry name for a labeled series:
+// family{k1="v1",k2="v2"} with the labels in the given order. Call sites
+// must use one fixed label order per family so the exposition's label
+// ordering is stable; values are escaped here.
+func LabelName(family string, kv ...string) string {
+	if len(kv) == 0 {
+		return family
+	}
+	var b strings.Builder
+	b.WriteString(family)
+	b.WriteByte('{')
+	for i := 0; i+1 < len(kv); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(kv[i])
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(kv[i+1]))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
+// splitName separates a registry name into its family and label part
+// ("" when unlabeled). The label part keeps its braces.
+func splitName(name string) (family, labels string) {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i], name[i:]
+	}
+	return name, ""
+}
+
+// sanitizeMetricName maps an internal dotted/slashed name onto the
+// Prometheus grammar [a-zA-Z_:][a-zA-Z0-9_:]*.
+func sanitizeMetricName(s string) string {
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+			b.WriteByte(c)
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// promSeries is one rendered series of a family.
+type promSeries struct {
+	labels string // "{...}" or ""
+	value  int64
+	hist   *HistogramSnapshot
+}
+
+type promFamily struct {
+	name   string // exposed name
+	help   string // internal name, as documentation
+	typ    string // counter | gauge | histogram
+	series []promSeries
+}
+
+// WritePrometheus renders the snapshot in Prometheus text format. Every
+// exposed name is prefixed with namespace + "_" (pass "gatord" in the
+// daemon); counters gain a "_total" suffix unless the family already ends
+// in it.
+func WritePrometheus(w io.Writer, s RegistrySnapshot, namespace string) error {
+	prefix := ""
+	if namespace != "" {
+		prefix = sanitizeMetricName(namespace) + "_"
+	}
+	fams := map[string]*promFamily{}
+	addSeries := func(internal, typ string, value int64, hist *HistogramSnapshot) {
+		family, labels := splitName(internal)
+		name := prefix + sanitizeMetricName(family)
+		if typ == "counter" && !strings.HasSuffix(name, "_total") {
+			name += "_total"
+		}
+		f, ok := fams[name]
+		if !ok {
+			f = &promFamily{name: name, help: family, typ: typ}
+			fams[name] = f
+		}
+		f.series = append(f.series, promSeries{labels: labels, value: value, hist: hist})
+	}
+	for internal, v := range s.Counters {
+		addSeries(internal, "counter", v, nil)
+	}
+	for internal, v := range s.Gauges {
+		addSeries(internal, "gauge", v, nil)
+	}
+	for internal, h := range s.Histograms {
+		h := h
+		addSeries(internal, "histogram", 0, &h)
+	}
+
+	names := make([]string, 0, len(fams))
+	for n := range fams {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	var b strings.Builder
+	for _, n := range names {
+		f := fams[n]
+		sort.Slice(f.series, func(i, j int) bool { return f.series[i].labels < f.series[j].labels })
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s %s\n", f.name, f.help, f.name, f.typ)
+		for _, sr := range f.series {
+			if f.typ != "histogram" {
+				fmt.Fprintf(&b, "%s%s %d\n", f.name, sr.labels, sr.value)
+				continue
+			}
+			writeHistogram(&b, f.name, sr.labels, sr.hist)
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// writeHistogram renders one histogram series: cumulative le buckets from
+// the power-of-two snapshot, then sum and count. A snapshot bucket bound
+// is exclusive (the bucket holds v < bound) while Prometheus le is
+// inclusive; observations are integers, so v < bound is exactly
+// v <= bound-1 and the rendered le is bound-1 — cumulative counts are
+// exact, not approximations. The top absorbing bucket has no finite bound
+// and folds into +Inf.
+func writeHistogram(b *strings.Builder, name, labels string, h *HistogramSnapshot) {
+	const absorbBound = int64(1) << (histBuckets - 1)
+	var cum int64
+	for _, bk := range h.Buckets {
+		bound, count := bk[0], bk[1]
+		if bound >= absorbBound {
+			break // the absorbing bucket is representable only as +Inf
+		}
+		cum += count
+		fmt.Fprintf(b, "%s_bucket%s %d\n", name, bucketLabels(labels, fmt.Sprintf("%d", bound-1)), cum)
+	}
+	fmt.Fprintf(b, "%s_bucket%s %d\n", name, bucketLabels(labels, "+Inf"), h.Count)
+	fmt.Fprintf(b, "%s_sum%s %d\n", name, labels, h.Sum)
+	fmt.Fprintf(b, "%s_count%s %d\n", name, labels, h.Count)
+}
+
+// bucketLabels appends the le label to an existing (possibly empty) label
+// set, keeping le last.
+func bucketLabels(labels, le string) string {
+	if labels == "" {
+		return `{le="` + le + `"}`
+	}
+	return labels[:len(labels)-1] + `,le="` + le + `"}`
+}

@@ -1,0 +1,241 @@
+package metrics
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// promTestRegistry builds a registry with one of everything the exposition
+// has to handle: plain and labeled counters, gauges, a callback gauge, and
+// plain and labeled histograms.
+func promTestRegistry() *Registry {
+	reg := NewRegistry()
+	reg.Add("server.jobs.admitted", 7)
+	reg.Add(LabelName("http_requests_total", "route", "/v1/analyze", "status", "200"), 5)
+	reg.Add(LabelName("http_requests_total", "route", "/v1/analyze", "status", "429"), 1)
+	reg.Add(LabelName("requests_rejected_total", "reason", "draining"), 2)
+	reg.SetGauge("sessions.active", 3)
+	reg.GaugeFunc("jobs.queue_depth", func() int64 { return 4 })
+	for _, v := range []int64{0, 1, 3, 9, 100} {
+		reg.Observe("solver/worklist", v)
+	}
+	reg.Observe(LabelName("stage_duration_us", "stage", "solve"), 900)
+	reg.Observe(LabelName("stage_duration_us", "stage", "queue"), 2)
+	return reg
+}
+
+const promGolden = `# HELP gatord_http_requests_total http_requests_total
+# TYPE gatord_http_requests_total counter
+gatord_http_requests_total{route="/v1/analyze",status="200"} 5
+gatord_http_requests_total{route="/v1/analyze",status="429"} 1
+# HELP gatord_jobs_queue_depth jobs.queue_depth
+# TYPE gatord_jobs_queue_depth gauge
+gatord_jobs_queue_depth 4
+# HELP gatord_requests_rejected_total requests_rejected_total
+# TYPE gatord_requests_rejected_total counter
+gatord_requests_rejected_total{reason="draining"} 2
+# HELP gatord_server_jobs_admitted_total server.jobs.admitted
+# TYPE gatord_server_jobs_admitted_total counter
+gatord_server_jobs_admitted_total 7
+# HELP gatord_sessions_active sessions.active
+# TYPE gatord_sessions_active gauge
+gatord_sessions_active 3
+# HELP gatord_solver_worklist solver/worklist
+# TYPE gatord_solver_worklist histogram
+gatord_solver_worklist_bucket{le="0"} 1
+gatord_solver_worklist_bucket{le="1"} 2
+gatord_solver_worklist_bucket{le="3"} 3
+gatord_solver_worklist_bucket{le="15"} 4
+gatord_solver_worklist_bucket{le="127"} 5
+gatord_solver_worklist_bucket{le="+Inf"} 5
+gatord_solver_worklist_sum 113
+gatord_solver_worklist_count 5
+# HELP gatord_stage_duration_us stage_duration_us
+# TYPE gatord_stage_duration_us histogram
+gatord_stage_duration_us_bucket{stage="queue",le="3"} 1
+gatord_stage_duration_us_bucket{stage="queue",le="+Inf"} 1
+gatord_stage_duration_us_sum{stage="queue"} 2
+gatord_stage_duration_us_count{stage="queue"} 1
+gatord_stage_duration_us_bucket{stage="solve",le="1023"} 1
+gatord_stage_duration_us_bucket{stage="solve",le="+Inf"} 1
+gatord_stage_duration_us_sum{stage="solve"} 900
+gatord_stage_duration_us_count{stage="solve"} 1
+`
+
+// TestPrometheusGolden locks the exposition byte-for-byte: HELP/TYPE
+// lines, sanitized names, _total suffixing, stable label ordering, and the
+// exact cumulative le bounds of the power-of-two histogram.
+func TestPrometheusGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, promTestRegistry().Snapshot(), "gatord"); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != promGolden {
+		t.Fatalf("exposition differs from golden:\n--- got ---\n%s--- want ---\n%s", buf.String(), promGolden)
+	}
+}
+
+// TestPrometheusParserAcceptsOwnOutput round-trips the renderer through
+// the parser and spot-checks parsed families and values.
+func TestPrometheusParserAcceptsOwnOutput(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, promTestRegistry().Snapshot(), "gatord"); err != nil {
+		t.Fatal(err)
+	}
+	fams, err := ParsePrometheus(buf.Bytes())
+	if err != nil {
+		t.Fatalf("parser rejected renderer output: %v\n%s", err, buf.String())
+	}
+	ctr, ok := fams["gatord_http_requests_total"]
+	if !ok || ctr.Type != "counter" {
+		t.Fatalf("http_requests_total family missing or mistyped: %+v", ctr)
+	}
+	if len(ctr.Samples) != 2 || ctr.Samples[0].Labels["status"] != "200" || ctr.Samples[0].Value != 5 {
+		t.Fatalf("labeled counter samples wrong: %+v", ctr.Samples)
+	}
+	hist, ok := fams["gatord_solver_worklist"]
+	if !ok || hist.Type != "histogram" {
+		t.Fatalf("worklist histogram missing: %+v", hist)
+	}
+	gauge, ok := fams["gatord_jobs_queue_depth"]
+	if !ok || gauge.Type != "gauge" || gauge.Samples[0].Value != 4 {
+		t.Fatalf("callback gauge wrong: %+v", gauge)
+	}
+}
+
+// TestPrometheusParserRejects feeds the parser the malformed expositions a
+// broken renderer could produce.
+func TestPrometheusParserRejects(t *testing.T) {
+	cases := map[string]string{
+		"sample before TYPE":    "foo_total 3\n# TYPE foo_total counter\n",
+		"bad value":             "# TYPE x gauge\nx abc\n",
+		"bad metric name":       "# TYPE 9x gauge\n9x 1\n",
+		"unterminated labels":   "# TYPE x counter\nx{a=\"b 1\n",
+		"duplicate TYPE":        "# TYPE x gauge\n# TYPE x gauge\nx 1\n",
+		"duplicate label":       "# TYPE x counter\nx{a=\"1\",a=\"2\"} 1\n",
+		"unknown type":          "# TYPE x widget\nx 1\n",
+		"histogram no inf":      "# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_sum 1\nh_count 1\n",
+		"histogram decreasing":  "# TYPE h histogram\nh_bucket{le=\"1\"} 3\nh_bucket{le=\"2\"} 2\nh_bucket{le=\"+Inf\"} 3\nh_sum 1\nh_count 3\n",
+		"histogram inf!=count":  "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 2\nh_sum 1\nh_count 3\n",
+		"histogram unsorted le": "# TYPE h histogram\nh_bucket{le=\"4\"} 1\nh_bucket{le=\"2\"} 1\nh_bucket{le=\"+Inf\"} 1\nh_sum 1\nh_count 1\n",
+	}
+	for name, in := range cases {
+		if _, err := ParsePrometheus([]byte(in)); err == nil {
+			t.Errorf("%s: parser accepted:\n%s", name, in)
+		}
+	}
+	// Braces inside quoted label values do not end the label block.
+	braced := "# TYPE x counter\nx{route=\"/v1/sessions/{id}\"} 1\n"
+	fams, err := ParsePrometheus([]byte(braced))
+	if err != nil {
+		t.Errorf("braced label value rejected: %v", err)
+	} else if fams["x"].Samples[0].Labels["route"] != "/v1/sessions/{id}" {
+		t.Errorf("braced label value parsed as %q", fams["x"].Samples[0].Labels["route"])
+	}
+	// A valid histogram with labels parses.
+	good := "# TYPE h histogram\n" +
+		"h_bucket{stage=\"a\",le=\"1\"} 1\nh_bucket{stage=\"a\",le=\"+Inf\"} 2\n" +
+		"h_sum{stage=\"a\"} 5\nh_count{stage=\"a\"} 2\n"
+	if _, err := ParsePrometheus([]byte(good)); err != nil {
+		t.Errorf("valid labeled histogram rejected: %v", err)
+	}
+}
+
+// TestPrometheusDeterministic: two renderings of the same state are
+// byte-identical — the scrape-level determinism /metrics inherits.
+func TestPrometheusDeterministic(t *testing.T) {
+	reg := promTestRegistry()
+	var a, b bytes.Buffer
+	if err := WritePrometheus(&a, reg.Snapshot(), "gatord"); err != nil {
+		t.Fatal(err)
+	}
+	if err := WritePrometheus(&b, reg.Snapshot(), "gatord"); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatalf("two scrapes with no traffic differ:\n%s\nvs\n%s", a.String(), b.String())
+	}
+}
+
+// TestLabelNameEscaping: label values with quotes, backslashes, and
+// newlines survive a render/parse round trip.
+func TestLabelNameEscaping(t *testing.T) {
+	reg := NewRegistry()
+	reg.Add(LabelName("odd_total", "path", `a"b\c`+"\n"), 1)
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, reg.Snapshot(), "g"); err != nil {
+		t.Fatal(err)
+	}
+	fams, err := ParsePrometheus(buf.Bytes())
+	if err != nil {
+		t.Fatalf("escaped label rejected: %v\n%s", err, buf.String())
+	}
+	got := fams["g_odd_total"].Samples[0].Labels["path"]
+	if got != `a"b\c`+"\n" {
+		t.Fatalf("label value %q did not round-trip", got)
+	}
+}
+
+func TestGaugeRegistry(t *testing.T) {
+	reg := NewRegistry()
+	g := reg.Gauge("depth")
+	g.Set(5)
+	g.Add(-2)
+	if g.Value() != 3 {
+		t.Fatalf("gauge value %d", g.Value())
+	}
+	if reg.Gauge("depth") != g {
+		t.Fatal("gauge not interned")
+	}
+	reg.GaugeFunc("depth", func() int64 { return 42 })
+	if v := reg.Snapshot().Gauges["depth"]; v != 42 {
+		t.Fatalf("callback did not win the snapshot: %d", v)
+	}
+
+	var nilReg *Registry
+	nilReg.SetGauge("x", 1)
+	nilReg.GaugeFunc("x", func() int64 { return 1 })
+	if nilReg.Gauge("x") != nil {
+		t.Fatal("nil registry returned a gauge")
+	}
+	if len(nilReg.Snapshot().Gauges) != 0 {
+		t.Fatal("nil registry snapshot has gauges")
+	}
+	var nilGauge *Gauge
+	nilGauge.Set(1)
+	nilGauge.Add(1)
+	if nilGauge.Value() != 0 {
+		t.Fatal("nil gauge holds a value")
+	}
+}
+
+func TestPrometheusEmptySnapshot(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, NewRegistry().Snapshot(), "gatord"); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("empty registry rendered %q", buf.String())
+	}
+	if _, err := ParsePrometheus(nil); err != nil {
+		t.Fatalf("empty exposition rejected: %v", err)
+	}
+}
+
+func TestSanitizeMetricName(t *testing.T) {
+	cases := map[string]string{
+		"server.jobs.admitted": "server_jobs_admitted",
+		"rule/FindView2":       "rule_FindView2",
+		"cache/parse/hits":     "cache_parse_hits",
+		"9lives":               "_9lives",
+	}
+	for in, want := range cases {
+		if got := sanitizeMetricName(in); got != want {
+			t.Errorf("sanitize(%q) = %q, want %q", in, got, want)
+		}
+	}
+	if !strings.HasPrefix(LabelName("f", "k", "v"), "f{") {
+		t.Fatal("LabelName shape")
+	}
+}

@@ -1,0 +1,355 @@
+package metrics
+
+// A minimal Prometheus text-format (0.0.4) parser — just enough to
+// validate what WritePrometheus emits and what a scraper would ingest:
+// HELP/TYPE comment grammar, sample-line grammar (name, label set, float
+// value), TYPE-before-samples ordering, and histogram invariants
+// (cumulative buckets monotone in le, +Inf bucket present and equal to
+// _count). The renderer tests and the gatord telemetry smoke both run
+// scrape output through it, so a malformed exposition fails CI rather
+// than a scraper in production.
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// PromSample is one parsed sample line.
+type PromSample struct {
+	// Name is the full sample name (histogram samples keep their
+	// _bucket/_sum/_count suffix).
+	Name string
+	// Labels holds the sample's label set.
+	Labels map[string]string
+	Value  float64
+}
+
+// PromFamily is one metric family: its TYPE, HELP, and samples in input
+// order.
+type PromFamily struct {
+	Name    string
+	Type    string
+	Help    string
+	Samples []PromSample
+}
+
+// ParsePrometheus parses and validates a text-format exposition, returning
+// the families keyed by name.
+func ParsePrometheus(data []byte) (map[string]*PromFamily, error) {
+	fams := map[string]*PromFamily{}
+	for i, line := range strings.Split(string(data), "\n") {
+		lineNo := i + 1
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if err := parseComment(line, lineNo, fams); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		sample, err := parseSample(line, lineNo)
+		if err != nil {
+			return nil, err
+		}
+		famName := familyOf(sample.Name, fams)
+		fam, ok := fams[famName]
+		if !ok {
+			return nil, fmt.Errorf("prom: line %d: sample %s precedes its # TYPE declaration", lineNo, sample.Name)
+		}
+		fam.Samples = append(fam.Samples, sample)
+	}
+	for _, fam := range fams {
+		if fam.Type == "histogram" {
+			if err := checkHistogram(fam); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return fams, nil
+}
+
+func parseComment(line string, lineNo int, fams map[string]*PromFamily) error {
+	fields := strings.SplitN(line, " ", 4)
+	if len(fields) < 3 || (fields[1] != "HELP" && fields[1] != "TYPE") {
+		return nil // free-form comment
+	}
+	name := fields[2]
+	if !validMetricName(name) {
+		return fmt.Errorf("prom: line %d: invalid metric name %q", lineNo, name)
+	}
+	fam, ok := fams[name]
+	if !ok {
+		fam = &PromFamily{Name: name}
+		fams[name] = fam
+	}
+	switch fields[1] {
+	case "HELP":
+		if fam.Help != "" {
+			return fmt.Errorf("prom: line %d: duplicate HELP for %s", lineNo, name)
+		}
+		if len(fields) == 4 {
+			fam.Help = fields[3]
+		}
+	case "TYPE":
+		if fam.Type != "" {
+			return fmt.Errorf("prom: line %d: duplicate TYPE for %s", lineNo, name)
+		}
+		if len(fam.Samples) > 0 {
+			return fmt.Errorf("prom: line %d: TYPE for %s after its samples", lineNo, name)
+		}
+		typ := ""
+		if len(fields) >= 4 {
+			typ = fields[3]
+		}
+		switch typ {
+		case "counter", "gauge", "histogram", "summary", "untyped":
+			fam.Type = typ
+		default:
+			return fmt.Errorf("prom: line %d: unknown TYPE %q for %s", lineNo, typ, name)
+		}
+	}
+	return nil
+}
+
+func parseSample(line string, lineNo int) (PromSample, error) {
+	s := PromSample{Labels: map[string]string{}}
+	rest := line
+	nameEnd := strings.IndexAny(rest, "{ ")
+	if nameEnd < 0 {
+		return s, fmt.Errorf("prom: line %d: no value on sample line %q", lineNo, line)
+	}
+	s.Name = rest[:nameEnd]
+	if !validMetricName(s.Name) {
+		return s, fmt.Errorf("prom: line %d: invalid sample name %q", lineNo, s.Name)
+	}
+	rest = rest[nameEnd:]
+	if rest[0] == '{' {
+		// The closing brace must be found quote-aware: label values may
+		// themselves contain '{'/'}' (e.g. route="/v1/sessions/{id}").
+		end := labelBlockEnd(rest)
+		if end < 0 {
+			return s, fmt.Errorf("prom: line %d: unterminated label set in %q", lineNo, line)
+		}
+		if err := parseLabels(rest[1:end], lineNo, s.Labels); err != nil {
+			return s, err
+		}
+		rest = rest[end+1:]
+	}
+	rest = strings.TrimPrefix(rest, " ")
+	// Timestamps (a second space-separated field) are permitted by the
+	// format; WritePrometheus never emits them but a parser must not choke.
+	valueField := rest
+	if sp := strings.IndexByte(rest, ' '); sp >= 0 {
+		valueField = rest[:sp]
+	}
+	v, err := strconv.ParseFloat(valueField, 64)
+	if err != nil {
+		return s, fmt.Errorf("prom: line %d: bad sample value %q", lineNo, valueField)
+	}
+	s.Value = v
+	return s, nil
+}
+
+// labelBlockEnd returns the index of the '}' closing the label block that
+// starts at s[0] == '{', skipping quoted label values (with escapes); -1
+// when unterminated.
+func labelBlockEnd(s string) int {
+	inQuote := false
+	for i := 1; i < len(s); i++ {
+		switch {
+		case inQuote && s[i] == '\\':
+			i++ // skip the escaped byte
+		case s[i] == '"':
+			inQuote = !inQuote
+		case !inQuote && s[i] == '}':
+			return i
+		}
+	}
+	return -1
+}
+
+func parseLabels(body string, lineNo int, out map[string]string) error {
+	if body == "" {
+		return nil
+	}
+	// Label values are quoted and may contain escaped quotes; scan rather
+	// than split on commas.
+	for len(body) > 0 {
+		eq := strings.IndexByte(body, '=')
+		if eq < 0 || len(body) < eq+2 || body[eq+1] != '"' {
+			return fmt.Errorf("prom: line %d: malformed label in %q", lineNo, body)
+		}
+		key := body[:eq]
+		if !validLabelName(key) {
+			return fmt.Errorf("prom: line %d: invalid label name %q", lineNo, key)
+		}
+		rest := body[eq+2:]
+		var val strings.Builder
+		i := 0
+		for ; i < len(rest); i++ {
+			c := rest[i]
+			if c == '\\' && i+1 < len(rest) {
+				i++
+				switch rest[i] {
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					val.WriteByte(rest[i])
+				}
+				continue
+			}
+			if c == '"' {
+				break
+			}
+			val.WriteByte(c)
+		}
+		if i >= len(rest) {
+			return fmt.Errorf("prom: line %d: unterminated label value for %q", lineNo, key)
+		}
+		if _, dup := out[key]; dup {
+			return fmt.Errorf("prom: line %d: duplicate label %q", lineNo, key)
+		}
+		out[key] = val.String()
+		body = rest[i+1:]
+		body = strings.TrimPrefix(body, ",")
+	}
+	return nil
+}
+
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := c == '_' || c == ':' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func validLabelName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// familyOf maps a sample name to its family: histogram suffixes attach to
+// the declared base family when one exists.
+func familyOf(name string, fams map[string]*PromFamily) string {
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		base, ok := strings.CutSuffix(name, suffix)
+		if !ok {
+			continue
+		}
+		if f, exists := fams[base]; exists && f.Type == "histogram" {
+			return base
+		}
+	}
+	return name
+}
+
+// checkHistogram validates one histogram family's invariants per label set:
+// buckets cumulative and monotone in le, a +Inf bucket present, and the
+// +Inf bucket equal to the _count sample.
+func checkHistogram(fam *PromFamily) error {
+	type seriesKey string
+	keyOf := func(labels map[string]string) seriesKey {
+		var parts []string
+		for k, v := range labels {
+			if k == "le" {
+				continue
+			}
+			parts = append(parts, k+"="+v)
+		}
+		sort.Strings(parts)
+		return seriesKey(strings.Join(parts, ","))
+	}
+	type seriesState struct {
+		bounds []float64
+		counts []float64
+		inf    *float64
+		count  *float64
+	}
+	series := map[seriesKey]*seriesState{}
+	state := func(labels map[string]string) *seriesState {
+		k := keyOf(labels)
+		st, ok := series[k]
+		if !ok {
+			st = &seriesState{}
+			series[k] = st
+		}
+		return st
+	}
+	for _, s := range fam.Samples {
+		switch s.Name {
+		case fam.Name + "_bucket":
+			st := state(s.Labels)
+			le, ok := s.Labels["le"]
+			if !ok {
+				return fmt.Errorf("prom: %s: bucket sample without le label", fam.Name)
+			}
+			if le == "+Inf" {
+				v := s.Value
+				st.inf = &v
+				continue
+			}
+			bound, err := strconv.ParseFloat(le, 64)
+			if err != nil {
+				return fmt.Errorf("prom: %s: bad le %q", fam.Name, le)
+			}
+			st.bounds = append(st.bounds, bound)
+			st.counts = append(st.counts, s.Value)
+		case fam.Name + "_count":
+			st := state(s.Labels)
+			v := s.Value
+			st.count = &v
+		case fam.Name + "_sum":
+			// no invariant beyond being a float, already checked
+		default:
+			return fmt.Errorf("prom: %s: unexpected sample %s in histogram family", fam.Name, s.Name)
+		}
+	}
+	for k, st := range series {
+		label := fam.Name
+		if k != "" {
+			label += "{" + string(k) + "}"
+		}
+		for i := 1; i < len(st.bounds); i++ {
+			if st.bounds[i] <= st.bounds[i-1] {
+				return fmt.Errorf("prom: %s: bucket bounds not increasing (%g after %g)", label, st.bounds[i], st.bounds[i-1])
+			}
+			if st.counts[i] < st.counts[i-1] {
+				return fmt.Errorf("prom: %s: cumulative bucket counts decrease at le=%g", label, st.bounds[i])
+			}
+		}
+		if st.inf == nil {
+			return fmt.Errorf("prom: %s: no +Inf bucket", label)
+		}
+		if st.count == nil {
+			return fmt.Errorf("prom: %s: no _count sample", label)
+		}
+		if *st.inf != *st.count {
+			return fmt.Errorf("prom: %s: +Inf bucket %g != count %g", label, *st.inf, *st.count)
+		}
+		if n := len(st.counts); n > 0 && st.counts[n-1] > *st.inf {
+			return fmt.Errorf("prom: %s: finite bucket exceeds +Inf", label)
+		}
+	}
+	return nil
+}

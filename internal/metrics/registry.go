@@ -38,6 +38,35 @@ func (c *Counter) Value() int64 {
 	return c.v.Load()
 }
 
+// Gauge is a value that can go up and down (queue depth, live sessions).
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the gauge value; no-op on a nil receiver.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Add adjusts the gauge by d; no-op on a nil receiver.
+func (g *Gauge) Add(d int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(d)
+}
+
+// Value returns the current value (0 for a nil gauge).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
 // histBuckets is the number of power-of-two histogram buckets: bucket i
 // counts observations v with 2^(i-1) <= v < 2^i (bucket 0 counts v < 1),
 // and the last bucket absorbs everything larger.
@@ -107,11 +136,20 @@ type Registry struct {
 	mu       sync.Mutex
 	counters map[string]*Counter
 	hists    map[string]*Histogram
+	gauges   map[string]*Gauge
+	// gaugeFns are callback gauges sampled at snapshot time (queue depth,
+	// live-session count — values owned by another subsystem).
+	gaugeFns map[string]func() int64
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
-	return &Registry{counters: map[string]*Counter{}, hists: map[string]*Histogram{}}
+	return &Registry{
+		counters: map[string]*Counter{},
+		hists:    map[string]*Histogram{},
+		gauges:   map[string]*Gauge{},
+		gaugeFns: map[string]func() int64{},
+	}
 }
 
 // Counter returns (creating on demand) the named counter; nil on a nil
@@ -146,32 +184,80 @@ func (r *Registry) Histogram(name string) *Histogram {
 	return h
 }
 
+// Gauge returns (creating on demand) the named gauge; nil on a nil
+// registry.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// GaugeFunc registers a callback gauge evaluated at every snapshot. It
+// replaces any earlier registration under the same name; fn must be safe
+// to call from any goroutine. No-op on a nil registry.
+func (r *Registry) GaugeFunc(name string, fn func() int64) {
+	if r == nil || fn == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.gaugeFns[name] = fn
+}
+
 // Add increments a named counter: shorthand for Counter(name).Add(n).
 func (r *Registry) Add(name string, n int64) { r.Counter(name).Add(n) }
 
 // Observe records a value into a named histogram.
 func (r *Registry) Observe(name string, v int64) { r.Histogram(name).Observe(v) }
 
+// SetGauge sets a named gauge: shorthand for Gauge(name).Set(v).
+func (r *Registry) SetGauge(name string, v int64) { r.Gauge(name).Set(v) }
+
 // RegistrySnapshot is the exported state of a registry.
 type RegistrySnapshot struct {
 	Counters   map[string]int64             `json:"counters"`
+	Gauges     map[string]int64             `json:"gauges,omitempty"`
 	Histograms map[string]HistogramSnapshot `json:"histograms"`
 }
 
 // Snapshot exports the registry's current state. Nil registries export
-// empty maps.
+// empty maps. Callback gauges are sampled here; a static gauge and a
+// callback under the same name resolve to the callback.
 func (r *Registry) Snapshot() RegistrySnapshot {
 	s := RegistrySnapshot{Counters: map[string]int64{}, Histograms: map[string]HistogramSnapshot{}}
 	if r == nil {
 		return s
 	}
 	r.mu.Lock()
-	defer r.mu.Unlock()
+	fns := make(map[string]func() int64, len(r.gaugeFns))
 	for name, c := range r.counters {
 		s.Counters[name] = c.Value()
 	}
 	for name, h := range r.hists {
 		s.Histograms[name] = h.snapshot()
+	}
+	if len(r.gauges)+len(r.gaugeFns) > 0 {
+		s.Gauges = map[string]int64{}
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.Value()
+	}
+	for name, fn := range r.gaugeFns {
+		fns[name] = fn
+	}
+	r.mu.Unlock()
+	// Callbacks run outside the registry lock: they may themselves take
+	// locks (queue depth, session store) that must not nest under ours.
+	for name, fn := range fns {
+		s.Gauges[name] = fn()
 	}
 	return s
 }

@@ -136,8 +136,47 @@ func (c *Client) Healthz() error { return c.do("GET", "/healthz", nil, nil) }
 func (c *Client) Readyz() error { return c.do("GET", "/readyz", nil, nil) }
 
 // Metrics fetches the daemon's metrics registry as deterministic JSON.
+// /metrics itself defaults to Prometheus text exposition; the JSON
+// rendering lives at /metrics.json (or /metrics with Accept:
+// application/json).
 func (c *Client) Metrics() ([]byte, error) {
-	resp, err := c.http.Get(c.base + "/metrics")
+	return c.getRaw("/metrics.json", "")
+}
+
+// MetricsProm fetches the Prometheus text exposition of the daemon's
+// metrics (what a scraper sees at /metrics).
+func (c *Client) MetricsProm() ([]byte, error) {
+	return c.getRaw("/metrics", "")
+}
+
+// DebugTrace fetches one captured solver trace (newline-delimited JSON
+// events) by trace id; a *StatusError with Code 404 means the request was
+// not sampled or the capture aged out of the ring.
+func (c *Client) DebugTrace(traceID string) ([]byte, error) {
+	return c.getRaw("/v1/debug/traces/"+traceID, "")
+}
+
+// AnalyzeTraced is Analyze with solver trace capture forced on: the
+// response's TraceID keys a subsequent DebugTrace call.
+func (c *Client) AnalyzeTraced(req AnalyzeRequest) (*AnalyzeResponse, error) {
+	var out AnalyzeResponse
+	if err := c.do("POST", "/v1/analyze?trace=1", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// getRaw fetches one endpoint's raw body (optionally with an Accept
+// header), mapping non-200s to StatusError.
+func (c *Client) getRaw(path, accept string) ([]byte, error) {
+	req, err := http.NewRequest("GET", c.base+path, nil)
+	if err != nil {
+		return nil, err
+	}
+	if accept != "" {
+		req.Header.Set("Accept", accept)
+	}
+	resp, err := c.http.Do(req)
 	if err != nil {
 		return nil, err
 	}

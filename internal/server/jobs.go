@@ -45,13 +45,17 @@ type job struct {
 	ctx  context.Context
 	fn   func()
 	done chan struct{}
-	err  error // written before done closes
+	err  error     // written before done closes
+	enq  time.Time // admission time, for the queue-wait histogram
 }
 
 type jobRunner struct {
 	queue   chan *job
 	timeout time.Duration
 	reg     *metrics.Registry
+	// queueWait is the stage_duration_us{stage="queue"} histogram; nil
+	// when telemetry is off (a nil histogram swallows observations).
+	queueWait *metrics.Histogram
 
 	mu       sync.Mutex
 	draining bool
@@ -60,11 +64,12 @@ type jobRunner struct {
 }
 
 // newJobRunner starts workers goroutines consuming a queue of depth slots.
-func newJobRunner(workers, depth int, timeout time.Duration, reg *metrics.Registry) *jobRunner {
+func newJobRunner(workers, depth int, timeout time.Duration, reg *metrics.Registry, queueWait *metrics.Histogram) *jobRunner {
 	r := &jobRunner{
-		queue:   make(chan *job, depth),
-		timeout: timeout,
-		reg:     reg,
+		queue:     make(chan *job, depth),
+		timeout:   timeout,
+		reg:       reg,
+		queueWait: queueWait,
 	}
 	r.wg.Add(workers)
 	for i := 0; i < workers; i++ {
@@ -76,6 +81,7 @@ func newJobRunner(workers, depth int, timeout time.Duration, reg *metrics.Regist
 func (r *jobRunner) worker() {
 	defer r.wg.Done()
 	for j := range r.queue {
+		r.queueWait.Observe(time.Since(j.enq).Microseconds())
 		switch {
 		case r.isDraining():
 			// Queued but never started: reject, per the drain contract.
@@ -121,6 +127,7 @@ func (r *jobRunner) submit(j *job) error {
 		r.reg.Add("server.jobs.rejected_drain", 1)
 		return errDraining
 	}
+	j.enq = time.Now()
 	select {
 	case r.queue <- j:
 		r.reg.Add("server.jobs.admitted", 1)

@@ -45,7 +45,7 @@ func waitDone(t *testing.T, j *job) error {
 }
 
 func TestJobsBackpressureBusy(t *testing.T) {
-	r := newJobRunner(1, 1, 0, metrics.NewRegistry())
+	r := newJobRunner(1, 1, 0, metrics.NewRegistry(), nil)
 	gate := make(chan struct{})
 	defer close(gate)
 
@@ -62,7 +62,7 @@ func TestJobsBackpressureBusy(t *testing.T) {
 }
 
 func TestJobsDrainInFlightFinishesQueuedRejected(t *testing.T) {
-	r := newJobRunner(1, 4, 0, metrics.NewRegistry())
+	r := newJobRunner(1, 4, 0, metrics.NewRegistry(), nil)
 	gate := make(chan struct{})
 
 	inflight := blockingJob(t, r, gate)
@@ -110,7 +110,7 @@ func TestJobsDrainInFlightFinishesQueuedRejected(t *testing.T) {
 }
 
 func TestJobsPanicIsolated(t *testing.T) {
-	r := newJobRunner(1, 4, 0, metrics.NewRegistry())
+	r := newJobRunner(1, 4, 0, metrics.NewRegistry(), nil)
 	defer r.drain()
 
 	err := r.do(context.Background(), func() { panic("boom") })
@@ -129,7 +129,7 @@ func TestJobsPanicIsolated(t *testing.T) {
 }
 
 func TestJobsDeadlineAbandons(t *testing.T) {
-	r := newJobRunner(1, 4, 10*time.Millisecond, metrics.NewRegistry())
+	r := newJobRunner(1, 4, 10*time.Millisecond, metrics.NewRegistry(), nil)
 	gate := make(chan struct{})
 
 	err := r.do(context.Background(), func() { <-gate })
@@ -141,7 +141,7 @@ func TestJobsDeadlineAbandons(t *testing.T) {
 }
 
 func TestJobsExpiredInQueueSkipped(t *testing.T) {
-	r := newJobRunner(1, 4, 0, metrics.NewRegistry())
+	r := newJobRunner(1, 4, 0, metrics.NewRegistry(), nil)
 	gate := make(chan struct{})
 	inflight := blockingJob(t, r, gate)
 

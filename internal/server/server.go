@@ -22,10 +22,13 @@ import (
 	"sync/atomic"
 	"time"
 
+	"log/slog"
+
 	"gator"
 	"gator/internal/cache"
 	"gator/internal/metrics"
 	"gator/internal/report"
+	"gator/internal/telemetry"
 )
 
 // Config tunes the daemon; the zero value serves with sane defaults.
@@ -54,6 +57,22 @@ type Config struct {
 	ResultCacheBytes int64
 	// RetryAfter is the Retry-After hint on 429 responses (default 1s).
 	RetryAfter time.Duration
+	// Logger receives one structured line per request (plus rejection and
+	// panic diagnostics). nil disables request logging; metrics and trace
+	// propagation are unaffected.
+	Logger *slog.Logger
+	// TraceSample enables head-based solver trace capture: every Nth
+	// analysis-bearing request records its solver trace into the debug
+	// ring (0 disables sampling; ?trace=1 always captures).
+	TraceSample int
+	// TraceRingEntries / TraceRingBytes bound the ring of captured solver
+	// traces behind /v1/debug/traces (defaults 64 entries, 16 MiB).
+	TraceRingEntries int
+	TraceRingBytes   int64
+	// NoTelemetry turns the request telemetry layer off — no middleware,
+	// no span propagation, no per-request metrics or logs. The overhead
+	// benchmark (gatorbench -obsjson) serves this as its baseline.
+	NoTelemetry bool
 }
 
 func (c Config) withDefaults() Config {
@@ -92,20 +111,39 @@ type Server struct {
 	disk     *cache.DiskStore
 	appCache *gator.Cache // shared parse cache across requests and sessions
 	mux      *http.ServeMux
+	handler  http.Handler // mux wrapped in telemetry middleware
 	ready    atomic.Bool
+
+	// Telemetry state: obs mirrors !cfg.NoTelemetry, log is the request
+	// logger, traces the captured-solver-trace ring, and sampleSeq the
+	// head-sampling request counter.
+	obs       bool
+	log       *slog.Logger
+	traces    *telemetry.TraceRing
+	sampleSeq atomic.Int64
 }
 
 // New builds a server from cfg.
 func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	reg := metrics.NewRegistry()
+	obs := !cfg.NoTelemetry
+	var queueHist *metrics.Histogram
+	if obs {
+		// nil histogram = allocation-free no-op in the runner when
+		// telemetry is off.
+		queueHist = reg.Histogram(stageQueueName)
+	}
 	s := &Server{
 		cfg:      cfg,
 		reg:      reg,
-		jobs:     newJobRunner(cfg.Workers, cfg.QueueDepth, cfg.JobTimeout, reg),
+		jobs:     newJobRunner(cfg.Workers, cfg.QueueDepth, cfg.JobTimeout, reg, queueHist),
 		sessions: newSessionStore(cfg.MaxSessions, cfg.SessionTTL, reg),
 		results:  cache.NewResultCache(cfg.ResultCacheBytes),
 		appCache: gator.NewCache(),
+		obs:      obs,
+		log:      cfg.Logger,
+		traces:   telemetry.NewTraceRing(cfg.TraceRingEntries, cfg.TraceRingBytes),
 	}
 	if cfg.CacheDir != "" {
 		store, err := cache.OpenDiskStore(cfg.CacheDir, cfg.CacheMaxBytes)
@@ -114,8 +152,18 @@ func New(cfg Config) (*Server, error) {
 		}
 		s.disk = store
 	}
+	if obs {
+		// Callback gauges: live values owned by other subsystems, sampled
+		// at scrape time.
+		reg.GaugeFunc("jobs.queue_depth", func() int64 { return int64(len(s.jobs.queue)) })
+		reg.GaugeFunc("sessions.active", func() int64 { return int64(s.sessions.len()) })
+	}
 	s.mux = http.NewServeMux()
 	s.routes()
+	s.handler = s.mux
+	if obs {
+		s.handler = s.withTelemetry(s.mux)
+	}
 	s.ready.Store(true)
 	return s, nil
 }
@@ -124,6 +172,8 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /metrics.json", s.handleMetricsJSON)
+	s.mux.HandleFunc("GET /v1/debug/traces/{id}", s.handleDebugTrace)
 	s.mux.HandleFunc("POST /v1/analyze", s.handleAnalyze)
 	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
 	s.mux.HandleFunc("POST /v1/sessions", s.handleSessionCreate)
@@ -137,8 +187,9 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 }
 
-// Handler returns the daemon's HTTP handler.
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler returns the daemon's HTTP handler: the route mux wrapped in the
+// telemetry middleware (unless Config.NoTelemetry).
+func (s *Server) Handler() http.Handler { return s.handler }
 
 // Registry exposes the server's metrics registry (served at /metrics).
 func (s *Server) Registry() *metrics.Registry { return s.reg }
@@ -268,6 +319,10 @@ type AnalyzeResponse struct {
 	ElapsedMs float64 `json:"elapsedMs"`
 	// SessionID is set by session endpoints.
 	SessionID string `json:"sessionId,omitempty"`
+	// TraceID is set when this request's solver trace was captured
+	// (?trace=1 or head sampling); fetch the events at
+	// GET /v1/debug/traces/{traceId}.
+	TraceID string `json:"traceId,omitempty"`
 	// Incremental is set by session endpoints: how the solution was
 	// computed (warm/scratch/unchanged).
 	Incremental *IncrementalInfo `json:"incremental,omitempty"`
@@ -302,13 +357,18 @@ func writeError(w http.ResponseWriter, code int, format string, args ...any) {
 	writeJSON(w, code, ErrorResponse{Error: fmt.Sprintf(format, args...)})
 }
 
-// writeJobError maps job-subsystem failures to HTTP semantics.
-func (s *Server) writeJobError(w http.ResponseWriter, err error) {
+// writeJobError maps job-subsystem failures to HTTP semantics. Rejections
+// count into requests_rejected_total{reason} and log with the request's
+// trace id, so a drained or saturated daemon is visible in both the scrape
+// and the log stream.
+func (s *Server) writeJobError(w http.ResponseWriter, r *http.Request, err error) {
 	switch {
 	case errors.Is(err, errBusy):
+		s.rejectRequest(r, "busy")
 		w.Header().Set("Retry-After", fmt.Sprintf("%d", int(s.cfg.RetryAfter.Seconds()+0.5)))
 		writeError(w, http.StatusTooManyRequests, "analysis queue is full; retry later")
 	case errors.Is(err, errDraining):
+		s.rejectRequest(r, "draining")
 		writeError(w, http.StatusServiceUnavailable, "server is draining")
 	case errors.Is(err, context.DeadlineExceeded):
 		writeError(w, http.StatusGatewayTimeout, "analysis exceeded the job deadline")
@@ -404,7 +464,24 @@ func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 	fmt.Fprintln(w, "ready")
 }
 
-func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+// handleMetrics serves Prometheus text exposition by default; an Accept
+// header asking for application/json gets the legacy JSON rendering
+// (also always available at /metrics.json).
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if strings.Contains(r.Header.Get("Accept"), "application/json") {
+		s.handleMetricsJSON(w, r)
+		return
+	}
+	var buf bytes.Buffer
+	if err := metrics.WritePrometheus(&buf, s.reg.Snapshot(), "gatord"); err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.Write(buf.Bytes())
+}
+
+func (s *Server) handleMetricsJSON(w http.ResponseWriter, _ *http.Request) {
 	data, err := s.reg.JSON()
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, "%v", err)
@@ -483,7 +560,9 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	}
 
 	key := s.cacheKey(req)
-	if rd, ok := s.cacheGet(key); ok {
+	// An explicit ?trace=1 wants a solver trace, which a cache replay
+	// cannot produce — bypass the replay and run the solver.
+	if rd, ok := s.cacheGet(key); ok && !s.forceTrace(r) {
 		resp := rd.response(name, req.ReportSpec)
 		resp.Cached = true
 		resp.ElapsedMs = 0
@@ -495,20 +574,28 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	if req.Explain != "" {
 		opts.Provenance = true
 	}
+	sink, scope, traceID := s.captureScope(r, name)
+	opts.Trace = scope
 	start := time.Now()
 	var rd rendered
 	err := s.jobs.do(r.Context(), func() {
+		loadStart := time.Now()
 		app, err := gator.LoadCached(req.Sources, req.Layouts, s.appCache)
 		if err != nil {
 			rd.loadErr = err
 			return
 		}
+		s.observeStage(stageParseName, time.Since(loadStart))
 		app.Name = name
+		solveStart := time.Now()
 		res := app.Analyze(opts)
+		s.observeStage(stageSolveName, time.Since(solveStart))
+		renderStart := time.Now()
 		rd = renderResult(name, res, req.request())
+		s.observeStage(stageRenderName, time.Since(renderStart))
 	})
 	if err != nil {
-		s.writeJobError(w, err)
+		s.writeJobError(w, r, err)
 		return
 	}
 	if rd.loadErr != nil {
@@ -517,7 +604,12 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	}
 	s.reg.Observe("server.analyze.latency_us", time.Since(start).Microseconds())
 	s.cachePut(key, rd)
-	writeJSON(w, http.StatusOK, rd.response(name, req.ReportSpec))
+	resp := rd.response(name, req.ReportSpec)
+	if sink != nil {
+		s.storeTrace(traceID, sink)
+		resp.TraceID = traceID
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // ---- sessions ----
@@ -554,21 +646,28 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 		sources: copyMap(req.Sources),
 		layouts: copyMap(req.Layouts),
 	}
+	sink, scope, traceID := s.captureScope(r, name)
 	var rd rendered
 	var incr gator.IncrementalStats
 	err := s.jobs.do(r.Context(), func() {
-		res, err := gator.AnalyzeIncremental(nil, sess.sources, sess.layouts, sess.opts, s.appCache)
+		solveOpts := sess.opts
+		solveOpts.Trace = scope
+		solveStart := time.Now()
+		res, err := gator.AnalyzeIncremental(nil, sess.sources, sess.layouts, solveOpts, s.appCache)
 		if err != nil {
 			rd.loadErr = err
 			return
 		}
+		s.observeStage(stageSolveName, time.Since(solveStart))
 		res.SetAppName(name)
 		sess.prev = res
 		incr = res.Incremental()
+		renderStart := time.Now()
 		rd = renderResult(name, res, req.request())
+		s.observeStage(stageRenderName, time.Since(renderStart))
 	})
 	if err != nil {
-		s.writeJobError(w, err)
+		s.writeJobError(w, r, err)
 		return
 	}
 	if rd.loadErr != nil {
@@ -579,6 +678,10 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 	resp := rd.response(name, req.ReportSpec)
 	resp.SessionID = sess.id
 	resp.Incremental = incrInfo(incr)
+	if sink != nil {
+		s.storeTrace(traceID, sink)
+		resp.TraceID = traceID
+	}
 	writeJSON(w, http.StatusCreated, resp)
 }
 
@@ -635,6 +738,7 @@ func (s *Server) handleSessionPatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	sink, scope, traceID := s.captureScope(r, sess.name)
 	var rd rendered
 	var incr gator.IncrementalStats
 	var patchErr error
@@ -645,7 +749,11 @@ func (s *Server) handleSessionPatch(w http.ResponseWriter, r *http.Request) {
 		sess.mu.Lock()
 		defer sess.mu.Unlock()
 		sources, layouts := patchedInputs(sess, req)
-		res, err := gator.AnalyzeIncremental(sess.prev, sources, layouts, sess.opts, s.appCache)
+		// Trace on a copy: the session's stored options stay scope-free.
+		solveOpts := sess.opts
+		solveOpts.Trace = scope
+		solveStart := time.Now()
+		res, err := gator.AnalyzeIncremental(sess.prev, sources, layouts, solveOpts, s.appCache)
 		if err != nil {
 			// A consumed previous result cannot be analyzed again; drop it
 			// so the next patch recovers with a scratch solve.
@@ -655,6 +763,7 @@ func (s *Server) handleSessionPatch(w http.ResponseWriter, r *http.Request) {
 			patchErr = err
 			return
 		}
+		s.observeStage(stageSolveName, time.Since(solveStart))
 		res.SetAppName(sess.name)
 		sess.prev = res
 		sess.sources = sources
@@ -667,10 +776,12 @@ func (s *Server) handleSessionPatch(w http.ResponseWriter, r *http.Request) {
 		case "scratch":
 			s.reg.Add("server.sessions.scratch", 1)
 		}
+		renderStart := time.Now()
 		rd = renderResult(sess.name, res, req.request())
+		s.observeStage(stageRenderName, time.Since(renderStart))
 	})
 	if err != nil {
-		s.writeJobError(w, err)
+		s.writeJobError(w, r, err)
 		return
 	}
 	if patchErr != nil {
@@ -687,6 +798,10 @@ func (s *Server) handleSessionPatch(w http.ResponseWriter, r *http.Request) {
 	resp := rd.response(sess.name, req.ReportSpec)
 	resp.SessionID = sess.id
 	resp.Incremental = incrInfo(incr)
+	if sink != nil {
+		s.storeTrace(traceID, sink)
+		resp.TraceID = traceID
+	}
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -800,7 +915,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		// Nothing has been written yet only on admission failures; panics
 		// mid-stream surface as a final error event attempt.
 		if errors.Is(err, errBusy) || errors.Is(err, errDraining) {
-			s.writeJobError(w, err)
+			s.writeJobError(w, r, err)
 			return
 		}
 		fmt.Fprintf(w, "event: error\ndata: %s\n\n", mustJSON(ErrorResponse{Error: err.Error()}))

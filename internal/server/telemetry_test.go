@@ -1,0 +1,424 @@
+package server
+
+// End-to-end tests of the request telemetry layer over real HTTP: W3C
+// trace propagation from client header through access log and captured
+// solver trace, /metrics content negotiation and Prometheus validity, and
+// graceful-drain rejection accounting.
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+
+	"gator/internal/metrics"
+	"gator/internal/telemetry"
+)
+
+// syncBuffer is a goroutine-safe log sink for the test servers.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// logLines parses the buffer as one slog JSON record per line.
+func (b *syncBuffer) logLines(t *testing.T) []map[string]any {
+	t.Helper()
+	var recs []map[string]any
+	for _, line := range strings.Split(strings.TrimSpace(b.String()), "\n") {
+		if line == "" {
+			continue
+		}
+		var rec map[string]any
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("log line is not JSON: %v\n%s", err, line)
+		}
+		recs = append(recs, rec)
+	}
+	return recs
+}
+
+func newTelemetryServer(t *testing.T, cfg Config) (*Server, *Client, *syncBuffer) {
+	t.Helper()
+	logBuf := &syncBuffer{}
+	log, err := telemetry.NewLogger(logBuf, "info", "json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Logger = log
+	srv, c := newTestServer(t, cfg)
+	return srv, c, logBuf
+}
+
+// postAnalyze sends one analyze request with explicit query and headers —
+// the raw-HTTP path the typed client does not expose.
+func postAnalyze(t *testing.T, c *Client, path string, req AnalyzeRequest, hdr map[string]string) (*http.Response, AnalyzeResponse) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hr, err := http.NewRequest("POST", c.base+path, bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hr.Header.Set("Content-Type", "application/json")
+	for k, v := range hdr {
+		hr.Header.Set(k, v)
+	}
+	resp, err := c.http.Do(hr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out AnalyzeResponse
+	if resp.StatusCode == http.StatusOK || resp.StatusCode == http.StatusCreated {
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp, out
+}
+
+// TestTracePropagationE2E drives one traced analyze request end to end: a
+// client-supplied traceparent must reappear (same trace id, fresh span id)
+// in the response header, in the structured request log line, and on every
+// captured solver trace event served by /v1/debug/traces/{id}.
+func TestTracePropagationE2E(t *testing.T) {
+	_, c, logBuf := newTelemetryServer(t, Config{})
+	sources, layouts := figure1Maps()
+
+	const parent = "00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01"
+	const traceID = "0af7651916cd43dd8448eb211c80319c"
+	resp, out := postAnalyze(t, c, "/v1/analyze?trace=1",
+		AnalyzeRequest{Name: "figure1", Sources: sources, Layouts: layouts},
+		map[string]string{TraceparentHeader: parent})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("analyze status %d", resp.StatusCode)
+	}
+
+	// 1. Response header: same trace, child span.
+	echoed, err := telemetry.ParseTraceparent(resp.Header.Get(TraceparentHeader))
+	if err != nil {
+		t.Fatalf("response traceparent %q: %v", resp.Header.Get(TraceparentHeader), err)
+	}
+	if echoed.TraceIDString() != traceID {
+		t.Fatalf("response trace id %s, want %s", echoed.TraceIDString(), traceID)
+	}
+	if echoed.SpanIDString() == "b7ad6b7169203331" {
+		t.Fatal("server reused the client's span id instead of starting a child span")
+	}
+
+	// 2. Response body names the captured trace.
+	if out.TraceID != traceID {
+		t.Fatalf("response traceId %q, want %q", out.TraceID, traceID)
+	}
+
+	// 3. The access log line carries the same trace id.
+	var found bool
+	for _, rec := range logBuf.logLines(t) {
+		if rec["msg"] == "request" && rec["traceId"] == traceID && rec["route"] == "/v1/analyze" {
+			found = true
+			if rec["status"] != float64(200) {
+				t.Fatalf("log line status %v", rec["status"])
+			}
+			if rec["requestId"] == "" || rec["spanId"] == "" {
+				t.Fatalf("log line missing request/span id: %v", rec)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("no request log line with trace id %s:\n%s", traceID, logBuf.String())
+	}
+
+	// 4. The captured solver trace is retrievable and every event carries
+	// the trace id.
+	events := fetchTraceEvents(t, c, traceID)
+	if len(events) == 0 {
+		t.Fatal("captured trace has no events")
+	}
+	kinds := map[string]bool{}
+	for _, ev := range events {
+		if ev["trace"] != traceID {
+			t.Fatalf("solver event lost the trace id: %v", ev)
+		}
+		kinds[ev["kind"].(string)] = true
+	}
+	if !kinds["phase-begin"] {
+		t.Fatalf("captured trace has no phase events: %v", kinds)
+	}
+
+	// An uncaptured id 404s.
+	if _, err := c.DebugTrace("ffffffffffffffffffffffffffffffff"); err == nil {
+		t.Fatal("DebugTrace of an unknown id succeeded")
+	}
+}
+
+func fetchTraceEvents(t *testing.T, c *Client, traceID string) []map[string]any {
+	t.Helper()
+	data, err := c.DebugTrace(traceID)
+	if err != nil {
+		t.Fatalf("DebugTrace(%s): %v", traceID, err)
+	}
+	var events []map[string]any
+	for _, line := range strings.Split(strings.TrimSpace(string(data)), "\n") {
+		if line == "" {
+			continue
+		}
+		var ev map[string]any
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("trace line is not JSON: %v\n%s", err, line)
+		}
+		events = append(events, ev)
+	}
+	return events
+}
+
+// TestSessionPatchTraceCapture: ?trace=1 on a PATCH captures the warm
+// incremental solve under the request's trace id.
+func TestSessionPatchTraceCapture(t *testing.T) {
+	_, c, _ := newTelemetryServer(t, Config{})
+	sources, layouts := figure1Maps()
+	open, err := c.OpenSession(AnalyzeRequest{Name: "figure1", Sources: sources, Layouts: layouts})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	body, _ := json.Marshal(PatchRequest{Sources: map[string]string{"extra.alite": "class Extra { }"}})
+	hr, err := http.NewRequest("PATCH", c.base+"/v1/sessions/"+open.SessionID+"?trace=1", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hr.Header.Set("Content-Type", "application/json")
+	resp, err := c.http.Do(hr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("patch status %d", resp.StatusCode)
+	}
+	var out AnalyzeResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.TraceID == "" {
+		t.Fatal("traced patch returned no traceId")
+	}
+	if events := fetchTraceEvents(t, c, out.TraceID); len(events) == 0 {
+		t.Fatal("patch trace has no events")
+	}
+}
+
+// TestHeadSampling: -trace-sample=N captures every Nth analysis request
+// without any per-request opt-in.
+func TestHeadSampling(t *testing.T) {
+	_, c, _ := newTelemetryServer(t, Config{TraceSample: 2})
+	sources, layouts := figure1Maps()
+	req := AnalyzeRequest{Name: "figure1", Sources: sources, Layouts: layouts, NoCache: true}
+
+	first, err := c.Analyze(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.TraceID != "" {
+		t.Fatal("request 1 of 2 was sampled")
+	}
+	second, err := c.Analyze(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.TraceID == "" {
+		t.Fatal("request 2 of 2 was not sampled")
+	}
+	if events := fetchTraceEvents(t, c, second.TraceID); len(events) == 0 {
+		t.Fatal("sampled trace has no events")
+	}
+}
+
+// TestMetricsContentNegotiation pins the /metrics surface: Prometheus text
+// by default, JSON via Accept or /metrics.json, and Client.Metrics()
+// returning the JSON rendering.
+func TestMetricsContentNegotiation(t *testing.T) {
+	_, c, _ := newTelemetryServer(t, Config{})
+	sources, layouts := figure1Maps()
+	if _, err := c.Analyze(AnalyzeRequest{Name: "figure1", Sources: sources, Layouts: layouts}); err != nil {
+		t.Fatal(err)
+	}
+
+	prom, err := c.getRaw("/metrics", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := metrics.ParsePrometheus(prom); err != nil {
+		t.Fatalf("/metrics is not valid Prometheus text: %v\n%s", err, prom)
+	}
+	if bytes.HasPrefix(bytes.TrimSpace(prom), []byte("{")) {
+		t.Fatal("/metrics served JSON without Accept")
+	}
+
+	viaAccept, err := c.getRaw("/metrics", "application/json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap map[string]any
+	if err := json.Unmarshal(viaAccept, &snap); err != nil {
+		t.Fatalf("/metrics with Accept: application/json is not JSON: %v", err)
+	}
+
+	viaPath, err := c.Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(viaAccept, viaPath) {
+		t.Fatal("Accept negotiation and /metrics.json disagree")
+	}
+	if !strings.Contains(string(viaPath), "server.jobs.admitted") {
+		t.Fatal("JSON rendering lost the registry counters")
+	}
+}
+
+// TestMetricsPrometheusE2E: after real traffic the scrape carries the
+// request counters, stage histograms, and callback gauges; two idle
+// scrapes are byte-identical; and the exposition passes the parser's
+// histogram invariants.
+func TestMetricsPrometheusE2E(t *testing.T) {
+	_, c, _ := newTelemetryServer(t, Config{})
+	sources, layouts := figure1Maps()
+	if _, err := c.Analyze(AnalyzeRequest{Name: "figure1", Sources: sources, Layouts: layouts}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Healthz(); err != nil {
+		t.Fatal(err)
+	}
+
+	scrape1, err := c.MetricsProm()
+	if err != nil {
+		t.Fatal(err)
+	}
+	scrape2, err := c.MetricsProm()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(scrape1, scrape2) {
+		t.Fatal("two idle scrapes differ")
+	}
+
+	fams, err := metrics.ParsePrometheus(scrape1)
+	if err != nil {
+		t.Fatalf("scrape invalid: %v\n%s", err, scrape1)
+	}
+	reqs, ok := fams["gatord_http_requests_total"]
+	if !ok {
+		t.Fatalf("no gatord_http_requests_total in scrape:\n%s", scrape1)
+	}
+	routes := map[string]bool{}
+	for _, s := range reqs.Samples {
+		routes[s.Labels["route"]] = true
+		if s.Labels["status"] == "" {
+			t.Fatalf("request counter without status label: %+v", s)
+		}
+	}
+	if !routes["/v1/analyze"] || !routes["/healthz"] {
+		t.Fatalf("request counter routes missing: %v", routes)
+	}
+	for _, fam := range []string{"gatord_stage_duration_us", "gatord_http_request_duration_us",
+		"gatord_jobs_queue_depth", "gatord_sessions_active"} {
+		if _, ok := fams[fam]; !ok {
+			t.Fatalf("family %s missing from scrape", fam)
+		}
+	}
+	if fams["gatord_stage_duration_us"].Type != "histogram" {
+		t.Fatal("stage_duration_us is not a histogram")
+	}
+}
+
+// TestDrainRejectionTelemetry: a draining daemon's 503s increment
+// requests_rejected_total{reason="draining"} and log the rejection with
+// the request's trace id.
+func TestDrainRejectionTelemetry(t *testing.T) {
+	srv, c, logBuf := newTelemetryServer(t, Config{})
+	srv.Drain()
+
+	sources, layouts := figure1Maps()
+	const parent = "00-deadbeefdeadbeefdeadbeefdeadbeef-b7ad6b7169203331-01"
+	resp, _ := postAnalyze(t, c, "/v1/analyze",
+		AnalyzeRequest{Name: "figure1", Sources: sources, Layouts: layouts},
+		map[string]string{TraceparentHeader: parent})
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining analyze status %d, want 503", resp.StatusCode)
+	}
+
+	data, err := c.MetricsProm()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fams, err := metrics.ParsePrometheus(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rej, ok := fams["gatord_requests_rejected_total"]
+	if !ok {
+		t.Fatalf("no rejection counter in scrape:\n%s", data)
+	}
+	var drained float64
+	for _, s := range rej.Samples {
+		if s.Labels["reason"] == "draining" {
+			drained = s.Value
+		}
+	}
+	if drained != 1 {
+		t.Fatalf("requests_rejected_total{reason=draining} = %v, want 1", drained)
+	}
+
+	var logged bool
+	for _, rec := range logBuf.logLines(t) {
+		if rec["msg"] == "request rejected" && rec["reason"] == "draining" &&
+			rec["traceId"] == "deadbeefdeadbeefdeadbeefdeadbeef" {
+			logged = true
+		}
+	}
+	if !logged {
+		t.Fatalf("no rejection log line with the trace id:\n%s", logBuf.String())
+	}
+}
+
+// TestNoTelemetryMode: the benchmark baseline serves without middleware —
+// no traceparent echo, no http_requests_total, JSON still at
+// /metrics.json.
+func TestNoTelemetryMode(t *testing.T) {
+	_, c := newTestServer(t, Config{NoTelemetry: true})
+	sources, layouts := figure1Maps()
+	resp, out := postAnalyze(t, c, "/v1/analyze",
+		AnalyzeRequest{Name: "figure1", Sources: sources, Layouts: layouts}, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if resp.Header.Get(TraceparentHeader) != "" {
+		t.Fatal("NoTelemetry server echoed a traceparent")
+	}
+	if out.TraceID != "" {
+		t.Fatal("NoTelemetry server captured a trace")
+	}
+	data, err := c.Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(data), "http_requests_total") {
+		t.Fatal("NoTelemetry server counted requests")
+	}
+}

@@ -1,0 +1,33 @@
+package telemetry
+
+// context.Context plumbing: the span context rides the request context from
+// the HTTP middleware through the admission queue into the job worker, so
+// any layer (structured logs, solver trace capture, rejection accounting)
+// can stamp its records with the request's trace identity without new
+// parameters on every function in between.
+
+import "context"
+
+type ctxKey struct{}
+
+// WithSpan returns ctx carrying sc.
+func WithSpan(ctx context.Context, sc SpanContext) context.Context {
+	return context.WithValue(ctx, ctxKey{}, sc)
+}
+
+// SpanFrom extracts the span carried by ctx; ok is false when the request
+// has no trace identity (telemetry disabled, or a non-request context).
+func SpanFrom(ctx context.Context) (SpanContext, bool) {
+	sc, ok := ctx.Value(ctxKey{}).(SpanContext)
+	return sc, ok
+}
+
+// TraceIDFrom is the common query: the hex trace id of ctx's span, or ""
+// when none is attached.
+func TraceIDFrom(ctx context.Context) string {
+	sc, ok := SpanFrom(ctx)
+	if !ok {
+		return ""
+	}
+	return sc.TraceIDString()
+}

@@ -1,0 +1,42 @@
+package telemetry
+
+// Structured-logging construction for the daemon: one slog.Logger built
+// from the -log-level / -log-format flags. JSON is the default format so a
+// gatord request line is one machine-parseable record (request id, trace
+// id, route, status, duration), greppable by trace id next to the captured
+// solver trace for the same request.
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+)
+
+// NewLogger builds a logger writing to w. level is one of "debug", "info",
+// "warn", "error" (default info); format is "json" or "text" (default
+// json).
+func NewLogger(w io.Writer, level, format string) (*slog.Logger, error) {
+	var lvl slog.Level
+	switch strings.ToLower(level) {
+	case "", "info":
+		lvl = slog.LevelInfo
+	case "debug":
+		lvl = slog.LevelDebug
+	case "warn", "warning":
+		lvl = slog.LevelWarn
+	case "error":
+		lvl = slog.LevelError
+	default:
+		return nil, fmt.Errorf("telemetry: unknown log level %q (want debug, info, warn, or error)", level)
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	switch strings.ToLower(format) {
+	case "", "json":
+		return slog.New(slog.NewJSONHandler(w, opts)), nil
+	case "text":
+		return slog.New(slog.NewTextHandler(w, opts)), nil
+	default:
+		return nil, fmt.Errorf("telemetry: unknown log format %q (want json or text)", format)
+	}
+}

@@ -1,0 +1,97 @@
+package telemetry
+
+// TraceRing: the bounded store behind GET /v1/debug/traces/{id}. A request
+// whose solver trace was captured (?trace=1 or head-based sampling) leaves
+// its rendered Chrome-trace buffer here, keyed by trace id, until newer
+// captures push it out. Two bounds apply — entry count and total bytes —
+// so a daemon that samples forever holds a fixed amount of debug state, in
+// the same spirit as the byte-LRU result cache.
+
+import (
+	"container/list"
+	"sync"
+)
+
+// TraceRing is a bounded FIFO of captured traces. The zero value is not
+// usable; construct with NewTraceRing.
+type TraceRing struct {
+	mu       sync.Mutex
+	maxN     int
+	maxBytes int64
+	bytes    int64
+	order    *list.List // front = oldest; value = string (trace id)
+	byID     map[string]ringEntry
+}
+
+type ringEntry struct {
+	data []byte
+	el   *list.Element
+}
+
+// NewTraceRing creates a ring bounded to maxEntries captures and maxBytes
+// total payload (<=0 selects the defaults: 64 entries, 16 MiB).
+func NewTraceRing(maxEntries int, maxBytes int64) *TraceRing {
+	if maxEntries <= 0 {
+		maxEntries = 64
+	}
+	if maxBytes <= 0 {
+		maxBytes = 16 << 20
+	}
+	return &TraceRing{
+		maxN:     maxEntries,
+		maxBytes: maxBytes,
+		order:    list.New(),
+		byID:     map[string]ringEntry{},
+	}
+}
+
+// Put stores one captured trace, evicting the oldest entries past the
+// bounds. A payload larger than the byte bound is dropped whole. Storing
+// an id twice replaces the earlier capture (a retried request with the
+// same traceparent keeps only its latest trace).
+func (r *TraceRing) Put(id string, data []byte) {
+	if r == nil || id == "" || int64(len(data)) > r.maxBytes {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if old, ok := r.byID[id]; ok {
+		r.bytes -= int64(len(old.data))
+		r.order.Remove(old.el)
+		delete(r.byID, id)
+	}
+	for r.order.Len() >= r.maxN || r.bytes+int64(len(data)) > r.maxBytes {
+		oldest := r.order.Front()
+		if oldest == nil {
+			break
+		}
+		oldID := oldest.Value.(string)
+		r.bytes -= int64(len(r.byID[oldID].data))
+		r.order.Remove(oldest)
+		delete(r.byID, oldID)
+	}
+	r.byID[id] = ringEntry{data: data, el: r.order.PushBack(id)}
+	r.bytes += int64(len(data))
+}
+
+// Get returns the captured trace for id (nil, false once evicted). The
+// returned buffer is the stored one; callers treat it as read-only.
+func (r *TraceRing) Get(id string) ([]byte, bool) {
+	if r == nil {
+		return nil, false
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.byID[id]
+	return e.data, ok
+}
+
+// Len returns the number of stored traces.
+func (r *TraceRing) Len() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.order.Len()
+}

@@ -1,0 +1,138 @@
+// Package telemetry is the request-scoped observability layer for the
+// serving tier: W3C Trace Context span identities parsed from and emitted
+// as `traceparent` headers, a context.Context carrier that threads one
+// request's identity from the HTTP handler through the admission queue and
+// job worker down to the solver, structured-logging construction on
+// log/slog, and a bounded ring of captured solver traces retrievable by
+// trace id (GET /v1/debug/traces/{id}).
+//
+// The package adds no analysis semantics and no mandatory cost: a request
+// that carries no span and a server that configures no logger skip all of
+// it. The serving layer's overhead contract (<5% end to end, BENCH_8.json,
+// gated by cmd/benchdiff) is measured with everything here enabled.
+package telemetry
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+)
+
+// SpanContext is one request's trace identity, per the W3C Trace Context
+// recommendation: a 128-bit trace id shared by every span of the trace, a
+// 64-bit span id naming this hop, and the sampled flag.
+type SpanContext struct {
+	TraceID [16]byte
+	SpanID  [8]byte
+	// Sampled is the 01 bit of the trace-flags octet: upstream asked for
+	// this trace to be recorded.
+	Sampled bool
+}
+
+// Valid reports whether the span carries usable identity: per the spec,
+// all-zero trace or span ids are invalid.
+func (sc SpanContext) Valid() bool {
+	return sc.TraceID != [16]byte{} && sc.SpanID != [8]byte{}
+}
+
+// TraceIDString returns the 32-digit lowercase hex trace id.
+func (sc SpanContext) TraceIDString() string { return hex.EncodeToString(sc.TraceID[:]) }
+
+// SpanIDString returns the 16-digit lowercase hex span id.
+func (sc SpanContext) SpanIDString() string { return hex.EncodeToString(sc.SpanID[:]) }
+
+// Traceparent renders the span as a version-00 traceparent header value:
+// 00-<trace-id>-<span-id>-<flags>.
+func (sc SpanContext) Traceparent() string {
+	flags := byte(0)
+	if sc.Sampled {
+		flags = 1
+	}
+	return fmt.Sprintf("00-%s-%s-%02x", sc.TraceIDString(), sc.SpanIDString(), flags)
+}
+
+// ParseTraceparent parses a traceparent header value. Per the W3C spec it
+// accepts any known-length future version except ff, requires lowercase
+// hex, and rejects all-zero trace and span ids.
+func ParseTraceparent(h string) (SpanContext, error) {
+	var sc SpanContext
+	// version(2) '-' traceid(32) '-' spanid(16) '-' flags(2); future
+	// versions may append fields after the flags, so longer values are
+	// accepted when a '-' follows.
+	if len(h) < 55 {
+		return sc, fmt.Errorf("telemetry: traceparent too short (%d bytes)", len(h))
+	}
+	if len(h) > 55 && h[55] != '-' {
+		return sc, fmt.Errorf("telemetry: malformed traceparent %q", h)
+	}
+	if h[2] != '-' || h[35] != '-' || h[52] != '-' {
+		return sc, fmt.Errorf("telemetry: malformed traceparent %q", h)
+	}
+	version, err := hexField(h[0:2])
+	if err != nil {
+		return sc, err
+	}
+	if version[0] == 0xff {
+		return sc, fmt.Errorf("telemetry: traceparent version ff is invalid")
+	}
+	if version[0] == 0 && len(h) != 55 {
+		return sc, fmt.Errorf("telemetry: version-00 traceparent must be 55 bytes, got %d", len(h))
+	}
+	traceID, err := hexField(h[3:35])
+	if err != nil {
+		return sc, err
+	}
+	spanID, err := hexField(h[36:52])
+	if err != nil {
+		return sc, err
+	}
+	flags, err := hexField(h[53:55])
+	if err != nil {
+		return sc, err
+	}
+	copy(sc.TraceID[:], traceID)
+	copy(sc.SpanID[:], spanID)
+	sc.Sampled = flags[0]&1 != 0
+	if !sc.Valid() {
+		return SpanContext{}, fmt.Errorf("telemetry: traceparent with all-zero trace or span id")
+	}
+	return sc, nil
+}
+
+// hexField decodes a fixed-width lowercase hex field; uppercase hex is
+// rejected, as the spec requires.
+func hexField(s string) ([]byte, error) {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return nil, fmt.Errorf("telemetry: non-lowercase-hex byte %q in traceparent field", c)
+		}
+	}
+	return hex.DecodeString(s)
+}
+
+// NewSpan mints a fresh root span: random trace id and span id, sampled.
+// Entropy failure panics — it means the platform's CSPRNG is gone, the
+// same condition the session-id generator treats as fatal.
+func NewSpan() SpanContext {
+	var sc SpanContext
+	mustRand(sc.TraceID[:])
+	mustRand(sc.SpanID[:])
+	sc.Sampled = true
+	return sc
+}
+
+// ChildSpan derives the server's own span of an incoming trace: same trace
+// id and flags, fresh span id. The parent's span id is what the caller
+// logs as parentSpanId if it wants the full link.
+func (sc SpanContext) ChildSpan() SpanContext {
+	child := sc
+	mustRand(child.SpanID[:])
+	return child
+}
+
+func mustRand(b []byte) {
+	if _, err := rand.Read(b); err != nil {
+		panic("telemetry: span id entropy unavailable: " + err.Error())
+	}
+}

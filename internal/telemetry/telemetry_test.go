@@ -1,0 +1,186 @@
+package telemetry
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestTraceparentRoundTrip(t *testing.T) {
+	sc := NewSpan()
+	if !sc.Valid() {
+		t.Fatal("NewSpan produced an invalid span")
+	}
+	h := sc.Traceparent()
+	if len(h) != 55 {
+		t.Fatalf("traceparent %q is %d bytes, want 55", h, len(h))
+	}
+	back, err := ParseTraceparent(h)
+	if err != nil {
+		t.Fatalf("ParseTraceparent(%q): %v", h, err)
+	}
+	if back != sc {
+		t.Fatalf("round trip changed the span: %+v vs %+v", back, sc)
+	}
+}
+
+func TestTraceparentParseFixed(t *testing.T) {
+	const h = "00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01"
+	sc, err := ParseTraceparent(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sc.TraceIDString(); got != "0af7651916cd43dd8448eb211c80319c" {
+		t.Fatalf("trace id %s", got)
+	}
+	if got := sc.SpanIDString(); got != "b7ad6b7169203331" {
+		t.Fatalf("span id %s", got)
+	}
+	if !sc.Sampled {
+		t.Fatal("sampled flag lost")
+	}
+	if sc.Traceparent() != h {
+		t.Fatalf("re-render %q != %q", sc.Traceparent(), h)
+	}
+}
+
+func TestTraceparentRejects(t *testing.T) {
+	bad := []string{
+		"",
+		"00-short",
+		"00-00000000000000000000000000000000-b7ad6b7169203331-01",   // zero trace id
+		"00-0af7651916cd43dd8448eb211c80319c-0000000000000000-01",   // zero span id
+		"ff-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01",   // version ff
+		"00-0AF7651916CD43DD8448EB211C80319C-b7ad6b7169203331-01",   // uppercase hex
+		"00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01-x", // v00 with trailing field
+		"00x0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01",   // bad separator
+	}
+	for _, h := range bad {
+		if _, err := ParseTraceparent(h); err == nil {
+			t.Errorf("ParseTraceparent(%q) accepted", h)
+		}
+	}
+	// A future version may carry extra fields after the flags.
+	ok := "cc-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01-extra"
+	if _, err := ParseTraceparent(ok); err != nil {
+		t.Errorf("ParseTraceparent(%q): %v", ok, err)
+	}
+}
+
+func TestChildSpanKeepsTraceID(t *testing.T) {
+	parent := NewSpan()
+	child := parent.ChildSpan()
+	if child.TraceID != parent.TraceID {
+		t.Fatal("child changed the trace id")
+	}
+	if child.SpanID == parent.SpanID {
+		t.Fatal("child kept the parent's span id")
+	}
+}
+
+func TestContextCarriesSpan(t *testing.T) {
+	if _, ok := SpanFrom(context.Background()); ok {
+		t.Fatal("background context carries a span")
+	}
+	if id := TraceIDFrom(context.Background()); id != "" {
+		t.Fatalf("background trace id %q", id)
+	}
+	sc := NewSpan()
+	ctx := WithSpan(context.Background(), sc)
+	got, ok := SpanFrom(ctx)
+	if !ok || got != sc {
+		t.Fatalf("SpanFrom = %+v, %v", got, ok)
+	}
+	if TraceIDFrom(ctx) != sc.TraceIDString() {
+		t.Fatal("TraceIDFrom mismatch")
+	}
+}
+
+func TestNewLoggerLevelsAndFormats(t *testing.T) {
+	var buf bytes.Buffer
+	log, err := NewLogger(&buf, "info", "json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	log.Debug("hidden")
+	log.Info("shown", "traceId", "abc123")
+	if strings.Contains(buf.String(), "hidden") {
+		t.Fatal("debug line emitted at info level")
+	}
+	var rec map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &rec); err != nil {
+		t.Fatalf("log line is not JSON: %v\n%s", err, buf.String())
+	}
+	if rec["traceId"] != "abc123" || rec["msg"] != "shown" {
+		t.Fatalf("unexpected record %v", rec)
+	}
+
+	if _, err := NewLogger(&buf, "loud", "json"); err == nil {
+		t.Fatal("unknown level accepted")
+	}
+	if _, err := NewLogger(&buf, "info", "xml"); err == nil {
+		t.Fatal("unknown format accepted")
+	}
+	if _, err := NewLogger(&buf, "", ""); err != nil {
+		t.Fatalf("defaults rejected: %v", err)
+	}
+	text, err := NewLogger(&buf, "warn", "text")
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	text.Warn("plain")
+	if !strings.Contains(buf.String(), "msg=plain") {
+		t.Fatalf("text handler output %q", buf.String())
+	}
+}
+
+func TestTraceRingBounds(t *testing.T) {
+	r := NewTraceRing(3, 1<<20)
+	for i := 0; i < 5; i++ {
+		r.Put(fmt.Sprintf("t%d", i), []byte{byte(i)})
+	}
+	if r.Len() != 3 {
+		t.Fatalf("ring holds %d entries, want 3", r.Len())
+	}
+	if _, ok := r.Get("t0"); ok {
+		t.Fatal("oldest entry survived past the count bound")
+	}
+	if data, ok := r.Get("t4"); !ok || data[0] != 4 {
+		t.Fatal("newest entry missing")
+	}
+
+	// Byte bound: entries are evicted oldest-first until the new one fits.
+	b := NewTraceRing(100, 10)
+	b.Put("a", bytes.Repeat([]byte{1}, 6))
+	b.Put("b", bytes.Repeat([]byte{2}, 6))
+	if _, ok := b.Get("a"); ok {
+		t.Fatal("byte bound not enforced")
+	}
+	if _, ok := b.Get("b"); !ok {
+		t.Fatal("newest entry evicted instead of oldest")
+	}
+	// Oversized payloads are dropped whole, not stored truncated.
+	b.Put("huge", bytes.Repeat([]byte{3}, 11))
+	if _, ok := b.Get("huge"); ok {
+		t.Fatal("oversized payload stored")
+	}
+
+	// Re-putting an id replaces the old payload without double-counting.
+	b.Put("b", []byte{9})
+	if data, ok := b.Get("b"); !ok || len(data) != 1 || data[0] != 9 {
+		t.Fatal("replacement payload wrong")
+	}
+	if b.Len() != 1 {
+		t.Fatalf("replacement duplicated the entry: len %d", b.Len())
+	}
+
+	var nilRing *TraceRing
+	nilRing.Put("x", []byte{1})
+	if _, ok := nilRing.Get("x"); ok {
+		t.Fatal("nil ring returned data")
+	}
+}

@@ -40,9 +40,10 @@ type chromeEvent struct {
 }
 
 type chromeArgs struct {
-	App  string `json:"app,omitempty"`
-	N    *int64 `json:"n,omitempty"`
-	Name string `json:"name,omitempty"`
+	App   string `json:"app,omitempty"`
+	N     *int64 `json:"n,omitempty"`
+	Name  string `json:"name,omitempty"`
+	Trace string `json:"trace,omitempty"`
 }
 
 type chromeLog struct {
@@ -98,8 +99,17 @@ func Chrome(events []Event) ([]byte, error) {
 			ce.Ph = "C"
 			n := ev.N
 			ce.Args = &chromeArgs{App: ev.App, N: &n}
+		case KindCache:
+			ce.Name = "cache " + ev.Name
+			ce.Ph = "i"
+			ce.S = "t"
+			n := ev.N
+			ce.Args = &chromeArgs{App: ev.App, N: &n}
 		default:
 			return nil, fmt.Errorf("trace: unknown event kind %q", ev.Kind)
+		}
+		if ce.Args != nil {
+			ce.Args.Trace = ev.Trace
 		}
 		log.TraceEvents = append(log.TraceEvents, ce)
 	}

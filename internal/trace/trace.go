@@ -70,6 +70,10 @@ type Event struct {
 	// TS is the monotonic timestamp, relative to the tracer's start.
 	// It marshals as integer nanoseconds.
 	TS time.Duration `json:"tsNs"`
+	// Trace is the W3C trace id of the request that drove this solve, when
+	// the run is request-scoped (gatord sets it from the incoming or
+	// generated traceparent). Empty for CLI and batch runs.
+	Trace string `json:"trace,omitempty"`
 }
 
 // Sink receives emitted events. Implementations need not be goroutine-safe:
@@ -158,23 +162,51 @@ func (t *Tracer) Scope(app string, worker int) *Scope {
 	return &Scope{t: t, app: app, worker: worker}
 }
 
-// Scope is a Tracer bound to one (app, worker) pair.
+// RequestScope is Scope plus a trace id: every event the scope emits
+// carries the id, tying solver internals to the request that triggered
+// them (the id appears in exported JSON/Chrome traces and is what
+// gatord's /v1/debug/traces endpoint is keyed by).
+func (t *Tracer) RequestScope(app string, worker int, traceID string) *Scope {
+	if t == nil {
+		return nil
+	}
+	return &Scope{t: t, app: app, worker: worker, trace: traceID}
+}
+
+// Scope is a Tracer bound to one (app, worker) pair and, for
+// request-scoped runs, a trace id.
 type Scope struct {
 	t      *Tracer
 	app    string
 	worker int
+	trace  string
 }
 
 // Enabled reports whether the scope records events. Instrumented code uses
 // it to skip argument preparation that would itself allocate.
 func (s *Scope) Enabled() bool { return s != nil }
 
+// TraceID returns the trace id the scope stamps on events ("" when the
+// scope is nil or not request-bound).
+func (s *Scope) TraceID() string {
+	if s == nil {
+		return ""
+	}
+	return s.trace
+}
+
+// emit stamps the scope's trace id and forwards to the tracer.
+func (s *Scope) emit(ev Event) {
+	ev.Trace = s.trace
+	s.t.Emit(ev)
+}
+
 // Begin marks the start of a named phase.
 func (s *Scope) Begin(phase string) {
 	if s == nil {
 		return
 	}
-	s.t.Emit(Event{Kind: KindPhaseBegin, App: s.app, Worker: s.worker, Name: phase})
+	s.emit(Event{Kind: KindPhaseBegin, App: s.app, Worker: s.worker, Name: phase})
 }
 
 // End marks the end of a named phase.
@@ -182,7 +214,7 @@ func (s *Scope) End(phase string) {
 	if s == nil {
 		return
 	}
-	s.t.Emit(Event{Kind: KindPhaseEnd, App: s.app, Worker: s.worker, Name: phase})
+	s.emit(Event{Kind: KindPhaseEnd, App: s.app, Worker: s.worker, Name: phase})
 }
 
 // Iteration reports one outer fixpoint round with its entry worklist size.
@@ -190,7 +222,7 @@ func (s *Scope) Iteration(round int, worklist int) {
 	if s == nil {
 		return
 	}
-	s.t.Emit(Event{Kind: KindIteration, App: s.app, Worker: s.worker, Name: "worklist", N: int64(worklist)})
+	s.emit(Event{Kind: KindIteration, App: s.app, Worker: s.worker, Name: "worklist", N: int64(worklist)})
 	if s.t.reg != nil {
 		s.t.reg.Observe("solver/worklist", int64(worklist))
 		s.t.reg.Add("solver/iterations", 1)
@@ -202,7 +234,7 @@ func (s *Scope) Rule(rule string, fired int64) {
 	if s == nil || fired == 0 {
 		return
 	}
-	s.t.Emit(Event{Kind: KindRule, App: s.app, Worker: s.worker, Name: rule, N: fired})
+	s.emit(Event{Kind: KindRule, App: s.app, Worker: s.worker, Name: rule, N: fired})
 	if s.t.reg != nil {
 		s.t.reg.Add("rule/"+rule, fired)
 	}
@@ -213,7 +245,7 @@ func (s *Scope) Dataflow(method string, visits int64) {
 	if s == nil {
 		return
 	}
-	s.t.Emit(Event{Kind: KindDataflow, App: s.app, Worker: s.worker, Name: method, N: visits})
+	s.emit(Event{Kind: KindDataflow, App: s.app, Worker: s.worker, Name: method, N: visits})
 	if s.t.reg != nil {
 		s.t.reg.Observe("dataflow/visits", visits)
 		s.t.reg.Add("dataflow/solves", 1)
@@ -225,7 +257,7 @@ func (s *Scope) Count(name string, n int64) {
 	if s == nil {
 		return
 	}
-	s.t.Emit(Event{Kind: KindCounter, App: s.app, Worker: s.worker, Name: name, N: n})
+	s.emit(Event{Kind: KindCounter, App: s.app, Worker: s.worker, Name: name, N: n})
 	if s.t.reg != nil {
 		s.t.reg.Add(name, n)
 	}
@@ -242,7 +274,7 @@ func (s *Scope) CacheProbe(name string, hit bool) {
 	if hit {
 		n = 1
 	}
-	s.t.Emit(Event{Kind: KindCache, App: s.app, Worker: s.worker, Name: name, N: n})
+	s.emit(Event{Kind: KindCache, App: s.app, Worker: s.worker, Name: name, N: n})
 	if s.t.reg != nil {
 		if hit {
 			s.t.reg.Add("cache/"+name+"/hits", 1)

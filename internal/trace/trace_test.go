@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"bytes"
 	"strings"
 	"sync"
 	"testing"
@@ -130,5 +131,60 @@ func TestWriteJSON(t *testing.T) {
 	want := `{"kind":"phase-begin","app":"a","worker":1,"name":"load","tsNs":1000}`
 	if lines[0] != want {
 		t.Errorf("line 0 = %s\nwant     %s", lines[0], want)
+	}
+}
+
+func TestRequestScopeStampsTraceID(t *testing.T) {
+	var sink Collect
+	tr := New(&sink, WithClock(StepClock(time.Microsecond)))
+	sc := tr.RequestScope("app", 0, "0af7651916cd43dd8448eb211c80319c")
+	if sc.TraceID() != "0af7651916cd43dd8448eb211c80319c" {
+		t.Fatalf("TraceID = %q", sc.TraceID())
+	}
+	sc.Begin("solve")
+	sc.Iteration(1, 4)
+	sc.Rule("FindView2", 2)
+	sc.CacheProbe("parse", true)
+	sc.End("solve")
+	events := sink.Events()
+	if len(events) != 5 {
+		t.Fatalf("%d events", len(events))
+	}
+	for _, ev := range events {
+		if ev.Trace != "0af7651916cd43dd8448eb211c80319c" {
+			t.Fatalf("event %+v lost the trace id", ev)
+		}
+	}
+
+	// The id survives both exporters: JSON lines carry a trace field, and
+	// the Chrome rendering accepts every kind (including cache probes).
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	if n := strings.Count(buf.String(), `"trace":"0af7651916cd43dd8448eb211c80319c"`); n != 5 {
+		t.Fatalf("JSON export has %d trace fields, want 5:\n%s", n, buf.String())
+	}
+	chrome, err := Chrome(events)
+	if err != nil {
+		t.Fatalf("Chrome export: %v", err)
+	}
+	if !strings.Contains(string(chrome), "0af7651916cd43dd8448eb211c80319c") {
+		t.Fatal("Chrome export dropped the trace id")
+	}
+
+	// Plain scopes stay trace-free so CLI output is unchanged.
+	plain := tr.Scope("app", 0)
+	if plain.TraceID() != "" {
+		t.Fatal("plain scope has a trace id")
+	}
+	plain.Begin("solve")
+	evs := sink.Events()
+	if last := evs[len(evs)-1]; last.Trace != "" {
+		t.Fatalf("plain scope stamped %q", last.Trace)
+	}
+	var nilScope *Scope
+	if nilScope.TraceID() != "" {
+		t.Fatal("nil scope trace id")
 	}
 }

@@ -10,7 +10,9 @@
 # precision record (BENCH_7.json, gatorbench -precjson) is gated tighter:
 # any soundness violation fails, a per-mode solution/oracle ratio may not
 # grow more than 5%, and the polymorphic-helper stressor must stay strictly
-# smaller under context sensitivity.
+# smaller under context sensitivity. The observability record (BENCH_8.json,
+# gatorbench -obsjson) fails when the telemetry layer's request-latency
+# overhead exceeds its 5% ceiling.
 #
 # Usage: scripts/benchdiff.sh [OUTDIR]
 #   Pass an OUTDIR to keep the regenerated records around (CI uploads them
@@ -30,13 +32,14 @@ fi
 echo "== regenerating benchmark records into $OUT"
 go run ./cmd/gatorbench -table 2 -benchjson "$OUT/BENCH_2.json" -incjson "$OUT/BENCH_4.json" \
     -servejson "$OUT/BENCH_5.json" -solvejson "$OUT/BENCH_6.json" \
-    -precjson "$OUT/BENCH_7.json" > /dev/null
+    -precjson "$OUT/BENCH_7.json" -obsjson "$OUT/BENCH_8.json" > /dev/null
 
-echo "== diff vs checked-in records (threshold 15%; precision ratio 5%)"
+echo "== diff vs checked-in records (threshold 15%; precision ratio 5%; telemetry overhead 5%)"
 go run ./cmd/benchdiff BENCH_2.json "$OUT/BENCH_2.json"
 go run ./cmd/benchdiff BENCH_4.json "$OUT/BENCH_4.json"
 go run ./cmd/benchdiff BENCH_5.json "$OUT/BENCH_5.json"
 go run ./cmd/benchdiff BENCH_6.json "$OUT/BENCH_6.json"
 go run ./cmd/benchdiff BENCH_7.json "$OUT/BENCH_7.json"
+go run ./cmd/benchdiff BENCH_8.json "$OUT/BENCH_8.json"
 
 echo "== benchdiff gate green"

@@ -30,7 +30,11 @@
 #   8. server smoke  — `gatord -smoke` boots the daemon on a loopback port,
 #                      runs one cold and one incremental session request
 #                      (both byte-compared against local analysis), then
-#                      drains and shuts down cleanly
+#                      exercises the telemetry surface — scrapes /metrics,
+#                      validates it as Prometheus text with the in-repo
+#                      parser, runs a ?trace=1 request, and fetches the
+#                      captured solver trace by its trace id — then drains
+#                      and shuts down cleanly
 #   9. no-alloc      — BenchmarkSolveTracingDisabled asserts that disabled
 #                      tracing adds zero allocations to the solver
 #  10. ctx smoke     — `gatorbench -table precision -ctx 1cfa` over one small
@@ -38,9 +42,10 @@
 #                      against the oracle (the command exits nonzero on any
 #                      soundness violation) and stays wired into the CLI
 #  11. gatorbench    — regenerate BENCH_2.json, BENCH_4.json, BENCH_5.json,
-#                      BENCH_6.json, and BENCH_7.json (skipped with -short);
-#                      scripts/benchdiff.sh diffs regenerated records
-#                      against the checked-in ones without overwriting them
+#                      BENCH_6.json, BENCH_7.json, and BENCH_8.json (skipped
+#                      with -short); scripts/benchdiff.sh diffs regenerated
+#                      records against the checked-in ones without
+#                      overwriting them
 #
 # Usage: scripts/ci.sh [-short]
 #   -short trims the corpus-wide tests for a quick local signal.
@@ -100,9 +105,9 @@ echo "== context-sensitivity precision smoke (TippyTipper, 1cfa)"
 go run ./cmd/gatorbench -table precision -app TippyTipper -ctx 1cfa > /dev/null
 
 if [ -z "$SHORT" ]; then
-    echo "== gatorbench BENCH_2.json + BENCH_4.json + BENCH_5.json + BENCH_6.json + BENCH_7.json"
+    echo "== gatorbench BENCH_2.json + BENCH_4.json + BENCH_5.json + BENCH_6.json + BENCH_7.json + BENCH_8.json"
     go run ./cmd/gatorbench -benchjson BENCH_2.json -incjson BENCH_4.json -servejson BENCH_5.json \
-        -solvejson BENCH_6.json -precjson BENCH_7.json > /dev/null
+        -solvejson BENCH_6.json -precjson BENCH_7.json -obsjson BENCH_8.json > /dev/null
 fi
 
 echo "== CI gate green"
