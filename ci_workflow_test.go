@@ -84,6 +84,22 @@ func checkActionsPinned(t *testing.T, path, text string) {
 	}
 }
 
+// checkJobTimeouts asserts every job carries its own timeout-minutes
+// ceiling. GitHub's default is 6 hours; a hung smoke or fuzz target should
+// fail the run, not hold a runner. Jobs are counted by their `runs-on`
+// lines, so a new job without a timeout fails here rather than shipping.
+func checkJobTimeouts(t *testing.T, path, text string) {
+	t.Helper()
+	jobs := strings.Count(text, "runs-on:")
+	timeouts := strings.Count(text, "timeout-minutes:")
+	if jobs == 0 {
+		t.Errorf("%s: no runs-on lines; job counting is broken", path)
+	}
+	if timeouts != jobs {
+		t.Errorf("%s: %d jobs but %d timeout-minutes lines; every job needs its own ceiling", path, jobs, timeouts)
+	}
+}
+
 func TestCIWorkflow(t *testing.T) {
 	text := readWorkflow(t, "ci.yml")
 	keys := topLevelKeys(text)
@@ -103,10 +119,13 @@ func TestCIWorkflow(t *testing.T) {
 		"actions/checkout@", "actions/setup-go@",
 		// Module/build caching and the separate full race-detector job.
 		"cache: true", "go test -race ./...",
-		// Failed runs keep their logs.
+		// Failed runs keep their logs — and the cluster smoke's per-replica
+		// request logs (ci.sh step 12 writes them to cluster-smoke-logs/).
 		"if: failure()", "actions/upload-artifact@",
+		"cluster-smoke-logs",
 	})
 	checkActionsPinned(t, "ci.yml", text)
+	checkJobTimeouts(t, "ci.yml", text)
 }
 
 func TestNightlyWorkflow(t *testing.T) {
@@ -123,12 +142,16 @@ func TestNightlyWorkflow(t *testing.T) {
 		// the precision record added with context sensitivity.
 		"scripts/benchdiff.sh", "BENCH_7.json",
 		"BenchmarkIncrementalEdit",
+		// The cluster failover smoke runs nightly with its replica logs
+		// under bench-new/, where the failure artifact picks them up.
+		"gatorproxy -smoke", "bench-new/cluster-smoke-logs",
 		// Fuzz budget: 30 seconds per target, both targets present.
 		"-fuzztime 30s", "FuzzParse", "FuzzLayout",
 		// Crashers and regenerated records survive the failed run.
 		"if: failure()", "actions/upload-artifact@",
 	})
 	checkActionsPinned(t, "nightly.yml", text)
+	checkJobTimeouts(t, "nightly.yml", text)
 }
 
 // TestCIScriptsExist pins the coupling between the workflows and the
@@ -161,5 +184,71 @@ func TestCIScriptsCoverPrecision(t *testing.T) {
 			continue
 		}
 		requireAll(t, path, string(data), markers)
+	}
+}
+
+// TestCIScriptsCoverCluster pins the cluster gate into the tier-1 script:
+// the server smoke must exercise replica identity, the cluster smoke must
+// run with its replica logs where ci.yml's failure artifact expects them,
+// the short race sweep must include the cluster package (the proxy's whole
+// job is concurrent routing), and the full run must regenerate the cluster
+// benchmark record.
+func TestCIScriptsCoverCluster(t *testing.T) {
+	data, err := os.ReadFile("scripts/ci.sh")
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireAll(t, "scripts/ci.sh", string(data), []string{
+		"gatord -smoke -replica",
+		"gatorproxy -smoke -smoke-logs cluster-smoke-logs",
+		"./internal/cluster",
+		"-clusterjson BENCH_9.json",
+	})
+}
+
+// TestBenchRecordWiringInSync derives the authoritative benchmark-record
+// list from the checked-in BENCH_*.json files themselves and asserts every
+// consumer knows about every record: ci.sh must regenerate it, benchdiff.sh
+// must regenerate and diff it, and nightly.yml must document it. Adding a
+// BENCH_N.json without wiring it everywhere — or wiring a record that was
+// never checked in — fails here instead of silently ungated drift.
+func TestBenchRecordWiringInSync(t *testing.T) {
+	records, err := filepath.Glob("BENCH_*.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) == 0 {
+		t.Fatal("no checked-in BENCH_*.json records; the glob is broken")
+	}
+	for _, consumer := range []string{
+		"scripts/ci.sh",
+		"scripts/benchdiff.sh",
+		filepath.Join(".github", "workflows", "nightly.yml"),
+	} {
+		data, err := os.ReadFile(consumer)
+		if err != nil {
+			t.Errorf("%s: %v", consumer, err)
+			continue
+		}
+		requireAll(t, consumer, string(data), records)
+	}
+	// The reverse direction: benchdiff.sh must not diff a record that is
+	// not checked in (a stale line would fail every nightly run).
+	diffScript, err := os.ReadFile("scripts/benchdiff.sh")
+	if err != nil {
+		t.Fatal(err)
+	}
+	checked := map[string]bool{}
+	for _, r := range records {
+		checked[r] = true
+	}
+	for _, line := range strings.Split(string(diffScript), "\n") {
+		fields := strings.Fields(line)
+		for _, f := range fields {
+			if strings.HasPrefix(f, "BENCH_") && strings.HasSuffix(f, ".json") &&
+				!strings.Contains(f, "*") && !checked[f] {
+				t.Errorf("scripts/benchdiff.sh references %s, which is not checked in", f)
+			}
+		}
 	}
 }

@@ -38,6 +38,15 @@
 //     ceiling. The overhead is a same-machine on/off ratio of min-of-N
 //     latencies, so like the solver ratios it gates on the absolute
 //     ceiling only; the baseline is printed for trend reading.
+//   - cluster records (BENCH_9.json, gatorbench -clusterjson): aggregate
+//     throughput at 4 replicas must beat 1 replica by the 1.5x floor
+//     (the benchmark models a fixed per-replica service time, so the
+//     ratio measures the router's spread and holds on any core count),
+//     a mid-run replica kill must end with zero unrecovered requests and
+//     at least one session re-create, and the failover-window p99 must
+//     stay under an absolute ceiling. All gates are floors/ceilings, not
+//     baseline-relative: the scaling ratio divides two independently
+//     measured walls, so a relative threshold would trip on noise.
 //
 // Usage:
 //
@@ -76,6 +85,18 @@ const shardSpeedupFloor = 1.0
 // head-sampled trace capture) relative to a telemetry-off daemon (see
 // DESIGN.md, "Observability").
 const obsOverheadCeiling = 5.0
+
+// clusterScalingFloor is the minimum acceptable 4-replica/1-replica
+// throughput ratio for cluster records: consistent hashing must spread
+// independent apps well enough that four service units beat one by at
+// least this much (see DESIGN.md, "Cluster").
+const clusterScalingFloor = 1.5
+
+// failoverP99CeilingMs bounds the failover-window patch p99 for cluster
+// records: a replica kill may cost the affected sessions a re-create (one
+// cold solve), never a stall. The ceiling is absolute wall-clock, sized
+// for a loopback cluster with the benchmark's fixed service delay.
+const failoverP99CeilingMs = 2000.0
 
 // ratioSlack is the maximum tolerated growth of a precision record's
 // solution/oracle ratio over the baseline. The ratio counts canonical facts,
@@ -120,6 +141,12 @@ type record struct {
 	TelemetryOffMs float64     `json:"telemetryOffMs"`
 	TelemetryOnMs  float64     `json:"telemetryOnMs"`
 	OverheadPct    float64     `json:"overheadPct"`
+	Scaling2x      float64     `json:"scaling2x"`
+	Scaling4x      float64     `json:"scaling4x"`
+	SteadyP99Ms    float64     `json:"steadyP99Ms"`
+	FailoverP99Ms  float64     `json:"failoverP99Ms"`
+	Recreates      int         `json:"recreates"`
+	FailedRequests int         `json:"failedRequests"`
 	Apps           []appRec    `json:"apps"`
 	Modes          []modeRec   `json:"modes"`
 	Stressor       stressorRec `json:"stressor"`
@@ -161,6 +188,26 @@ func main() {
 	}
 
 	switch {
+	case old.Scaling4x > 0:
+		// Cluster record: floor-gated scaling plus the failover contract.
+		// Zero unrecovered requests is absolute; at least one re-create
+		// proves the kill actually hit warm sessions.
+		fmt.Printf("%s: scaling 2x=%.2f 4x=%.2f (floor %.1fx) vs baseline 4x=%.2f; failover p99 %.1fms (ceiling %.0fms, steady %.1fms), recreates %d, failed %d\n",
+			flag.Arg(1), cur.Scaling2x, cur.Scaling4x, clusterScalingFloor, old.Scaling4x,
+			cur.FailoverP99Ms, failoverP99CeilingMs, cur.SteadyP99Ms, cur.Recreates, cur.FailedRequests)
+		if cur.Scaling4x < clusterScalingFloor {
+			fail("4-replica throughput scaling %.2fx below the %.1fx floor", cur.Scaling4x, clusterScalingFloor)
+		}
+		if cur.FailedRequests != 0 {
+			fail("%d request(s) never recovered after the replica kill (want 0)", cur.FailedRequests)
+		}
+		if cur.Recreates < 1 {
+			fail("replica kill triggered no session re-creates; the failover path went unexercised")
+		}
+		if cur.FailoverP99Ms > failoverP99CeilingMs {
+			fail("failover-window p99 %.1fms exceeds the %.0fms ceiling", cur.FailoverP99Ms, failoverP99CeilingMs)
+		}
+
 	case len(old.Modes) > 0:
 		// Precision record: deterministic fact-count ratios per
 		// context-sensitivity mode. Soundness violations and a non-strict

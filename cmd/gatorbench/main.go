@@ -11,7 +11,7 @@
 //	           [-filter-casts] [-shared-inflation] [-no-findview3] [-declared-dispatch]
 //	           [-ctx off|1cfa|1obj] [-trace FILE] [-metrics FILE] [-pprof ADDR]
 //	           [-benchjson FILE] [-incjson FILE] [-solvejson FILE] [-precjson FILE]
-//	           [-servejson FILE] [-obsjson FILE]
+//	           [-servejson FILE] [-obsjson FILE] [-clusterjson FILE]
 package main
 
 import (
@@ -50,6 +50,7 @@ func main() {
 	precJSON := flag.String("precjson", "", "write the precision benchmark (solution/oracle ratio per context-sensitivity mode, plus the polymorphic-helper stressor) to `file`")
 	serveJSON := flag.String("servejson", "", "write the server benchmark (request latency percentiles, warm session speedup) to `file`")
 	obsJSON := flag.String("obsjson", "", "write the telemetry overhead benchmark (request latency with the telemetry layer on vs off) to `file`")
+	clusterJSON := flag.String("clusterjson", "", "write the cluster benchmark (throughput scaling at 1/2/4 replicas, failover tail latency under a mid-run replica kill) to `file`")
 	traceOut := flag.String("trace", "", "write a Chrome trace_event JSON of the corpus run to `file`")
 	metricsOut := flag.String("metrics", "", "write the aggregated counter/histogram registry as JSON to `file` (\"-\" for stderr; implies tracing)")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof and expvar on `addr` (e.g. localhost:6060) for the duration of the run")
@@ -210,6 +211,12 @@ func main() {
 	}
 	if *obsJSON != "" {
 		if err := writeObsJSON(*obsJSON, *jobs); err != nil {
+			fmt.Fprintln(os.Stderr, "gatorbench:", err)
+			os.Exit(1)
+		}
+	}
+	if *clusterJSON != "" {
+		if err := writeClusterJSON(*clusterJSON); err != nil {
 			fmt.Fprintln(os.Stderr, "gatorbench:", err)
 			os.Exit(1)
 		}

@@ -1,0 +1,157 @@
+// Command gatorproxy is the cluster coordinator for gatord: it routes
+// analysis requests across N replicas by consistent hashing on the app id
+// (so warm incremental sessions stay sticky to the replica that owns
+// them), serves a shared content-addressed result store every replica
+// consults behind its own caches, health-probes the replicas — evicting
+// dead ones from the ring and re-adding recovered ones — and serves a
+// cluster-wide /metrics rollup with a `replica` label on every series.
+//
+// Usage:
+//
+//	gatorproxy -replicas host:port,host:port[,name=host:port...]
+//	           [-addr :7460] [-vnodes 128] [-probe-interval 2s]
+//	           [-probe-timeout 1s] [-cache-bytes N]
+//
+// Replicas are plain gatord processes started with -replica NAME and
+// -shared-cache pointing back at this proxy:
+//
+//	gatord -addr :7465 -replica r0 -shared-cache 127.0.0.1:7460
+//	gatord -addr :7466 -replica r1 -shared-cache 127.0.0.1:7460
+//	gatorproxy -addr :7460 -replicas r0=127.0.0.1:7465,r1=127.0.0.1:7466
+//
+// Clients need no changes: the proxy speaks the daemon's exact wire
+// protocol, and a dead replica's sessions answer 404 — the signal the
+// client's existing re-create path already handles.
+//
+// With -smoke the proxy boots two in-process replicas, drives cold,
+// cached, warm-session, failover, and rollup checks against the app
+// directory argument, and exits — the CI gate's cluster smoke test.
+// -smoke-logs DIR writes each replica's request log to DIR/NAME.log so a
+// CI failure leaves evidence behind.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"gator/internal/cluster"
+	"gator/internal/telemetry"
+)
+
+func main() {
+	addr := flag.String("addr", ":7460", "listen address (host:port; port 0 picks a free port)")
+	replicas := flag.String("replicas", "", "comma-separated replica list: host:port or name=host:port (names default to the address)")
+	vnodes := flag.Int("vnodes", cluster.DefaultVnodes, "virtual nodes per replica on the hash ring")
+	probeInterval := flag.Duration("probe-interval", 2*time.Second, "health-probe period")
+	probeTimeout := flag.Duration("probe-timeout", time.Second, "per-probe timeout")
+	cacheBytes := flag.Int64("cache-bytes", 256<<20, "shared result store size bound (bytes, LRU eviction)")
+	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, error")
+	logFormat := flag.String("log-format", "json", "log format: json or text")
+	smoke := flag.Bool("smoke", false, "self-test: boot 2 in-process replicas, run the cluster smoke against the app directory argument, exit")
+	smokeLogs := flag.String("smoke-logs", "", "with -smoke: write per-replica request logs into this `directory`")
+	flag.Parse()
+
+	logger, err := telemetry.NewLogger(os.Stderr, *logLevel, *logFormat)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gatorproxy:", err)
+		os.Exit(2)
+	}
+
+	cfg := cluster.Config{
+		Vnodes:           *vnodes,
+		ProbeInterval:    *probeInterval,
+		ProbeTimeout:     *probeTimeout,
+		SharedCacheBytes: *cacheBytes,
+		Logger:           logger,
+	}
+
+	if *smoke {
+		if flag.NArg() != 1 {
+			fmt.Fprintln(os.Stderr, "gatorproxy: -smoke wants exactly one app directory")
+			os.Exit(2)
+		}
+		if err := runSmoke(cfg, flag.Arg(0), *smokeLogs); err != nil {
+			fmt.Fprintln(os.Stderr, "gatorproxy: smoke:", err)
+			os.Exit(1)
+		}
+		fmt.Println("gatorproxy: smoke ok")
+		return
+	}
+
+	members, err := parseReplicas(*replicas)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gatorproxy:", err)
+		os.Exit(2)
+	}
+	if len(members) == 0 {
+		fmt.Fprintln(os.Stderr, "gatorproxy: -replicas is required (see -h)")
+		os.Exit(2)
+	}
+
+	p := cluster.New(cfg)
+	for _, m := range members {
+		p.AddReplica(m.name, m.base)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gatorproxy:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "gatorproxy: listening on %s, %d replicas\n", ln.Addr(), len(members))
+
+	stop := make(chan struct{})
+	go p.RunProber(stop)
+
+	httpSrv := &http.Server{Handler: p.Handler()}
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		s := <-sig
+		fmt.Fprintf(os.Stderr, "gatorproxy: %v: shutting down\n", s)
+		close(stop)
+		httpSrv.Close()
+	}()
+
+	if err := httpSrv.Serve(ln); !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(os.Stderr, "gatorproxy:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, "gatorproxy: bye")
+}
+
+type member struct{ name, base string }
+
+// parseReplicas parses "-replicas r0=host:port,host:port" — a bare
+// address is its own name.
+func parseReplicas(s string) ([]member, error) {
+	var out []member
+	seen := map[string]bool{}
+	for _, item := range strings.Split(s, ",") {
+		item = strings.TrimSpace(item)
+		if item == "" {
+			continue
+		}
+		m := member{name: item, base: item}
+		if eq := strings.IndexByte(item, '='); eq >= 0 {
+			m.name, m.base = item[:eq], item[eq+1:]
+		}
+		if m.name == "" || m.base == "" {
+			return nil, fmt.Errorf("bad replica entry %q (want host:port or name=host:port)", item)
+		}
+		if seen[m.name] {
+			return nil, fmt.Errorf("duplicate replica name %q", m.name)
+		}
+		seen[m.name] = true
+		out = append(out, m)
+	}
+	return out, nil
+}

@@ -1,0 +1,268 @@
+package main
+
+// The -smoke self-test: a real 2-replica cluster on loopback — two
+// in-process gatord replicas, the routing proxy in front — driven through
+// the properties the cluster exists to provide:
+//
+//  1. cold and warm-session reports through the proxy are byte-identical
+//     to the local library pipeline (the single-node contract, preserved);
+//  2. a second replica's cold analyze replays the first's solve through
+//     the shared content-addressed tier (Cached, same bytes);
+//  3. killing a session's replica turns the session into a 404 and a
+//     re-created session on the survivor renders the same bytes — the
+//     client's existing recovery path, exercised end to end;
+//  4. the rolled-up /metrics parses with the repo's validating parser and
+//     carries a replica label on every replica series.
+//
+// scripts/ci.sh runs this as the cluster smoke gate; -smoke-logs leaves
+// each replica's request log behind as a CI failure artifact.
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"gator"
+	"gator/internal/cluster"
+	"gator/internal/metrics"
+	"gator/internal/report"
+	"gator/internal/server"
+	"gator/internal/telemetry"
+)
+
+func runSmoke(cfg cluster.Config, dir, logDir string) error {
+	sources, layouts, err := gator.ReadAppDir(dir)
+	if err != nil {
+		return err
+	}
+
+	// Proxy first: replicas need its address for the shared tier.
+	p := cluster.New(cfg)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: p.Handler()}
+	go httpSrv.Serve(ln)
+	defer httpSrv.Close()
+	proxyURL := "http://" + ln.Addr().String()
+
+	replicaCfg := func(name string) (server.Config, error) {
+		rc := server.Config{Shared: cluster.NewStoreClient(proxyURL)}
+		if logDir == "" {
+			return rc, nil
+		}
+		if err := os.MkdirAll(logDir, 0o755); err != nil {
+			return rc, err
+		}
+		f, err := os.Create(filepath.Join(logDir, name+".log"))
+		if err != nil {
+			return rc, err
+		}
+		// Leaked deliberately: the log must capture the replica's whole
+		// life, and the process exits right after the smoke.
+		rc.Logger, err = telemetry.NewLogger(f, "info", "json")
+		return rc, err
+	}
+
+	var reps []*cluster.LocalReplica
+	for _, name := range []string{"r0", "r1"} {
+		rc, err := replicaCfg(name)
+		if err != nil {
+			return err
+		}
+		lr, err := cluster.StartLocalReplica(name, rc)
+		if err != nil {
+			return fmt.Errorf("boot replica %s: %w", name, err)
+		}
+		defer lr.Kill()
+		reps = append(reps, lr)
+		p.AddReplica(name, lr.URL())
+	}
+
+	c := server.NewClient(proxyURL)
+	if err := c.Readyz(); err != nil {
+		return fmt.Errorf("proxy readyz: %w", err)
+	}
+
+	const kind = "views"
+	want, err := localReport("smoke", sources, layouts, kind)
+	if err != nil {
+		return err
+	}
+
+	// 1. Cold through the proxy ≡ local.
+	cold, err := c.Analyze(server.AnalyzeRequest{
+		Name: "smoke", Sources: sources, Layouts: layouts,
+		ReportSpec: server.ReportSpec{Report: kind},
+	})
+	if err != nil {
+		return fmt.Errorf("cold analyze via proxy: %w", err)
+	}
+	if cold.Output != want {
+		return fmt.Errorf("proxied cold report differs from local output\nremote:\n%s\nlocal:\n%s", cold.Output, want)
+	}
+	owner, ok := p.OwnerOf("smoke")
+	if !ok {
+		return errors.New("ring has no owner for the smoke app")
+	}
+	fmt.Printf("gatorproxy: smoke: cold request ok (%d bytes via replica %s)\n", len(cold.Output), owner)
+
+	// 2. Shared tier: ask the NON-owning replica directly — its local
+	// caches are cold, so a Cached reply proves the cluster tier works.
+	var other *cluster.LocalReplica
+	for _, lr := range reps {
+		if lr.Name != owner {
+			other = lr
+		}
+	}
+	direct := server.NewClient(other.URL())
+	replay, err := direct.Analyze(server.AnalyzeRequest{
+		Name: "smoke", Sources: sources, Layouts: layouts,
+		ReportSpec: server.ReportSpec{Report: kind},
+	})
+	if err != nil {
+		return fmt.Errorf("cross-replica analyze: %w", err)
+	}
+	if !replay.Cached {
+		return errors.New("cross-replica analyze missed the shared result tier")
+	}
+	if replay.Output != want {
+		return errors.New("shared-tier replay differs from the original bytes")
+	}
+	fmt.Printf("gatorproxy: smoke: shared-tier replay ok (replica %s, cached)\n", other.Name)
+
+	// 3. Warm session ≡ local, then failover: kill the owner, expect 404,
+	// re-create on the survivor, byte-compare again.
+	open, err := c.OpenSession(server.AnalyzeRequest{
+		Name: "smoke", Sources: sources, Layouts: layouts,
+		ReportSpec: server.ReportSpec{Report: kind},
+	})
+	if err != nil {
+		return fmt.Errorf("open session via proxy: %w", err)
+	}
+	var names []string
+	for n := range sources {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	edited := names[0]
+	editedSources := map[string]string{}
+	for n, s := range sources {
+		editedSources[n] = s
+	}
+	editedSources[edited] = sources[edited] + "\n// gatorproxy smoke edit\n"
+	patch, err := c.PatchSession(open.SessionID, server.PatchRequest{
+		Sources:    map[string]string{edited: editedSources[edited]},
+		ReportSpec: server.ReportSpec{Report: kind},
+	})
+	if err != nil {
+		return fmt.Errorf("patch session via proxy: %w", err)
+	}
+	wantEdited, err := localReport("smoke", editedSources, layouts, kind)
+	if err != nil {
+		return err
+	}
+	if patch.Output != wantEdited {
+		return fmt.Errorf("proxied warm report differs from local output\nremote:\n%s\nlocal:\n%s", patch.Output, wantEdited)
+	}
+	fmt.Printf("gatorproxy: smoke: warm session ok (%d bytes)\n", len(patch.Output))
+
+	sessOwner, ok := sessionOwner(reps, owner)
+	if !ok {
+		return errors.New("no replica matches the session owner")
+	}
+	sessOwner.Kill()
+	_, err = c.PatchSession(open.SessionID, server.PatchRequest{
+		Sources:    map[string]string{edited: editedSources[edited]},
+		ReportSpec: server.ReportSpec{Report: kind},
+	})
+	var se *server.StatusError
+	if !errors.As(err, &se) || se.Code != http.StatusNotFound {
+		return fmt.Errorf("patch after replica kill: got %v, want 404", err)
+	}
+	reopened, err := c.OpenSession(server.AnalyzeRequest{
+		Name: "smoke", Sources: sources, Layouts: layouts,
+		ReportSpec: server.ReportSpec{Report: kind},
+	})
+	if err != nil {
+		return fmt.Errorf("re-create session after replica kill: %w", err)
+	}
+	if reopened.Output != want {
+		return errors.New("re-created session rendered different bytes")
+	}
+	if _, err := c.PatchSession(reopened.SessionID, server.PatchRequest{
+		Sources:    map[string]string{edited: editedSources[edited]},
+		ReportSpec: server.ReportSpec{Report: kind},
+	}); err != nil {
+		return fmt.Errorf("patch re-created session: %w", err)
+	}
+	live := p.LiveReplicas()
+	if len(live) != 1 {
+		return fmt.Errorf("ring still lists %v after the kill", live)
+	}
+	fmt.Printf("gatorproxy: smoke: failover ok (killed %s, session re-created on %s)\n", sessOwner.Name, live[0])
+
+	// 4. Rollup: must parse, and every replica series must carry the label.
+	prom, err := c.MetricsProm()
+	if err != nil {
+		return fmt.Errorf("scrape rolled-up /metrics: %w", err)
+	}
+	fams, err := metrics.ParsePrometheus(prom)
+	if err != nil {
+		return fmt.Errorf("rolled-up /metrics is not valid Prometheus text: %w", err)
+	}
+	reqFam, ok := fams["gatord_http_requests_total"]
+	if !ok {
+		return errors.New("rollup lacks gatord_http_requests_total")
+	}
+	for _, s := range reqFam.Samples {
+		if s.Labels["replica"] == "" {
+			return fmt.Errorf("rollup sample without replica label: %v", s.Labels)
+		}
+	}
+	proxyFams := 0
+	for name := range fams {
+		if strings.HasPrefix(name, "gatorproxy_") {
+			proxyFams++
+		}
+	}
+	if proxyFams == 0 {
+		return errors.New("rollup lacks the proxy's own gatorproxy_ families")
+	}
+	fmt.Printf("gatorproxy: smoke: metrics rollup ok (%d families, %d proxy-own)\n", len(fams), proxyFams)
+	return nil
+}
+
+// sessionOwner resolves the replica that owns the smoke session (the ring
+// owner of the app id, since the session was created through the ring).
+func sessionOwner(reps []*cluster.LocalReplica, owner string) (*cluster.LocalReplica, bool) {
+	for _, lr := range reps {
+		if lr.Name == owner {
+			return lr, true
+		}
+	}
+	return nil, false
+}
+
+// localReport renders the reference report through the local library
+// path, exactly as cmd/gatord's smoke does.
+func localReport(name string, sources, layouts map[string]string, kind string) (string, error) {
+	app, err := gator.Load(sources, layouts)
+	if err != nil {
+		return "", err
+	}
+	app.Name = name
+	res := app.Analyze(gator.Options{})
+	var out, errBuf bytes.Buffer
+	if code := report.Render(&out, &errBuf, name, res, report.Request{Report: kind, Seed: 1}); code != 0 {
+		return "", fmt.Errorf("local render exited %d: %s", code, errBuf.String())
+	}
+	return out.String(), nil
+}

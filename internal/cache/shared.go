@@ -1,0 +1,23 @@
+package cache
+
+// SharedStore is a content-addressed result tier shared by several
+// analysis nodes — in a cluster, the tier gatorproxy serves over HTTP and
+// every gatord replica consults behind its local byte-LRU (and disk
+// store, when configured). Keys are application fingerprints
+// (AppFingerprint: unit content hashes + the options CacheTag), which are
+// location-independent: any replica that solved the same input under the
+// same options produced the same rendered bytes, so an entry written by
+// one node is valid on every other node by construction. That content
+// addressing is the cluster's whole coherence story — there is nothing to
+// invalidate, ever (see DESIGN.md, "Cluster").
+//
+// Implementations must be safe for concurrent use and are expected to
+// fail open: a Get that cannot reach the store reports a miss, and a Put
+// that cannot reach it drops the entry. A degraded shared tier costs
+// re-solves, never correctness.
+type SharedStore interface {
+	// Get returns the stored bytes for key and whether an entry exists.
+	Get(key string) ([]byte, bool)
+	// Put stores data under key (best-effort; errors are swallowed).
+	Put(key string, data []byte)
+}

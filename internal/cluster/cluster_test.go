@@ -1,0 +1,71 @@
+package cluster
+
+// Test harness shared by the cluster tests: a real proxy in front of real
+// in-process replicas (LocalReplica), talked to through the real Go
+// client — the full wire path, minus process boundaries.
+
+import (
+	"net/http/httptest"
+	"testing"
+
+	"gator/internal/corpus"
+	"gator/internal/server"
+)
+
+// testCluster is a proxy plus n live replicas, all torn down via Cleanup.
+type testCluster struct {
+	proxy    *Proxy
+	ts       *httptest.Server
+	replicas []*LocalReplica
+	client   *server.Client
+}
+
+// startCluster boots n replicas behind a fresh proxy. Each replica gets
+// cfg (plus its ReplicaID and a StoreClient against the proxy's shared
+// tier, so cross-replica cache hits work out of the box).
+func startCluster(t *testing.T, n int, cfg server.Config) *testCluster {
+	t.Helper()
+	p := New(Config{})
+	ts := httptest.NewServer(p.Handler())
+	t.Cleanup(ts.Close)
+	tc := &testCluster{proxy: p, ts: ts, client: server.NewClient(ts.URL)}
+	cfg.Shared = NewStoreClient(ts.URL)
+	for i := 0; i < n; i++ {
+		name := replicaName(i)
+		lr, err := StartLocalReplica(name, cfg)
+		if err != nil {
+			t.Fatalf("replica %s: %v", name, err)
+		}
+		t.Cleanup(lr.Kill)
+		tc.replicas = append(tc.replicas, lr)
+		p.AddReplica(name, lr.URL())
+	}
+	return tc
+}
+
+func replicaName(i int) string {
+	return "r" + string(rune('0'+i))
+}
+
+// byName finds a replica by id.
+func (tc *testCluster) byName(name string) *LocalReplica {
+	for _, lr := range tc.replicas {
+		if lr.Name == name {
+			return lr
+		}
+	}
+	return nil
+}
+
+// figure1Request is the standard small app as an analyze request.
+func figure1Request(name, kind string) server.AnalyzeRequest {
+	return server.AnalyzeRequest{
+		Name:    name,
+		Sources: map[string]string{"connectbot.alite": corpus.Figure1Source},
+		Layouts: map[string]string{
+			"act_console":   corpus.Figure1ActConsoleXML,
+			"item_terminal": corpus.Figure1ItemTerminalXML,
+		},
+		ReportSpec: server.ReportSpec{Report: kind},
+	}
+}

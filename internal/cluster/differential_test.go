@@ -1,0 +1,124 @@
+package cluster
+
+// The cluster's load-bearing property: routing through the proxy changes
+// WHERE a report is rendered, never WHAT is rendered. Eight concurrent
+// clients drive cold analyzes, shared-cache replays, and warm session
+// edits through a 3-replica cluster, and every response is byte-compared
+// against a direct single-node daemon answering the same request. Run
+// under -race by scripts/ci.sh.
+
+import (
+	"fmt"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"gator/internal/corpus"
+	"gator/internal/server"
+)
+
+func TestProxyByteIdenticalToSingleNode(t *testing.T) {
+	tc := startCluster(t, 3, server.Config{})
+
+	// The reference: one plain daemon, no cluster anywhere near it.
+	solo, err := server.New(server.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := httptest.NewServer(solo.Handler())
+	t.Cleanup(func() {
+		solo.Drain()
+		ref.Close()
+	})
+	refClient := server.NewClient(ref.URL)
+
+	kinds := []string{"views", "tuples", "hierarchy", "activities", "table1", "checks", "dot"}
+	const clients = 8
+	var wg sync.WaitGroup
+	for ci := 0; ci < clients; ci++ {
+		wg.Add(1)
+		go func(ci int) {
+			defer wg.Done()
+			sources, layouts := corpus.RandomApp(int64(ci%4 + 1))
+			name := fmt.Sprintf("diff-%d", ci%4)
+			for _, kind := range kinds {
+				req := server.AnalyzeRequest{
+					Name:       name,
+					Sources:    sources,
+					Layouts:    layouts,
+					ReportSpec: server.ReportSpec{Report: kind},
+				}
+				want, err := refClient.Analyze(req)
+				if err != nil {
+					t.Errorf("client %d %s reference: %v", ci, kind, err)
+					return
+				}
+				// Twice: the repeat may replay from any replica's memory
+				// tier or from the shared tier — the bytes must not care.
+				for round := 0; round < 2; round++ {
+					got, err := tc.client.Analyze(req)
+					if err != nil {
+						t.Errorf("client %d %s round %d: %v", ci, kind, round, err)
+						return
+					}
+					if got.Output != want.Output || got.ExitCode != want.ExitCode || got.Stderr != want.Stderr {
+						t.Errorf("client %d %s round %d: proxy-routed report differs from single-node\nproxy (exit %d):\n%s\nsolo (exit %d):\n%s",
+							ci, kind, round, got.ExitCode, got.Output, want.ExitCode, want.Output)
+						return
+					}
+				}
+			}
+
+			// Warm session through the proxy vs fresh solves on the solo
+			// daemon: incremental re-analysis must not drift either.
+			open, err := tc.client.OpenSession(server.AnalyzeRequest{
+				Name:    fmt.Sprintf("sess-%d", ci),
+				Sources: map[string]string{"connectbot.alite": corpus.Figure1Source},
+				Layouts: map[string]string{
+					"act_console":   corpus.Figure1ActConsoleXML,
+					"item_terminal": corpus.Figure1ItemTerminalXML,
+				},
+				ReportSpec: server.ReportSpec{Report: "views"},
+			})
+			if err != nil {
+				t.Errorf("client %d open: %v", ci, err)
+				return
+			}
+			for round := 0; round < 3; round++ {
+				extra := fmt.Sprintf("class Patch%d_%d { void onCreate() {} }", ci, round)
+				got, err := tc.client.PatchSession(open.SessionID, server.PatchRequest{
+					Sources:    map[string]string{"patch.alite": extra},
+					ReportSpec: server.ReportSpec{Report: "views"},
+				})
+				if err != nil {
+					t.Errorf("client %d patch %d: %v", ci, round, err)
+					return
+				}
+				want, err := refClient.Analyze(server.AnalyzeRequest{
+					Name: fmt.Sprintf("sess-%d", ci),
+					Sources: map[string]string{
+						"connectbot.alite": corpus.Figure1Source,
+						"patch.alite":      extra,
+					},
+					Layouts: map[string]string{
+						"act_console":   corpus.Figure1ActConsoleXML,
+						"item_terminal": corpus.Figure1ItemTerminalXML,
+					},
+					ReportSpec: server.ReportSpec{Report: "views"},
+					NoCache:    true,
+				})
+				if err != nil {
+					t.Errorf("client %d reference patch %d: %v", ci, round, err)
+					return
+				}
+				if got.Output != want.Output || got.ExitCode != want.ExitCode {
+					t.Errorf("client %d patch %d: warm session through proxy differs from cold single-node solve\nproxy:\n%s\nsolo:\n%s",
+						ci, round, got.Output, want.Output)
+					return
+				}
+			}
+			tc.client.CloseSession(open.SessionID)
+		}(ci)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,684 @@
+package cluster
+
+// The routing tier. One Proxy fronts N gatord replicas:
+//
+//   - stateless work (/v1/analyze, /v1/batch, POST /v1/sessions) routes by
+//     consistent hashing on the app id — the client's X-Gator-App header
+//     when present, else the request body's "name" — so repeated requests
+//     for one app land on the replica whose local caches are warm;
+//   - session work (/v1/sessions/{id}) routes by a sticky session table
+//     populated when the create response passes through the proxy. The
+//     table IS the stickiness: a session lives on exactly the replica that
+//     created it, and the ring only decides where creates go;
+//   - a replica that fails its health probe, or a forward that dies on the
+//     wire, evicts the replica from the ring (re-shard: only its keys
+//     move). Stateless requests retry transparently on the next owner;
+//     session requests answer 404, which is the truth — the warm state is
+//     gone — and the client's existing 404 → re-create path (PR 5) pays
+//     one cold solve on a surviving replica. Recovery is symmetric: a
+//     probe success re-adds the replica and its keys flow back.
+//
+// The proxy never parses, renders, or caches analysis output (the shared
+// store holds replica-rendered bytes keyed by content), so the bytes a
+// client sees are exactly one replica's bytes — byte-identical to a
+// single-node daemon by PR 5's contract.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"log/slog"
+
+	"gator/internal/cache"
+	"gator/internal/metrics"
+	"gator/internal/server"
+)
+
+// Config tunes the proxy; the zero value works for tests.
+type Config struct {
+	// Vnodes per replica on the ring (<= 0 uses DefaultVnodes).
+	Vnodes int
+	// ProbeInterval is the health-probe period (default 2s).
+	ProbeInterval time.Duration
+	// ProbeTimeout bounds one probe request (default 1s).
+	ProbeTimeout time.Duration
+	// ProbeFailures is how many consecutive probe failures evict a
+	// replica (default 2; forward failures evict immediately regardless).
+	ProbeFailures int
+	// SharedCacheBytes bounds the shared result store (default 256 MiB).
+	SharedCacheBytes int64
+	// MaxSessionRoutes bounds the sticky session table (default 65536;
+	// past it the oldest routes are dropped, costing those clients a
+	// 404 → re-create).
+	MaxSessionRoutes int
+	// MaxRequestBytes bounds buffered request bodies (default 64 MiB —
+	// above the replicas' own 16 MiB limit so the replica's 413 is the
+	// one clients see).
+	MaxRequestBytes int64
+	// Logger receives routing and eviction diagnostics (nil disables).
+	Logger *slog.Logger
+}
+
+func (c Config) withDefaults() Config {
+	if c.ProbeInterval <= 0 {
+		c.ProbeInterval = 2 * time.Second
+	}
+	if c.ProbeTimeout <= 0 {
+		c.ProbeTimeout = time.Second
+	}
+	if c.ProbeFailures <= 0 {
+		c.ProbeFailures = 2
+	}
+	if c.SharedCacheBytes <= 0 {
+		c.SharedCacheBytes = 256 << 20
+	}
+	if c.MaxSessionRoutes <= 0 {
+		c.MaxSessionRoutes = 65536
+	}
+	if c.MaxRequestBytes <= 0 {
+		c.MaxRequestBytes = 64 << 20
+	}
+	return c
+}
+
+// replicaState is one registered replica.
+type replicaState struct {
+	name     string
+	base     string // normalized base URL, no trailing slash
+	up       bool
+	probeErr int // consecutive probe failures
+}
+
+// Proxy is the cluster coordinator. Create with New, register replicas
+// with AddReplica, serve Handler(), run RunProber in a goroutine.
+type Proxy struct {
+	cfg    Config
+	reg    *metrics.Registry
+	mux    *http.ServeMux
+	fwd    *http.Client // forwarding client; job deadlines bound it server-side
+	probe  *http.Client
+	store  *storeHandler
+	log    *slog.Logger
+	gauges map[string]bool // replica_up gauges already registered
+
+	mu       sync.Mutex
+	ring     *Ring
+	replicas map[string]*replicaState
+	sessions map[string]string // session id -> replica name
+	sessFIFO []string          // insertion order, for the table bound
+}
+
+// New builds a proxy from cfg.
+func New(cfg Config) *Proxy {
+	cfg = cfg.withDefaults()
+	p := &Proxy{
+		cfg:      cfg,
+		reg:      metrics.NewRegistry(),
+		fwd:      &http.Client{},
+		probe:    &http.Client{Timeout: cfg.ProbeTimeout},
+		log:      cfg.Logger,
+		gauges:   map[string]bool{},
+		ring:     NewRing(cfg.Vnodes),
+		replicas: map[string]*replicaState{},
+		sessions: map[string]string{},
+	}
+	p.store = &storeHandler{store: cache.NewResultCache(cfg.SharedCacheBytes), reg: p.reg}
+	p.mux = http.NewServeMux()
+	p.mux.HandleFunc("GET /healthz", p.handleHealthz)
+	p.mux.HandleFunc("GET /readyz", p.handleReadyz)
+	p.mux.HandleFunc("GET /metrics", p.handleMetrics)
+	p.mux.HandleFunc("GET /v1/cache/{key}", p.store.get)
+	p.mux.HandleFunc("PUT /v1/cache/{key}", p.store.put)
+	p.mux.HandleFunc("/", p.handleRoute)
+	return p
+}
+
+// Handler returns the proxy's HTTP handler.
+func (p *Proxy) Handler() http.Handler { return p.mux }
+
+// Registry exposes the proxy's own metrics registry.
+func (p *Proxy) Registry() *metrics.Registry { return p.reg }
+
+// AddReplica registers (or re-registers) a replica under name. It joins
+// the ring immediately; the prober will evict it if it turns out dead.
+func (p *Proxy) AddReplica(name, base string) {
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	base = strings.TrimRight(base, "/")
+	p.mu.Lock()
+	rs, ok := p.replicas[name]
+	if !ok {
+		rs = &replicaState{name: name}
+		p.replicas[name] = rs
+	}
+	rs.base = base
+	if !rs.up {
+		rs.up = true
+		rs.probeErr = 0
+		p.ring.Add(name)
+	}
+	if !p.gauges[name] {
+		p.gauges[name] = true
+		gaugeName := metrics.LabelName("replica_up", "replica", name)
+		p.reg.GaugeFunc(gaugeName, func() int64 {
+			p.mu.Lock()
+			defer p.mu.Unlock()
+			if rs := p.replicas[name]; rs != nil && rs.up {
+				return 1
+			}
+			return 0
+		})
+	}
+	p.mu.Unlock()
+}
+
+// RemoveReplica unregisters a replica entirely (administrative removal,
+// as opposed to health eviction, which keeps probing for recovery).
+func (p *Proxy) RemoveReplica(name string) {
+	p.mu.Lock()
+	if rs, ok := p.replicas[name]; ok {
+		if rs.up {
+			p.ring.Remove(name)
+		}
+		delete(p.replicas, name)
+		p.dropSessionsLocked(name)
+	}
+	p.mu.Unlock()
+}
+
+// LiveReplicas returns the names of replicas currently on the ring.
+func (p *Proxy) LiveReplicas() []string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.ring.Members()
+}
+
+// OwnerOf reports which live replica the ring assigns an app id to.
+func (p *Proxy) OwnerOf(app string) (string, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.ring.Owner(app)
+}
+
+// markDown evicts a replica from the ring and forgets its sessions; those
+// clients will see 404 and re-create on a surviving replica.
+func (p *Proxy) markDown(name, why string) {
+	p.mu.Lock()
+	rs, ok := p.replicas[name]
+	if !ok || !rs.up {
+		p.mu.Unlock()
+		return
+	}
+	rs.up = false
+	p.ring.Remove(name)
+	dropped := p.dropSessionsLocked(name)
+	p.mu.Unlock()
+	p.reg.Add("proxy.replica.evictions", 1)
+	if p.log != nil {
+		p.log.Warn("replica evicted",
+			slog.String("replica", name),
+			slog.String("reason", why),
+			slog.Int("sessionsDropped", dropped))
+	}
+}
+
+// markUp returns a recovered replica to the ring (re-shard: its keys flow
+// back, everyone else's stay put).
+func (p *Proxy) markUp(name string) {
+	p.mu.Lock()
+	rs, ok := p.replicas[name]
+	changed := ok && !rs.up
+	if changed {
+		rs.up = true
+		p.ring.Add(name)
+	}
+	if ok {
+		rs.probeErr = 0
+	}
+	p.mu.Unlock()
+	if changed {
+		p.reg.Add("proxy.replica.rejoins", 1)
+		if p.log != nil {
+			p.log.Info("replica rejoined", slog.String("replica", name))
+		}
+	}
+}
+
+// dropSessionsLocked forgets every session routed to a replica.
+func (p *Proxy) dropSessionsLocked(name string) int {
+	n := 0
+	for id, owner := range p.sessions {
+		if owner == name {
+			delete(p.sessions, id)
+			n++
+		}
+	}
+	return n
+}
+
+// recordSession remembers which replica owns a freshly created session,
+// bounding the table FIFO-style.
+func (p *Proxy) recordSession(id, replica string) {
+	if id == "" {
+		return
+	}
+	p.mu.Lock()
+	if _, ok := p.sessions[id]; !ok {
+		p.sessFIFO = append(p.sessFIFO, id)
+		for len(p.sessFIFO) > p.cfg.MaxSessionRoutes {
+			old := p.sessFIFO[0]
+			p.sessFIFO = p.sessFIFO[1:]
+			delete(p.sessions, old)
+		}
+	}
+	p.sessions[id] = replica
+	p.mu.Unlock()
+	p.reg.Add("proxy.sessions.routed", 1)
+}
+
+// sessionReplica resolves a session id to its live owner.
+func (p *Proxy) sessionReplica(id string) (*replicaState, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	name, ok := p.sessions[id]
+	if !ok {
+		return nil, false
+	}
+	rs, ok := p.replicas[name]
+	if !ok || !rs.up {
+		delete(p.sessions, id)
+		return nil, false
+	}
+	return rs, true
+}
+
+func (p *Proxy) dropSession(id string) {
+	p.mu.Lock()
+	delete(p.sessions, id)
+	p.mu.Unlock()
+}
+
+// replicaByName returns a live replica's state.
+func (p *Proxy) replicaByName(name string) (*replicaState, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	rs, ok := p.replicas[name]
+	if !ok || !rs.up {
+		return nil, false
+	}
+	return rs, true
+}
+
+// ---- probing ----
+
+// RunProber probes every registered replica each interval until stop
+// closes, evicting after ProbeFailures consecutive failures and
+// re-adding on the first success.
+func (p *Proxy) RunProber(stop <-chan struct{}) {
+	ticker := time.NewTicker(p.cfg.ProbeInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-ticker.C:
+			p.ProbeOnce()
+		}
+	}
+}
+
+// ProbeOnce probes every registered replica once (exported so the smoke
+// and tests can force a probe round instead of waiting out the ticker).
+func (p *Proxy) ProbeOnce() {
+	p.mu.Lock()
+	targets := make([]*replicaState, 0, len(p.replicas))
+	for _, rs := range p.replicas {
+		targets = append(targets, rs)
+	}
+	p.mu.Unlock()
+	for _, rs := range targets {
+		ok := p.probeReplica(rs.base)
+		if ok {
+			p.markUp(rs.name)
+			continue
+		}
+		p.mu.Lock()
+		rs.probeErr++
+		evict := rs.up && rs.probeErr >= p.cfg.ProbeFailures
+		p.mu.Unlock()
+		if evict {
+			p.markDown(rs.name, "health probe failed")
+		}
+	}
+}
+
+func (p *Proxy) probeReplica(base string) bool {
+	resp, err := p.probe.Get(base + "/healthz")
+	if err != nil {
+		return false
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode == http.StatusOK
+}
+
+// ---- proxy-local endpoints ----
+
+func (p *Proxy) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+// handleReadyz: the proxy can serve work iff at least one replica is live.
+func (p *Proxy) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if len(p.LiveReplicas()) == 0 {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "no live replicas")
+		return
+	}
+	fmt.Fprintln(w, "ready")
+}
+
+// handleMetrics serves the cluster rollup: every live replica's scrape
+// with a replica label, then the proxy's own registry under gatorproxy_.
+func (p *Proxy) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	p.mu.Lock()
+	targets := make([]replicaState, 0, len(p.replicas))
+	for _, rs := range p.replicas {
+		if rs.up {
+			targets = append(targets, *rs)
+		}
+	}
+	p.mu.Unlock()
+
+	var scrapes []replicaScrape
+	for _, rs := range targets {
+		resp, err := p.probe.Get(rs.base + "/metrics")
+		if err != nil {
+			p.reg.Add("proxy.rollup.scrape_errors", 1)
+			continue
+		}
+		data, readErr := io.ReadAll(io.LimitReader(resp.Body, maxSharedEntryBytes))
+		resp.Body.Close()
+		if readErr != nil || resp.StatusCode != http.StatusOK {
+			p.reg.Add("proxy.rollup.scrape_errors", 1)
+			continue
+		}
+		fams, err := metrics.ParsePrometheus(data)
+		if err != nil {
+			// A replica emitting an invalid exposition must not poison the
+			// rollup; count it and move on.
+			p.reg.Add("proxy.rollup.parse_errors", 1)
+			continue
+		}
+		scrapes = append(scrapes, replicaScrape{replica: rs.name, fams: fams})
+	}
+
+	var buf bytes.Buffer
+	buf.WriteString(renderRollup(scrapes))
+	if err := metrics.WritePrometheus(&buf, p.reg.Snapshot(), "gatorproxy"); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.Write(buf.Bytes())
+}
+
+// ---- request routing ----
+
+// errorJSON mirrors the replicas' error body shape so clients see one
+// wire format whether the proxy or a replica answered.
+func errorJSON(w http.ResponseWriter, code int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(server.ErrorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// appIDFromRequest extracts the routing key: the X-Gator-App header when
+// the client set it (proxy-aware clients do), else the JSON body's "name"
+// (first app's name for batches), else a fixed fallback key.
+func appIDFromRequest(r *http.Request, body []byte) string {
+	if app := r.Header.Get(server.AppHeader); app != "" {
+		return app
+	}
+	var peek struct {
+		Name string `json:"name"`
+		Apps []struct {
+			Name string `json:"name"`
+		} `json:"apps"`
+	}
+	if err := json.Unmarshal(body, &peek); err == nil {
+		if peek.Name != "" {
+			return peek.Name
+		}
+		if len(peek.Apps) > 0 && peek.Apps[0].Name != "" {
+			return peek.Apps[0].Name
+		}
+	}
+	return "app"
+}
+
+// hopHeaders are dropped when copying headers across the proxy.
+var hopHeaders = map[string]bool{
+	"Connection":        true,
+	"Keep-Alive":        true,
+	"Proxy-Connection":  true,
+	"Te":                true,
+	"Trailer":           true,
+	"Transfer-Encoding": true,
+	"Upgrade":           true,
+}
+
+func copyHeaders(dst, src http.Header) {
+	for k, vs := range src {
+		if hopHeaders[http.CanonicalHeaderKey(k)] {
+			continue
+		}
+		for _, v := range vs {
+			dst.Add(k, v)
+		}
+	}
+}
+
+// handleRoute is the catch-all: session paths go to their sticky owner,
+// everything else /v1/* routes by app id on the ring.
+func (p *Proxy) handleRoute(w http.ResponseWriter, r *http.Request) {
+	p.reg.Add("proxy.requests", 1)
+	switch {
+	case strings.HasPrefix(r.URL.Path, "/v1/sessions/"):
+		p.routeSession(w, r)
+	case strings.HasPrefix(r.URL.Path, "/v1/debug/traces/"):
+		p.routeScan(w, r)
+	case r.URL.Path == "/v1/analyze", r.URL.Path == "/v1/batch", r.URL.Path == "/v1/sessions":
+		p.routeStateless(w, r)
+	default:
+		errorJSON(w, http.StatusNotFound, "gatorproxy: unknown route %s", r.URL.Path)
+	}
+}
+
+// routeStateless routes by app id with transparent failover: a forward
+// that dies on the wire evicts the replica and retries on the ring's next
+// owner — the request carries no server-side state, so the retry is safe.
+func (p *Proxy) routeStateless(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, p.cfg.MaxRequestBytes+1))
+	if err != nil || int64(len(body)) > p.cfg.MaxRequestBytes {
+		errorJSON(w, http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", p.cfg.MaxRequestBytes)
+		return
+	}
+	app := appIDFromRequest(r, body)
+	tried := map[string]bool{}
+	for attempt := 0; ; attempt++ {
+		p.mu.Lock()
+		owner, ok := p.ring.Owner(app)
+		p.mu.Unlock()
+		if !ok {
+			errorJSON(w, http.StatusServiceUnavailable, "no live replicas")
+			return
+		}
+		if tried[owner] {
+			// The ring cycled back to a replica that already failed this
+			// request; nothing left to try.
+			errorJSON(w, http.StatusBadGateway, "all replicas failed for app %q", app)
+			return
+		}
+		tried[owner] = true
+		rs, ok := p.replicaByName(owner)
+		if !ok {
+			continue
+		}
+		if attempt > 0 {
+			p.reg.Add("proxy.retries", 1)
+		}
+		if p.forwardBuffered(w, r, rs, body) {
+			return
+		}
+		p.markDown(owner, "forward failed")
+	}
+}
+
+// forwardBuffered sends one buffered-body request to a replica and
+// relays the response, recording session routes from creates. Returns
+// false on a transport error (nothing written to the client; safe to
+// retry elsewhere).
+func (p *Proxy) forwardBuffered(w http.ResponseWriter, r *http.Request, rs *replicaState, body []byte) bool {
+	resp, err := p.roundTrip(r, rs, body)
+	if err != nil {
+		p.reg.Add("proxy.forward_errors", 1)
+		return false
+	}
+	defer resp.Body.Close()
+
+	if r.Method == http.MethodPost && r.URL.Path == "/v1/sessions" && resp.StatusCode == http.StatusCreated {
+		// Intercept the create response to learn the session id; the bytes
+		// still pass through untouched.
+		data, err := io.ReadAll(resp.Body)
+		if err != nil {
+			p.reg.Add("proxy.forward_errors", 1)
+			errorJSON(w, http.StatusBadGateway, "replica %s: truncated response: %v", rs.name, err)
+			return true // bytes may be half-read; do not retry into a duplicate session
+		}
+		var created struct {
+			SessionID string `json:"sessionId"`
+		}
+		if json.Unmarshal(data, &created) == nil {
+			p.recordSession(created.SessionID, rs.name)
+		}
+		p.relayResponseBytes(w, resp, data)
+		return true
+	}
+	p.relayResponse(w, resp)
+	return true
+}
+
+// roundTrip builds and sends the outbound request for a buffered body.
+func (p *Proxy) roundTrip(r *http.Request, rs *replicaState, body []byte) (*http.Response, error) {
+	url := rs.base + r.URL.Path
+	if r.URL.RawQuery != "" {
+		url += "?" + r.URL.RawQuery
+	}
+	out, err := http.NewRequestWithContext(r.Context(), r.Method, url, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	copyHeaders(out.Header, r.Header)
+	out.Header.Set("X-Gator-Proxy", "gatorproxy")
+	return p.fwd.Do(out)
+}
+
+// relayResponse copies status, headers, and body, flushing as bytes
+// arrive so SSE batch streams pass through live.
+func (p *Proxy) relayResponse(w http.ResponseWriter, resp *http.Response) {
+	copyHeaders(w.Header(), resp.Header)
+	w.WriteHeader(resp.StatusCode)
+	flusher, _ := w.(http.Flusher)
+	buf := make([]byte, 32<<10)
+	for {
+		n, err := resp.Body.Read(buf)
+		if n > 0 {
+			w.Write(buf[:n])
+			if flusher != nil {
+				flusher.Flush()
+			}
+		}
+		if err != nil {
+			return
+		}
+	}
+}
+
+func (p *Proxy) relayResponseBytes(w http.ResponseWriter, resp *http.Response, body []byte) {
+	copyHeaders(w.Header(), resp.Header)
+	w.WriteHeader(resp.StatusCode)
+	w.Write(body)
+}
+
+// routeSession routes /v1/sessions/{id}... to the sticky owner. A missing
+// route, a dead owner, or a forward failure all answer 404: the session
+// and its warm state are gone, and 404 is precisely the signal the
+// client's re-create path keys on.
+func (p *Proxy) routeSession(w http.ResponseWriter, r *http.Request) {
+	id := strings.TrimPrefix(r.URL.Path, "/v1/sessions/")
+	if i := strings.IndexByte(id, '/'); i >= 0 {
+		id = id[:i]
+	}
+	rs, ok := p.sessionReplica(id)
+	if !ok {
+		p.reg.Add("proxy.sessions.lost", 1)
+		errorJSON(w, http.StatusNotFound, "no such session (unknown to the cluster, or its replica left)")
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, p.cfg.MaxRequestBytes+1))
+	if err != nil || int64(len(body)) > p.cfg.MaxRequestBytes {
+		errorJSON(w, http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", p.cfg.MaxRequestBytes)
+		return
+	}
+	resp, rtErr := p.roundTrip(r, rs, body)
+	if rtErr != nil {
+		p.reg.Add("proxy.forward_errors", 1)
+		p.markDown(rs.name, "forward failed")
+		p.reg.Add("proxy.sessions.lost", 1)
+		errorJSON(w, http.StatusNotFound, "no such session (its replica just left the cluster)")
+		return
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound ||
+		(r.Method == http.MethodDelete && resp.StatusCode < 300) {
+		// The replica itself no longer has (or just deleted) the session;
+		// keep the route table honest.
+		p.dropSession(id)
+	}
+	p.relayResponse(w, resp)
+}
+
+// routeScan tries every live replica in ring order until one answers 200
+// — used for captured solver traces, which live on whichever replica ran
+// the analysis and carry no routing key.
+func (p *Proxy) routeScan(w http.ResponseWriter, r *http.Request) {
+	for _, name := range p.LiveReplicas() {
+		rs, ok := p.replicaByName(name)
+		if !ok {
+			continue
+		}
+		resp, err := p.roundTrip(r, rs, nil)
+		if err != nil {
+			p.markDown(name, "forward failed")
+			continue
+		}
+		if resp.StatusCode == http.StatusOK {
+			defer resp.Body.Close()
+			p.relayResponse(w, resp)
+			return
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+	errorJSON(w, http.StatusNotFound, "no replica holds this trace")
+}

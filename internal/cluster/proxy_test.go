@@ -1,0 +1,304 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"gator/internal/metrics"
+	"gator/internal/server"
+)
+
+// Readiness is a cluster property: a proxy with no live replicas can
+// accept nothing, so /readyz must say so.
+func TestProxyReadiness(t *testing.T) {
+	tc := startCluster(t, 0, server.Config{})
+	if err := tc.client.Readyz(); err == nil {
+		t.Fatal("readyz passed with zero replicas")
+	}
+	if err := tc.client.Healthz(); err != nil {
+		t.Fatalf("healthz must pass regardless: %v", err)
+	}
+
+	lr, err := StartLocalReplica("solo", server.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(lr.Kill)
+	tc.proxy.AddReplica("solo", lr.URL())
+	if err := tc.client.Readyz(); err != nil {
+		t.Fatalf("readyz failed with a live replica: %v", err)
+	}
+}
+
+// The proxy must route each app to exactly the replica the ring names,
+// proven by the replica id the response carries.
+func TestProxyRoutesByRingOwner(t *testing.T) {
+	tc := startCluster(t, 3, server.Config{})
+	for i := 0; i < 8; i++ {
+		name := fmt.Sprintf("app-%d", i)
+		want, ok := tc.proxy.OwnerOf(name)
+		if !ok {
+			t.Fatal("ring empty")
+		}
+		resp, err := tc.client.Analyze(figure1Request(name, "views"))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if resp.Output == "" {
+			t.Fatalf("%s: empty report", name)
+		}
+		got := analyzeReplica(t, tc, name)
+		if got != want {
+			t.Errorf("app %q served by %s, ring owner is %s", name, got, want)
+		}
+	}
+}
+
+// analyzeReplica reads the X-Gator-Replica header off a raw analyze
+// round trip (the Go client deliberately hides headers).
+func analyzeReplica(t *testing.T, tc *testCluster, app string) string {
+	t.Helper()
+	body := `{"name":"` + app + `","sources":{"a.alite":"class A {}"}}`
+	req, _ := http.NewRequest("POST", tc.ts.URL+"/v1/analyze", strings.NewReader(body))
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(server.AppHeader, app)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("analyze %s: status %d", app, resp.StatusCode)
+	}
+	return resp.Header.Get(server.ReplicaHeader)
+}
+
+// Sessions stay sticky: every patch lands on the replica that created the
+// session, and the session survives other replicas dying.
+func TestProxySessionStickiness(t *testing.T) {
+	tc := startCluster(t, 3, server.Config{})
+	open, err := tc.client.OpenSession(figure1Request("sticky", "views"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	owner, ok := tc.proxy.sessionReplica(open.SessionID)
+	if !ok {
+		t.Fatal("proxy did not record the session route")
+	}
+	// Kill both non-owners: if stickiness holds, patches still work.
+	for _, lr := range tc.replicas {
+		if lr.Name != owner.name {
+			lr.Kill()
+		}
+	}
+	for round := 0; round < 3; round++ {
+		patch := server.PatchRequest{
+			Sources:    map[string]string{"extra.alite": fmt.Sprintf("class Extra%d {}", round)},
+			ReportSpec: server.ReportSpec{Report: "views"},
+		}
+		resp, err := tc.client.PatchSession(open.SessionID, patch)
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		if resp.SessionID != open.SessionID {
+			t.Fatalf("round %d: session id changed", round)
+		}
+	}
+	if err := tc.client.CloseSession(open.SessionID); err != nil {
+		t.Fatal(err)
+	}
+	// The delete must also clear the proxy's route table.
+	if _, ok := tc.proxy.sessionReplica(open.SessionID); ok {
+		t.Fatal("route survived session delete")
+	}
+}
+
+// Killing a session's replica turns its session into a 404 — the exact
+// signal the client's re-create path keys on — while stateless analyzes
+// fail over transparently to a surviving replica.
+func TestProxyFailover(t *testing.T) {
+	tc := startCluster(t, 2, server.Config{})
+	open, err := tc.client.OpenSession(figure1Request("doomed", "views"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	owner, ok := tc.proxy.sessionReplica(open.SessionID)
+	if !ok {
+		t.Fatal("no session route")
+	}
+	tc.byName(owner.name).Kill()
+
+	// Session route: dead owner → 404, never a 5xx.
+	_, err = tc.client.PatchSession(open.SessionID, server.PatchRequest{
+		Sources:    map[string]string{"x.alite": "class X {}"},
+		ReportSpec: server.ReportSpec{Report: "views"},
+	})
+	var se *server.StatusError
+	if !errors.As(err, &se) || se.Code != http.StatusNotFound {
+		t.Fatalf("patch after owner death: got %v, want 404", err)
+	}
+
+	// The client's recovery path: re-create, then patch the new session.
+	reopened, err := tc.client.OpenSession(figure1Request("doomed", "views"))
+	if err != nil {
+		t.Fatalf("re-create after failover: %v", err)
+	}
+	if reopened.Output != open.Output {
+		t.Fatal("re-created session rendered different bytes")
+	}
+	if _, err := tc.client.PatchSession(reopened.SessionID, server.PatchRequest{
+		Sources:    map[string]string{"x.alite": "class X {}"},
+		ReportSpec: server.ReportSpec{Report: "views"},
+	}); err != nil {
+		t.Fatalf("patch on re-created session: %v", err)
+	}
+
+	// Stateless requests for apps the dead replica owned retry silently.
+	for i := 0; i < 6; i++ {
+		if _, err := tc.client.Analyze(figure1Request(fmt.Sprintf("fo-%d", i), "views")); err != nil {
+			t.Fatalf("analyze after failover: %v", err)
+		}
+	}
+	if live := tc.proxy.LiveReplicas(); len(live) != 1 {
+		t.Fatalf("dead replica still on the ring: %v", live)
+	}
+	snap := tc.proxy.Registry().Snapshot()
+	if snap.Counters["proxy.replica.evictions"] == 0 {
+		t.Fatal("eviction not counted")
+	}
+}
+
+// The prober must evict a dead replica and re-add a recovered one.
+func TestProbeEvictsAndRejoins(t *testing.T) {
+	tc := startCluster(t, 2, server.Config{})
+	victim := tc.replicas[0]
+	victim.Kill()
+	tc.proxy.ProbeOnce() // failure 1
+	tc.proxy.ProbeOnce() // failure 2 → evict
+	if live := tc.proxy.LiveReplicas(); len(live) != 1 || live[0] != tc.replicas[1].Name {
+		t.Fatalf("prober did not evict: %v", live)
+	}
+
+	// "Recovery": a fresh replica process under the dead one's name.
+	reborn, err := StartLocalReplica(victim.Name, server.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(reborn.Kill)
+	tc.proxy.AddReplica(victim.Name, reborn.URL())
+	tc.proxy.ProbeOnce()
+	if live := tc.proxy.LiveReplicas(); len(live) != 2 {
+		t.Fatalf("recovered replica not back on the ring: %v", live)
+	}
+}
+
+// One replica's solve must be every replica's replay: with the shared
+// tier in place, re-analyzing an app on a different replica reports
+// Cached without re-solving.
+func TestSharedTierCrossReplicaHit(t *testing.T) {
+	tc := startCluster(t, 2, server.Config{})
+	req := figure1Request("shared-app", "views")
+	first, err := tc.client.Analyze(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Cached {
+		t.Fatal("first analyze claims cached")
+	}
+	// Ask the NON-owner directly (bypassing the proxy's routing): its own
+	// caches are cold, so a hit proves it consulted the shared tier.
+	ownerName, _ := tc.proxy.OwnerOf("shared-app")
+	var other *LocalReplica
+	for _, lr := range tc.replicas {
+		if lr.Name != ownerName {
+			other = lr
+		}
+	}
+	direct := server.NewClient(other.URL())
+	second, err := direct.Analyze(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !second.Cached {
+		t.Fatal("cross-replica analyze missed the shared tier")
+	}
+	if second.Output != first.Output || second.ExitCode != first.ExitCode {
+		t.Fatal("shared-tier replay differs from the original solve")
+	}
+	snap := other.Srv.Registry().Snapshot()
+	if snap.Counters["server.cache.shared_hits"] != 1 {
+		t.Fatalf("shared_hits = %d, want 1", snap.Counters["server.cache.shared_hits"])
+	}
+}
+
+// The rolled-up /metrics must re-parse with the validating parser, carry
+// a replica label on every replica sample, and include the proxy's own
+// gatorproxy_ families.
+func TestMetricsRollupEndToEnd(t *testing.T) {
+	tc := startCluster(t, 2, server.Config{})
+	for i := 0; i < 4; i++ {
+		if _, err := tc.client.Analyze(figure1Request(fmt.Sprintf("m-%d", i), "views")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	data, err := tc.client.MetricsProm()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fams, err := metrics.ParsePrometheus(data)
+	if err != nil {
+		t.Fatalf("rollup invalid: %v\n%s", err, data)
+	}
+	reqFam := fams["gatord_server_analyze_requests_total"]
+	if reqFam == nil {
+		names := make([]string, 0, len(fams))
+		for n := range fams {
+			names = append(names, n)
+		}
+		t.Fatalf("no analyze-request family in rollup; families: %v", names)
+	}
+	var total float64
+	for _, s := range reqFam.Samples {
+		if s.Labels["replica"] == "" {
+			t.Fatalf("replica sample without replica label: %v", s)
+		}
+		total += s.Value
+	}
+	if total != 4 {
+		t.Fatalf("rollup lost requests: summed %v, want 4", total)
+	}
+	found := false
+	for name := range fams {
+		if strings.HasPrefix(name, "gatorproxy_") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("proxy's own metrics missing from rollup")
+	}
+	up := fams["gatorproxy_replica_up"]
+	if up == nil || len(up.Samples) != 2 {
+		t.Fatalf("replica_up gauges wrong: %+v", up)
+	}
+}
+
+// An unknown path must answer with the daemon's JSON error shape.
+func TestProxyUnknownRoute(t *testing.T) {
+	tc := startCluster(t, 1, server.Config{})
+	resp, err := http.Get(tc.ts.URL + "/v1/nonsense")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("status %d, want 404", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("error content type %q", ct)
+	}
+}

@@ -1,0 +1,71 @@
+package cluster
+
+// LocalReplica boots a real gatord replica — server.New behind a real
+// loopback listener — inside the current process. The cluster smoke, the
+// cluster benchmark, and the differential tests all build their clusters
+// from these: the replicas serve actual HTTP through the actual proxy, so
+// what they exercise is exactly what `gatord -replica` serves, minus the
+// process boundary.
+
+import (
+	"net"
+	"net/http"
+	"sync"
+
+	"gator/internal/server"
+)
+
+// LocalReplica is one in-process gatord replica.
+type LocalReplica struct {
+	// Name is the replica id (server.Config.ReplicaID).
+	Name string
+	// Srv is the underlying daemon, for direct inspection.
+	Srv *server.Server
+
+	ln   net.Listener
+	hs   *http.Server
+	once sync.Once
+	done chan struct{}
+}
+
+// StartLocalReplica boots a replica named name on a fresh loopback port.
+// cfg.ReplicaID is overwritten with name.
+func StartLocalReplica(name string, cfg server.Config) (*LocalReplica, error) {
+	cfg.ReplicaID = name
+	srv, err := server.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	lr := &LocalReplica{
+		Name: name,
+		Srv:  srv,
+		ln:   ln,
+		hs:   &http.Server{Handler: srv.Handler()},
+		done: make(chan struct{}),
+	}
+	go func() {
+		lr.hs.Serve(ln) // returns on Close; the error is the shutdown signal
+		close(lr.done)
+	}()
+	return lr, nil
+}
+
+// Addr returns the replica's host:port.
+func (lr *LocalReplica) Addr() string { return lr.ln.Addr().String() }
+
+// URL returns the replica's base URL.
+func (lr *LocalReplica) URL() string { return "http://" + lr.Addr() }
+
+// Kill stops the replica abruptly — listener and all connections torn
+// down, no drain — modeling a crashed box. In-flight requests fail on the
+// wire, which is precisely what the proxy's failover path must absorb.
+func (lr *LocalReplica) Kill() {
+	lr.once.Do(func() {
+		lr.hs.Close()
+		<-lr.done
+	})
+}

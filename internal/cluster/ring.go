@@ -1,0 +1,130 @@
+// Package cluster is the scale-out tier over gatord: a consistent-hash
+// ring mapping app ids onto replicas, a routing proxy (cmd/gatorproxy)
+// that keeps warm incremental sessions sticky to the replica that owns
+// them, a shared content-addressed result store served over HTTP, health
+// probing with replica eviction and ring re-shard, and a cluster-wide
+// Prometheus metrics rollup. The tier adds no analysis semantics: every
+// byte a client receives through the proxy was rendered by one gatord
+// replica, and every replica renders byte-identically to the local CLI
+// (PR 5's contract), so proxy-routed output is byte-identical to
+// single-node output — a property the differential test in this package
+// verifies under -race. See DESIGN.md, "Cluster".
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// DefaultVnodes is the virtual-node count per replica when the caller
+// passes a non-positive value. 128 points per replica keeps the expected
+// imbalance across a handful of replicas within a few percent of keys
+// while ring rebuilds stay trivially cheap.
+const DefaultVnodes = 128
+
+// Ring is a consistent-hash ring: replicas project vnodes points each
+// onto a 64-bit circle, and a key belongs to the replica owning the first
+// point at or clockwise of the key's hash. Two properties make it the
+// right routing structure for warm sessions:
+//
+//   - deterministic ownership: the same member set always yields the same
+//     key→replica mapping, in any process, in any insertion order;
+//   - minimal movement: adding or removing one replica of N reassigns
+//     only the keys adjacent to that replica's points — about 1/N of the
+//     key space — so a re-shard does not stampede the surviving replicas'
+//     warm state (ring_test.go bounds the movement at 2/N).
+//
+// Ring is not synchronized; the proxy guards it with its own lock.
+type Ring struct {
+	vnodes  int
+	members map[string]bool
+	points  []ringPoint // sorted by (hash, replica)
+}
+
+type ringPoint struct {
+	hash    uint64
+	replica string
+}
+
+// NewRing creates an empty ring with the given vnodes per replica (<= 0
+// uses DefaultVnodes).
+func NewRing(vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = DefaultVnodes
+	}
+	return &Ring{vnodes: vnodes, members: map[string]bool{}}
+}
+
+// hash64 maps a string onto the ring circle. sha256 rather than a cheap
+// multiplicative hash: ring points are built once per membership change,
+// key lookups are per-request but far off any hot path, and the uniform
+// spread is what keeps replica shares balanced.
+func hash64(s string) uint64 {
+	sum := sha256.Sum256([]byte(s))
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// Add inserts a replica's vnode points (a no-op for a present member).
+func (r *Ring) Add(replica string) {
+	if r.members[replica] {
+		return
+	}
+	r.members[replica] = true
+	for i := 0; i < r.vnodes; i++ {
+		r.points = append(r.points, ringPoint{
+			hash:    hash64(fmt.Sprintf("%s#%d", replica, i)),
+			replica: replica,
+		})
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].replica < r.points[j].replica
+	})
+}
+
+// Remove deletes a replica's points (a no-op for an absent member). Keys
+// it owned fall through to the next point clockwise; everything else is
+// untouched.
+func (r *Ring) Remove(replica string) {
+	if !r.members[replica] {
+		return
+	}
+	delete(r.members, replica)
+	kept := r.points[:0]
+	for _, p := range r.points {
+		if p.replica != replica {
+			kept = append(kept, p)
+		}
+	}
+	r.points = kept
+}
+
+// Owner returns the replica owning key, false on an empty ring.
+func (r *Ring) Owner(key string) (string, bool) {
+	if len(r.points) == 0 {
+		return "", false
+	}
+	h := hash64(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0 // wrap: the circle's first point owns the top arc
+	}
+	return r.points[i].replica, true
+}
+
+// Members returns the replica names in sorted order.
+func (r *Ring) Members() []string {
+	out := make([]string, 0, len(r.members))
+	for m := range r.members {
+		out = append(out, m)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len returns the member count.
+func (r *Ring) Len() int { return len(r.members) }

@@ -1,0 +1,139 @@
+package cluster
+
+// The cluster-wide /metrics rollup: scrape each live replica's Prometheus
+// exposition, parse it with the repo's own validating parser, and re-emit
+// every sample with a `replica` label injected — so one scrape of the
+// proxy yields per-replica series for every gatord metric family (PR 8),
+// joinable on the replica id. The proxy's own metrics follow under the
+// gatorproxy_ namespace. The output is deterministic given deterministic
+// inputs: replicas render in name order, families in name order, samples
+// in each replica's exposition order.
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"gator/internal/metrics"
+)
+
+// escapePromLabel mirrors the metrics renderer's label escaping.
+func escapePromLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
+// formatPromValue renders a float the way a scraper expects: integers
+// without an exponent (counter/bucket values parse back exactly), +Inf
+// spelled out.
+func formatPromValue(v float64) string {
+	if v == float64(int64(v)) {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// replicaScrape is one replica's parsed exposition, tagged with its id.
+type replicaScrape struct {
+	replica string
+	fams    map[string]*metrics.PromFamily
+}
+
+// rollupFamily merges one family name across replicas.
+type rollupFamily struct {
+	name string
+	typ  string
+	help string
+	// samples per replica, in replica order; each sample keeps its
+	// original label set (the replica label is injected at render time).
+	samples []rollupSample
+}
+
+type rollupSample struct {
+	replica string
+	s       metrics.PromSample
+}
+
+// renderRollup merges the scrapes into one exposition. A family whose
+// TYPE disagrees across replicas (a mid-rollout version skew) keeps the
+// first replica's TYPE and drops the disagreeing replicas' samples —
+// emitting both would corrupt the family for every scraper.
+func renderRollup(scrapes []replicaScrape) string {
+	sort.Slice(scrapes, func(i, j int) bool { return scrapes[i].replica < scrapes[j].replica })
+	merged := map[string]*rollupFamily{}
+	var order []string
+	for _, sc := range scrapes {
+		famNames := make([]string, 0, len(sc.fams))
+		for name := range sc.fams {
+			famNames = append(famNames, name)
+		}
+		sort.Strings(famNames)
+		for _, name := range famNames {
+			fam := sc.fams[name]
+			m, ok := merged[name]
+			if !ok {
+				m = &rollupFamily{name: name, typ: fam.Type, help: fam.Help}
+				merged[name] = m
+				order = append(order, name)
+			}
+			if fam.Type != m.typ {
+				continue
+			}
+			for _, s := range fam.Samples {
+				m.samples = append(m.samples, rollupSample{replica: sc.replica, s: s})
+			}
+		}
+	}
+	sort.Strings(order)
+
+	var b strings.Builder
+	for _, name := range order {
+		m := merged[name]
+		typ := m.typ
+		if typ == "" {
+			typ = "untyped"
+		}
+		help := m.help
+		if help == "" {
+			help = name
+		}
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s %s\n", m.name, help, m.name, typ)
+		for _, rs := range m.samples {
+			b.WriteString(rs.s.Name)
+			writeRollupLabels(&b, rs.replica, rs.s.Labels)
+			b.WriteByte(' ')
+			b.WriteString(formatPromValue(rs.s.Value))
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+// writeRollupLabels renders a sample's label set with the replica label
+// first and the original labels after it in sorted name order ("le" kept
+// last so histogram series read naturally).
+func writeRollupLabels(b *strings.Builder, replica string, labels map[string]string) {
+	b.WriteString(`{replica="`)
+	b.WriteString(escapePromLabel(replica))
+	b.WriteByte('"')
+	names := make([]string, 0, len(labels))
+	for k := range labels {
+		if k != "le" {
+			names = append(names, k)
+		}
+	}
+	sort.Strings(names)
+	if _, ok := labels["le"]; ok {
+		names = append(names, "le")
+	}
+	for _, k := range names {
+		b.WriteByte(',')
+		b.WriteString(k)
+		b.WriteString(`="`)
+		b.WriteString(escapePromLabel(labels[k]))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+}

@@ -1,0 +1,93 @@
+package cluster
+
+import (
+	"strings"
+	"testing"
+
+	"gator/internal/metrics"
+)
+
+func mustParse(t *testing.T, exposition string) map[string]*metrics.PromFamily {
+	t.Helper()
+	fams, err := metrics.ParsePrometheus([]byte(exposition))
+	if err != nil {
+		t.Fatalf("fixture exposition invalid: %v", err)
+	}
+	return fams
+}
+
+const replicaExposition = `# HELP gatord_requests_total requests
+# TYPE gatord_requests_total counter
+gatord_requests_total{route="analyze"} 7
+# HELP gatord_latency_us latency
+# TYPE gatord_latency_us histogram
+gatord_latency_us_bucket{le="10"} 2
+gatord_latency_us_bucket{le="+Inf"} 7
+gatord_latency_us_sum 420
+gatord_latency_us_count 7
+`
+
+// The rollup must re-parse cleanly with the same validating parser the
+// smoke uses, with every sample carrying its replica label and histogram
+// invariants intact per (replica) label set.
+func TestRollupParsesAndLabels(t *testing.T) {
+	scrapes := []replicaScrape{
+		{replica: "r1", fams: mustParse(t, replicaExposition)},
+		{replica: "r0", fams: mustParse(t, replicaExposition)},
+	}
+	out := renderRollup(scrapes)
+	fams, err := metrics.ParsePrometheus([]byte(out))
+	if err != nil {
+		t.Fatalf("rollup does not re-parse: %v\n%s", err, out)
+	}
+	fam, ok := fams["gatord_requests_total"]
+	if !ok {
+		t.Fatalf("counter family missing from rollup:\n%s", out)
+	}
+	seen := map[string]bool{}
+	for _, s := range fam.Samples {
+		if s.Labels["route"] != "analyze" {
+			t.Errorf("original label lost: %v", s.Labels)
+		}
+		seen[s.Labels["replica"]] = true
+	}
+	if !seen["r0"] || !seen["r1"] {
+		t.Fatalf("replica labels missing: %v", seen)
+	}
+	if hist := fams["gatord_latency_us"]; hist == nil || hist.Type != "histogram" {
+		t.Fatalf("histogram family lost its type:\n%s", out)
+	}
+	// Deterministic: same scrapes (any input order) render the same bytes.
+	again := renderRollup([]replicaScrape{
+		{replica: "r0", fams: mustParse(t, replicaExposition)},
+		{replica: "r1", fams: mustParse(t, replicaExposition)},
+	})
+	if again != out {
+		t.Fatal("rollup output depends on scrape order")
+	}
+	if !strings.Contains(out, `gatord_requests_total{replica="r0",route="analyze"} 7`) {
+		t.Fatalf("expected replica-labeled sample line in:\n%s", out)
+	}
+}
+
+// A replica whose family TYPE disagrees (version skew mid-rollout) must
+// not corrupt the family: the first replica's TYPE wins and the skewed
+// samples are dropped.
+func TestRollupDropsTypeConflicts(t *testing.T) {
+	skewed := mustParse(t, `# TYPE gatord_requests_total gauge
+gatord_requests_total 3
+`)
+	out := renderRollup([]replicaScrape{
+		{replica: "r0", fams: mustParse(t, replicaExposition)},
+		{replica: "r1", fams: skewed},
+	})
+	fams, err := metrics.ParsePrometheus([]byte(out))
+	if err != nil {
+		t.Fatalf("rollup does not re-parse: %v\n%s", err, out)
+	}
+	for _, s := range fams["gatord_requests_total"].Samples {
+		if s.Labels["replica"] == "r1" {
+			t.Fatalf("type-conflicting sample survived:\n%s", out)
+		}
+	}
+}

@@ -1,0 +1,140 @@
+package cluster
+
+// The shared content-addressed result tier: gatorproxy serves a
+// byte-LRU'd key/value store over HTTP, and every replica consults it —
+// through StoreClient, plugged into server.Config.Shared — after its own
+// memory and disk tiers miss. Keys are cache.AppFingerprint values
+// (content hashes + options CacheTag), so entries never go stale and a
+// hit on any node is a hit for the whole cluster: one replica's solve
+// becomes every replica's replay. The client fails open on any transport
+// problem — a degraded shared tier costs re-solves, never availability.
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"gator/internal/cache"
+	"gator/internal/metrics"
+)
+
+// maxSharedEntryBytes bounds one shared-store entry on both sides of the
+// wire: rendered reports are KBs, so anything past this is a bug or abuse,
+// not a cache entry worth shipping.
+const maxSharedEntryBytes = 8 << 20
+
+// validStoreKey rejects keys that are not hex fingerprints — the store is
+// content-addressed, so arbitrary names have no business in it.
+func validStoreKey(key string) bool {
+	if len(key) < 8 || len(key) > 128 {
+		return false
+	}
+	for i := 0; i < len(key); i++ {
+		c := key[i]
+		if !(c >= '0' && c <= '9' || c >= 'a' && c <= 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// storeHandler serves the shared tier on the proxy's mux:
+//
+//	GET /v1/cache/{key} -> 200 + bytes, or 404
+//	PUT /v1/cache/{key} -> 204
+type storeHandler struct {
+	store *cache.ResultCache
+	reg   *metrics.Registry
+}
+
+func (h *storeHandler) get(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	if !validStoreKey(key) {
+		http.Error(w, "invalid cache key", http.StatusBadRequest)
+		return
+	}
+	data, ok := h.store.Get(key)
+	if !ok {
+		h.reg.Add("proxy.shared.misses", 1)
+		http.Error(w, "no entry", http.StatusNotFound)
+		return
+	}
+	h.reg.Add("proxy.shared.hits", 1)
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Write(data)
+}
+
+func (h *storeHandler) put(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	if !validStoreKey(key) {
+		http.Error(w, "invalid cache key", http.StatusBadRequest)
+		return
+	}
+	data, err := io.ReadAll(io.LimitReader(r.Body, maxSharedEntryBytes+1))
+	if err != nil || len(data) == 0 || len(data) > maxSharedEntryBytes {
+		http.Error(w, "bad entry body", http.StatusBadRequest)
+		return
+	}
+	h.store.Put(key, data)
+	h.reg.Add("proxy.shared.puts", 1)
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// StoreClient implements cache.SharedStore over the proxy's HTTP cache
+// endpoints. Every failure mode — connection refused, timeout, non-200 —
+// degrades to a miss (Get) or a dropped write (Put).
+type StoreClient struct {
+	base string
+	http *http.Client
+}
+
+var _ cache.SharedStore = (*StoreClient)(nil)
+
+// NewStoreClient creates a shared-store client for the proxy at base
+// (scheme optional, as with server.NewClient). The short timeout keeps a
+// wedged shared tier from stalling the solve path it exists to shortcut.
+func NewStoreClient(base string) *StoreClient {
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	return &StoreClient{
+		base: strings.TrimRight(base, "/"),
+		http: &http.Client{Timeout: 2 * time.Second},
+	}
+}
+
+// Get fetches one entry; any error is a miss.
+func (c *StoreClient) Get(key string) ([]byte, bool) {
+	resp, err := c.http.Get(c.base + "/v1/cache/" + key)
+	if err != nil {
+		return nil, false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, false
+	}
+	data, err := io.ReadAll(io.LimitReader(resp.Body, maxSharedEntryBytes+1))
+	if err != nil || len(data) == 0 || len(data) > maxSharedEntryBytes {
+		return nil, false
+	}
+	return data, true
+}
+
+// Put stores one entry, best-effort.
+func (c *StoreClient) Put(key string, data []byte) {
+	if len(data) == 0 || len(data) > maxSharedEntryBytes {
+		return
+	}
+	req, err := http.NewRequest(http.MethodPut, c.base+"/v1/cache/"+key, strings.NewReader(string(data)))
+	if err != nil {
+		return
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+}

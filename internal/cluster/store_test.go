@@ -1,0 +1,83 @@
+package cluster
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// The shared tier must round-trip bytes exactly and reject anything that
+// is not a content-addressed entry.
+func TestSharedStoreRoundTrip(t *testing.T) {
+	p := New(Config{})
+	ts := httptest.NewServer(p.Handler())
+	defer ts.Close()
+	sc := NewStoreClient(ts.URL)
+
+	key := strings.Repeat("ab12", 8)
+	if _, ok := sc.Get(key); ok {
+		t.Fatal("hit on an empty store")
+	}
+	want := []byte("0rendered report bytes\n")
+	sc.Put(key, want)
+	got, ok := sc.Get(key)
+	if !ok {
+		t.Fatal("miss after put")
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("round trip corrupted bytes: %q != %q", got, want)
+	}
+
+	snap := p.Registry().Snapshot()
+	if snap.Counters["proxy.shared.puts"] != 1 || snap.Counters["proxy.shared.hits"] != 1 {
+		t.Fatalf("store counters wrong: %v", snap.Counters)
+	}
+}
+
+func TestSharedStoreRejectsBadKeys(t *testing.T) {
+	for _, key := range []string{
+		"",                            // empty
+		"short",                       // too short and not hex
+		"ABCDEF0123456789",            // uppercase hex is not our format
+		"../../../etc/passwd",         // traversal shapes must die at the door
+		strings.Repeat("a", 129),      // oversized
+		strings.Repeat("a", 15) + "g", // non-hex char
+	} {
+		if validStoreKey(key) {
+			t.Errorf("validStoreKey(%q) = true, want false", key)
+		}
+	}
+	if !validStoreKey(strings.Repeat("0f", 16)) {
+		t.Error("a 32-char hex key must be valid")
+	}
+}
+
+func TestSharedStoreBoundsEntries(t *testing.T) {
+	p := New(Config{})
+	ts := httptest.NewServer(p.Handler())
+	defer ts.Close()
+	sc := NewStoreClient(ts.URL)
+	key := strings.Repeat("cd34", 8)
+
+	sc.Put(key, nil) // empty: dropped client-side
+	if _, ok := sc.Get(key); ok {
+		t.Fatal("empty put stored something")
+	}
+	sc.Put(key, make([]byte, maxSharedEntryBytes+1)) // oversized: dropped
+	if _, ok := sc.Get(key); ok {
+		t.Fatal("oversized put stored something")
+	}
+}
+
+// A dead proxy must read as a miss, never an error — the shared tier is
+// an optimization, and losing it degrades to local solving.
+func TestStoreClientFailsOpen(t *testing.T) {
+	ts := httptest.NewServer(nil)
+	ts.Close() // connection refused from here on
+	sc := NewStoreClient(ts.URL)
+	if _, ok := sc.Get(strings.Repeat("ab12", 8)); ok {
+		t.Fatal("dead proxy produced a hit")
+	}
+	sc.Put(strings.Repeat("ab12", 8), []byte("x")) // must not panic or block
+}

@@ -27,14 +27,15 @@
 #                      and byte-match the checked-in expected output
 #   7. trace smoke   — `gator -trace -explain` over examples/buggyapp must
 #                      exit 0: tracing and provenance stay wired end-to-end
-#   8. server smoke  — `gatord -smoke` boots the daemon on a loopback port,
-#                      runs one cold and one incremental session request
-#                      (both byte-compared against local analysis), then
-#                      exercises the telemetry surface — scrapes /metrics,
-#                      validates it as Prometheus text with the in-repo
-#                      parser, runs a ?trace=1 request, and fetches the
-#                      captured solver trace by its trace id — then drains
-#                      and shuts down cleanly
+#   8. server smoke  — `gatord -smoke -replica smoke-r0` boots the daemon on
+#                      a loopback port, runs one cold and one incremental
+#                      session request (both byte-compared against local
+#                      analysis), then exercises the telemetry surface —
+#                      scrapes /metrics, validates it as Prometheus text
+#                      with the in-repo parser, runs a ?trace=1 request, and
+#                      fetches the captured solver trace by its trace id —
+#                      verifies the daemon reports its replica identity, then
+#                      drains and shuts down cleanly
 #   9. no-alloc      — BenchmarkSolveTracingDisabled asserts that disabled
 #                      tracing adds zero allocations to the solver
 #  10. ctx smoke     — `gatorbench -table precision -ctx 1cfa` over one small
@@ -42,10 +43,22 @@
 #                      against the oracle (the command exits nonzero on any
 #                      soundness violation) and stays wired into the CLI
 #  11. gatorbench    — regenerate BENCH_2.json, BENCH_4.json, BENCH_5.json,
-#                      BENCH_6.json, BENCH_7.json, and BENCH_8.json (skipped
-#                      with -short); scripts/benchdiff.sh diffs regenerated
-#                      records against the checked-in ones without
-#                      overwriting them
+#                      BENCH_6.json, BENCH_7.json, BENCH_8.json, and
+#                      BENCH_9.json (skipped with -short);
+#                      scripts/benchdiff.sh diffs regenerated records against
+#                      the checked-in ones without overwriting them
+#  12. cluster smoke — `gatorproxy -smoke` boots a real 2-replica cluster on
+#                      loopback (two in-process gatord replicas behind the
+#                      routing proxy), byte-compares cold and warm-session
+#                      reports against local analysis, proves a non-owning
+#                      replica replays the owner's solve through the shared
+#                      content-addressed tier, kills the session's replica
+#                      and recovers through the client's 404 → re-create
+#                      path, and validates the rolled-up /metrics (parsed
+#                      with the in-repo Prometheus parser; every replica
+#                      series labeled). Each replica's request log lands in
+#                      cluster-smoke-logs/, which CI uploads as a failure
+#                      artifact.
 #
 # Usage: scripts/ci.sh [-short]
 #   -short trims the corpus-wide tests for a quick local signal.
@@ -70,7 +83,7 @@ go test $SHORT ./...
 RACE_PKGS="./..."
 if [ -n "$SHORT" ]; then
     # The packages with concurrent tests; see the step 4 note above.
-    RACE_PKGS=". ./internal/core ./internal/cache ./internal/metrics ./internal/trace ./internal/watch ./internal/server"
+    RACE_PKGS=". ./internal/core ./internal/cache ./internal/metrics ./internal/trace ./internal/watch ./internal/server ./internal/cluster"
 fi
 echo "== go test -race $SHORT $RACE_PKGS"
 go test -race $SHORT $RACE_PKGS
@@ -96,7 +109,7 @@ echo "== trace + explain smoke (examples/buggyapp)"
 go run ./cmd/gator -trace /dev/null -explain Main.onCreate.btn examples/buggyapp > /dev/null
 
 echo "== gatord server smoke (examples/buggyapp)"
-go run ./cmd/gatord -smoke examples/buggyapp
+go run ./cmd/gatord -smoke -replica smoke-r0 examples/buggyapp
 
 echo "== zero-allocation guard (tracing disabled)"
 go test -run TestTracingDisabledZeroAlloc -bench BenchmarkSolveTracingDisabled -benchtime 1x ./internal/core
@@ -105,9 +118,14 @@ echo "== context-sensitivity precision smoke (TippyTipper, 1cfa)"
 go run ./cmd/gatorbench -table precision -app TippyTipper -ctx 1cfa > /dev/null
 
 if [ -z "$SHORT" ]; then
-    echo "== gatorbench BENCH_2.json + BENCH_4.json + BENCH_5.json + BENCH_6.json + BENCH_7.json + BENCH_8.json"
+    echo "== gatorbench BENCH_2.json + BENCH_4.json + BENCH_5.json + BENCH_6.json + BENCH_7.json + BENCH_8.json + BENCH_9.json"
     go run ./cmd/gatorbench -benchjson BENCH_2.json -incjson BENCH_4.json -servejson BENCH_5.json \
-        -solvejson BENCH_6.json -precjson BENCH_7.json -obsjson BENCH_8.json > /dev/null
+        -solvejson BENCH_6.json -precjson BENCH_7.json -obsjson BENCH_8.json \
+        -clusterjson BENCH_9.json > /dev/null
 fi
+
+echo "== gatorproxy cluster smoke (examples/buggyapp, 2 replicas)"
+rm -rf cluster-smoke-logs
+go run ./cmd/gatorproxy -smoke -smoke-logs cluster-smoke-logs examples/buggyapp
 
 echo "== CI gate green"
