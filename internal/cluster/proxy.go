@@ -12,7 +12,9 @@ package cluster
 //     created it, and the ring only decides where creates go;
 //   - a replica that fails its health probe, or a forward that dies on the
 //     wire, evicts the replica from the ring (re-shard: only its keys
-//     move). Stateless requests retry transparently on the next owner;
+//     move) — unless the forward died because the CLIENT canceled, which
+//     says nothing about replica health and must not shrink the ring.
+//     Stateless requests retry transparently on the next owner;
 //     session requests answer 404, which is the truth — the warm state is
 //     gone — and the client's existing 404 → re-create path (PR 5) pays
 //     one cold solve on a surviving replica. Recovery is symmetric: a
@@ -40,6 +42,10 @@ import (
 	"gator/internal/server"
 )
 
+// maxMetricsScrapeBytes bounds one replica's /metrics exposition in the
+// rollup; past it the scrape is treated as truncated and skipped.
+const maxMetricsScrapeBytes = 8 << 20
+
 // Config tunes the proxy; the zero value works for tests.
 type Config struct {
 	// Vnodes per replica on the ring (<= 0 uses DefaultVnodes).
@@ -48,6 +54,10 @@ type Config struct {
 	ProbeInterval time.Duration
 	// ProbeTimeout bounds one probe request (default 1s).
 	ProbeTimeout time.Duration
+	// ScrapeTimeout bounds one per-replica /metrics scrape during a rollup
+	// (default 5s — deliberately looser than ProbeTimeout so a replica
+	// that is merely slow doesn't vanish from cluster-summed counters).
+	ScrapeTimeout time.Duration
 	// ProbeFailures is how many consecutive probe failures evict a
 	// replica (default 2; forward failures evict immediately regardless).
 	ProbeFailures int
@@ -72,6 +82,9 @@ func (c Config) withDefaults() Config {
 	if c.ProbeTimeout <= 0 {
 		c.ProbeTimeout = time.Second
 	}
+	if c.ScrapeTimeout <= 0 {
+		c.ScrapeTimeout = 5 * time.Second
+	}
 	if c.ProbeFailures <= 0 {
 		c.ProbeFailures = 2
 	}
@@ -87,7 +100,10 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// replicaState is one registered replica.
+// replicaState is one registered replica. name and base are immutable for
+// the lifetime of the instance (AddReplica swaps in a fresh instance when a
+// replica re-registers at a new address), so they are safe to read without
+// holding Proxy.mu; up and probeErr are guarded by Proxy.mu.
 type replicaState struct {
 	name     string
 	base     string // normalized base URL, no trailing slash
@@ -103,6 +119,7 @@ type Proxy struct {
 	mux    *http.ServeMux
 	fwd    *http.Client // forwarding client; job deadlines bound it server-side
 	probe  *http.Client
+	scrape *http.Client // metrics-rollup client; looser budget than probes
 	store  *storeHandler
 	log    *slog.Logger
 	gauges map[string]bool // replica_up gauges already registered
@@ -122,6 +139,7 @@ func New(cfg Config) *Proxy {
 		reg:      metrics.NewRegistry(),
 		fwd:      &http.Client{},
 		probe:    &http.Client{Timeout: cfg.ProbeTimeout},
+		scrape:   &http.Client{Timeout: cfg.ScrapeTimeout},
 		log:      cfg.Logger,
 		gauges:   map[string]bool{},
 		ring:     NewRing(cfg.Vnodes),
@@ -155,10 +173,15 @@ func (p *Proxy) AddReplica(name, base string) {
 	p.mu.Lock()
 	rs, ok := p.replicas[name]
 	if !ok {
-		rs = &replicaState{name: name}
+		rs = &replicaState{name: name, base: base}
+		p.replicas[name] = rs
+	} else if rs.base != base {
+		// base is immutable per instance (forwards read it lock-free), so a
+		// re-register at a new address swaps in a fresh instance; in-flight
+		// forwards finish against the old address and at worst retry.
+		rs = &replicaState{name: name, base: base, up: rs.up, probeErr: rs.probeErr}
 		p.replicas[name] = rs
 	}
-	rs.base = base
 	if !rs.up {
 		rs.up = true
 		rs.probeErr = 0
@@ -272,13 +295,27 @@ func (p *Proxy) recordSession(id, replica string) {
 	p.mu.Lock()
 	if _, ok := p.sessions[id]; !ok {
 		p.sessFIFO = append(p.sessFIFO, id)
-		for len(p.sessFIFO) > p.cfg.MaxSessionRoutes {
-			old := p.sessFIFO[0]
-			p.sessFIFO = p.sessFIFO[1:]
-			delete(p.sessions, old)
-		}
 	}
 	p.sessions[id] = replica
+	// The bound is on LIVE routes. Deletes (dropSession, replica eviction)
+	// leave dead ids behind in the FIFO, so pop until the live count fits —
+	// dead heads don't count as evictions.
+	for len(p.sessions) > p.cfg.MaxSessionRoutes && len(p.sessFIFO) > 0 {
+		old := p.sessFIFO[0]
+		p.sessFIFO = p.sessFIFO[1:]
+		delete(p.sessions, old)
+	}
+	// Keep FIFO memory proportional to the live table: churny deletes can
+	// otherwise grow it without bound.
+	if len(p.sessFIFO) > 2*len(p.sessions)+64 {
+		live := p.sessFIFO[:0]
+		for _, sid := range p.sessFIFO {
+			if _, ok := p.sessions[sid]; ok {
+				live = append(live, sid)
+			}
+		}
+		p.sessFIFO = live
+	}
 	p.mu.Unlock()
 	p.reg.Add("proxy.sessions.routed", 1)
 }
@@ -337,24 +374,30 @@ func (p *Proxy) RunProber(stop <-chan struct{}) {
 // ProbeOnce probes every registered replica once (exported so the smoke
 // and tests can force a probe round instead of waiting out the ticker).
 func (p *Proxy) ProbeOnce() {
+	type probeTarget struct{ name, base string }
 	p.mu.Lock()
-	targets := make([]*replicaState, 0, len(p.replicas))
+	targets := make([]probeTarget, 0, len(p.replicas))
 	for _, rs := range p.replicas {
-		targets = append(targets, rs)
+		targets = append(targets, probeTarget{name: rs.name, base: rs.base})
 	}
 	p.mu.Unlock()
-	for _, rs := range targets {
-		ok := p.probeReplica(rs.base)
-		if ok {
-			p.markUp(rs.name)
+	for _, t := range targets {
+		if p.probeReplica(t.base) {
+			p.markUp(t.name)
 			continue
 		}
+		// Re-resolve by name: the replica may have re-registered (fresh
+		// state instance) or been removed while the probe was in flight.
 		p.mu.Lock()
-		rs.probeErr++
-		evict := rs.up && rs.probeErr >= p.cfg.ProbeFailures
+		rs, present := p.replicas[t.name]
+		evict := false
+		if present && rs.base == t.base {
+			rs.probeErr++
+			evict = rs.up && rs.probeErr >= p.cfg.ProbeFailures
+		}
 		p.mu.Unlock()
 		if evict {
-			p.markDown(rs.name, "health probe failed")
+			p.markDown(t.name, "health probe failed")
 		}
 	}
 }
@@ -401,12 +444,12 @@ func (p *Proxy) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 
 	var scrapes []replicaScrape
 	for _, rs := range targets {
-		resp, err := p.probe.Get(rs.base + "/metrics")
+		resp, err := p.scrape.Get(rs.base + "/metrics")
 		if err != nil {
 			p.reg.Add("proxy.rollup.scrape_errors", 1)
 			continue
 		}
-		data, readErr := io.ReadAll(io.LimitReader(resp.Body, maxSharedEntryBytes))
+		data, readErr := io.ReadAll(io.LimitReader(resp.Body, maxMetricsScrapeBytes))
 		resp.Body.Close()
 		if readErr != nil || resp.StatusCode != http.StatusOK {
 			p.reg.Add("proxy.rollup.scrape_errors", 1)
@@ -504,13 +547,30 @@ func (p *Proxy) handleRoute(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// readRequestBody buffers the inbound body, answering the client and
+// returning ok=false when the request can't be forwarded: 413 only for a
+// genuinely over-limit body, 400 for a read failure (a client aborting its
+// upload is not a size violation).
+func (p *Proxy) readRequestBody(w http.ResponseWriter, r *http.Request) ([]byte, bool) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, p.cfg.MaxRequestBytes+1))
+	if err != nil {
+		p.reg.Add("proxy.client_aborts", 1)
+		errorJSON(w, http.StatusBadRequest, "reading request body: %v", err)
+		return nil, false
+	}
+	if int64(len(body)) > p.cfg.MaxRequestBytes {
+		errorJSON(w, http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", p.cfg.MaxRequestBytes)
+		return nil, false
+	}
+	return body, true
+}
+
 // routeStateless routes by app id with transparent failover: a forward
 // that dies on the wire evicts the replica and retries on the ring's next
 // owner — the request carries no server-side state, so the retry is safe.
 func (p *Proxy) routeStateless(w http.ResponseWriter, r *http.Request) {
-	body, err := io.ReadAll(io.LimitReader(r.Body, p.cfg.MaxRequestBytes+1))
-	if err != nil || int64(len(body)) > p.cfg.MaxRequestBytes {
-		errorJSON(w, http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", p.cfg.MaxRequestBytes)
+	body, ok := p.readRequestBody(w, r)
+	if !ok {
 		return
 	}
 	app := appIDFromRequest(r, body)
@@ -538,6 +598,16 @@ func (p *Proxy) routeStateless(w http.ResponseWriter, r *http.Request) {
 			p.reg.Add("proxy.retries", 1)
 		}
 		if p.forwardBuffered(w, r, rs, body) {
+			return
+		}
+		if r.Context().Err() != nil {
+			// The client hung up or timed out: the forward died because OUR
+			// outbound context was canceled, not because the replica is sick.
+			// Evicting here would let one impatient client wipe healthy
+			// replicas (and their warm session routes) off the ring — and
+			// retrying with the same dead context would cascade across every
+			// replica. Drop the request; there is no one left to answer.
+			p.reg.Add("proxy.client_aborts", 1)
 			return
 		}
 		p.markDown(owner, "forward failed")
@@ -635,14 +705,19 @@ func (p *Proxy) routeSession(w http.ResponseWriter, r *http.Request) {
 		errorJSON(w, http.StatusNotFound, "no such session (unknown to the cluster, or its replica left)")
 		return
 	}
-	body, err := io.ReadAll(io.LimitReader(r.Body, p.cfg.MaxRequestBytes+1))
-	if err != nil || int64(len(body)) > p.cfg.MaxRequestBytes {
-		errorJSON(w, http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", p.cfg.MaxRequestBytes)
+	body, ok := p.readRequestBody(w, r)
+	if !ok {
 		return
 	}
 	resp, rtErr := p.roundTrip(r, rs, body)
 	if rtErr != nil {
 		p.reg.Add("proxy.forward_errors", 1)
+		if r.Context().Err() != nil {
+			// Client-caused cancellation: the replica (and its warm
+			// sessions) are fine — do not evict.
+			p.reg.Add("proxy.client_aborts", 1)
+			return
+		}
 		p.markDown(rs.name, "forward failed")
 		p.reg.Add("proxy.sessions.lost", 1)
 		errorJSON(w, http.StatusNotFound, "no such session (its replica just left the cluster)")
@@ -669,6 +744,10 @@ func (p *Proxy) routeScan(w http.ResponseWriter, r *http.Request) {
 		}
 		resp, err := p.roundTrip(r, rs, nil)
 		if err != nil {
+			if r.Context().Err() != nil {
+				p.reg.Add("proxy.client_aborts", 1)
+				return // client gone; don't punish replicas for it
+			}
 			p.markDown(name, "forward failed")
 			continue
 		}

@@ -1,10 +1,12 @@
 package cluster
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
 	"net/http"
+	"net/http/httptest"
 	"strings"
 	"testing"
 
@@ -284,6 +286,142 @@ func TestMetricsRollupEndToEnd(t *testing.T) {
 	up := fams["gatorproxy_replica_up"]
 	if up == nil || len(up.Samples) != 2 {
 		t.Fatalf("replica_up gauges wrong: %+v", up)
+	}
+}
+
+// A client canceling its own request must never evict a healthy replica:
+// the forward fails with context.Canceled, but that is the client's fault,
+// and punishing the replica would drop every warm session route it owns.
+func TestClientCancelDoesNotEvict(t *testing.T) {
+	tc := startCluster(t, 2, server.Config{})
+	open, err := tc.client.OpenSession(figure1Request("cancel-app", "views"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // dead before the forward even starts
+
+	// Stateless path: the retry loop must not march the dead context
+	// across the ring evicting everyone.
+	body := `{"name":"cancel-app","sources":{"a.alite":"class A {}"}}`
+	req := httptest.NewRequest("POST", "/v1/analyze", strings.NewReader(body)).WithContext(ctx)
+	tc.proxy.Handler().ServeHTTP(httptest.NewRecorder(), req)
+
+	// Session path: the sticky route must survive the abort.
+	sreq := httptest.NewRequest("PATCH", "/v1/sessions/"+open.SessionID,
+		strings.NewReader(`{"reportSpec":{"report":"views"}}`)).WithContext(ctx)
+	tc.proxy.Handler().ServeHTTP(httptest.NewRecorder(), sreq)
+
+	if live := tc.proxy.LiveReplicas(); len(live) != 2 {
+		t.Fatalf("client abort evicted replicas: live=%v", live)
+	}
+	if _, ok := tc.proxy.sessionReplica(open.SessionID); !ok {
+		t.Fatal("client abort wiped the session route")
+	}
+	snap := tc.proxy.Registry().Snapshot()
+	if snap.Counters["proxy.replica.evictions"] != 0 {
+		t.Fatalf("evictions = %d, want 0", snap.Counters["proxy.replica.evictions"])
+	}
+	if snap.Counters["proxy.client_aborts"] == 0 {
+		t.Fatal("client aborts not counted")
+	}
+	// The replicas are genuinely fine: a normal request still works.
+	if _, err := tc.client.Analyze(figure1Request("cancel-app", "views")); err != nil {
+		t.Fatalf("analyze after client abort: %v", err)
+	}
+}
+
+// A failed body read (client aborting its upload) is not a size violation:
+// it must answer 400, reserving 413 for genuinely over-limit bodies.
+func TestBodyReadErrorIsNot413(t *testing.T) {
+	// Both rejections happen before any forward, so no replicas needed.
+	p := New(Config{MaxRequestBytes: 1 << 20})
+	req := httptest.NewRequest("POST", "/v1/analyze", errReader{})
+	rec := httptest.NewRecorder()
+	p.Handler().ServeHTTP(rec, req)
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("read failure answered %d, want 400", rec.Code)
+	}
+
+	over := strings.NewReader(strings.Repeat("x", 1<<20+1))
+	req = httptest.NewRequest("POST", "/v1/analyze", over)
+	rec = httptest.NewRecorder()
+	p.Handler().ServeHTTP(rec, req)
+	if rec.Code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("over-limit body answered %d, want 413", rec.Code)
+	}
+}
+
+type errReader struct{}
+
+func (errReader) Read([]byte) (int, error) { return 0, errors.New("client hung up mid-upload") }
+
+// The session-table bound counts LIVE routes: ids already deleted via
+// dropSession must not push live routes out, and the FIFO must not grow
+// without bound under churn.
+func TestSessionTableTrimSkipsDeadRoutes(t *testing.T) {
+	p := New(Config{MaxSessionRoutes: 4})
+	for i := 0; i < 200; i++ {
+		id := fmt.Sprintf("dead-%d", i)
+		p.recordSession(id, "r0")
+		p.dropSession(id)
+	}
+	for i := 0; i < 4; i++ {
+		p.recordSession(fmt.Sprintf("live-%d", i), "r0")
+	}
+	for i := 0; i < 4; i++ {
+		id := fmt.Sprintf("live-%d", i)
+		p.mu.Lock()
+		_, ok := p.sessions[id]
+		p.mu.Unlock()
+		if !ok {
+			t.Fatalf("%s evicted while the table held only %d live routes", id, 4)
+		}
+	}
+	// The bound still bites: a fifth live route evicts the oldest live one.
+	p.recordSession("live-4", "r0")
+	p.mu.Lock()
+	_, oldestAlive := p.sessions["live-0"]
+	total := len(p.sessions)
+	fifoLen := len(p.sessFIFO)
+	p.mu.Unlock()
+	if oldestAlive {
+		t.Fatal("over-bound insert did not evict the oldest live route")
+	}
+	if total != 4 {
+		t.Fatalf("table holds %d routes, want 4", total)
+	}
+	if fifoLen > 2*4+64 {
+		t.Fatalf("FIFO grew to %d entries under churn; dead ids are not being compacted", fifoLen)
+	}
+}
+
+// Re-registering a replica at a new address while probes are in flight
+// must be race-free (replicaState instances are immutable per address) and
+// must converge on the latest address.
+func TestReRegisterDuringProbes(t *testing.T) {
+	tc := startCluster(t, 2, server.Config{})
+	name := tc.replicas[0].Name
+	addrA, addrB := tc.replicas[0].URL(), tc.replicas[1].URL()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 40; i++ {
+			tc.proxy.AddReplica(name, addrA)
+			tc.proxy.AddReplica(name, addrB)
+		}
+	}()
+	for i := 0; i < 10; i++ {
+		tc.proxy.ProbeOnce()
+	}
+	<-done
+	tc.proxy.AddReplica(name, addrA)
+	tc.proxy.ProbeOnce()
+	if live := tc.proxy.LiveReplicas(); len(live) != 2 {
+		t.Fatalf("replicas lost across re-registration: %v", live)
+	}
+	if _, err := tc.client.Analyze(figure1Request("reregister", "views")); err != nil {
+		t.Fatalf("analyze after re-registration churn: %v", err)
 	}
 }
 
