@@ -139,14 +139,15 @@ func TestNightlyWorkflow(t *testing.T) {
 	requireAll(t, "nightly.yml", text, []string{
 		"schedule:", "cron:", "workflow_dispatch",
 		// Benchmark regression gate over the checked-in records, including
-		// the precision record added with context sensitivity.
-		"scripts/benchdiff.sh", "BENCH_7.json",
+		// the precision record added with context sensitivity and the
+		// lifecycle-recall record added with the ordering checkers.
+		"scripts/benchdiff.sh", "BENCH_7.json", "BENCH_10.json",
 		"BenchmarkIncrementalEdit",
 		// The cluster failover smoke runs nightly with its replica logs
 		// under bench-new/, where the failure artifact picks them up.
 		"gatorproxy -smoke", "bench-new/cluster-smoke-logs",
-		// Fuzz budget: 30 seconds per target, both targets present.
-		"-fuzztime 30s", "FuzzParse", "FuzzLayout",
+		// Fuzz budget: 30 seconds per target, all targets present.
+		"-fuzztime 30s", "FuzzParse", "FuzzLayout", "FuzzOrderingScenario",
 		// Crashers and regenerated records survive the failed run.
 		"if: failure()", "actions/upload-artifact@",
 	})

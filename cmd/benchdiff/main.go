@@ -38,6 +38,13 @@
 //     ceiling. The overhead is a same-machine on/off ratio of min-of-N
 //     latencies, so like the solver ratios it gates on the absolute
 //     ceiling only; the baseline is printed for trend reading.
+//   - lifecycle-recall records (BENCH_10.json, gatorbench -lifejson): each
+//     ordering checker's recall over the synthesized ordering-bug scenario
+//     pack must stay at or above the 0.9 floor, and the clean twins (same
+//     helper/branch shape, legal callback placement) must produce zero
+//     findings. Both gates are deterministic counts over generated apps, so
+//     they are absolute, not baseline-relative; the baseline recall is
+//     printed for trend reading.
 //   - cluster records (BENCH_9.json, gatorbench -clusterjson): aggregate
 //     throughput at 4 replicas must beat 1 replica by the 1.5x floor
 //     (the benchmark models a fixed per-replica service time, so the
@@ -104,6 +111,12 @@ const failoverP99CeilingMs = 2000.0
 // the timing threshold.
 const ratioSlack = 0.05
 
+// recallFloor is the minimum acceptable per-checker recall for
+// lifecycle-recall records: the ordering checkers must locate at least 90%
+// of the seeded scenario-pack bugs (see DESIGN.md, "Lifecycle & callback
+// ordering").
+const recallFloor = 0.9
+
 type appRec struct {
 	App      string `json:"app"`
 	Findings int    `json:"findings"`
@@ -124,32 +137,42 @@ type stressorRec struct {
 	Strict           bool   `json:"strict"`
 }
 
+type checkerRec struct {
+	Checker       string  `json:"checker"`
+	Seeded        int     `json:"seeded"`
+	Detected      int     `json:"detected"`
+	Recall        float64 `json:"recall"`
+	CleanFindings int     `json:"cleanFindings"`
+}
+
 // record is the superset of the benchmark file shapes; shape is detected
 // by which fields are populated (precision records carry modes, corpus
 // records carry apps, incremental records carry warmMs, server records
-// carry coldP50Ms, observability records carry telemetryOnMs).
+// carry coldP50Ms, observability records carry telemetryOnMs, and
+// lifecycle-recall records carry checkers).
 type record struct {
-	TotalWorkMs    float64     `json:"totalWorkMs"`
-	Speedup        float64     `json:"speedup"`
-	WarmMs         float64     `json:"warmMs"`
-	ColdMs         float64     `json:"coldMs"`
-	ColdP50Ms      float64     `json:"coldP50Ms"`
-	ColdP99Ms      float64     `json:"coldP99Ms"`
-	OptSpeedup     float64     `json:"optSpeedup"`
-	ShardSpeedup   float64     `json:"shardSpeedup"`
-	IncSpeedup     float64     `json:"incSpeedup"`
-	TelemetryOffMs float64     `json:"telemetryOffMs"`
-	TelemetryOnMs  float64     `json:"telemetryOnMs"`
-	OverheadPct    float64     `json:"overheadPct"`
-	Scaling2x      float64     `json:"scaling2x"`
-	Scaling4x      float64     `json:"scaling4x"`
-	SteadyP99Ms    float64     `json:"steadyP99Ms"`
-	FailoverP99Ms  float64     `json:"failoverP99Ms"`
-	Recreates      int         `json:"recreates"`
-	FailedRequests int         `json:"failedRequests"`
-	Apps           []appRec    `json:"apps"`
-	Modes          []modeRec   `json:"modes"`
-	Stressor       stressorRec `json:"stressor"`
+	TotalWorkMs    float64      `json:"totalWorkMs"`
+	Speedup        float64      `json:"speedup"`
+	WarmMs         float64      `json:"warmMs"`
+	ColdMs         float64      `json:"coldMs"`
+	ColdP50Ms      float64      `json:"coldP50Ms"`
+	ColdP99Ms      float64      `json:"coldP99Ms"`
+	OptSpeedup     float64      `json:"optSpeedup"`
+	ShardSpeedup   float64      `json:"shardSpeedup"`
+	IncSpeedup     float64      `json:"incSpeedup"`
+	TelemetryOffMs float64      `json:"telemetryOffMs"`
+	TelemetryOnMs  float64      `json:"telemetryOnMs"`
+	OverheadPct    float64      `json:"overheadPct"`
+	Scaling2x      float64      `json:"scaling2x"`
+	Scaling4x      float64      `json:"scaling4x"`
+	SteadyP99Ms    float64      `json:"steadyP99Ms"`
+	FailoverP99Ms  float64      `json:"failoverP99Ms"`
+	Recreates      int          `json:"recreates"`
+	FailedRequests int          `json:"failedRequests"`
+	Apps           []appRec     `json:"apps"`
+	Modes          []modeRec    `json:"modes"`
+	Checkers       []checkerRec `json:"checkers"`
+	Stressor       stressorRec  `json:"stressor"`
 }
 
 func load(path string) (record, error) {
@@ -188,6 +211,40 @@ func main() {
 	}
 
 	switch {
+	case len(old.Checkers) > 0:
+		// Lifecycle-recall record: per-checker recall floor plus the
+		// zero-findings contract on clean twins. Both are deterministic
+		// counts over generated scenarios — absolute gates, no threshold.
+		byChecker := map[string]checkerRec{}
+		for _, c := range cur.Checkers {
+			byChecker[c.Checker] = c
+		}
+		for _, want := range old.Checkers {
+			got, ok := byChecker[want.Checker]
+			if !ok {
+				fail("checker %s: missing from regenerated record", want.Checker)
+				continue
+			}
+			fmt.Printf("%s: checker %s recall %.2f (%d/%d) vs baseline %.2f (floor %.1f); clean-twin findings %d\n",
+				flag.Arg(1), want.Checker, got.Recall, got.Detected, got.Seeded,
+				want.Recall, recallFloor, got.CleanFindings)
+			if got.Seeded == 0 {
+				fail("checker %s: no scenarios seeded", want.Checker)
+				continue
+			}
+			if got.Recall < recallFloor {
+				fail("checker %s: recall %.2f (%d/%d) below the %.1f floor",
+					want.Checker, got.Recall, got.Detected, got.Seeded, recallFloor)
+			}
+			if got.CleanFindings != 0 {
+				fail("checker %s: %d finding(s) on clean twins (want 0)",
+					want.Checker, got.CleanFindings)
+			}
+		}
+		if len(cur.Checkers) < len(old.Checkers) {
+			fail("checker count %d, baseline %d", len(cur.Checkers), len(old.Checkers))
+		}
+
 	case old.Scaling4x > 0:
 		// Cluster record: floor-gated scaling plus the failover contract.
 		// Zero unrecovered requests is absolute; at least one re-create

@@ -43,7 +43,7 @@ func main() {
 	reportKind := flag.String("report", "summary", "what to print: summary, views, tuples, hierarchy, activities, transitions, menus, check, checks, sarif, table1, table2, dot, ir, json, explore")
 	figure1 := flag.Bool("figure1", false, "analyze the paper's embedded Figure 1 example")
 	seed := flag.Int64("seed", 1, "seed for -report explore")
-	explain := flag.String("explain", "", "print derivation trees for a variable's solution (Class.method.var) or a view id (id:name)")
+	explain := flag.String("explain", "", "print derivation trees for a variable's solution (Class.method.var), a view id (id:name), or a lifecycle ordering (order:Class.cb1.cb2)")
 	filterCasts := flag.Bool("filter-casts", false, "enable cast filtering")
 	sharedInfl := flag.Bool("shared-inflation", false, "share inflation nodes per layout")
 	noFV3 := flag.Bool("no-findview3", false, "disable the FindView3 child-only refinement")
@@ -51,7 +51,7 @@ func main() {
 	jobs := flag.Int("j", runtime.GOMAXPROCS(0), "parallel analysis workers for multi-directory batches")
 	stats := flag.Bool("stats", false, "print per-stage batch statistics to stderr")
 	checksMode := flag.Bool("checks", false, "run the diagnostics engine and print its findings (exit 1 on warnings)")
-	only := flag.String("only", "", "comma-separated check IDs to run (with -checks; default all)")
+	only := flag.String("only", "", "comma-separated check IDs or glob patterns, e.g. lifecycle-* (with -checks; default all)")
 	sarifOut := flag.String("sarif", "", "write findings as SARIF 2.1.0 to `file` (implies -checks)")
 	listChecks := flag.Bool("listchecks", false, "print the checker registry and exit")
 	traceOut := flag.String("trace", "", "write a Chrome trace_event JSON of the whole run to `file` (open in chrome://tracing or Perfetto)")
@@ -81,8 +81,9 @@ func main() {
 		SharedInflation:       *sharedInfl,
 		NoFindView3Refinement: *noFV3,
 		ContextSensitivity:    ctx,
-		// -explain renders derivation trees, which need the recorded DAG.
-		Provenance: *explain != "",
+		// -explain renders derivation trees, which need the recorded DAG —
+		// except order: queries, answered from the lifecycle table alone.
+		Provenance: report.Request{Explain: *explain}.NeedsProvenance(),
 	}
 
 	if *remote != "" {

@@ -1,0 +1,129 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"gator/internal/analysis"
+	"gator/internal/core"
+	"gator/internal/corpus"
+	"gator/internal/ir"
+)
+
+// lifeScenario is one synthesized ordering scenario's outcome: whether the
+// seeded bug's checker located it, and how many lifecycle findings its
+// clean twin (same shape, legal ordering) produced.
+type lifeScenario struct {
+	Name          string `json:"name"`
+	Bug           string `json:"bug"`
+	Depth         int    `json:"depth"`
+	Branch        bool   `json:"branch"`
+	Detected      bool   `json:"detected"`
+	CleanFindings int    `json:"cleanFindings"`
+}
+
+// lifeChecker aggregates one ordering checker over its scenarios.
+type lifeChecker struct {
+	Checker  string `json:"checker"`
+	Seeded   int    `json:"seeded"`
+	Detected int    `json:"detected"`
+	// Recall is Detected/Seeded over synthesized bugs of this checker's kind.
+	Recall float64 `json:"recall"`
+	// CleanFindings counts lifecycle findings on the clean twins — any
+	// nonzero value is a false positive by construction.
+	CleanFindings int `json:"cleanFindings"`
+}
+
+// lifeOutput is the -lifejson file shape (BENCH_10.json): measured recall
+// of the ordering checkers over the synthesized scenario pack. The nightly
+// benchdiff gate fails when any checker's recall drops below 0.9 or any
+// clean twin produces a finding.
+type lifeOutput struct {
+	GeneratedAt string         `json:"generatedAt"`
+	Scenarios   int            `json:"scenarios"`
+	Checkers    []lifeChecker  `json:"checkers"`
+	Detail      []lifeScenario `json:"detail"`
+}
+
+// lifecycleFindings analyzes one scenario app and counts its lifecycle-*
+// findings by checker ID.
+func lifecycleFindings(app *corpus.App) (map[string]int, error) {
+	p, err := ir.Build(app.FreshFiles(), app.FreshLayouts())
+	if err != nil {
+		return nil, fmt.Errorf("%s: %v", app.Name, err)
+	}
+	res := core.Analyze(p, core.Options{})
+	rep, err := analysis.Run(app.Name, res, analysis.Options{Checks: []string{"lifecycle-*"}})
+	if err != nil {
+		return nil, err
+	}
+	counts := map[string]int{}
+	for _, f := range rep.Findings {
+		counts[f.Check]++
+	}
+	return counts, nil
+}
+
+// writeLifecycleJSON runs the ordering-bug scenario pack — n seeded-bug
+// apps plus their clean twins — through the lifecycle checkers and records
+// per-checker recall and clean-twin false positives.
+func writeLifecycleJSON(path string, n int) error {
+	specs := corpus.ScenarioPack(n)
+	byChecker := map[string]*lifeChecker{}
+	out := lifeOutput{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		Scenarios:   len(specs),
+	}
+	for _, spec := range specs {
+		id := spec.Bug.CheckerID()
+		agg := byChecker[id]
+		if agg == nil {
+			agg = &lifeChecker{Checker: id}
+			byChecker[id] = agg
+		}
+		buggy, err := lifecycleFindings(corpus.GenerateScenario(spec))
+		if err != nil {
+			return err
+		}
+		clean, err := lifecycleFindings(corpus.GenerateScenario(spec.CleanTwin()))
+		if err != nil {
+			return err
+		}
+		cleanTotal := 0
+		for _, c := range clean {
+			cleanTotal += c
+		}
+		agg.Seeded++
+		detected := buggy[id] > 0
+		if detected {
+			agg.Detected++
+		}
+		agg.CleanFindings += cleanTotal
+		out.Detail = append(out.Detail, lifeScenario{
+			Name:          spec.Name(),
+			Bug:           spec.Bug.String(),
+			Depth:         spec.Depth,
+			Branch:        spec.Branch,
+			Detected:      detected,
+			CleanFindings: cleanTotal,
+		})
+	}
+	// Render checkers in first-seen (pack) order with recall computed.
+	for _, spec := range specs {
+		id := spec.Bug.CheckerID()
+		agg, ok := byChecker[id]
+		if !ok {
+			continue
+		}
+		delete(byChecker, id)
+		agg.Recall = float64(agg.Detected) / float64(agg.Seeded)
+		out.Checkers = append(out.Checkers, *agg)
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

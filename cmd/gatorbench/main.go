@@ -51,6 +51,7 @@ func main() {
 	serveJSON := flag.String("servejson", "", "write the server benchmark (request latency percentiles, warm session speedup) to `file`")
 	obsJSON := flag.String("obsjson", "", "write the telemetry overhead benchmark (request latency with the telemetry layer on vs off) to `file`")
 	clusterJSON := flag.String("clusterjson", "", "write the cluster benchmark (throughput scaling at 1/2/4 replicas, failover tail latency under a mid-run replica kill) to `file`")
+	lifeJSON := flag.String("lifejson", "", "write the lifecycle-checker recall benchmark (per-checker recall over synthesized ordering-bug scenarios plus clean-twin false positives) to `file`")
 	traceOut := flag.String("trace", "", "write a Chrome trace_event JSON of the corpus run to `file`")
 	metricsOut := flag.String("metrics", "", "write the aggregated counter/histogram registry as JSON to `file` (\"-\" for stderr; implies tracing)")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof and expvar on `addr` (e.g. localhost:6060) for the duration of the run")
@@ -223,6 +224,12 @@ func main() {
 	}
 	if *precJSON != "" {
 		if err := writePrecisionJSON(*precJSON, *seed, *jobs); err != nil {
+			fmt.Fprintln(os.Stderr, "gatorbench:", err)
+			os.Exit(1)
+		}
+	}
+	if *lifeJSON != "" {
+		if err := writeLifecycleJSON(*lifeJSON, 24); err != nil {
 			fmt.Fprintln(os.Stderr, "gatorbench:", err)
 			os.Exit(1)
 		}

@@ -39,6 +39,7 @@ import (
 	"gator/internal/interp"
 	"gator/internal/ir"
 	"gator/internal/layout"
+	"gator/internal/lifecycle"
 	"gator/internal/metrics"
 	"gator/internal/oracle"
 	"gator/internal/platform"
@@ -802,6 +803,27 @@ func (r *Result) ExplainViewID(name string) ([]string, error) {
 		out = append(out, r.res.RenderDerivation(f))
 	}
 	return out, nil
+}
+
+// ExplainOrdering renders the lifecycle automaton's justification for
+// whether cb2 can run after cb1 on the named component class: the
+// conclusion plus one premise line per transition rule of the shortest
+// witness schedule, in the same derivation-tree style as ExplainDerivation.
+// Unlike the flow explanations it needs no provenance DAG — the transition
+// table is the derivation. Queried via `gator -explain order:Class.cb1.cb2`.
+func (r *Result) ExplainOrdering(class, cb1, cb2 string) (string, error) {
+	sched := lifecycle.Order(r.app.prog)
+	comp, ok := sched.Component(class)
+	if !ok {
+		return "", fmt.Errorf("gator: %s is not a lifecycle component (not an activity or dialog class)", class)
+	}
+	for _, cb := range []string{cb1, cb2} {
+		if !comp.Known(cb) {
+			return "", fmt.Errorf("gator: %s is not a lifecycle callback of %s %s", cb, comp.Kind, class)
+		}
+	}
+	txt, _ := comp.Justify(cb1, cb2)
+	return txt, nil
 }
 
 // MenuEntry describes one options-menu item: the owning activity, the

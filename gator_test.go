@@ -325,6 +325,31 @@ func TestExplainVarAPI(t *testing.T) {
 	}
 }
 
+func TestExplainOrderingAPI(t *testing.T) {
+	res := figure1App(t).Analyze(Options{})
+	tree, err := res.ExplainOrdering("ConsoleActivity", "onPause", "onResume")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(tree, "[Lifestate]") || !strings.Contains(tree, "onResume") ||
+		!strings.Contains(tree, "[Rule]") {
+		t.Errorf("ordering justification missing derivation structure:\n%s", tree)
+	}
+	tree, err = res.ExplainOrdering("ConsoleActivity", "onDestroy", "onResume")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(tree, "= false") || !strings.Contains(tree, "absorbing") {
+		t.Errorf("impossible ordering should render a refutation:\n%s", tree)
+	}
+	if _, err := res.ExplainOrdering("Nope", "onPause", "onResume"); err == nil {
+		t.Error("want error for a non-component class")
+	}
+	if _, err := res.ExplainOrdering("ConsoleActivity", "onPause", "onFrobnicate"); err == nil {
+		t.Error("want error for an unknown callback")
+	}
+}
+
 func TestMenuEntriesAPI(t *testing.T) {
 	src := `
 class A extends Activity {

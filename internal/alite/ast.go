@@ -214,11 +214,12 @@ type IntExpr struct {
 	Value int
 }
 
-// RRefExpr references a generated resource constant: R.layout.Name or
-// R.id.Name.
+// RRefExpr references a generated resource constant: R.layout.Name,
+// R.id.Name, or R.string.Name.
 type RRefExpr struct {
 	Pos    Pos
-	Layout bool // true for R.layout, false for R.id
+	Layout bool // true for R.layout
+	Str    bool // true for R.string; both false for R.id
 	Name   string
 }
 

@@ -482,10 +482,10 @@ func (p *Parser) parseSelectors(x Expr) Expr {
 func (p *Parser) parseRRef(pos Pos) Expr {
 	p.expect(Dot)
 	kind := p.expect(IDENT)
-	if kind.Lit != "layout" && kind.Lit != "id" {
-		p.errs.Add(kind.Pos, "expected 'layout' or 'id' after 'R.', found %q", kind.Lit)
+	if kind.Lit != "layout" && kind.Lit != "id" && kind.Lit != "string" {
+		p.errs.Add(kind.Pos, "expected 'layout', 'id', or 'string' after 'R.', found %q", kind.Lit)
 	}
 	p.expect(Dot)
 	name := p.expect(IDENT)
-	return &RRefExpr{Pos: pos, Layout: kind.Lit == "layout", Name: name.Lit}
+	return &RRefExpr{Pos: pos, Layout: kind.Lit == "layout", Str: kind.Lit == "string", Name: name.Lit}
 }

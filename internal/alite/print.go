@@ -160,8 +160,11 @@ func exprString(e Expr) string {
 	case *IntExpr:
 		return fmt.Sprintf("%d", e.Value)
 	case *RRefExpr:
-		if e.Layout {
+		switch {
+		case e.Layout:
 			return "R.layout." + e.Name
+		case e.Str:
+			return "R.string." + e.Name
 		}
 		return "R.id." + e.Name
 	case *ClassLitExpr:

@@ -7,6 +7,7 @@ package analysis
 
 import (
 	"fmt"
+	"path"
 	"sort"
 	"strings"
 	"time"
@@ -92,7 +93,9 @@ func Run(app string, res *core.Result, opts Options) (*Report, error) {
 }
 
 // selectPasses resolves check names to registered passes, preserving the
-// registry's execution order.
+// registry's execution order. A name may be a glob pattern (path.Match
+// syntax, e.g. "lifecycle-*"), which selects every matching registered ID;
+// a pattern matching nothing is an error just like an unknown exact name.
 func selectPasses(names []string) ([]checks.Pass, error) {
 	all := checks.All()
 	if len(names) == 0 {
@@ -102,6 +105,23 @@ func selectPasses(names []string) ([]checks.Pass, error) {
 	for _, n := range names {
 		n = strings.TrimSpace(n)
 		if n == "" {
+			continue
+		}
+		if strings.ContainsAny(n, "*?[") {
+			matched := false
+			for _, p := range all {
+				ok, err := path.Match(n, p.ID)
+				if err != nil {
+					return nil, fmt.Errorf("bad check pattern %q: %v", n, err)
+				}
+				if ok {
+					want[p.ID] = true
+					matched = true
+				}
+			}
+			if !matched {
+				return nil, fmt.Errorf("check pattern %q matches no registered check (run -listchecks for the registry)", n)
+			}
 			continue
 		}
 		if _, ok := checks.PassByID(n); !ok {

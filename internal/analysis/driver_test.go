@@ -91,6 +91,49 @@ func TestRunSelection(t *testing.T) {
 	}
 }
 
+func TestSelectPassesGlob(t *testing.T) {
+	passes, err := selectPasses([]string{"lifecycle-*"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(passes) < 3 {
+		t.Fatalf("lifecycle-* selected %d passes, want the 3 ordering checkers", len(passes))
+	}
+	for _, p := range passes {
+		if !strings.HasPrefix(p.ID, "lifecycle-") {
+			t.Errorf("pattern lifecycle-* selected %s", p.ID)
+		}
+	}
+
+	// A glob composes with exact names, dedups, and keeps registry order.
+	passes, err = selectPasses([]string{"lifecycle-*", "lifecycle-dialog-misuse", "dangling-findview"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]int{}
+	for _, p := range passes {
+		seen[p.ID]++
+	}
+	if seen["lifecycle-dialog-misuse"] != 1 {
+		t.Errorf("glob + exact name duplicated a pass: %v", seen)
+	}
+	if seen["dangling-findview"] != 1 {
+		t.Errorf("exact name alongside glob not selected: %v", seen)
+	}
+
+	// A pattern matching nothing is an error, like an unknown exact name.
+	if _, err := selectPasses([]string{"nope-*"}); err == nil {
+		t.Error("pattern matching no checks accepted")
+	} else if !strings.Contains(err.Error(), "nope-*") {
+		t.Errorf("error does not name the bad pattern: %v", err)
+	}
+
+	// A malformed pattern reports a pattern error.
+	if _, err := selectPasses([]string{"lifecycle-["}); err == nil {
+		t.Error("malformed pattern accepted")
+	}
+}
+
 func TestRunSelectionPreservesRegistryOrder(t *testing.T) {
 	res := analyzeSrc(t, buggySrc, buggyLayouts)
 	// Request a CFG pass before a solution pass: execution order must still

@@ -171,6 +171,33 @@ func All() []Pass {
 			Run:      solutionPass(checkIsolatedActivity),
 		},
 		{
+			ID: "lifecycle-use-after-destroy",
+			Doc: "GUI construction (inflation, listeners, menus, dialogs) " +
+				"reachable from a callback nothing can follow: the work is " +
+				"dead and leaks the destroyed component",
+			Kind:     KindSolution,
+			Severity: Warning,
+			Run:      checkUseAfterDestroy,
+		},
+		{
+			ID: "lifecycle-listener-leak-on-pause",
+			Doc: "listener registered on every pass through onResume with no " +
+				"matching clear reachable from onPause/onStop: the handler " +
+				"outlives the visible phase and is re-registered each cycle",
+			Kind:     KindSolution,
+			Severity: Warning,
+			Run:      checkListenerLeakOnPause,
+		},
+		{
+			ID: "lifecycle-dialog-misuse",
+			Doc: "Dialog.show() reachable from a teardown callback " +
+				"(onPause/onStop/onDestroy): the dialog opens over a dying " +
+				"window and leaks",
+			Kind:     KindSolution,
+			Severity: Warning,
+			Run:      checkDialogMisuse,
+		},
+		{
 			ID: "findview-before-setcontentview",
 			Doc: "findViewById that can run before the activity's " +
 				"setContentView along some path: the lookup returns null",

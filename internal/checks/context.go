@@ -10,6 +10,7 @@ import (
 	"gator/internal/dataflow"
 	"gator/internal/graph"
 	"gator/internal/ir"
+	"gator/internal/lifecycle"
 	"gator/internal/platform"
 	"gator/internal/trace"
 )
@@ -40,6 +41,9 @@ type Context struct {
 	layoutIDByRes map[int]graph.Value
 	classNodes    map[*ir.Class]graph.Value
 	valIndexed    bool
+
+	// Lifecycle schedule (lifecycle.go), built on first ordering query.
+	sched *lifecycle.Schedule
 }
 
 // NewContext prepares a pass context over one solved analysis.

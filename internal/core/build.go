@@ -305,6 +305,12 @@ func (a *analysis) buildClassSeeds(c *ir.Class) {
 	if m := c.Dispatch(platform.MenuSelectCallback + "(R)"); m != nil && m.Body != nil && len(m.Params) == 1 {
 		a.seed(a.varNode(m.This), act, cu.or(a.mention(m)))
 	}
+	// Managed-dialog callback: the platform invokes onCreateDialog(int) on
+	// the activity; the dialogs it allocates get their own lifecycle seeds
+	// at the allocation sites (see buildStmt).
+	if m := c.Dispatch(platform.DialogCreateCallback + "(I)"); m != nil && m.Body != nil {
+		a.seed(a.varNode(m.This), act, cu.or(a.mention(m)))
+	}
 }
 
 // buildMethod lowers one method body into graph nodes, edges, and seeds.
@@ -374,9 +380,12 @@ func (a *analysis) buildStmt(m *ir.Method, s ir.Stmt) {
 		a.addFlow(a.varNode(s.Src), a.g.FieldNode(s.Field), mu)
 
 	case *ir.ConstRes:
-		if s.Layout {
+		switch {
+		case s.Layout:
 			a.seed(a.varNode(s.Dst), a.g.LayoutIDNode(s.ID, s.Name), mu)
-		} else {
+		case s.Str:
+			a.seed(a.varNode(s.Dst), a.g.StringIDNode(s.ID, s.Name), mu)
+		default:
 			a.seed(a.varNode(s.Dst), a.g.ViewIDNode(s.ID, s.Name), mu)
 		}
 

@@ -36,6 +36,8 @@ func canonValue(v graph.Value) string {
 		return "layout " + v.Name
 	case *graph.ViewIDNode:
 		return "id " + v.Name
+	case *graph.StringIDNode:
+		return "string " + v.Name
 	case *graph.ClassNode:
 		return "class " + v.Class.Name
 	case *graph.MenuNode:

@@ -230,9 +230,14 @@ func (a *analysis) applyOp(op *graph.OpNode) bool {
 		return a.applyFindParent(op)
 	case platform.OpMenuAdd:
 		return a.applyMenuAdd(op)
+	case platform.OpFindMenuItem:
+		return a.applyFindMenuItem(op)
 	case platform.OpSetAdapter:
 		return a.applySetAdapter(op)
 	}
+	// OpShowDialog, OpDismissDialog, OpRemoveView: visibility changes are
+	// no-ops for the monotone solution; the lifecycle checkers read the
+	// operations' positions instead.
 	return false
 }
 
@@ -313,6 +318,36 @@ func (a *analysis) applyMenuAdd(op *graph.OpNode) bool {
 				if a.tracking {
 					a.record(flowFact(a.g.VarNode(h.Params[0]), item), op.Kind.String(),
 						u.or(a.unitOf(h)), menuItemFact(menu, item))
+				}
+			}
+		}
+	}
+	return changed
+}
+
+// applyFindMenuItem resolves a Menu.findItem site: the items of the
+// reaching menus that carry the argument item id flow to the output — the
+// menu-space analogue of the FindView rules.
+func (a *analysis) applyFindMenuItem(op *graph.OpNode) bool {
+	if op.Out == nil {
+		return false
+	}
+	changed := false
+	u := a.unitOf(op.Method)
+	for _, v := range a.ptsOf(op.Recv) {
+		menu, ok := v.(*graph.MenuNode)
+		if !ok {
+			continue
+		}
+		for _, id := range viewIDsOf(a.ptsOf(op.Args[0])) {
+			for _, item := range a.g.MenuItems(menu) {
+				if a.hasViewID(item, id) && a.seedChecked(op.Out, item) {
+					changed = true
+					if a.tracking {
+						a.record(flowFact(op.Out, item), op.Kind.String(), u,
+							flowFact(op.Recv, menu), flowFact(op.Args[0], id),
+							menuItemFact(menu, item), viewIDFact(item, id))
+					}
 				}
 			}
 		}

@@ -1,0 +1,108 @@
+package corpus
+
+import (
+	"strings"
+	"testing"
+
+	"gator/internal/analysis"
+	"gator/internal/core"
+	"gator/internal/ir"
+)
+
+// runLifecycleChecks analyzes one scenario app and returns the lifecycle-*
+// finding counts keyed by checker ID.
+func runLifecycleChecks(t testing.TB, app *App) map[string]int {
+	t.Helper()
+	p, err := ir.Build(app.FreshFiles(), app.FreshLayouts())
+	if err != nil {
+		t.Fatalf("%s does not build: %v", app.Name, err)
+	}
+	res := core.Analyze(p, core.Options{})
+	rep, err := analysis.Run(app.Name, res, analysis.Options{Checks: []string{"lifecycle-*"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	for _, f := range rep.Findings {
+		counts[f.Check]++
+	}
+	return counts
+}
+
+// TestScenarioPackRecall is the generator/checker contract the BENCH_10
+// recall benchmark rests on: every seeded bug in the pack is located by its
+// checker, and every clean twin is silent across all lifecycle checkers.
+func TestScenarioPackRecall(t *testing.T) {
+	specs := ScenarioPack(24)
+	if len(specs) != 24 {
+		t.Fatalf("pack size = %d", len(specs))
+	}
+	seenBug := map[OrderingBug]bool{}
+	for _, spec := range specs {
+		seenBug[spec.Bug] = true
+		app := GenerateScenario(spec)
+		counts := runLifecycleChecks(t, app)
+		if counts[spec.Bug.CheckerID()] == 0 {
+			t.Errorf("%s: checker %s missed the seeded bug\n%s",
+				app.Name, spec.Bug.CheckerID(), app.Source)
+		}
+		clean := GenerateScenario(spec.CleanTwin())
+		if cleanCounts := runLifecycleChecks(t, clean); len(cleanCounts) != 0 {
+			t.Errorf("%s: clean twin has findings %v\n%s",
+				clean.Name, cleanCounts, clean.Source)
+		}
+	}
+	for b := OrderingBug(0); b < NumOrderingBugs; b++ {
+		if !seenBug[b] {
+			t.Errorf("pack of 24 never exercises bug %s", b)
+		}
+	}
+}
+
+func TestScenarioShapeParameters(t *testing.T) {
+	deep := GenerateScenario(ScenarioSpec{Bug: BugUseAfterDestroy, Depth: 3, Branch: true, Seed: 5})
+	if !strings.Contains(deep.Source, "step2") || strings.Contains(deep.Source, "step3") {
+		t.Errorf("depth 3 should emit helpers step0..step2:\n%s", deep.Source)
+	}
+	if !strings.Contains(deep.Source, "if (*)") {
+		t.Errorf("branch scenario lacks the nondet branch:\n%s", deep.Source)
+	}
+	flat := GenerateScenario(ScenarioSpec{Bug: BugListenerLeakOnPause})
+	if strings.Contains(flat.Source, "step0") {
+		t.Errorf("depth 0 should inline the operation:\n%s", flat.Source)
+	}
+	a := GenerateScenario(ScenarioSpec{Bug: BugDialogMisuse, Seed: 1})
+	bApp := GenerateScenario(ScenarioSpec{Bug: BugDialogMisuse, Seed: 1})
+	if a.Source != bApp.Source || a.Name != bApp.Name {
+		t.Error("generation is not deterministic")
+	}
+}
+
+// FuzzOrderingScenario: for arbitrary spec parameters the generated app
+// must parse and build, the seeded bug must be located by its checker, and
+// the clean twin must stay silent. Crashers found nightly are promoted into
+// testdata corpora by the fuzz workflow.
+func FuzzOrderingScenario(f *testing.F) {
+	f.Add(uint8(0), uint8(0), false, 0)
+	f.Add(uint8(1), uint8(2), true, 7)
+	f.Add(uint8(2), uint8(4), false, 13)
+	f.Fuzz(func(t *testing.T, bug, depth uint8, branch bool, seed int) {
+		spec := ScenarioSpec{
+			Bug:    OrderingBug(int(bug) % int(NumOrderingBugs)),
+			Depth:  int(depth) % 6,
+			Branch: branch,
+			Seed:   seed,
+		}
+		app := GenerateScenario(spec)
+		counts := runLifecycleChecks(t, app)
+		if counts[spec.Bug.CheckerID()] == 0 {
+			t.Fatalf("%s: checker %s missed the seeded bug\n%s",
+				app.Name, spec.Bug.CheckerID(), app.Source)
+		}
+		clean := GenerateScenario(spec.CleanTwin())
+		if cleanCounts := runLifecycleChecks(t, clean); len(cleanCounts) != 0 {
+			t.Fatalf("%s: clean twin has findings %v\n%s",
+				clean.Name, cleanCounts, clean.Source)
+		}
+	})
+}

@@ -48,7 +48,7 @@ func Export(res *core.Result, opts Options) string {
 			style = ` style=filled fillcolor=lightgray`
 		case *graph.ActivityNode:
 			shape = "hexagon"
-		case *graph.LayoutIDNode, *graph.ViewIDNode:
+		case *graph.LayoutIDNode, *graph.ViewIDNode, *graph.StringIDNode:
 			shape = "diamond"
 		}
 		fmt.Fprintf(&b, "\t%s [label=%q shape=%s%s];\n", id, label, shape, style)

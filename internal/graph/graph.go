@@ -138,6 +138,19 @@ type ClassNode struct {
 func (n *ClassNode) valueMarker()   {}
 func (n *ClassNode) String() string { return "Class[" + n.Class.Name + "]" }
 
+// StringIDNode represents one R.string constant. String resources carry no
+// GUI objects, but menu items and dialog titles reference them, so the
+// analysis tracks the constants as first-class values the same way it
+// tracks view ids.
+type StringIDNode struct {
+	base
+	ResID int
+	Name  string
+}
+
+func (n *StringIDNode) valueMarker()   {}
+func (n *StringIDNode) String() string { return "StringId[" + n.Name + "]" }
+
 // ViewIDNode represents one R.id constant.
 type ViewIDNode struct {
 	base
@@ -215,6 +228,7 @@ type Graph struct {
 	activities map[*ir.Class]*ActivityNode
 	layoutIDs  map[int]*LayoutIDNode
 	viewIDs    map[int]*ViewIDNode
+	stringIDs  map[int]*StringIDNode
 	classes    map[*ir.Class]*ClassNode
 	menus      map[*ir.Class]*MenuNode
 	menuItems  map[*OpNode]*MenuItemNode
@@ -272,6 +286,7 @@ func New() *Graph {
 		activities: map[*ir.Class]*ActivityNode{},
 		layoutIDs:  map[int]*LayoutIDNode{},
 		viewIDs:    map[int]*ViewIDNode{},
+		stringIDs:  map[int]*StringIDNode{},
 		classes:    map[*ir.Class]*ClassNode{},
 		menus:      map[*ir.Class]*MenuNode{},
 		menuItems:  map[*OpNode]*MenuItemNode{},
@@ -426,6 +441,18 @@ func (g *Graph) ViewIDNode(resID int, name string) *ViewIDNode {
 	}
 	n := &ViewIDNode{base: g.nextID(), ResID: resID, Name: name}
 	g.viewIDs[resID] = n
+	g.register(n)
+	return n
+}
+
+// StringIDNode returns (creating on demand) the node for a string resource
+// constant.
+func (g *Graph) StringIDNode(resID int, name string) *StringIDNode {
+	if n, ok := g.stringIDs[resID]; ok {
+		return n
+	}
+	n := &StringIDNode{base: g.nextID(), ResID: resID, Name: name}
+	g.stringIDs[resID] = n
 	g.register(n)
 	return n
 }

@@ -132,6 +132,16 @@ func (in *Interp) execOp(site *ir.Invoke, target *ir.Method, recv *Object, args 
 		so.Results[item.Tag] = true
 		return RefVal(item)
 
+	case platform.OpFindMenuItem:
+		so.Receivers[recv.Tag] = true
+		for _, item := range recv.MenuItems {
+			if item.ViewID == args[0].Int {
+				so.Results[item.Tag] = true
+				return RefVal(item)
+			}
+		}
+		return Null
+
 	case platform.OpFindParent:
 		so.Receivers[recv.Tag] = true
 		if recv.Parent != nil {

@@ -364,19 +364,24 @@ func (lw *lowerer) expr(out []Stmt, e alite.Expr) ([]Stmt, *Var) {
 func (lw *lowerer) rref(out []Stmt, x *alite.RRefExpr, dst *Var) []Stmt {
 	p := lw.b.prog
 	var id int
-	if x.Layout {
+	switch {
+	case x.Layout:
 		lid, ok := p.R.LayoutID(x.Name)
 		if !ok {
 			lw.errf(x.Pos, "R.layout.%s does not match any layout file", x.Name)
 			return out
 		}
 		id = lid
-	} else {
+	case x.Str:
+		// String resources have no XML source in the ALite abstraction;
+		// the constants are registered on first use, like view ids below.
+		id = p.R.AddStringID(x.Name)
+	default:
 		// View ids referenced only from code (for setId) are registered on
 		// first use, like aapt does for @+id declarations.
 		id = p.R.AddViewID(x.Name)
 	}
-	return append(out, &ConstRes{Dst: dst, ID: id, Layout: x.Layout, Name: x.Name, At: x.Pos})
+	return append(out, &ConstRes{Dst: dst, ID: id, Layout: x.Layout, Str: x.Str, Name: x.Name, At: x.Pos})
 }
 
 func (lw *lowerer) resolveField(base *Var, name string, pos alite.Pos) *Field {

@@ -72,11 +72,13 @@ type ConstInt struct {
 	At    alite.Pos
 }
 
-// ConstRes is x := R.layout.f or x := R.id.f, with the constant resolved.
+// ConstRes is x := R.layout.f, x := R.id.f, or x := R.string.f, with the
+// constant resolved.
 type ConstRes struct {
 	Dst    *Var
 	ID     int
 	Layout bool
+	Str    bool
 	Name   string
 	At     alite.Pos
 }
@@ -180,8 +182,11 @@ func (s *ConstInt) String() string { return fmt.Sprintf("%s := %d", s.Dst.Name, 
 
 func (s *ConstRes) String() string {
 	section := "id"
-	if s.Layout {
+	switch {
+	case s.Layout:
 		section = "layout"
+	case s.Str:
+		section = "string"
 	}
 	return fmt.Sprintf("%s := R.%s.%s", s.Dst.Name, section, s.Name)
 }

@@ -10,6 +10,7 @@ import (
 const (
 	LayoutIDBase = 0x7f030000
 	ViewIDBase   = 0x7f080000
+	StringIDBase = 0x7f0a0000
 )
 
 // RTable maps layout and view id names to generated integer constants, the
@@ -19,6 +20,8 @@ type RTable struct {
 	layoutByID   map[int]string
 	viewByName   map[string]int
 	viewByID     map[int]string
+	stringByName map[string]int
+	stringByID   map[int]string
 }
 
 // NewRTable builds the R table for a set of linked layouts: one R.layout
@@ -31,6 +34,8 @@ func NewRTable(layouts map[string]*Layout) *RTable {
 		layoutByID:   map[int]string{},
 		viewByName:   map[string]int{},
 		viewByID:     map[int]string{},
+		stringByName: map[string]int{},
+		stringByID:   map[int]string{},
 	}
 	names := make([]string, 0, len(layouts))
 	for name := range layouts {
@@ -59,6 +64,44 @@ func (t *RTable) AddViewID(name string) int {
 	t.viewByName[name] = id
 	t.viewByID[id] = name
 	return id
+}
+
+// AddStringID registers a string resource name, returning its constant.
+// Idempotent. String resources have no XML source in the ALite abstraction,
+// so like programmatic view ids they are registered on first use.
+func (t *RTable) AddStringID(name string) int {
+	if id, ok := t.stringByName[name]; ok {
+		return id
+	}
+	id := StringIDBase + len(t.stringByName)
+	t.stringByName[name] = id
+	t.stringByID[id] = name
+	return id
+}
+
+// StringID returns the R.string constant for a string resource name.
+func (t *RTable) StringID(name string) (int, bool) {
+	id, ok := t.stringByName[name]
+	return id, ok
+}
+
+// StringIDName returns the string resource name for an R.string constant.
+func (t *RTable) StringIDName(id int) (string, bool) {
+	name, ok := t.stringByID[id]
+	return name, ok
+}
+
+// NumStringIDs returns the number of string resource constants.
+func (t *RTable) NumStringIDs() int { return len(t.stringByName) }
+
+// StringIDNames returns the sorted string resource names.
+func (t *RTable) StringIDNames() []string {
+	names := make([]string, 0, len(t.stringByName))
+	for n := range t.stringByName {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
 }
 
 // LayoutID returns the R.layout constant for a layout name.
@@ -119,6 +162,9 @@ func (t *RTable) DescribeID(id int) string {
 	}
 	if name, ok := t.viewByID[id]; ok {
 		return "R.id." + name
+	}
+	if name, ok := t.stringByID[id]; ok {
+		return "R.string." + name
 	}
 	return fmt.Sprintf("0x%x", id)
 }

@@ -1,0 +1,340 @@
+// Package lifecycle models the callback ordering of the modeled component
+// kinds (activities and dialogs) as a lifestate automaton: a small state
+// machine whose transitions are labeled with lifecycle callbacks. The
+// declarative rule table plays the role of lifestate enable/disable facts —
+// a callback is enabled exactly in the states a rule departs from — and the
+// "callback happens-before" relation the checkers consume is derived from
+// the table by reachability, never hand-listed.
+//
+// The automaton is a may-ordering over-approximation: CanFollow(a, b)
+// answers "is there any framework-permitted execution in which b runs after
+// a", the question an ordering checker must ask before calling a callback
+// placement dead or leaky. Querying happens through Order, which instantiates
+// the per-kind automaton for every component class of one analyzed program.
+package lifecycle
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"gator/internal/ir"
+	"gator/internal/platform"
+)
+
+// State is one lifecycle state of a component automaton.
+type State int
+
+const (
+	// Init is the pre-creation state: the component object exists but the
+	// framework has not delivered any callback yet.
+	Init State = iota
+	Created
+	Started
+	Resumed
+	Paused
+	Stopped
+	// Destroyed is absorbing: no transition rule leaves it, so nothing can
+	// follow onDestroy — the fact the use-after-destroy checker rests on.
+	Destroyed
+)
+
+var stateNames = [...]string{
+	Init:      "Init",
+	Created:   "Created",
+	Started:   "Started",
+	Resumed:   "Resumed",
+	Paused:    "Paused",
+	Stopped:   "Stopped",
+	Destroyed: "Destroyed",
+}
+
+func (s State) String() string {
+	if int(s) < len(stateNames) {
+		return stateNames[s]
+	}
+	return "State?"
+}
+
+// ComponentKind selects which automaton a component follows.
+type ComponentKind int
+
+const (
+	KindActivity ComponentKind = iota
+	KindDialog
+)
+
+func (k ComponentKind) String() string {
+	if k == KindDialog {
+		return "dialog"
+	}
+	return "activity"
+}
+
+// Rule is one transition of the automaton: Callback may run exactly when
+// the component is in From, and leaves it in To. The rule table is the
+// machine-readable form of the framework's ordering contract; everything
+// else in this package is derived from it.
+type Rule struct {
+	Callback string
+	From, To State
+}
+
+func (r Rule) String() string {
+	return fmt.Sprintf("%s -%s-> %s", r.From, r.Callback, r.To)
+}
+
+// ActivityRules is the activity lifecycle automaton. Two deliberate
+// over-approximations keep the state set small: onRestart re-enters Created
+// (permitting a direct onDestroy afterwards, which the real framework
+// forbids between onRestart and onStart), and finish() inside onCreate is
+// modeled as Created -onDestroy-> Destroyed. Both only add orderings, so a
+// checker that requires an ordering to be impossible stays conservative.
+func ActivityRules() []Rule {
+	return []Rule{
+		{"onCreate", Init, Created},
+		{"onStart", Created, Started},
+		{"onResume", Started, Resumed},
+		{"onPause", Resumed, Paused},
+		{"onResume", Paused, Resumed},
+		{"onStop", Paused, Stopped},
+		{"onRestart", Stopped, Created},
+		{"onDestroy", Stopped, Destroyed},
+		{"onDestroy", Created, Destroyed},
+	}
+}
+
+// DialogRules is the dialog lifecycle automaton, over the callbacks the
+// platform model delivers to explicitly created dialogs (see
+// platform.DialogLifecycle): created once, then shown and hidden any number
+// of times.
+func DialogRules() []Rule {
+	return []Rule{
+		{"onCreate", Init, Created},
+		{"onStart", Created, Started},
+		{"onStop", Started, Stopped},
+		{"onStart", Stopped, Started},
+	}
+}
+
+// RulesFor returns the transition table of one component kind.
+func RulesFor(kind ComponentKind) []Rule {
+	if kind == KindDialog {
+		return DialogRules()
+	}
+	return ActivityRules()
+}
+
+// Component is one component class's instantiated automaton plus the
+// lifecycle callbacks the class actually overrides.
+type Component struct {
+	Class string
+	Kind  ComponentKind
+	// Callbacks are the lifecycle callbacks the class overrides with a
+	// body, in the platform's table order.
+	Callbacks []string
+
+	rules []Rule
+	// reach[s] is the set of states reachable from s via zero or more
+	// transitions — the reflexive-transitive closure of the rule table.
+	reach map[State]map[State]bool
+}
+
+func newComponent(class string, kind ComponentKind) *Component {
+	rules := RulesFor(kind)
+	reach := map[State]map[State]bool{}
+	states := map[State]bool{Init: true}
+	for _, r := range rules {
+		states[r.From] = true
+		states[r.To] = true
+	}
+	for s := range states {
+		set := map[State]bool{s: true}
+		queue := []State{s}
+		for len(queue) > 0 {
+			cur := queue[0]
+			queue = queue[1:]
+			for _, r := range rules {
+				if r.From == cur && !set[r.To] {
+					set[r.To] = true
+					queue = append(queue, r.To)
+				}
+			}
+		}
+		reach[s] = set
+	}
+	return &Component{Class: class, Kind: kind, rules: rules, reach: reach}
+}
+
+// Rules returns the component's transition table.
+func (c *Component) Rules() []Rule { return c.rules }
+
+// Known reports whether the automaton has any transition for cb — i.e.
+// whether cb is a lifecycle callback of this component kind at all.
+func (c *Component) Known(cb string) bool {
+	for _, r := range c.rules {
+		if r.Callback == cb {
+			return true
+		}
+	}
+	return false
+}
+
+// CanFollow reports whether some framework-permitted execution runs cb2
+// (not necessarily immediately) after cb1: a transition labeled cb1 ends in
+// a state from which a state enabling cb2 is reachable.
+func (c *Component) CanFollow(cb1, cb2 string) bool {
+	for _, r1 := range c.rules {
+		if r1.Callback != cb1 {
+			continue
+		}
+		for _, r2 := range c.rules {
+			if r2.Callback == cb2 && c.reach[r1.To][r2.From] {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// AliveAt reports whether the component can still receive any callback
+// after cb returns. False exactly when every transition labeled cb ends in
+// a dead end — for activities, only onDestroy.
+func (c *Component) AliveAt(cb string) bool {
+	for _, r1 := range c.rules {
+		if r1.Callback != cb {
+			continue
+		}
+		for _, r2 := range c.rules {
+			if c.reach[r1.To][r2.From] {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Before is the derived strict happens-before relation: cb1 can precede
+// cb2, and cb2 can never precede cb1. onCreate Before onDestroy holds;
+// onPause Before onResume does not (they alternate).
+func (c *Component) Before(cb1, cb2 string) bool {
+	return c.CanFollow(cb1, cb2) && !c.CanFollow(cb2, cb1)
+}
+
+// Justify renders a provenance-style derivation for why cb2 can (or can
+// never) follow cb1, in the same visual language as the solver's -explain
+// trees: the conclusion first, then one premise line per transition rule of
+// the shortest witness path. The returned ok mirrors CanFollow.
+func (c *Component) Justify(cb1, cb2 string) (string, bool) {
+	path := c.witness(cb1, cb2)
+	head := fmt.Sprintf("canFollow(%s.%s, %s.%s)", c.Class, cb1, c.Class, cb2)
+	var b strings.Builder
+	if path == nil {
+		fmt.Fprintf(&b, "%s = false  [Lifestate]\n", head)
+		if !c.AliveAt(cb1) {
+			fmt.Fprintf(&b, "└─ every transition labeled %s ends in an absorbing state (no rule leaves %s)\n",
+				cb1, Destroyed)
+		} else {
+			fmt.Fprintf(&b, "└─ no state enabling %s is reachable after %s in the %s transition table\n",
+				cb2, cb1, c.Kind)
+		}
+		return b.String(), false
+	}
+	fmt.Fprintf(&b, "%s  [Lifestate]\n", head)
+	for i, r := range path {
+		glyph := "├─"
+		if i == len(path)-1 {
+			glyph = "└─"
+		}
+		fmt.Fprintf(&b, "%s transition(%s)  [Rule]\n", glyph, r)
+	}
+	return b.String(), true
+}
+
+// witness returns the shortest rule sequence that starts with a transition
+// labeled cb1 and ends with one labeled cb2, or nil when none exists. BFS
+// over (state, rules-so-far) keeps it minimal; the table is tiny.
+func (c *Component) witness(cb1, cb2 string) []Rule {
+	type item struct {
+		state State
+		path  []Rule
+	}
+	var queue []item
+	for _, r := range c.rules {
+		if r.Callback == cb1 {
+			queue = append(queue, item{r.To, []Rule{r}})
+		}
+	}
+	seen := map[State]bool{}
+	for len(queue) > 0 {
+		it := queue[0]
+		queue = queue[1:]
+		for _, r := range c.rules {
+			if r.From != it.state {
+				continue
+			}
+			next := append(append([]Rule{}, it.path...), r)
+			if r.Callback == cb2 {
+				return next
+			}
+			if !seen[r.To] {
+				seen[r.To] = true
+				queue = append(queue, item{r.To, next})
+			}
+		}
+	}
+	return nil
+}
+
+// Schedule is the queryable callback-ordering model of one analyzed
+// program: one Component per activity or dialog class.
+type Schedule struct {
+	comps map[string]*Component
+}
+
+// Order derives the lifecycle schedule of an analyzed program. The
+// automaton per kind is fixed; what varies per component is which
+// callbacks the class overrides, which is what the checkers pair with the
+// ordering queries.
+func Order(p *ir.Program) *Schedule {
+	s := &Schedule{comps: map[string]*Component{}}
+	for _, cl := range p.AppClasses() {
+		if cl.IsInterface {
+			continue
+		}
+		var kind ComponentKind
+		var table []string
+		switch {
+		case p.IsActivityClass(cl):
+			kind, table = KindActivity, platform.Lifecycle
+		case p.IsDialogClass(cl):
+			kind, table = KindDialog, platform.DialogLifecycle
+		default:
+			continue
+		}
+		comp := newComponent(cl.Name, kind)
+		for _, name := range table {
+			if m := cl.Dispatch(ir.MethodKey(name, nil)); m != nil && m.Body != nil {
+				comp.Callbacks = append(comp.Callbacks, name)
+			}
+		}
+		s.comps[cl.Name] = comp
+	}
+	return s
+}
+
+// Component returns the schedule of one component class.
+func (s *Schedule) Component(class string) (*Component, bool) {
+	c, ok := s.comps[class]
+	return c, ok
+}
+
+// Components returns every component schedule in class-name order.
+func (s *Schedule) Components() []*Component {
+	out := make([]*Component, 0, len(s.comps))
+	for _, c := range s.comps {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Class < out[j].Class })
+	return out
+}

@@ -1,0 +1,229 @@
+package lifecycle
+
+import (
+	"strings"
+	"testing"
+
+	"gator/internal/alite"
+	"gator/internal/ir"
+	"gator/internal/layout"
+)
+
+func callbacks(rules []Rule) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, r := range rules {
+		if !seen[r.Callback] {
+			seen[r.Callback] = true
+			out = append(out, r.Callback)
+		}
+	}
+	return out
+}
+
+// enumerate walks every execution the rule table permits from Init, up to
+// maxLen callbacks, and records every ordered pair (a, b) where b ran after
+// a (not necessarily adjacently). It shares no code with the closure in
+// newComponent, so agreement is a real cross-check.
+func enumerate(rules []Rule, maxLen int) map[[2]string]bool {
+	pairs := map[[2]string]bool{}
+	var walk func(state State, trace []string)
+	walk = func(state State, trace []string) {
+		if n := len(trace); n > 0 {
+			for _, prev := range trace[:n-1] {
+				pairs[[2]string{prev, trace[n-1]}] = true
+			}
+		}
+		if len(trace) == maxLen {
+			return
+		}
+		for _, r := range rules {
+			if r.From == state {
+				walk(r.To, append(trace, r.Callback))
+			}
+		}
+	}
+	walk(Init, nil)
+	return pairs
+}
+
+// TestCanFollowMatchesTraceEnumeration is the core property test: the
+// reachability-derived CanFollow relation must agree exactly with brute
+// enumeration of rule-table executions. A pair CanFollow permits but no
+// trace exhibits would be an ordering invented outside the transition
+// table; a pair a trace exhibits but CanFollow denies would make every
+// ordering checker unsound.
+func TestCanFollowMatchesTraceEnumeration(t *testing.T) {
+	for _, kind := range []ComponentKind{KindActivity, KindDialog} {
+		c := newComponent("C", kind)
+		// Both automatons have ≤7 states; 16 steps is enough to revisit
+		// every cycle and stabilize the observed-pair set.
+		pairs := enumerate(c.Rules(), 16)
+		cbs := callbacks(c.Rules())
+		for _, a := range cbs {
+			for _, b := range cbs {
+				got := c.CanFollow(a, b)
+				want := pairs[[2]string{a, b}]
+				if got != want {
+					t.Errorf("%s: CanFollow(%s, %s) = %v, trace enumeration says %v",
+						kind, a, b, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestDestroyedAbsorbing pins the fact the use-after-destroy checker rests
+// on, from three independent angles: the table has no rule out of
+// Destroyed, nothing can follow onDestroy, and the component is not alive
+// at onDestroy.
+func TestDestroyedAbsorbing(t *testing.T) {
+	for _, kind := range []ComponentKind{KindActivity, KindDialog} {
+		c := newComponent("C", kind)
+		for _, r := range c.Rules() {
+			if r.From == Destroyed {
+				t.Errorf("%s: rule %s leaves the absorbing state", kind, r)
+			}
+		}
+	}
+	act := newComponent("C", KindActivity)
+	for _, cb := range callbacks(act.Rules()) {
+		if act.CanFollow("onDestroy", cb) {
+			t.Errorf("CanFollow(onDestroy, %s) = true; Destroyed must be absorbing", cb)
+		}
+	}
+	if act.AliveAt("onDestroy") {
+		t.Error("AliveAt(onDestroy) = true; Destroyed must be absorbing")
+	}
+}
+
+// TestAliveAtAgreesWithCanFollow: alive-after-cb is definitionally
+// "some callback can still run", i.e. ∃cb2 CanFollow(cb, cb2).
+func TestAliveAtAgreesWithCanFollow(t *testing.T) {
+	for _, kind := range []ComponentKind{KindActivity, KindDialog} {
+		c := newComponent("C", kind)
+		cbs := callbacks(c.Rules())
+		for _, a := range cbs {
+			exists := false
+			for _, b := range cbs {
+				if c.CanFollow(a, b) {
+					exists = true
+					break
+				}
+			}
+			if got := c.AliveAt(a); got != exists {
+				t.Errorf("%s: AliveAt(%s) = %v but ∃cb2 CanFollow = %v", kind, a, got, exists)
+			}
+		}
+	}
+}
+
+// TestJustifyWitnessIsValid checks that every positive Justify derivation
+// is a real path: consecutive rules chain From/To states, the first rule is
+// labeled cb1, the last cb2, and each cited transition is in the table.
+func TestJustifyWitnessIsValid(t *testing.T) {
+	for _, kind := range []ComponentKind{KindActivity, KindDialog} {
+		c := newComponent("C", kind)
+		inTable := func(r Rule) bool {
+			for _, tr := range c.Rules() {
+				if tr == r {
+					return true
+				}
+			}
+			return false
+		}
+		cbs := callbacks(c.Rules())
+		for _, a := range cbs {
+			for _, b := range cbs {
+				path := c.witness(a, b)
+				if (path != nil) != c.CanFollow(a, b) {
+					t.Fatalf("%s: witness(%s, %s) presence disagrees with CanFollow", kind, a, b)
+				}
+				if path == nil {
+					if txt, ok := c.Justify(a, b); ok || !strings.Contains(txt, "= false") {
+						t.Errorf("%s: Justify(%s, %s) should render a refutation", kind, a, b)
+					}
+					continue
+				}
+				if path[0].Callback != a || path[len(path)-1].Callback != b {
+					t.Errorf("%s: witness(%s, %s) endpoints wrong: %v", kind, a, b, path)
+				}
+				for i, r := range path {
+					if !inTable(r) {
+						t.Errorf("%s: witness cites rule %s not in the table", kind, r)
+					}
+					if i > 0 && path[i-1].To != r.From {
+						t.Errorf("%s: witness(%s, %s) breaks at step %d: %v", kind, a, b, i, path)
+					}
+				}
+				txt, ok := c.Justify(a, b)
+				if !ok || !strings.Contains(txt, "[Lifestate]") || !strings.Contains(txt, "[Rule]") {
+					t.Errorf("%s: Justify(%s, %s) missing derivation labels:\n%s", kind, a, b, txt)
+				}
+			}
+		}
+	}
+}
+
+func TestBefore(t *testing.T) {
+	c := newComponent("C", KindActivity)
+	if !c.Before("onCreate", "onDestroy") {
+		t.Error("onCreate must happen-before onDestroy")
+	}
+	if c.Before("onPause", "onResume") || c.Before("onResume", "onPause") {
+		t.Error("onPause/onResume alternate; neither strictly precedes the other")
+	}
+}
+
+func TestOrderDerivesComponents(t *testing.T) {
+	src := `class Main extends Activity {
+	void onCreate() {
+		this.setContentView(R.layout.main);
+	}
+	void onDestroy() {
+	}
+}
+class Prompt extends Dialog {
+	void onStart() {
+	}
+}
+class Helper {
+	void run() {
+	}
+}
+`
+	f, err := alite.Parse("test.alite", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ls := map[string]*layout.Layout{"main": layout.MustParse("main", `<LinearLayout/>`)}
+	p, err := ir.Build([]*alite.File{f}, ls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := Order(p)
+	comps := s.Components()
+	if len(comps) != 2 {
+		t.Fatalf("Components() = %d entries, want Main and Prompt", len(comps))
+	}
+	main, ok := s.Component("Main")
+	if !ok || main.Kind != KindActivity {
+		t.Fatalf("Main component missing or wrong kind: %+v", main)
+	}
+	if got := strings.Join(main.Callbacks, ","); got != "onCreate,onDestroy" {
+		t.Errorf("Main.Callbacks = %s, want onCreate,onDestroy", got)
+	}
+	prompt, ok := s.Component("Prompt")
+	if !ok || prompt.Kind != KindDialog {
+		t.Fatalf("Prompt component missing or wrong kind: %+v", prompt)
+	}
+	if got := strings.Join(prompt.Callbacks, ","); got != "onStart" {
+		t.Errorf("Prompt.Callbacks = %s, want onStart", got)
+	}
+	if _, ok := s.Component("Helper"); ok {
+		t.Error("Helper is not a component but got a schedule")
+	}
+	if !prompt.CanFollow("onStop", "onStart") {
+		t.Error("dialog re-show: onStart must be able to follow onStop")
+	}
+}

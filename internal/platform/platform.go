@@ -64,6 +64,17 @@ const (
 	// The static relations are monotone over-approximations, so the
 	// analysis treats removal as a no-op; the interpreter performs it.
 	OpRemoveView
+	// OpFindMenuItem retrieves the menu item carrying the argument item id
+	// from the receiver menu (Menu.findItem); the menu-space analogue of
+	// findViewById.
+	OpFindMenuItem
+	// OpShowDialog makes the receiver dialog visible (Dialog.show). The
+	// static relations are monotone, so showing is a no-op for the solver;
+	// the ordering checkers read the operation's position in the lifecycle.
+	OpShowDialog
+	// OpDismissDialog hides the receiver dialog (Dialog.dismiss); a no-op
+	// for the monotone solver, like OpRemoveView.
+	OpDismissDialog
 )
 
 var opKindNames = [...]string{
@@ -83,6 +94,9 @@ var opKindNames = [...]string{
 	OpMenuAdd:         "MenuAdd",
 	OpSetAdapter:      "SetAdapter",
 	OpRemoveView:      "RemoveView",
+	OpFindMenuItem:    "FindMenuItem",
+	OpShowDialog:      "ShowDialog",
+	OpDismissDialog:   "DismissDialog",
 }
 
 func (k OpKind) String() string {
@@ -357,8 +371,16 @@ func APIs() []ApiSpec {
 		// AdapterView.
 		{Class: "AdapterView", Name: "setAdapter", Params: []string{"Adapter"}, Return: "void", Kind: OpSetAdapter},
 
-		// Options menus: Menu.add(itemId) creates a MenuItem.
+		// Options menus: Menu.add(itemId) creates a MenuItem;
+		// Menu.findItem(itemId) retrieves it by id, like findViewById does
+		// for views.
 		{Class: "Menu", Name: "add", Params: []string{"int"}, Return: "MenuItem", Kind: OpMenuAdd},
+		{Class: "Menu", Name: "findItem", Params: []string{"int"}, Return: "MenuItem", Kind: OpFindMenuItem},
+
+		// Dialog visibility. Show/dismiss do not change the monotone
+		// solution; they anchor the lifecycle-ordering checkers.
+		{Class: "Dialog", Name: "show", Return: "void", Kind: OpShowDialog},
+		{Class: "Dialog", Name: "dismiss", Return: "void", Kind: OpDismissDialog},
 
 		// FindParent: the inverse hierarchy query.
 		{Class: "View", Name: "getParent", Return: "ViewGroup", Kind: OpFindParent},
@@ -392,6 +414,10 @@ const MenuCreateCallback = "onCreateOptionsMenu"
 // MenuSelectCallback is the callback the platform invokes when a menu item
 // is selected; its single parameter is the MenuItem.
 const MenuSelectCallback = "onOptionsItemSelected"
+
+// DialogCreateCallback is the callback the platform invokes on an activity
+// to create a managed dialog; its single parameter is the dialog id.
+const DialogCreateCallback = "onCreateDialog"
 
 // ListenerByInterface returns the ListenerSpec for an interface name.
 func ListenerByInterface(name string) (ListenerSpec, bool) {

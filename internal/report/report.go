@@ -19,8 +19,11 @@ type Request struct {
 	// Report is the report kind (see Known); "" means "summary".
 	Report string
 	// Explain, when non-empty, renders derivation trees instead of Report:
-	// "Class.method.var" for a variable's solution, "id:name" for a view id.
-	// Requires the result to have been computed with Options.Provenance.
+	// "Class.method.var" for a variable's solution, "id:name" for a view id,
+	// "order:Class.cb1.cb2" for a lifecycle-ordering justification.
+	// The flow forms require the result to have been computed with
+	// Options.Provenance; the order form is answered from the lifecycle
+	// transition table alone.
 	Explain string
 	// Seed seeds the concrete interpreter for the "explore" report.
 	Seed int64
@@ -31,7 +34,9 @@ type Request struct {
 
 // NeedsProvenance reports whether serving this request requires the
 // solution to carry the provenance DAG.
-func (r Request) NeedsProvenance() bool { return r.Explain != "" }
+func (r Request) NeedsProvenance() bool {
+	return r.Explain != "" && !strings.HasPrefix(r.Explain, "order:")
+}
 
 // Kind returns the effective report kind ("" normalizes to "summary").
 func (r Request) Kind() string {
@@ -79,6 +84,21 @@ func Render(w, errw io.Writer, name string, res *gator.Result, req Request) int 
 	if req.Explain != "" {
 		var trees []string
 		var err error
+		if strings.HasPrefix(req.Explain, "order:") {
+			parts := strings.SplitN(strings.TrimPrefix(req.Explain, "order:"), ".", 3)
+			if len(parts) != 3 {
+				fmt.Fprintln(errw, "gator: -explain order: wants order:Class.cb1.cb2")
+				return 2
+			}
+			tree, oerr := res.ExplainOrdering(parts[0], parts[1], parts[2])
+			if oerr != nil {
+				// API errors already carry the "gator: " prefix.
+				fmt.Fprintln(errw, oerr)
+				return 1
+			}
+			fmt.Fprint(w, tree)
+			return 0
+		}
 		if strings.HasPrefix(req.Explain, "id:") {
 			trees, err = res.ExplainViewID(strings.TrimPrefix(req.Explain, "id:"))
 		} else {
@@ -90,7 +110,8 @@ func Render(w, errw io.Writer, name string, res *gator.Result, req Request) int 
 			trees, err = res.ExplainDerivation(parts[0], parts[1], parts[2])
 		}
 		if err != nil {
-			fmt.Fprintln(errw, "gator:", err)
+			// API errors already carry the "gator: " prefix.
+			fmt.Fprintln(errw, err)
 			return 1
 		}
 		for i, t := range trees {

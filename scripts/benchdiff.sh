@@ -18,7 +18,11 @@
 # runner noise): 4-replica throughput scaling must stay at or above 1.5x a
 # single replica, the mid-run replica-kill experiment must recover every
 # request (zero failures, at least one session re-create), and the failover
-# p99 must stay under its 2s ceiling.
+# p99 must stay under its 2s ceiling. The lifecycle-recall record
+# (BENCH_10.json, gatorbench -lifejson) is also floor-gated: every ordering
+# checker must keep recall >= 0.9 over the synthesized scenario pack and
+# produce zero findings on the clean twins (any clean-twin finding is a
+# false positive by construction).
 #
 # Usage: scripts/benchdiff.sh [OUTDIR]
 #   Pass an OUTDIR to keep the regenerated records around (CI uploads them
@@ -39,7 +43,7 @@ echo "== regenerating benchmark records into $OUT"
 go run ./cmd/gatorbench -table 2 -benchjson "$OUT/BENCH_2.json" -incjson "$OUT/BENCH_4.json" \
     -servejson "$OUT/BENCH_5.json" -solvejson "$OUT/BENCH_6.json" \
     -precjson "$OUT/BENCH_7.json" -obsjson "$OUT/BENCH_8.json" \
-    -clusterjson "$OUT/BENCH_9.json" > /dev/null
+    -clusterjson "$OUT/BENCH_9.json" -lifejson "$OUT/BENCH_10.json" > /dev/null
 
 echo "== diff vs checked-in records (threshold 15%; precision ratio 5%; telemetry overhead 5%)"
 go run ./cmd/benchdiff BENCH_2.json "$OUT/BENCH_2.json"
@@ -49,5 +53,6 @@ go run ./cmd/benchdiff BENCH_6.json "$OUT/BENCH_6.json"
 go run ./cmd/benchdiff BENCH_7.json "$OUT/BENCH_7.json"
 go run ./cmd/benchdiff BENCH_8.json "$OUT/BENCH_8.json"
 go run ./cmd/benchdiff BENCH_9.json "$OUT/BENCH_9.json"
+go run ./cmd/benchdiff BENCH_10.json "$OUT/BENCH_10.json"
 
 echo "== benchdiff gate green"

@@ -24,7 +24,10 @@
 #                      (see .github/workflows/ci.yml).
 #   5. gofmt -l      — all sources formatted
 #   6. self-check    — `gator -checks` over examples/buggyapp must exit 1
-#                      and byte-match the checked-in expected output
+#                      and byte-match the checked-in expected output; the
+#                      ordering checkers get the same treatment over
+#                      examples/lifecycleapp via `-only "lifecycle-*"` (the
+#                      glob also keeps driver pattern selection wired)
 #   7. trace smoke   — `gator -trace -explain` over examples/buggyapp must
 #                      exit 0: tracing and provenance stay wired end-to-end
 #   8. server smoke  — `gatord -smoke -replica smoke-r0` boots the daemon on
@@ -43,10 +46,13 @@
 #                      against the oracle (the command exits nonzero on any
 #                      soundness violation) and stays wired into the CLI
 #  11. gatorbench    — regenerate BENCH_2.json, BENCH_4.json, BENCH_5.json,
-#                      BENCH_6.json, BENCH_7.json, BENCH_8.json, and
-#                      BENCH_9.json (skipped with -short);
+#                      BENCH_6.json, BENCH_7.json, BENCH_8.json,
+#                      BENCH_9.json, and BENCH_10.json (skipped with -short);
 #                      scripts/benchdiff.sh diffs regenerated records against
-#                      the checked-in ones without overwriting them
+#                      the checked-in ones without overwriting them.
+#                      BENCH_10.json is the lifecycle-checker recall record:
+#                      per-checker recall over synthesized ordering-bug
+#                      scenarios plus clean-twin false-positive counts
 #  12. cluster smoke — `gatorproxy -smoke` boots a real 2-replica cluster on
 #                      loopback (two in-process gatord replicas behind the
 #                      routing proxy), byte-compares cold and warm-session
@@ -83,7 +89,7 @@ go test $SHORT ./...
 RACE_PKGS="./..."
 if [ -n "$SHORT" ]; then
     # The packages with concurrent tests; see the step 4 note above.
-    RACE_PKGS=". ./internal/core ./internal/cache ./internal/metrics ./internal/trace ./internal/watch ./internal/server ./internal/cluster"
+    RACE_PKGS=". ./internal/core ./internal/cache ./internal/metrics ./internal/trace ./internal/watch ./internal/server ./internal/cluster ./internal/lifecycle ./internal/corpus"
 fi
 echo "== go test -race $SHORT $RACE_PKGS"
 go test -race $SHORT $RACE_PKGS
@@ -105,6 +111,16 @@ if go run ./cmd/gator -checks examples/buggyapp > "$CHECKS_OUT"; then
 fi
 diff -u examples/buggyapp/expected_checks.txt "$CHECKS_OUT"
 
+echo "== gator -checks ordering self-check (examples/lifecycleapp)"
+if go run ./cmd/gator -checks -only "lifecycle-*" examples/lifecycleapp > "$CHECKS_OUT"; then
+    echo "self-check: expected exit 1 on the lifecycle app, got 0" >&2
+    exit 1
+fi
+diff -u examples/lifecycleapp/expected_checks.txt "$CHECKS_OUT"
+
+echo "== ordering explain smoke (examples/lifecycleapp)"
+go run ./cmd/gator -explain order:Main.onDestroy.onResume examples/lifecycleapp > /dev/null
+
 echo "== trace + explain smoke (examples/buggyapp)"
 go run ./cmd/gator -trace /dev/null -explain Main.onCreate.btn examples/buggyapp > /dev/null
 
@@ -118,10 +134,10 @@ echo "== context-sensitivity precision smoke (TippyTipper, 1cfa)"
 go run ./cmd/gatorbench -table precision -app TippyTipper -ctx 1cfa > /dev/null
 
 if [ -z "$SHORT" ]; then
-    echo "== gatorbench BENCH_2.json + BENCH_4.json + BENCH_5.json + BENCH_6.json + BENCH_7.json + BENCH_8.json + BENCH_9.json"
+    echo "== gatorbench BENCH_2.json + BENCH_4.json + BENCH_5.json + BENCH_6.json + BENCH_7.json + BENCH_8.json + BENCH_9.json + BENCH_10.json"
     go run ./cmd/gatorbench -benchjson BENCH_2.json -incjson BENCH_4.json -servejson BENCH_5.json \
         -solvejson BENCH_6.json -precjson BENCH_7.json -obsjson BENCH_8.json \
-        -clusterjson BENCH_9.json > /dev/null
+        -clusterjson BENCH_9.json -lifejson BENCH_10.json > /dev/null
 fi
 
 echo "== gatorproxy cluster smoke (examples/buggyapp, 2 replicas)"
